@@ -1,0 +1,44 @@
+# locble — reproduction of "Locating and Tracking BLE Beacons with
+# Smartphones" (CoNEXT 2017). Stdlib-only; everything works offline.
+
+GO ?= go
+
+.PHONY: all build test race cover bench repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One testing.B target per paper table/figure plus pipeline micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation (Sec. 7 tables and figures,
+# ablations, extensions) as text rows/series.
+repro:
+	$(GO) run ./cmd/locble-bench
+
+repro-quick:
+	$(GO) run ./cmd/locble-bench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lostitem
+	$(GO) run ./examples/movingtarget
+	$(GO) run ./examples/retailshelf
+	$(GO) run ./examples/tracking
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,148 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark* target per experiment ID — see DESIGN.md's
+// per-experiment index), plus steady-state micro-benchmarks of the
+// pipeline stages. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the full generator in Quick mode per
+// iteration; their ns/op is the cost of regenerating the result, not a
+// statement about the paper's metrics (those are printed by
+// cmd/locble-bench and recorded in EXPERIMENTS.md).
+package locble_test
+
+import (
+	"testing"
+
+	"locble"
+	"locble/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	entry, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One bench per paper table/figure (DESIGN.md index) ----------------
+
+func BenchmarkFig2RSSVsDistance(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig4Filtering(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkFig5Preprocessing(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkEnvAwareClassification(b *testing.B)   { benchExperiment(b, "sec4.1") }
+func BenchmarkFig8StepTurn(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9DTW(b *testing.B)                  { benchExperiment(b, "fig9") }
+func BenchmarkTable1Environments(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig10bNavigation(b *testing.B)         { benchExperiment(b, "fig10b") }
+func BenchmarkFig11aStationary(b *testing.B)         { benchExperiment(b, "fig11a") }
+func BenchmarkFig11bMovingTarget(b *testing.B)       { benchExperiment(b, "fig11b") }
+func BenchmarkFig12aDistanceSweep(b *testing.B)      { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bNavigationApproach(b *testing.B) { benchExperiment(b, "fig12b") }
+func BenchmarkFig13aSamplingRate(b *testing.B)       { benchExperiment(b, "fig13a") }
+func BenchmarkFig13bWalkLength(b *testing.B)         { benchExperiment(b, "fig13b") }
+func BenchmarkFig14BeaconTypes(b *testing.B)         { benchExperiment(b, "fig14") }
+func BenchmarkFig15Clustering(b *testing.B)          { benchExperiment(b, "fig15") }
+
+// --- Ablation benches (DESIGN.md "design choices" section) -------------
+
+func BenchmarkAblationButterworthOrder(b *testing.B) { benchExperiment(b, "ablation-bf-order") }
+func BenchmarkAblationLShape(b *testing.B)           { benchExperiment(b, "ablation-lshape") }
+func BenchmarkAblationRestartPolicy(b *testing.B)    { benchExperiment(b, "ablation-restart") }
+func BenchmarkAblationDTWSegment(b *testing.B)       { benchExperiment(b, "ablation-dtw-segment") }
+func BenchmarkAblationAKFGain(b *testing.B)          { benchExperiment(b, "ablation-akf-gain") }
+
+// --- Extension benches (paper Sec. 9 future work, implemented) ---------
+
+func BenchmarkExtTracking(b *testing.B)       { benchExperiment(b, "ext-tracking") }
+func BenchmarkExt3D(b *testing.B)             { benchExperiment(b, "ext-3d") }
+func BenchmarkExtProximity(b *testing.B)      { benchExperiment(b, "ext-proximity") }
+func BenchmarkExtCrowded(b *testing.B)        { benchExperiment(b, "ext-crowded") }
+func BenchmarkExtBLE5(b *testing.B)           { benchExperiment(b, "ext-ble5") }
+func BenchmarkExtTrackingMoving(b *testing.B) { benchExperiment(b, "ext-tracking-moving") }
+
+// --- Steady-state pipeline costs (Sec. 7.8 overhead) -------------------
+
+// BenchmarkOverheadLocate measures one full pipeline run (ANF + EnvAware
+// + motion tracking + joint regression) over a fixed measurement trace:
+// the per-measurement CPU cost the paper's Sec. 7.8 instruments.
+func BenchmarkOverheadLocate(b *testing.B) {
+	sys, err := locble.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "b", X: 6, Y: 3}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(locble.LOS),
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Locate(tr, "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadCluster measures the calibrated variant over a 4-beacon
+// trace (the Fig. 15 configuration).
+func BenchmarkOverheadCluster(b *testing.B) {
+	sys, err := locble.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{
+			{Name: "b", X: 6, Y: 3},
+			{Name: "n1", X: 6.3, Y: 3},
+			{Name: "n2", X: 6, Y: 3.3},
+			{Name: "far", X: 1, Y: 6},
+		},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(locble.LOS),
+		Seed:         2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.LocateCalibrated(tr, "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadSimulate measures the world simulator itself (trace
+// generation is the substrate cost, not part of the paper's pipeline).
+func BenchmarkOverheadSimulate(b *testing.B) {
+	sc := locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "b", X: 6, Y: 3}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(locble.LOS),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		if _, err := locble.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command locble-bench regenerates the paper's evaluation: every table
+// and figure from Sec. 7 (plus the ablation studies DESIGN.md calls out)
+// as text rows/series.
+//
+// Usage:
+//
+//	locble-bench              # run everything (takes a few minutes)
+//	locble-bench -quick       # reduced trial counts
+//	locble-bench -run fig11a  # one experiment by ID
+//	locble-bench -list        # list experiment IDs
+//	locble-bench -seed 7      # change the simulation seed
+//	locble-bench -outdir out  # also save per-experiment files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"locble/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced trial counts")
+		runID  = flag.String("run", "", "run a single experiment by ID")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		outdir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	entries := experiments.All()
+	if *runID != "" {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		entries = []experiments.Entry{e}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	failures := 0
+	for _, e := range entries {
+		start := time.Now()
+		out, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		out.Render(os.Stdout)
+		if *outdir != "" {
+			f, err := os.Create(filepath.Join(*outdir, e.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failures++
+			} else {
+				out.Render(f)
+				f.Close()
+			}
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

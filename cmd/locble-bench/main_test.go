@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestBenchListAndSingle builds the binary and exercises -list plus one
+// quick experiment end to end.
+func TestBenchListAndSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir() + "/locble-bench"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fig2", "table1", "fig15", "ext-3d"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+
+	out, err = exec.Command(bin, "-quick", "-run", "fig8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-run fig8: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "step-count accuracy") {
+		t.Errorf("fig8 output missing metric row:\n%s", out)
+	}
+
+	if out, err := exec.Command(bin, "-run", "nonexistent").CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment should fail, got:\n%s", out)
+	}
+}

@@ -1,0 +1,159 @@
+// Command locble-trace generates synthetic measurement traces — the raw
+// (timestamp, beacon, RSSI, channel) scan reports plus IMU samples a
+// phone would record — and dumps them as CSV or JSON for offline
+// analysis.
+//
+// Usage:
+//
+//	locble-trace [flags]
+//
+//	-x, -y     beacon position (default 6, 3)
+//	-env       los | plos | nlos
+//	-seed      simulation seed
+//	-format    csv | json (default csv)
+//	-what      rss | imu | both (default rss)
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"locble"
+)
+
+func main() {
+	var (
+		bx      = flag.Float64("x", 6, "beacon x (m)")
+		by      = flag.Float64("y", 3, "beacon y (m)")
+		envName = flag.String("env", "los", "environment: los|plos|nlos")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		format  = flag.String("format", "csv", "output format: csv|json")
+		what    = flag.String("what", "rss", "what to dump: rss|imu|both")
+		save    = flag.String("save", "", "write the full trace (gzip JSON) to this path")
+	)
+	flag.Parse()
+
+	if err := run(*bx, *by, *envName, *seed, *format, *what, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "locble-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bx, by float64, envName string, seed int64, format, what, save string) error {
+	var envClass locble.Environment
+	switch strings.ToLower(envName) {
+	case "los":
+		envClass = locble.LOS
+	case "plos":
+		envClass = locble.PLOS
+	case "nlos":
+		envClass = locble.NLOS
+	default:
+		return fmt.Errorf("unknown environment %q", envName)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "target", X: bx, Y: by}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(envClass),
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := locble.SaveTrace(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace saved to %s\n", save)
+	}
+
+	switch format {
+	case "json":
+		return dumpJSON(tr, what)
+	case "csv":
+		return dumpCSV(tr, what)
+	}
+	return fmt.Errorf("unknown format %q", format)
+}
+
+func dumpCSV(tr *locble.Trace, what string) error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if what == "rss" || what == "both" {
+		w.Write([]string{"t", "beacon", "rssi_dbm", "channel", "true_dist_m", "env"})
+		for name, obs := range tr.Observations {
+			for _, o := range obs {
+				w.Write([]string{
+					strconv.FormatFloat(o.T, 'f', 3, 64),
+					name,
+					strconv.FormatFloat(o.RSSI, 'f', 2, 64),
+					strconv.Itoa(o.Channel),
+					strconv.FormatFloat(o.TrueDist, 'f', 3, 64),
+					o.Env.String(),
+				})
+			}
+		}
+	}
+	if what == "imu" || what == "both" {
+		w.Write([]string{"t", "ax", "ay", "az", "gx", "gy", "gz", "mx", "my", "mz"})
+		for _, s := range tr.IMU.Samples {
+			row := []string{strconv.FormatFloat(s.T, 'f', 3, 64)}
+			for _, v := range [][3]float64{s.Acc, s.Gyro, s.Mag} {
+				for _, c := range v {
+					row = append(row, strconv.FormatFloat(c, 'f', 5, 64))
+				}
+			}
+			w.Write(row)
+		}
+	}
+	return w.Error()
+}
+
+func dumpJSON(tr *locble.Trace, what string) error {
+	type rssRow struct {
+		T       float64 `json:"t"`
+		Beacon  string  `json:"beacon"`
+		RSSI    float64 `json:"rssi_dbm"`
+		Channel int     `json:"channel"`
+	}
+	type imuRow struct {
+		T    float64    `json:"t"`
+		Acc  [3]float64 `json:"acc"`
+		Gyro [3]float64 `json:"gyro"`
+		Mag  [3]float64 `json:"mag"`
+	}
+	out := struct {
+		Duration float64  `json:"duration_s"`
+		RSS      []rssRow `json:"rss,omitempty"`
+		IMU      []imuRow `json:"imu,omitempty"`
+	}{Duration: tr.Duration}
+	if what == "rss" || what == "both" {
+		for name, obs := range tr.Observations {
+			for _, o := range obs {
+				out.RSS = append(out.RSS, rssRow{o.T, name, o.RSSI, o.Channel})
+			}
+		}
+	}
+	if what == "imu" || what == "both" {
+		for _, s := range tr.IMU.Samples {
+			out.IMU = append(out.IMU, imuRow{s.T, s.Acc, s.Gyro, s.Mag})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFormats(t *testing.T) {
+	// Silence stdout: the dumps are large.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	for _, format := range []string{"csv", "json"} {
+		for _, what := range []string{"rss", "imu", "both"} {
+			if err := run(6, 3, "los", 1, format, what, ""); err != nil {
+				t.Errorf("run(%s, %s): %v", format, what, err)
+			}
+		}
+	}
+	if err := run(6, 3, "los", 1, "xml", "rss", ""); err == nil {
+		t.Error("want error for unknown format")
+	}
+	if err := run(6, 3, "fog", 1, "csv", "rss", ""); err == nil {
+		t.Error("want error for unknown environment")
+	}
+}
+
+func TestRunSave(t *testing.T) {
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	path := filepath.Join(t.TempDir(), "out.trace")
+	if err := run(6, 3, "nlos", 2, "csv", "rss", path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("saved trace is empty")
+	}
+}

@@ -1,0 +1,255 @@
+// Command locble simulates a LocBLE measurement end to end: it places a
+// beacon, walks a virtual observer through an L-shaped measurement,
+// locates the beacon with the full pipeline, and (optionally) navigates
+// to it — printing what the phone app's UI would show.
+//
+// Usage:
+//
+//	locble [flags]
+//
+//	-x, -y        true beacon position in metres (default 6, 3)
+//	-env          propagation class: los | plos | nlos (default los)
+//	-phone        iphone5s | iphone6s | nexus5x | nexus6p (default iphone6s)
+//	-beacon       estimote | radbeacon | ios (default estimote)
+//	-seed         simulation seed
+//	-navigate     after measuring, walk to the estimate
+//	-cluster      add 3 co-located neighbour beacons and calibrate
+//	-v            verbose diagnostics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"locble"
+)
+
+func main() {
+	var (
+		bx       = flag.Float64("x", 6, "beacon x (m)")
+		by       = flag.Float64("y", 3, "beacon y (m)")
+		envName  = flag.String("env", "los", "environment: los|plos|nlos")
+		phone    = flag.String("phone", "iphone6s", "phone profile")
+		beacon   = flag.String("beacon", "estimote", "beacon hardware")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		replay   = flag.String("replay", "", "analyze a saved trace file (see locble-trace -save)")
+		navigate = flag.Bool("navigate", false, "navigate to the estimate after measuring")
+		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
+		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
+		verbose  = flag.Bool("v", false, "verbose diagnostics")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "locble:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *navigate, *trackF, *clusterF, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "locble:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bx, by float64, envName, phoneName, beaconName string, seed int64, navigate, trackOn, clusterOn, verbose bool) error {
+	envClass, err := parseEnv(envName)
+	if err != nil {
+		return err
+	}
+	phone, err := parsePhone(phoneName)
+	if err != nil {
+		return err
+	}
+	tx, err := parseBeacon(beaconName)
+	if err != nil {
+		return err
+	}
+
+	beacons := []locble.BeaconSpec{{Name: "target", X: bx, Y: by, Tx: tx}}
+	if clusterOn {
+		beacons = append(beacons,
+			locble.BeaconSpec{Name: "n1", X: bx + 0.3, Y: by, Tx: tx},
+			locble.BeaconSpec{Name: "n2", X: bx, Y: by + 0.3, Tx: tx},
+			locble.BeaconSpec{Name: "n3", X: bx + 0.3, Y: by + 0.3, Tx: tx},
+		)
+	}
+
+	fmt.Printf("simulating measurement: beacon %q at (%.1f, %.1f) m, %s, %s, %s\n",
+		"target", bx, by, envClass, phone.Name, tx.Name)
+	fmt.Println("observer: L-shaped walk, 4 m + 4 m")
+
+	sys, err := locble.New()
+	if err != nil {
+		return err
+	}
+	plan := locble.LShapeWalk(0, 4, 4)
+	if trackOn {
+		// A patrol loop gives the tracker continuously fresh geometry.
+		plan = locble.WalkPlan{Segments: []locble.WalkSegment{
+			{Heading: 0, Distance: 6},
+			{Heading: math.Pi / 2, Distance: 4},
+			{Heading: math.Pi, Distance: 6},
+			{Heading: -math.Pi / 2, Distance: 4},
+		}}
+	}
+	trace, err := locble.Simulate(locble.Scenario{
+		Beacons:      beacons,
+		ObserverPlan: plan,
+		Phone:        phone,
+		EnvModel:     locble.StaticEnv(envClass),
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if trackOn {
+		fixes, err := sys.TrackSmoothed(trace, "target", 8, 2, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\ncontinuous tracking (smoothed fixes):")
+		for _, f := range fixes {
+			fmt.Printf("  t=%5.1f s  (%5.2f, %5.2f) m  err %.2f m\n",
+				f.T, f.Position.X, f.Position.Y, math.Hypot(f.Position.X-bx, f.Position.Y-by))
+		}
+		return nil
+	}
+	if verbose {
+		obsCount := 0
+		for _, o := range trace.Observations {
+			obsCount += len(o)
+		}
+		fmt.Printf("trace: %.1f s, %d IMU samples, %d scan reports\n",
+			trace.Duration, len(trace.IMU.Samples), obsCount)
+	}
+
+	var pos *locble.Position
+	if clusterOn {
+		p, cres, err := sys.LocateCalibrated(trace, "target")
+		if err != nil {
+			return err
+		}
+		pos = p
+		fmt.Printf("cluster: %d members joined\n", cres.ClusterSize)
+		if verbose {
+			for _, m := range cres.Members {
+				fmt.Printf("  %-8s matched=%-5v weight=%.2f\n", m.Name, m.Matched, m.Weight)
+			}
+		}
+	} else {
+		p, err := sys.Locate(trace, "target")
+		if err != nil {
+			return err
+		}
+		pos = p
+	}
+
+	fmt.Printf("\nestimate: (%.2f, %.2f) m  range %.2f m  confidence %.2f\n",
+		pos.X, pos.Y, pos.Range, pos.Confidence)
+	fmt.Printf("environment: %s   path-loss exponent: %.2f\n", pos.Environment, pos.PathLossExponent)
+	fmt.Printf("true error: %.2f m\n", math.Hypot(pos.X-bx, pos.Y-by))
+	if pos.Ambiguous && pos.Mirror != nil {
+		fmt.Printf("ambiguous: mirror candidate at (%.2f, %.2f)\n", pos.Mirror.X, pos.Mirror.Y)
+	}
+
+	if navigate {
+		fmt.Println("\nnavigation:")
+		nav := sys.Navigator(pos)
+		// Walk in 0.7 m steps toward the advice until arrival.
+		for step := 0; step < 40; step++ {
+			adv := nav.Advise()
+			if adv.Arrived {
+				x, y := nav.Position()
+				fmt.Printf("  arrived after %d steps at (%.2f, %.2f); true miss %.2f m\n",
+					step, x, y, math.Hypot(x-bx, y-by))
+				return nil
+			}
+			if verbose {
+				fmt.Printf("  step %2d: %.2f m to go, bearing %.0f°\n",
+					step, adv.Distance, adv.Bearing*180/math.Pi)
+			}
+			nav.Update(0.7, adv.Bearing)
+		}
+		fmt.Println("  gave up after 40 steps")
+	}
+	return nil
+}
+
+// runReplay analyzes every beacon of a saved trace.
+func runReplay(path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := locble.LoadTrace(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s: %.1f s, %d beacons, phone %s\n",
+		path, tr.Duration, len(tr.Observations), tr.Phone.Name)
+	sys, err := locble.New()
+	if err != nil {
+		return err
+	}
+	for _, spec := range tr.Beacons {
+		pos, err := sys.Locate(tr, spec.Name)
+		if err != nil {
+			fmt.Printf("  %-12s no estimate: %v\n", spec.Name, err)
+			continue
+		}
+		fmt.Printf("  %-12s est (%.2f, %.2f) m  range %.2f  conf %.2f  env %s\n",
+			spec.Name, pos.X, pos.Y, pos.Range, pos.Confidence, pos.Environment)
+		if verbose {
+			fmt.Printf("               true (%.2f, %.2f), error %.2f m\n",
+				spec.X, spec.Y, math.Hypot(pos.X-spec.X, pos.Y-spec.Y))
+		}
+	}
+	return nil
+}
+
+func parseEnv(s string) (locble.Environment, error) {
+	switch strings.ToLower(s) {
+	case "los":
+		return locble.LOS, nil
+	case "plos", "p-los":
+		return locble.PLOS, nil
+	case "nlos":
+		return locble.NLOS, nil
+	}
+	return 0, fmt.Errorf("unknown environment %q", s)
+}
+
+func parsePhone(s string) (locble.DeviceProfile, error) {
+	switch strings.ToLower(s) {
+	case "iphone5s":
+		return locble.IPhone5s, nil
+	case "iphone6s":
+		return locble.IPhone6s, nil
+	case "nexus5x":
+		return locble.Nexus5x, nil
+	case "nexus6p":
+		return locble.Nexus6P, nil
+	case "moto", "motonexus6":
+		return locble.MotoNexus6, nil
+	}
+	return locble.DeviceProfile{}, fmt.Errorf("unknown phone %q", s)
+}
+
+func parseBeacon(s string) (locble.BeaconHardware, error) {
+	switch strings.ToLower(s) {
+	case "estimote":
+		return locble.EstimoteBeacon, nil
+	case "radbeacon":
+		return locble.RadBeaconUSB, nil
+	case "ios":
+		return locble.IOSDeviceTx, nil
+	}
+	return locble.BeaconHardware{}, fmt.Errorf("unknown beacon %q", s)
+}

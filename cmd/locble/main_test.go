@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locble"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, false, false, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithNavigation(t *testing.T) {
+	if err := run(5, 2, "plos", "nexus6p", "radbeacon", 2, true, false, false, true); err != nil {
+		t.Fatalf("run -navigate: %v", err)
+	}
+}
+
+func TestRunTrackMode(t *testing.T) {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 3, false, true, false, false); err != nil {
+		t.Fatalf("run -track: %v", err)
+	}
+}
+
+func TestRunClusterMode(t *testing.T) {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 4, false, false, true, true); err != nil {
+		t.Fatalf("run -cluster: %v", err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run(6, 3, "vacuum", "iphone6s", "estimote", 1, false, false, false, false); err == nil {
+		t.Error("want error for unknown environment")
+	}
+	if err := run(6, 3, "los", "rotaryphone", "estimote", 1, false, false, false, false); err == nil {
+		t.Error("want error for unknown phone")
+	}
+	if err := run(6, 3, "los", "iphone6s", "smoke-signal", 1, false, false, false, false); err == nil {
+		t.Error("want error for unknown beacon")
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "target", X: 6, Y: 3}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := locble.SaveTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := runReplay(path, true); err != nil {
+		t.Fatalf("runReplay: %v", err)
+	}
+	if err := runReplay(filepath.Join(t.TempDir(), "missing.trace"), false); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,91 @@
+// Moving target: locate another person's phone while both people walk
+// (paper Sec. 5 "moving target" mode and Sec. 7.4.2). The target phone
+// advertises in beacon mode while recording its own motion; after the
+// measurement it ships its (RSS, motion) trace bundle to the observer
+// over the network — the paper used UPnP; this example runs the real
+// UDP-discovery + TCP-exchange protocol over loopback, with the target
+// served from a second goroutine standing in for the second phone.
+//
+// Run with:
+//
+//	go run ./examples/movingtarget
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"locble"
+	"locble/internal/netproto"
+)
+
+func main() {
+	// --- The world --------------------------------------------------------
+	// The target person starts 8 m away at a 20° bearing and strolls
+	// north; the observer walks the L-shaped measurement.
+	const tx0, ty0 = 7.5, 2.7
+	tgtPlan := locble.WalkPlan{
+		Segments:     []locble.WalkSegment{{Heading: math.Pi / 2, Distance: 3}},
+		StartX:       tx0,
+		StartY:       ty0,
+		StartHeading: math.Pi / 2,
+	}
+	trace, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "friend", X: tx0, Y: ty0, Tx: locble.IOSDeviceTx}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		TargetPlan:   &tgtPlan,
+		EnvModel:     locble.StaticEnv(locble.LOS),
+		Seed:         4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Target side: serve the trace bundle ------------------------------
+	// In a real deployment this runs on the target's phone. The bundle
+	// carries the target's own RSS log and dead-reckoned motion points.
+	srv, err := netproto.NewServer("friend-phone", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	bundle := &netproto.TraceBundle{Device: "friend-phone"}
+	for _, p := range trace.TargetIMU.Truth {
+		if int(p.T*10)%5 == 0 { // ~2 Hz motion points
+			bundle.Motion = append(bundle.Motion, netproto.MotionPoint{T: p.T, X: p.X - tx0, Y: p.Y - ty0})
+		}
+	}
+	srv.SetBundle(bundle)
+
+	// --- Observer side: discover, fetch, locate ---------------------------
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	found, err := netproto.Discover(ctx, []string{srv.DiscoveryAddr()})
+	if err != nil || len(found) == 0 {
+		log.Fatalf("discovery failed: %v (%d found)", err, len(found))
+	}
+	fmt.Printf("discovered %q at %s\n", found[0].Device, found[0].Addr)
+	got, err := netproto.Fetch(ctx, found[0].Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched trace bundle: %d motion points\n", len(got.Motion))
+
+	sys, err := locble.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos, err := sys.Locate(trace, "friend")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfriend's initial position: (%.2f, %.2f) m (truth %.1f, %.1f)\n",
+		pos.X, pos.Y, tx0, ty0)
+	fmt.Printf("error at initial position: %.2f m\n", math.Hypot(pos.X-tx0, pos.Y-ty0))
+	fmt.Printf("confidence: %.2f, environment: %s\n", pos.Confidence, pos.Environment)
+	fmt.Println("\n(the paper reports <2.5 m for >50% of moving-target runs — single runs vary)")
+}

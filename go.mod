@@ -1,0 +1,3 @@
+module locble
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package baseline implements the comparison systems the paper evaluates
+// LocBLE against: a Dartle-style 1-D ranging estimator (log-distance model
+// with constant calibrated parameters, as commodity ranging apps use) and
+// the standard 4-zone iBeacon proximity classifier (immediate / near /
+// far / unknown — the coarse-grained output the paper's introduction
+// criticizes).
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"locble/internal/rf"
+)
+
+// ErrNoData is returned when a baseline is asked to estimate from nothing.
+var ErrNoData = errors.New("baseline: no RSS data")
+
+// Ranger is a Dartle-like ranging estimator: it smooths RSS with an EWMA
+// and inverts the log-distance model with *fixed* parameters — exactly the
+// constant-parameter assumption LocBLE's adaptive estimation replaces.
+type Ranger struct {
+	// MeasuredPower is the calibrated RSS at 1 m (from the beacon
+	// payload; iBeacon "measured power").
+	MeasuredPower float64
+	// PathLossExponent is the fixed exponent (commodity apps use ~2.0
+	// indoors regardless of the environment).
+	PathLossExponent float64
+	// Smoothing is the EWMA coefficient on new samples (0 < s ≤ 1).
+	Smoothing float64
+
+	ewma   float64
+	primed bool
+}
+
+// NewRanger returns a ranging baseline with typical commodity settings.
+func NewRanger(measuredPower float64) *Ranger {
+	return &Ranger{MeasuredPower: measuredPower, PathLossExponent: 2.0, Smoothing: 0.15}
+}
+
+// Push folds one RSS sample in and returns the current distance estimate.
+func (r *Ranger) Push(rss float64) float64 {
+	if !r.primed {
+		r.ewma = rss
+		r.primed = true
+	} else {
+		r.ewma = (1-r.Smoothing)*r.ewma + r.Smoothing*rss
+	}
+	return r.Distance()
+}
+
+// Distance returns the current range estimate in metres.
+func (r *Ranger) Distance() float64 {
+	if !r.primed {
+		return math.NaN()
+	}
+	return rf.PathLossDistance(r.ewma, r.MeasuredPower, r.PathLossExponent)
+}
+
+// EstimateRange runs the ranger over a whole series and returns the final
+// distance estimate.
+func EstimateRange(rss []float64, measuredPower float64) (float64, error) {
+	if len(rss) == 0 {
+		return 0, ErrNoData
+	}
+	r := NewRanger(measuredPower)
+	for _, v := range rss {
+		r.Push(v)
+	}
+	return r.Distance(), nil
+}
+
+// Zone is the 4-level iBeacon proximity class (the "1-dimensional, four
+// proximity zones" granularity of existing apps, paper footnote 1).
+type Zone int
+
+// Proximity zones.
+const (
+	ZoneUnknown Zone = iota
+	ZoneImmediate
+	ZoneNear
+	ZoneFar
+)
+
+// String names the zone.
+func (z Zone) String() string {
+	switch z {
+	case ZoneImmediate:
+		return "immediate"
+	case ZoneNear:
+		return "near"
+	case ZoneFar:
+		return "far"
+	default:
+		return "unknown"
+	}
+}
+
+// ZoneOf maps a distance estimate to the conventional iBeacon zones:
+// immediate <0.5 m, near <4 m, far ≥4 m, unknown for no estimate.
+func ZoneOf(distance float64) Zone {
+	switch {
+	case math.IsNaN(distance) || distance < 0:
+		return ZoneUnknown
+	case distance < 0.5:
+		return ZoneImmediate
+	case distance < 4:
+		return ZoneNear
+	default:
+		return ZoneFar
+	}
+}
+
+// RangingError is the 1-D comparison metric of Fig. 11(a): since ranging
+// baselines cannot produce a 2-D position, the paper compares LocBLE's
+// absolute-distance error with the baseline's range error.
+func RangingError(rss []float64, measuredPower, trueDist float64) (float64, error) {
+	d, err := EstimateRange(rss, measuredPower)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(d - trueDist), nil
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"locble/internal/rf"
+	"locble/internal/rng"
+)
+
+func TestRangerInvertsCleanModel(t *testing.T) {
+	r := NewRanger(-59)
+	// Feed the exact model RSS for 3 m with n = 2 (the baseline's own
+	// assumption): the estimate must converge to 3 m.
+	rss := -59 - 20*math.Log10(3)
+	var d float64
+	for i := 0; i < 100; i++ {
+		d = r.Push(rss)
+	}
+	if math.Abs(d-3) > 0.01 {
+		t.Errorf("distance = %g, want 3", d)
+	}
+}
+
+func TestRangerBiasedByWrongExponent(t *testing.T) {
+	// Real channel exponent 3 but the baseline assumes 2: it must
+	// *overestimate* the distance (this mis-modeling is exactly what
+	// LocBLE's adaptive estimation removes).
+	r := NewRanger(-59)
+	trueDist := 5.0
+	rss := -59 - 30*math.Log10(trueDist)
+	var d float64
+	for i := 0; i < 100; i++ {
+		d = r.Push(rss)
+	}
+	if d <= trueDist*1.5 {
+		t.Errorf("constant-exponent baseline should overestimate: got %g for true %g", d, trueDist)
+	}
+}
+
+func TestRangerSmoothing(t *testing.T) {
+	src := rng.New(1)
+	r := NewRanger(-59)
+	rss := -59 - 20*math.Log10(4)
+	var ds []float64
+	for i := 0; i < 300; i++ {
+		ds = append(ds, r.Push(rss+src.Normal(0, 4)))
+	}
+	// Late estimates should hover near 4 m despite 4 dB noise.
+	var late float64
+	for _, d := range ds[200:] {
+		late += d
+	}
+	late /= 100
+	if late < 2 || late > 7 {
+		t.Errorf("smoothed distance = %g, want ≈4", late)
+	}
+	if !math.IsNaN(NewRanger(-59).Distance()) {
+		t.Error("unprimed ranger should report NaN")
+	}
+}
+
+func TestEstimateRange(t *testing.T) {
+	rssSeq := make([]float64, 50)
+	for i := range rssSeq {
+		rssSeq[i] = -59 - 20*math.Log10(2)
+	}
+	d, err := EstimateRange(rssSeq, -59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 0.01 {
+		t.Errorf("EstimateRange = %g", d)
+	}
+	if _, err := EstimateRange(nil, -59); !errors.Is(err, ErrNoData) {
+		t.Error("want ErrNoData")
+	}
+}
+
+func TestZones(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want Zone
+	}{
+		{0.2, ZoneImmediate},
+		{0.5, ZoneNear},
+		{3.9, ZoneNear},
+		{4.0, ZoneFar},
+		{12, ZoneFar},
+		{math.NaN(), ZoneUnknown},
+		{-1, ZoneUnknown},
+	}
+	for _, c := range cases {
+		if got := ZoneOf(c.d); got != c.want {
+			t.Errorf("ZoneOf(%g) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	if ZoneImmediate.String() != "immediate" || ZoneUnknown.String() != "unknown" {
+		t.Error("zone names")
+	}
+}
+
+func TestRangingError(t *testing.T) {
+	rssSeq := make([]float64, 30)
+	for i := range rssSeq {
+		rssSeq[i] = -59 - 20*math.Log10(6)
+	}
+	e, err := RangingError(rssSeq, -59, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.05 {
+		t.Errorf("clean-model ranging error = %g", e)
+	}
+	if _, err := RangingError(nil, -59, 6); err == nil {
+		t.Error("want error for empty data")
+	}
+}
+
+func TestRangerAgainstSimChannel(t *testing.T) {
+	// End-to-end vs the rf substrate: in LOS at 4 m the ranging estimate
+	// should land within a couple of metres.
+	src := rng.New(2)
+	ch := rf.NewChannel(rf.LOS, rf.EstimoteBeacon, rf.IPhone6s, src)
+	r := NewRanger(rf.EstimoteBeacon.TxPowerDBm)
+	var d float64
+	for i := 0; i < 200; i++ {
+		d = r.Push(ch.Sample(4, ch.NextChannel(), 0.05))
+	}
+	if d < 1.5 || d > 8 {
+		t.Errorf("LOS ranging at 4 m = %g m", d)
+	}
+}

@@ -1,0 +1,19 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"locble/internal/baseline"
+)
+
+// The 4-zone proximity classification of stock iBeacon APIs — the coarse
+// granularity the paper improves on.
+func ExampleZoneOf() {
+	for _, d := range []float64{0.3, 2.0, 9.0} {
+		fmt.Println(baseline.ZoneOf(d))
+	}
+	// Output:
+	// immediate
+	// near
+	// far
+}

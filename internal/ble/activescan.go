@@ -1,0 +1,124 @@
+package ble
+
+import (
+	"fmt"
+	"time"
+)
+
+// Active scanning (Core Spec Vol 6 Part B 4.4.3.2): after hearing a
+// scannable advertisement (ADV_IND or ADV_SCAN_IND), an active scanner
+// transmits a SCAN_REQ on the same channel within the inter-frame space;
+// the advertiser answers with a SCAN_RSP carrying additional data (up to
+// 31 more bytes — e.g. the device name that doesn't fit next to an
+// iBeacon payload). Non-connectable, non-scannable beacons
+// (ADV_NONCONN_IND — LocBLE's primary target, Sec. 2.2) never answer.
+
+// InterFrameSpace is T_IFS, the gap between a packet and its response.
+const InterFrameSpace = 150 * time.Microsecond
+
+// ScanReq is the SCAN_REQ payload: the scanner's and advertiser's
+// addresses.
+type ScanReq struct {
+	ScanA Address // scanner address
+	AdvA  Address // advertiser being queried
+}
+
+// Encode renders the SCAN_REQ as an advertising-channel PDU.
+func (r *ScanReq) Encode() *AdvPDU {
+	data := make([]byte, 6)
+	copy(data, r.AdvA[:])
+	// SCAN_REQ payload layout: ScanA (6) + AdvA (6); we reuse AdvPDU's
+	// AdvA field for ScanA and carry the target in Data.
+	return &AdvPDU{Type: PDUScanReq, AdvA: r.ScanA, Data: data}
+}
+
+// DecodeScanReq parses a SCAN_REQ PDU.
+func DecodeScanReq(p *AdvPDU) (*ScanReq, error) {
+	if p.Type != PDUScanReq {
+		return nil, fmt.Errorf("ble: PDU type %v is not SCAN_REQ", p.Type)
+	}
+	if len(p.Data) != 6 {
+		return nil, fmt.Errorf("%w: SCAN_REQ payload %d bytes", ErrTruncated, len(p.Data))
+	}
+	var r ScanReq
+	r.ScanA = p.AdvA
+	copy(r.AdvA[:], p.Data)
+	return &r, nil
+}
+
+// ScanRspData configures an advertiser's scan response.
+type ScanRspData struct {
+	// ADs is the scan-response AD payload (≤31 bytes encoded).
+	ADs []ADStructure
+}
+
+// SetScanResponse arms the advertiser with scan-response data. Only
+// scannable PDU types (ADV_IND, ADV_SCAN_IND) will answer SCAN_REQs;
+// arming a non-scannable advertiser returns an error, mirroring
+// controller behaviour.
+func (a *Advertiser) SetScanResponse(rsp ScanRspData) error {
+	switch a.PDU.Type {
+	case PDUAdvInd, PDUAdvScanInd:
+	default:
+		return fmt.Errorf("ble: %v advertisements are not scannable", a.PDU.Type)
+	}
+	data, err := SerializeADStructures(nil, rsp.ADs)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxAdvDataLen {
+		return fmt.Errorf("%w: scan response %d bytes", ErrDataTooBig, len(data))
+	}
+	a.scanRsp = data
+	return nil
+}
+
+// RespondToScan produces the advertiser's SCAN_RSP for a captured
+// SCAN_REQ, or nil when the advertiser is non-scannable, un-armed, or the
+// request addresses a different device.
+func (a *Advertiser) RespondToScan(req *ScanReq) *AdvPDU {
+	if a.scanRsp == nil || req.AdvA != a.PDU.AdvA {
+		return nil
+	}
+	return &AdvPDU{Type: PDUScanRsp, AdvA: a.PDU.AdvA, Data: a.scanRsp}
+}
+
+// ActiveScanExchange simulates the full over-the-air active-scan
+// round-trip on one channel: the scanner frames a SCAN_REQ, the
+// advertiser deframes it, answers, and the scanner deframes the SCAN_RSP
+// — every byte passing through the whitening/CRC codec. It returns the
+// decoded scan-response AD structures, or nil when the advertiser does
+// not respond.
+func ActiveScanExchange(scanner Address, adv *Advertiser, channel int) ([]ADStructure, error) {
+	req := ScanReq{ScanA: scanner, AdvA: adv.PDU.AdvA}
+	reqFrame, err := Frame(req.Encode(), channel)
+	if err != nil {
+		return nil, err
+	}
+	// Advertiser side.
+	gotPDU, err := Deframe(reqFrame, channel)
+	if err != nil {
+		return nil, err
+	}
+	gotReq, err := DecodeScanReq(gotPDU)
+	if err != nil {
+		return nil, err
+	}
+	rsp := adv.RespondToScan(gotReq)
+	if rsp == nil {
+		return nil, nil
+	}
+	rspFrame, err := Frame(rsp, channel)
+	if err != nil {
+		return nil, err
+	}
+	// Scanner side.
+	rspPDU, err := Deframe(rspFrame, channel)
+	if err != nil {
+		return nil, err
+	}
+	if rspPDU.Type != PDUScanRsp {
+		return nil, fmt.Errorf("ble: expected SCAN_RSP, got %v", rspPDU.Type)
+	}
+	return ParseADStructures(rspPDU.Data)
+}

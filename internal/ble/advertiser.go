@@ -1,0 +1,93 @@
+package ble
+
+import (
+	"fmt"
+	"time"
+
+	"locble/internal/rng"
+)
+
+// Spec-mandated advertising interval floors (Core Spec Vol 6 Part B
+// 4.4.2.2). The paper (Sec. 2.2) cites the resulting duty-cycle limits:
+// non-connectable beacons may advertise at most every 100 ms, connectable
+// ones every 20 ms.
+const (
+	MinNonconnAdvInterval = 100 * time.Millisecond
+	MinConnAdvInterval    = 20 * time.Millisecond
+	// MaxAdvDelay is the pseudo-random per-event delay the spec adds to
+	// the advertising interval to decorrelate advertisers.
+	MaxAdvDelay = 10 * time.Millisecond
+)
+
+// AdvChannels is the fixed advertising channel sequence (Sec. 2.2).
+var AdvChannels = [3]int{37, 38, 39}
+
+// Advertiser models one beacon's advertising schedule: every advInterval
+// (+ 0–10 ms advDelay) it transmits the same PDU once on each of channels
+// 37, 38 and 39, separated by a small inter-channel gap.
+type Advertiser struct {
+	PDU      AdvPDU
+	Interval time.Duration
+
+	// InterChannelGap is the time between the copies of one event on
+	// channels 37, 38 and 39 (hardware dependent, ~0.4 ms typical).
+	InterChannelGap time.Duration
+
+	src     *rng.Source
+	next    time.Duration // start of the next advertising event
+	scanRsp []byte        // armed scan-response AdvData (nil = none)
+}
+
+// NewAdvertiser validates the interval against the PDU type's duty-cycle
+// floor and returns an advertiser whose first event occurs at a random
+// offset within one interval (beacons power on at arbitrary phases).
+func NewAdvertiser(pdu AdvPDU, interval time.Duration, src *rng.Source) (*Advertiser, error) {
+	minIv := MinNonconnAdvInterval
+	if pdu.Type.Connectable() {
+		minIv = MinConnAdvInterval
+	}
+	if interval < minIv {
+		return nil, fmt.Errorf("ble: advertising interval %v below %v floor for %v", interval, minIv, pdu.Type)
+	}
+	a := &Advertiser{
+		PDU:             pdu,
+		Interval:        interval,
+		InterChannelGap: 400 * time.Microsecond,
+		src:             src,
+	}
+	a.next = time.Duration(src.Float64() * float64(interval))
+	return a, nil
+}
+
+// Transmission is one on-air copy of an advertising PDU.
+type Transmission struct {
+	At      time.Duration // sim-time of the transmission
+	Channel int           // 37, 38 or 39
+	Event   int           // advertising event sequence number
+}
+
+// EventsUntil advances the advertiser's schedule and returns every
+// transmission with At < deadline, in time order. Each advertising event
+// contributes three transmissions (channels 37, 38, 39).
+func (a *Advertiser) EventsUntil(deadline time.Duration) []Transmission {
+	var out []Transmission
+	event := 0
+	for a.next < deadline {
+		for i, ch := range AdvChannels {
+			out = append(out, Transmission{
+				At:      a.next + time.Duration(i)*a.InterChannelGap,
+				Channel: ch,
+				Event:   event,
+			})
+		}
+		advDelay := time.Duration(a.src.Float64() * float64(MaxAdvDelay))
+		a.next += a.Interval + advDelay
+		event++
+	}
+	return out
+}
+
+// Frame renders the advertiser's PDU as the on-air frame for channel ch.
+func (a *Advertiser) Frame(ch int) ([]byte, error) {
+	return Frame(&a.PDU, ch)
+}

@@ -1,0 +1,349 @@
+package ble
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// BeaconFormat identifies one of the three commodity proximity-beacon
+// payload formats the paper targets (Sec. 2.3: iBeacon, Eddystone,
+// AltBeacon).
+type BeaconFormat int
+
+// Recognized beacon payload formats.
+const (
+	FormatUnknown BeaconFormat = iota
+	FormatIBeacon
+	FormatEddystoneUID
+	FormatEddystoneURL
+	FormatEddystoneTLM
+	FormatAltBeacon
+)
+
+// String names the format.
+func (f BeaconFormat) String() string {
+	switch f {
+	case FormatIBeacon:
+		return "iBeacon"
+	case FormatEddystoneUID:
+		return "Eddystone-UID"
+	case FormatEddystoneURL:
+		return "Eddystone-URL"
+	case FormatEddystoneTLM:
+		return "Eddystone-TLM"
+	case FormatAltBeacon:
+		return "AltBeacon"
+	default:
+		return "unknown"
+	}
+}
+
+// Company identifiers and frame constants.
+const (
+	appleCompanyID    uint16 = 0x004C
+	radiusCompanyID   uint16 = 0x0118
+	iBeaconType       byte   = 0x02
+	iBeaconLen        byte   = 0x15
+	altBeaconCode     uint16 = 0xBEAC
+	eddystoneUUID     uint16 = 0xFEAA
+	eddystoneFrameUID byte   = 0x00
+	eddystoneFrameURL byte   = 0x10
+	eddystoneFrameTLM byte   = 0x20
+)
+
+// IBeacon is Apple's proximity beacon payload: a 16-byte UUID, 2-byte
+// major/minor, and the calibrated RSS at 1 m ("measured power").
+type IBeacon struct {
+	UUID          [16]byte
+	Major, Minor  uint16
+	MeasuredPower int8
+}
+
+// ADStructures encodes the iBeacon into its advertisement AD structures
+// (flags + Apple manufacturer-specific data).
+func (ib *IBeacon) ADStructures() []ADStructure {
+	mfg := make([]byte, 0, 25)
+	mfg = binary.LittleEndian.AppendUint16(mfg, appleCompanyID)
+	mfg = append(mfg, iBeaconType, iBeaconLen)
+	mfg = append(mfg, ib.UUID[:]...)
+	mfg = binary.BigEndian.AppendUint16(mfg, ib.Major)
+	mfg = binary.BigEndian.AppendUint16(mfg, ib.Minor)
+	mfg = append(mfg, byte(ib.MeasuredPower))
+	return []ADStructure{
+		{Type: ADFlags, Data: []byte{0x06}}, // LE General Discoverable, BR/EDR unsupported
+		{Type: ADManufacturer, Data: mfg},
+	}
+}
+
+// decodeIBeacon parses an Apple manufacturer-specific AD payload.
+func decodeIBeacon(data []byte) (*IBeacon, error) {
+	if len(data) != 25 {
+		return nil, fmt.Errorf("%w: iBeacon mfg data is %d bytes, want 25", ErrNotBeacon, len(data))
+	}
+	if uint16LE(data[0:2]) != appleCompanyID || data[2] != iBeaconType || data[3] != iBeaconLen {
+		return nil, ErrNotBeacon
+	}
+	ib := &IBeacon{
+		Major:         uint16BE(data[20:22]),
+		Minor:         uint16BE(data[22:24]),
+		MeasuredPower: int8(data[24]),
+	}
+	copy(ib.UUID[:], data[4:20])
+	return ib, nil
+}
+
+// AltBeacon is the open-source beacon format (altbeacon.org): a 20-byte
+// organizational ID, reference RSS at 1 m, and a manufacturer-reserved
+// byte.
+type AltBeacon struct {
+	CompanyID     uint16
+	ID            [20]byte
+	ReferenceRSSI int8
+	MfgReserved   byte
+}
+
+// ADStructures encodes the AltBeacon advertisement.
+func (ab *AltBeacon) ADStructures() []ADStructure {
+	mfg := make([]byte, 0, 26)
+	mfg = binary.LittleEndian.AppendUint16(mfg, ab.CompanyID)
+	mfg = binary.BigEndian.AppendUint16(mfg, altBeaconCode)
+	mfg = append(mfg, ab.ID[:]...)
+	mfg = append(mfg, byte(ab.ReferenceRSSI), ab.MfgReserved)
+	return []ADStructure{{Type: ADManufacturer, Data: mfg}}
+}
+
+func decodeAltBeacon(data []byte) (*AltBeacon, error) {
+	if len(data) != 26 {
+		return nil, fmt.Errorf("%w: AltBeacon mfg data is %d bytes, want 26", ErrNotBeacon, len(data))
+	}
+	if uint16BE(data[2:4]) != altBeaconCode {
+		return nil, ErrNotBeacon
+	}
+	ab := &AltBeacon{
+		CompanyID:     uint16LE(data[0:2]),
+		ReferenceRSSI: int8(data[24]),
+		MfgReserved:   data[25],
+	}
+	copy(ab.ID[:], data[4:24])
+	return ab, nil
+}
+
+// EddystoneUID is Google's UID frame: calibrated Tx power at 0 m, a
+// 10-byte namespace, and a 6-byte instance ID.
+type EddystoneUID struct {
+	TxPower0m int8
+	Namespace [10]byte
+	Instance  [6]byte
+}
+
+// ADStructures encodes the Eddystone-UID advertisement (complete 16-bit
+// UUID list + service data).
+func (e *EddystoneUID) ADStructures() []ADStructure {
+	sd := make([]byte, 0, 22)
+	sd = binary.LittleEndian.AppendUint16(sd, eddystoneUUID)
+	sd = append(sd, eddystoneFrameUID, byte(e.TxPower0m))
+	sd = append(sd, e.Namespace[:]...)
+	sd = append(sd, e.Instance[:]...)
+	sd = append(sd, 0, 0) // RFU
+	return eddystoneADs(sd)
+}
+
+// EddystoneURL is the URL frame: calibrated Tx power and a compressed URL.
+type EddystoneURL struct {
+	TxPower0m int8
+	URL       string
+}
+
+var eddystoneSchemes = []string{"http://www.", "https://www.", "http://", "https://"}
+
+var eddystoneExpansions = []string{
+	".com/", ".org/", ".edu/", ".net/", ".info/", ".biz/", ".gov/",
+	".com", ".org", ".edu", ".net", ".info", ".biz", ".gov",
+}
+
+// ADStructures encodes the Eddystone-URL advertisement, compressing the
+// URL with the scheme-prefix and expansion tables from the Eddystone spec.
+func (e *EddystoneURL) ADStructures() ([]ADStructure, error) {
+	sd := make([]byte, 0, 20)
+	sd = binary.LittleEndian.AppendUint16(sd, eddystoneUUID)
+	sd = append(sd, eddystoneFrameURL, byte(e.TxPower0m))
+	rest := e.URL
+	scheme := -1
+	for i, s := range eddystoneSchemes {
+		if strings.HasPrefix(rest, s) {
+			scheme = i
+			rest = rest[len(s):]
+			break
+		}
+	}
+	if scheme < 0 {
+		return nil, fmt.Errorf("ble: URL %q has no Eddystone-encodable scheme", e.URL)
+	}
+	sd = append(sd, byte(scheme))
+	for len(rest) > 0 {
+		matched := false
+		for code, exp := range eddystoneExpansions {
+			if strings.HasPrefix(rest, exp) {
+				sd = append(sd, byte(code))
+				rest = rest[len(exp):]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			sd = append(sd, rest[0])
+			rest = rest[1:]
+		}
+	}
+	if len(sd) > 2+18 { // service data limited to 18 bytes after UUID
+		return nil, fmt.Errorf("ble: encoded URL too long (%d bytes)", len(sd)-2)
+	}
+	return eddystoneADs(sd), nil
+}
+
+// decodeEddystoneURL expands a URL frame back to the full URL string.
+func decodeEddystoneURL(sd []byte) (*EddystoneURL, error) {
+	if len(sd) < 3 {
+		return nil, ErrTruncated
+	}
+	e := &EddystoneURL{TxPower0m: int8(sd[0])}
+	scheme := int(sd[1])
+	if scheme >= len(eddystoneSchemes) {
+		return nil, fmt.Errorf("ble: bad URL scheme code %d", scheme)
+	}
+	var sb strings.Builder
+	sb.WriteString(eddystoneSchemes[scheme])
+	for _, b := range sd[2:] {
+		if int(b) < len(eddystoneExpansions) {
+			sb.WriteString(eddystoneExpansions[b])
+		} else {
+			sb.WriteByte(b)
+		}
+	}
+	e.URL = sb.String()
+	return e, nil
+}
+
+// EddystoneTLM is the unencrypted telemetry frame: battery voltage,
+// beacon temperature, advertisement count and uptime.
+type EddystoneTLM struct {
+	BatteryMV  uint16
+	Temp8Dot8  int16 // temperature in 8.8 fixed point, °C
+	AdvCount   uint32
+	SecCount10 uint32 // uptime in 0.1 s units
+}
+
+// ADStructures encodes the TLM advertisement.
+func (e *EddystoneTLM) ADStructures() []ADStructure {
+	sd := make([]byte, 0, 16)
+	sd = binary.LittleEndian.AppendUint16(sd, eddystoneUUID)
+	sd = append(sd, eddystoneFrameTLM, 0x00) // version
+	sd = binary.BigEndian.AppendUint16(sd, e.BatteryMV)
+	sd = binary.BigEndian.AppendUint16(sd, uint16(e.Temp8Dot8))
+	sd = binary.BigEndian.AppendUint32(sd, e.AdvCount)
+	sd = binary.BigEndian.AppendUint32(sd, e.SecCount10)
+	return eddystoneADs(sd)
+}
+
+func eddystoneADs(serviceData []byte) []ADStructure {
+	uuid := binary.LittleEndian.AppendUint16(nil, eddystoneUUID)
+	return []ADStructure{
+		{Type: ADFlags, Data: []byte{0x06}},
+		{Type: ADComplete16UUID, Data: uuid},
+		{Type: ADServiceData16, Data: serviceData},
+	}
+}
+
+// Beacon is the decoded content of a beacon advertisement, whichever
+// format it used. Exactly one of the payload pointers is non-nil.
+type Beacon struct {
+	Format    BeaconFormat
+	IBeacon   *IBeacon
+	AltBeacon *AltBeacon
+	EddyUID   *EddystoneUID
+	EddyURL   *EddystoneURL
+	EddyTLM   *EddystoneTLM
+}
+
+// Key returns a stable identity string for the beacon, used by the
+// tracker to group RSS readings per beacon.
+func (b *Beacon) Key() string {
+	switch b.Format {
+	case FormatIBeacon:
+		return fmt.Sprintf("ibeacon/%x/%d/%d", b.IBeacon.UUID, b.IBeacon.Major, b.IBeacon.Minor)
+	case FormatAltBeacon:
+		return fmt.Sprintf("altbeacon/%x", b.AltBeacon.ID)
+	case FormatEddystoneUID:
+		return fmt.Sprintf("eddy-uid/%x/%x", b.EddyUID.Namespace, b.EddyUID.Instance)
+	case FormatEddystoneURL:
+		return "eddy-url/" + b.EddyURL.URL
+	case FormatEddystoneTLM:
+		return "eddy-tlm"
+	default:
+		return "unknown"
+	}
+}
+
+// CalibratedPower returns the format's calibrated reference power in dBm
+// and whether the format carries one. iBeacon/AltBeacon calibrate at 1 m;
+// Eddystone calibrates at 0 m (the conventional −41 dB conversion to 1 m
+// is applied so all formats return a 1 m reference).
+func (b *Beacon) CalibratedPower() (float64, bool) {
+	switch b.Format {
+	case FormatIBeacon:
+		return float64(b.IBeacon.MeasuredPower), true
+	case FormatAltBeacon:
+		return float64(b.AltBeacon.ReferenceRSSI), true
+	case FormatEddystoneUID:
+		return float64(b.EddyUID.TxPower0m) - 41, true
+	case FormatEddystoneURL:
+		return float64(b.EddyURL.TxPower0m) - 41, true
+	default:
+		return 0, false
+	}
+}
+
+// DecodeBeacon inspects the AD structures of an advertisement and decodes
+// whichever beacon format it carries.
+func DecodeBeacon(ads []ADStructure) (*Beacon, error) {
+	if mfg, ok := FindAD(ads, ADManufacturer); ok {
+		if ib, err := decodeIBeacon(mfg.Data); err == nil {
+			return &Beacon{Format: FormatIBeacon, IBeacon: ib}, nil
+		}
+		if ab, err := decodeAltBeacon(mfg.Data); err == nil {
+			return &Beacon{Format: FormatAltBeacon, AltBeacon: ab}, nil
+		}
+	}
+	if sd, ok := FindAD(ads, ADServiceData16); ok && len(sd.Data) >= 3 && uint16LE(sd.Data[0:2]) == eddystoneUUID {
+		frame := sd.Data[2]
+		body := sd.Data[3:]
+		switch frame {
+		case eddystoneFrameUID:
+			if len(body) < 17 {
+				return nil, ErrTruncated
+			}
+			e := &EddystoneUID{TxPower0m: int8(body[0])}
+			copy(e.Namespace[:], body[1:11])
+			copy(e.Instance[:], body[11:17])
+			return &Beacon{Format: FormatEddystoneUID, EddyUID: e}, nil
+		case eddystoneFrameURL:
+			e, err := decodeEddystoneURL(body)
+			if err != nil {
+				return nil, err
+			}
+			return &Beacon{Format: FormatEddystoneURL, EddyURL: e}, nil
+		case eddystoneFrameTLM:
+			if len(body) < 13 || body[0] != 0 {
+				return nil, ErrTruncated
+			}
+			return &Beacon{Format: FormatEddystoneTLM, EddyTLM: &EddystoneTLM{
+				BatteryMV:  uint16BE(body[1:3]),
+				Temp8Dot8:  int16(uint16BE(body[3:5])),
+				AdvCount:   binary.BigEndian.Uint32(body[5:9]),
+				SecCount10: binary.BigEndian.Uint32(body[9:13]),
+			}}, nil
+		}
+	}
+	return nil, ErrNotBeacon
+}

@@ -1,0 +1,46 @@
+package ble
+
+import (
+	"testing"
+	"time"
+
+	"locble/internal/rng"
+)
+
+func BenchmarkFrame(b *testing.B) {
+	ib := IBeacon{Major: 1, Minor: 2, MeasuredPower: -59}
+	data, _ := SerializeADStructures(nil, ib.ADStructures())
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(1), Data: data}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Frame(&pdu, 37+i%3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeframe(b *testing.B) {
+	ib := IBeacon{Major: 1, Minor: 2, MeasuredPower: -59}
+	data, _ := SerializeADStructures(nil, ib.ADStructures())
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(1), Data: data}
+	frame, _ := Frame(&pdu, 38)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Deframe(frame, 38); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdvertiserSchedule(b *testing.B) {
+	src := rng.New(1)
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(1)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adv, err := NewAdvertiser(pdu, 100*time.Millisecond, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv.EventsUntil(10 * time.Second)
+	}
+}

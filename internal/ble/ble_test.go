@@ -1,0 +1,542 @@
+package ble
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"locble/internal/rng"
+)
+
+func TestPDURoundTrip(t *testing.T) {
+	pdu := AdvPDU{
+		Type:  PDUAdvNonconnInd,
+		TxAdd: true,
+		AdvA:  AddressFromUint64(0xAABBCCDDEEFF),
+		Data:  []byte{0x02, 0x01, 0x06},
+	}
+	raw, err := pdu.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AdvPDU
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != pdu.Type || got.TxAdd != pdu.TxAdd || got.AdvA != pdu.AdvA || !bytes.Equal(got.Data, pdu.Data) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, pdu)
+	}
+}
+
+func TestPDUErrors(t *testing.T) {
+	var p AdvPDU
+	if err := p.DecodeFromBytes([]byte{0x02}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	if err := p.DecodeFromBytes([]byte{0x02, 0x08, 1, 2, 3}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("want ErrBadLength, got %v", err)
+	}
+	if err := p.DecodeFromBytes([]byte{0x02, 0x03, 1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated for short AdvA, got %v", err)
+	}
+	big := AdvPDU{Data: make([]byte, 32)}
+	if _, err := big.SerializeTo(nil); !errors.Is(err, ErrDataTooBig) {
+		t.Errorf("want ErrDataTooBig, got %v", err)
+	}
+}
+
+func TestPDUTypeConnectable(t *testing.T) {
+	cases := map[PDUType]bool{
+		PDUAdvInd:        true,
+		PDUAdvDirectInd:  true,
+		PDUAdvNonconnInd: false,
+		PDUAdvScanInd:    false,
+		PDUScanRsp:       false,
+		PDUConnectInd:    true,
+	}
+	for typ, want := range cases {
+		if typ.Connectable() != want {
+			t.Errorf("%v.Connectable() = %v, want %v", typ, typ.Connectable(), want)
+		}
+	}
+	if PDUAdvNonconnInd.String() != "ADV_NONCONN_IND" {
+		t.Errorf("String = %q", PDUAdvNonconnInd.String())
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := AddressFromUint64(0x0000C1C2C3C4C5C6)
+	if got := a.String(); got != "C1:C2:C3:C4:C5:C6" {
+		t.Errorf("Address.String = %q", got)
+	}
+}
+
+func TestWhitenInvolution(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}
+	cp := append([]byte(nil), data...)
+	whiten(37, cp)
+	if bytes.Equal(cp, data) {
+		t.Error("whitening should change the data")
+	}
+	whiten(37, cp)
+	if !bytes.Equal(cp, data) {
+		t.Error("whitening twice should restore the data")
+	}
+}
+
+func TestWhitenChannelDependence(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	a := append([]byte(nil), data...)
+	b := append([]byte(nil), data...)
+	whiten(37, a)
+	whiten(38, b)
+	if bytes.Equal(a, b) {
+		t.Error("different channels must whiten differently")
+	}
+}
+
+func TestCRC24KnownBehaviour(t *testing.T) {
+	// CRC must be stable and sensitive to single-bit flips.
+	data := []byte{0x42, 0x10, 0xFF}
+	c1 := crc24(CRC24Init, data)
+	data2 := append([]byte(nil), data...)
+	data2[1] ^= 0x01
+	if crc24(CRC24Init, data2) == c1 {
+		t.Error("CRC unchanged by bit flip")
+	}
+	if c1 > 0xFFFFFF {
+		t.Errorf("CRC exceeds 24 bits: %x", c1)
+	}
+}
+
+func TestFrameDeframe(t *testing.T) {
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(42), Data: []byte{0x02, 0x01, 0x06}}
+	for _, ch := range []int{37, 38, 39} {
+		frame, err := Frame(&pdu, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deframe(frame, ch)
+		if err != nil {
+			t.Fatalf("Deframe ch %d: %v", ch, err)
+		}
+		if got.AdvA != pdu.AdvA {
+			t.Errorf("ch %d: AdvA mismatch", ch)
+		}
+	}
+}
+
+func TestDeframeDetectsCorruption(t *testing.T) {
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(42), Data: []byte{0x02, 0x01, 0x06}}
+	frame, _ := Frame(&pdu, 37)
+	frame[3] ^= 0x10
+	if _, err := Deframe(frame, 37); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("want ErrBadCRC, got %v", err)
+	}
+	// Deframing on the wrong channel also corrupts (whitening mismatch).
+	frame2, _ := Frame(&pdu, 37)
+	if _, err := Deframe(frame2, 38); err == nil {
+		t.Error("wrong-channel deframe should fail")
+	}
+	if _, err := Deframe([]byte{1, 2}, 37); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestADStructuresRoundTrip(t *testing.T) {
+	ads := []ADStructure{
+		{Type: ADFlags, Data: []byte{0x06}},
+		{Type: ADCompleteName, Data: []byte("locble")},
+	}
+	buf, err := SerializeADStructures(nil, ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseADStructures(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Type != ADCompleteName || string(got[1].Data) != "locble" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestParseADStructuresEdge(t *testing.T) {
+	// Zero length terminates early.
+	ads, err := ParseADStructures([]byte{0x02, 0x01, 0x06, 0x00, 0xFF, 0xFF})
+	if err != nil || len(ads) != 1 {
+		t.Errorf("early termination: ads=%v err=%v", ads, err)
+	}
+	if _, err := ParseADStructures([]byte{0x05, 0x01}); !errors.Is(err, ErrBadADLen) {
+		t.Errorf("want ErrBadADLen, got %v", err)
+	}
+}
+
+func TestIBeaconRoundTrip(t *testing.T) {
+	ib := IBeacon{Major: 7, Minor: 1042, MeasuredPower: -59}
+	copy(ib.UUID[:], bytes.Repeat([]byte{0xA5}, 16))
+	b, err := DecodeBeacon(ib.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format != FormatIBeacon {
+		t.Fatalf("format = %v", b.Format)
+	}
+	if b.IBeacon.Major != 7 || b.IBeacon.Minor != 1042 || b.IBeacon.MeasuredPower != -59 {
+		t.Errorf("decoded %+v", b.IBeacon)
+	}
+	if p, ok := b.CalibratedPower(); !ok || p != -59 {
+		t.Errorf("CalibratedPower = %g, %v", p, ok)
+	}
+	if b.Key() == "" {
+		t.Error("empty key")
+	}
+}
+
+func TestAltBeaconRoundTrip(t *testing.T) {
+	ab := AltBeacon{CompanyID: 0x0118, ReferenceRSSI: -61, MfgReserved: 3}
+	copy(ab.ID[:], bytes.Repeat([]byte{0x3C}, 20))
+	b, err := DecodeBeacon(ab.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format != FormatAltBeacon {
+		t.Fatalf("format = %v", b.Format)
+	}
+	if b.AltBeacon.CompanyID != 0x0118 || b.AltBeacon.ReferenceRSSI != -61 {
+		t.Errorf("decoded %+v", b.AltBeacon)
+	}
+}
+
+func TestEddystoneUIDRoundTrip(t *testing.T) {
+	e := EddystoneUID{TxPower0m: -20}
+	copy(e.Namespace[:], []byte("namespace!"))
+	copy(e.Instance[:], []byte("inst01"))
+	b, err := DecodeBeacon(e.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format != FormatEddystoneUID || b.EddyUID.TxPower0m != -20 {
+		t.Fatalf("decoded %+v", b)
+	}
+	if p, ok := b.CalibratedPower(); !ok || p != -61 {
+		t.Errorf("CalibratedPower = %g (0 m −41 conversion)", p)
+	}
+}
+
+func TestEddystoneURLRoundTrip(t *testing.T) {
+	for _, url := range []string{
+		"https://www.example.com/",
+		"http://go.dev",
+		"https://x.org/path",
+	} {
+		e := EddystoneURL{TxPower0m: -15, URL: url}
+		ads, err := e.ADStructures()
+		if err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		b, err := DecodeBeacon(ads)
+		if err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		if b.EddyURL.URL != url {
+			t.Errorf("URL round trip: got %q want %q", b.EddyURL.URL, url)
+		}
+	}
+	bad := EddystoneURL{URL: "ftp://nope"}
+	if _, err := bad.ADStructures(); err == nil {
+		t.Error("want error for un-encodable scheme")
+	}
+}
+
+func TestEddystoneTLMRoundTrip(t *testing.T) {
+	e := EddystoneTLM{BatteryMV: 3100, Temp8Dot8: 22 << 8, AdvCount: 123456, SecCount10: 7890}
+	b, err := DecodeBeacon(e.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Format != FormatEddystoneTLM {
+		t.Fatalf("format = %v", b.Format)
+	}
+	got := b.EddyTLM
+	if got.BatteryMV != 3100 || got.Temp8Dot8 != 22<<8 || got.AdvCount != 123456 || got.SecCount10 != 7890 {
+		t.Errorf("decoded %+v", got)
+	}
+	if _, ok := b.CalibratedPower(); ok {
+		t.Error("TLM has no calibrated power")
+	}
+}
+
+func TestDecodeBeaconRejectsJunk(t *testing.T) {
+	if _, err := DecodeBeacon([]ADStructure{{Type: ADFlags, Data: []byte{0x06}}}); !errors.Is(err, ErrNotBeacon) {
+		t.Errorf("want ErrNotBeacon, got %v", err)
+	}
+}
+
+func TestAdvertiserSchedule(t *testing.T) {
+	src := rng.New(1)
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(1)}
+	adv, err := NewAdvertiser(pdu, 100*time.Millisecond, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := adv.EventsUntil(1 * time.Second)
+	if len(txs)%3 != 0 {
+		t.Fatalf("%d transmissions, want multiple of 3 (3 channels/event)", len(txs))
+	}
+	events := len(txs) / 3
+	// ~10 events/second with advDelay jitter.
+	if events < 8 || events > 11 {
+		t.Errorf("%d events in 1 s at 100 ms interval", events)
+	}
+	// Time-ordered within each event; channel order 37,38,39.
+	for i := 0; i+2 < len(txs); i += 3 {
+		if txs[i].Channel != 37 || txs[i+1].Channel != 38 || txs[i+2].Channel != 39 {
+			t.Fatalf("channel order broken at %d", i)
+		}
+		if !(txs[i].At < txs[i+1].At && txs[i+1].At < txs[i+2].At) {
+			t.Fatalf("time order broken at %d", i)
+		}
+	}
+	// Consecutive event spacing ≥ interval (advDelay only adds).
+	for i := 3; i < len(txs); i += 3 {
+		gap := txs[i].At - txs[i-3].At
+		if gap < 100*time.Millisecond {
+			t.Errorf("event gap %v < interval", gap)
+		}
+		if gap > 110*time.Millisecond+time.Millisecond {
+			t.Errorf("event gap %v > interval+advDelay", gap)
+		}
+	}
+}
+
+func TestAdvertiserDutyCycleFloors(t *testing.T) {
+	src := rng.New(2)
+	nonconn := AdvPDU{Type: PDUAdvNonconnInd}
+	if _, err := NewAdvertiser(nonconn, 50*time.Millisecond, src); err == nil {
+		t.Error("non-connectable below 100 ms must be rejected (Sec. 2.2)")
+	}
+	conn := AdvPDU{Type: PDUAdvInd}
+	if _, err := NewAdvertiser(conn, 20*time.Millisecond, src); err != nil {
+		t.Errorf("connectable at 20 ms should be allowed: %v", err)
+	}
+	if _, err := NewAdvertiser(conn, 10*time.Millisecond, src); err == nil {
+		t.Error("connectable below 20 ms must be rejected")
+	}
+}
+
+func TestScannerHears(t *testing.T) {
+	src := rng.New(3)
+	s := NewScanner(src)
+	s.DropProb = 0
+	// Continuous scanning: exactly one of the three channels is tuned at
+	// any moment, so exactly one copy of each event is heard.
+	heardTotal := 0
+	for ev := 0; ev < 30; ev++ {
+		base := time.Duration(ev) * 100 * time.Millisecond
+		heard := 0
+		for i, ch := range AdvChannels {
+			if s.Hears(base+time.Duration(i)*400*time.Microsecond, ch) {
+				heard++
+			}
+		}
+		if heard > 1 {
+			t.Fatalf("event %d heard on %d channels", ev, heard)
+		}
+		heardTotal += heard
+	}
+	if heardTotal < 25 {
+		t.Errorf("continuous scanner heard only %d/30 events", heardTotal)
+	}
+}
+
+func TestScannerWindowing(t *testing.T) {
+	src := rng.New(4)
+	s := NewScanner(src)
+	s.ScanInterval = 100 * time.Millisecond
+	s.ScanWindow = 50 * time.Millisecond
+	s.DropProb = 0
+	if _, listening := s.channelAt(75 * time.Millisecond); listening {
+		t.Error("outside scan window should not listen")
+	}
+	if ch, listening := s.channelAt(25 * time.Millisecond); !listening || ch != 37 {
+		t.Errorf("first window should tune 37, got %d/%v", ch, listening)
+	}
+	if ch, _ := s.channelAt(125 * time.Millisecond); ch != 38 {
+		t.Errorf("second interval should tune 38, got %d", ch)
+	}
+}
+
+func TestScannerReceive(t *testing.T) {
+	src := rng.New(5)
+	s := NewScanner(src)
+	ib := IBeacon{Major: 1, MeasuredPower: -59}
+	data, err := SerializeADStructures(nil, ib.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(9), Data: data}
+	frame, err := Frame(&pdu, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Receive(time.Second, 38, frame, -70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Beacon.Format != FormatIBeacon || rep.RSSI != -70 || rep.Channel != 38 {
+		t.Errorf("report = %+v", rep)
+	}
+	if _, err := s.Receive(time.Second, 38, frame, -120); !errors.Is(err, ErrBelowFloor) {
+		t.Errorf("want ErrBelowFloor, got %v", err)
+	}
+}
+
+// Property: Frame/Deframe round-trips arbitrary AdvData payloads on all
+// advertising channels.
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(seed uint8, dataLen uint8, chPick uint8) bool {
+		n := int(dataLen) % (MaxAdvDataLen + 1)
+		data := make([]byte, n)
+		s := uint32(seed) + 1
+		for i := range data {
+			s = s*1664525 + 1013904223
+			data[i] = byte(s >> 16)
+		}
+		pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(uint64(seed)), Data: data}
+		ch := 37 + int(chPick)%3
+		frame, err := Frame(&pdu, ch)
+		if err != nil {
+			return false
+		}
+		got, err := Deframe(frame, ch)
+		if err != nil {
+			return false
+		}
+		return got.AdvA == pdu.AdvA && bytes.Equal(got.Data, pdu.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActiveScanExchange(t *testing.T) {
+	src := rng.New(7)
+	pdu := AdvPDU{Type: PDUAdvInd, AdvA: AddressFromUint64(0xAA)}
+	adv, err := NewAdvertiser(pdu, 100*time.Millisecond, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp := ScanRspData{ADs: []ADStructure{{Type: ADCompleteName, Data: []byte("locble-beacon")}}}
+	if err := adv.SetScanResponse(rsp); err != nil {
+		t.Fatal(err)
+	}
+	ads, err := ActiveScanExchange(AddressFromUint64(0xBB), adv, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, ok := FindAD(ads, ADCompleteName)
+	if !ok || string(name.Data) != "locble-beacon" {
+		t.Errorf("scan response round trip: %+v", ads)
+	}
+}
+
+func TestActiveScanNonScannable(t *testing.T) {
+	src := rng.New(8)
+	pdu := AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(0xAA)}
+	adv, err := NewAdvertiser(pdu, 100*time.Millisecond, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.SetScanResponse(ScanRspData{}); err == nil {
+		t.Error("non-scannable advertiser must reject a scan response")
+	}
+	// Un-armed scannable advertiser answers nothing.
+	pdu2 := AdvPDU{Type: PDUAdvScanInd, AdvA: AddressFromUint64(0xCC)}
+	adv2, _ := NewAdvertiser(pdu2, 100*time.Millisecond, src)
+	ads, err := ActiveScanExchange(AddressFromUint64(0xBB), adv2, 37)
+	if err != nil || ads != nil {
+		t.Errorf("un-armed exchange = %v, %v", ads, err)
+	}
+}
+
+func TestScanReqAddressing(t *testing.T) {
+	src := rng.New(9)
+	pdu := AdvPDU{Type: PDUAdvInd, AdvA: AddressFromUint64(0xAA)}
+	adv, _ := NewAdvertiser(pdu, 100*time.Millisecond, src)
+	adv.SetScanResponse(ScanRspData{ADs: []ADStructure{{Type: ADFlags, Data: []byte{0x06}}}})
+	// A SCAN_REQ addressed to a different advertiser gets no answer.
+	other := ScanReq{ScanA: AddressFromUint64(0xBB), AdvA: AddressFromUint64(0xDD)}
+	if adv.RespondToScan(&other) != nil {
+		t.Error("advertiser answered a SCAN_REQ for another device")
+	}
+	// Decode validation.
+	if _, err := DecodeScanReq(&AdvPDU{Type: PDUAdvInd}); err == nil {
+		t.Error("want error decoding a non-SCAN_REQ PDU")
+	}
+	if _, err := DecodeScanReq(&AdvPDU{Type: PDUScanReq, Data: []byte{1}}); err == nil {
+		t.Error("want error for truncated SCAN_REQ")
+	}
+}
+
+func TestAdvertiserFrame(t *testing.T) {
+	src := rng.New(11)
+	ib := IBeacon{Major: 3, MeasuredPower: -59}
+	data, _ := SerializeADStructures(nil, ib.ADStructures())
+	adv, err := NewAdvertiser(AdvPDU{Type: PDUAdvNonconnInd, AdvA: AddressFromUint64(5), Data: data}, 100*time.Millisecond, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := adv.Frame(39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Deframe(frame, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AdvA != adv.PDU.AdvA {
+		t.Error("advertiser frame round trip")
+	}
+}
+
+func TestStringersAndKeys(t *testing.T) {
+	// Format/type stringers and beacon keys across all formats.
+	if FormatAltBeacon.String() == "" || FormatEddystoneURL.String() == "" || BeaconFormat(99).String() != "unknown" {
+		t.Error("format stringers")
+	}
+	for _, typ := range []PDUType{PDUAdvInd, PDUAdvDirectInd, PDUScanReq, PDUScanRsp, PDUConnectInd, PDUAdvScanInd, PDUType(0xF)} {
+		if typ.String() == "" {
+			t.Errorf("empty name for %d", typ)
+		}
+	}
+	ab := AltBeacon{CompanyID: 1, ReferenceRSSI: -60}
+	b, err := DecodeBeacon(ab.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Key() == "" {
+		t.Error("AltBeacon key")
+	}
+	uid := EddystoneUID{TxPower0m: -20}
+	b2, _ := DecodeBeacon(uid.ADStructures())
+	if b2.Key() == "" {
+		t.Error("Eddystone key")
+	}
+	url := EddystoneURL{TxPower0m: -10, URL: "http://go.dev"}
+	ads, _ := url.ADStructures()
+	b3, _ := DecodeBeacon(ads)
+	if b3.Key() == "" {
+		t.Error("URL key")
+	}
+	tlm := EddystoneTLM{BatteryMV: 3000}
+	b4, _ := DecodeBeacon(tlm.ADStructures())
+	if b4.Key() == "" {
+		t.Error("TLM key")
+	}
+	if ErrBelowFloor.Error() == "" {
+		t.Error("sentinel error text")
+	}
+}

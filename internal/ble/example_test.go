@@ -1,0 +1,47 @@
+package ble_test
+
+import (
+	"fmt"
+
+	"locble/internal/ble"
+)
+
+// Build an iBeacon advertisement, put it on the air (whitening + CRC for
+// channel 37), then receive and decode it.
+func ExampleFrame() {
+	ib := ble.IBeacon{Major: 7, Minor: 42, MeasuredPower: -59}
+	data, _ := ble.SerializeADStructures(nil, ib.ADStructures())
+	pdu := ble.AdvPDU{
+		Type: ble.PDUAdvNonconnInd,
+		AdvA: ble.AddressFromUint64(0xC0FFEE),
+		Data: data,
+	}
+
+	frame, _ := ble.Frame(&pdu, 37)
+	got, _ := ble.Deframe(frame, 37)
+	ads, _ := ble.ParseADStructures(got.Data)
+	beacon, _ := ble.DecodeBeacon(ads)
+
+	fmt.Println(got.Type)
+	fmt.Println(beacon.Format, beacon.IBeacon.Major, beacon.IBeacon.Minor)
+	// Output:
+	// ADV_NONCONN_IND
+	// iBeacon 7 42
+}
+
+func ExamplePDUType_Connectable() {
+	fmt.Println(ble.PDUAdvInd.Connectable())
+	fmt.Println(ble.PDUAdvNonconnInd.Connectable())
+	// Output:
+	// true
+	// false
+}
+
+func ExampleEddystoneURL() {
+	e := ble.EddystoneURL{TxPower0m: -10, URL: "https://www.example.com/"}
+	ads, _ := e.ADStructures()
+	beacon, _ := ble.DecodeBeacon(ads)
+	fmt.Println(beacon.EddyURL.URL)
+	// Output:
+	// https://www.example.com/
+}

@@ -1,0 +1,226 @@
+package ble
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bluetooth 5 extended advertising (Core Spec Vol 6 Part B 2.3.4): the
+// ADV_EXT_IND PDU carries a Common Extended Advertising Payload — a
+// flag-gated header (AdvA, TargetA, ADI, AuxPtr, SyncInfo, TxPower)
+// followed by AdvData that may be far larger than the legacy 31 bytes
+// when continued on a secondary channel. The paper pre-dates BLE 5 but
+// calls out its "wider coverage" as an enhancement path (Sec. 9.3); the
+// codec here complements the Coded-PHY link-budget model in the
+// simulator.
+
+// PDUAdvExtInd is the extended advertising indication PDU type.
+const PDUAdvExtInd PDUType = 0x7
+
+// Extended-header field flags, in wire order.
+const (
+	extFieldAdvA     = 1 << 0
+	extFieldTargetA  = 1 << 1
+	extFieldCTEInfo  = 1 << 2
+	extFieldADI      = 1 << 3
+	extFieldAuxPtr   = 1 << 4
+	extFieldSyncInfo = 1 << 5
+	extFieldTxPower  = 1 << 6
+)
+
+// AdvMode distinguishes non-connectable / connectable / scannable
+// extended advertising.
+type AdvMode uint8
+
+// Extended advertising modes.
+const (
+	AdvModeNonConnNonScan AdvMode = 0b00
+	AdvModeConnectable    AdvMode = 0b01
+	AdvModeScannable      AdvMode = 0b10
+)
+
+// ADI is the Advertising Data Info field: set ID plus payload sequence
+// number, letting scanners dedupe and reassemble chained payloads.
+type ADI struct {
+	DID uint16 // advertising data ID (12 bits)
+	SID uint8  // advertising set ID (4 bits)
+}
+
+// AuxPtr points at the continuation of the payload on a secondary
+// channel.
+type AuxPtr struct {
+	Channel  uint8 // secondary channel index 0–36
+	PHY      uint8 // 0 = 1M, 1 = 2M, 2 = Coded
+	OffsetUS uint32
+}
+
+// ExtAdvPDU is an ADV_EXT_IND with the header fields LocBLE-relevant
+// beacons use. Unset optional fields are omitted from the wire format.
+type ExtAdvPDU struct {
+	Mode    AdvMode
+	AdvA    *Address
+	ADI     *ADI
+	AuxPtr  *AuxPtr
+	TxPower *int8 // dBm — the calibrated power a locator wants
+	Data    []byte
+}
+
+// maxExtPayload is the maximum extended advertising payload (255 bytes).
+const maxExtPayload = 255
+
+// SerializeTo appends the on-air representation (2-byte header + common
+// extended advertising payload) to buf.
+func (p *ExtAdvPDU) SerializeTo(buf []byte) ([]byte, error) {
+	var ext []byte
+	var flags byte
+	if p.AdvA != nil {
+		flags |= extFieldAdvA
+		ext = append(ext, p.AdvA[:]...)
+	}
+	if p.ADI != nil {
+		flags |= extFieldADI
+		adi := (uint16(p.ADI.SID&0x0F) << 12) | (p.ADI.DID & 0x0FFF)
+		ext = binary.LittleEndian.AppendUint16(ext, adi)
+	}
+	if p.AuxPtr != nil {
+		flags |= extFieldAuxPtr
+		if p.AuxPtr.Channel > 36 {
+			return nil, fmt.Errorf("ble: aux channel %d out of range", p.AuxPtr.Channel)
+		}
+		// 3 bytes: ch index (6) | CA (1) | offset units (1) | offset (13) | PHY (3).
+		offUnits := byte(0)
+		off := p.AuxPtr.OffsetUS / 30
+		if off > 0x1FFF {
+			offUnits = 1
+			off = p.AuxPtr.OffsetUS / 300
+			if off > 0x1FFF {
+				return nil, fmt.Errorf("ble: aux offset %d µs out of range", p.AuxPtr.OffsetUS)
+			}
+		}
+		b0 := p.AuxPtr.Channel & 0x3F
+		b0 |= offUnits << 7
+		v := uint16(off) & 0x1FFF
+		b1 := byte(v)
+		b2 := byte(v>>8) & 0x1F
+		b2 |= (p.AuxPtr.PHY & 0x07) << 5
+		ext = append(ext, b0, b1, b2)
+	}
+	if p.TxPower != nil {
+		flags |= extFieldTxPower
+		ext = append(ext, byte(*p.TxPower))
+	}
+
+	// Extended header: length (6 bits) + AdvMode (2 bits), then flags (if
+	// any fields are present), then the fields.
+	extHdrLen := 0
+	if flags != 0 {
+		extHdrLen = 1 + len(ext)
+	}
+	if extHdrLen > 63 {
+		return nil, fmt.Errorf("ble: extended header %d bytes exceeds 63", extHdrLen)
+	}
+	payloadLen := 1 + extHdrLen + len(p.Data)
+	if payloadLen > maxExtPayload {
+		return nil, fmt.Errorf("%w: extended payload %d bytes", ErrDataTooBig, payloadLen)
+	}
+
+	buf = append(buf, byte(PDUAdvExtInd)&0x0F, byte(payloadLen))
+	buf = append(buf, byte(extHdrLen&0x3F)|byte(p.Mode)<<6)
+	if flags != 0 {
+		buf = append(buf, flags)
+		buf = append(buf, ext...)
+	}
+	buf = append(buf, p.Data...)
+	return buf, nil
+}
+
+// DecodeExtAdvPDU parses an ADV_EXT_IND produced by SerializeTo.
+func DecodeExtAdvPDU(b []byte) (*ExtAdvPDU, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if PDUType(b[0]&0x0F) != PDUAdvExtInd {
+		return nil, fmt.Errorf("ble: PDU type %v is not ADV_EXT_IND", PDUType(b[0]&0x0F))
+	}
+	plen := int(b[1])
+	if len(b)-2 != plen {
+		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, plen, len(b)-2)
+	}
+	body := b[2:]
+	var p ExtAdvPDU
+	p.Mode = AdvMode(body[0] >> 6)
+	extHdrLen := int(body[0] & 0x3F)
+	if 1+extHdrLen > len(body) {
+		return nil, fmt.Errorf("%w: extended header %d bytes", ErrTruncated, extHdrLen)
+	}
+	ext := body[1 : 1+extHdrLen]
+	p.Data = body[1+extHdrLen:]
+	if extHdrLen > 0 {
+		flags := ext[0]
+		rest := ext[1:]
+		take := func(n int) ([]byte, error) {
+			if len(rest) < n {
+				return nil, fmt.Errorf("%w: extended header field", ErrTruncated)
+			}
+			out := rest[:n]
+			rest = rest[n:]
+			return out, nil
+		}
+		if flags&extFieldAdvA != 0 {
+			f, err := take(6)
+			if err != nil {
+				return nil, err
+			}
+			var a Address
+			copy(a[:], f)
+			p.AdvA = &a
+		}
+		if flags&extFieldTargetA != 0 {
+			if _, err := take(6); err != nil {
+				return nil, err
+			}
+		}
+		if flags&extFieldCTEInfo != 0 {
+			if _, err := take(1); err != nil {
+				return nil, err
+			}
+		}
+		if flags&extFieldADI != 0 {
+			f, err := take(2)
+			if err != nil {
+				return nil, err
+			}
+			v := binary.LittleEndian.Uint16(f)
+			p.ADI = &ADI{DID: v & 0x0FFF, SID: uint8(v >> 12)}
+		}
+		if flags&extFieldAuxPtr != 0 {
+			f, err := take(3)
+			if err != nil {
+				return nil, err
+			}
+			ap := AuxPtr{Channel: f[0] & 0x3F}
+			off := uint32(f[1]) | uint32(f[2]&0x1F)<<8
+			unit := uint32(30)
+			if f[0]&0x80 != 0 {
+				unit = 300
+			}
+			ap.OffsetUS = off * unit
+			ap.PHY = (f[2] >> 5) & 0x07
+			p.AuxPtr = &ap
+		}
+		if flags&extFieldSyncInfo != 0 {
+			if _, err := take(18); err != nil {
+				return nil, err
+			}
+		}
+		if flags&extFieldTxPower != 0 {
+			f, err := take(1)
+			if err != nil {
+				return nil, err
+			}
+			tp := int8(f[0])
+			p.TxPower = &tp
+		}
+	}
+	return &p, nil
+}

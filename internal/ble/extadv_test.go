@@ -1,0 +1,150 @@
+package ble
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestExtAdvRoundTripFull(t *testing.T) {
+	adv := AddressFromUint64(0xABCDEF)
+	tx := int8(-7)
+	payload := bytes.Repeat([]byte{0x5A}, 120) // beyond the legacy 31 bytes
+	p := ExtAdvPDU{
+		Mode:    AdvModeNonConnNonScan,
+		AdvA:    &adv,
+		ADI:     &ADI{DID: 0x321, SID: 5},
+		AuxPtr:  &AuxPtr{Channel: 12, PHY: 2, OffsetUS: 2400},
+		TxPower: &tx,
+		Data:    payload,
+	}
+	raw, err := p.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExtAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != p.Mode {
+		t.Errorf("mode %v", got.Mode)
+	}
+	if got.AdvA == nil || *got.AdvA != adv {
+		t.Error("AdvA lost")
+	}
+	if got.ADI == nil || got.ADI.DID != 0x321 || got.ADI.SID != 5 {
+		t.Errorf("ADI %+v", got.ADI)
+	}
+	if got.AuxPtr == nil || got.AuxPtr.Channel != 12 || got.AuxPtr.PHY != 2 || got.AuxPtr.OffsetUS != 2400 {
+		t.Errorf("AuxPtr %+v", got.AuxPtr)
+	}
+	if got.TxPower == nil || *got.TxPower != -7 {
+		t.Error("TxPower lost")
+	}
+	if !bytes.Equal(got.Data, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestExtAdvMinimal(t *testing.T) {
+	// No optional fields at all: header length 0.
+	p := ExtAdvPDU{Mode: AdvModeScannable, Data: []byte{1, 2, 3}}
+	raw, err := p.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExtAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AdvA != nil || got.ADI != nil || got.AuxPtr != nil || got.TxPower != nil {
+		t.Error("optional fields materialized from nothing")
+	}
+	if got.Mode != AdvModeScannable || !bytes.Equal(got.Data, []byte{1, 2, 3}) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestExtAdvAuxOffsetUnits(t *testing.T) {
+	// Offsets beyond 13 bits of 30 µs units switch to 300 µs units.
+	adv := AddressFromUint64(1)
+	p := ExtAdvPDU{AdvA: &adv, AuxPtr: &AuxPtr{Channel: 3, OffsetUS: 600000}}
+	raw, err := p.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExtAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AuxPtr.OffsetUS != 600000 {
+		t.Errorf("offset %d, want 600000", got.AuxPtr.OffsetUS)
+	}
+	// Out of even the coarse unit's range.
+	bad := ExtAdvPDU{AuxPtr: &AuxPtr{Channel: 3, OffsetUS: 10_000_000}}
+	if _, err := bad.SerializeTo(nil); err == nil {
+		t.Error("want error for out-of-range offset")
+	}
+	badCh := ExtAdvPDU{AuxPtr: &AuxPtr{Channel: 40}}
+	if _, err := badCh.SerializeTo(nil); err == nil {
+		t.Error("want error for channel > 36")
+	}
+}
+
+func TestExtAdvErrors(t *testing.T) {
+	if _, err := DecodeExtAdvPDU([]byte{0x07}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	if _, err := DecodeExtAdvPDU([]byte{0x02, 0x01, 0x00}); err == nil {
+		t.Error("want error for wrong PDU type")
+	}
+	if _, err := DecodeExtAdvPDU([]byte{0x07, 0x05, 0x01, 0x02}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("want ErrBadLength, got %v", err)
+	}
+	// Extended header longer than the payload.
+	if _, err := DecodeExtAdvPDU([]byte{0x07, 0x02, 0x3F, 0x00}); err == nil {
+		t.Error("want error for oversized extended header")
+	}
+	// Flags promising fields that are not there.
+	if _, err := DecodeExtAdvPDU([]byte{0x07, 0x02, 0x01, 0x01}); err == nil {
+		t.Error("want error for truncated AdvA")
+	}
+	// Payload too large to serialize.
+	big := ExtAdvPDU{Data: make([]byte, 300)}
+	if _, err := big.SerializeTo(nil); !errors.Is(err, ErrDataTooBig) {
+		t.Errorf("want ErrDataTooBig, got %v", err)
+	}
+}
+
+func TestExtAdvLargeBeaconPayload(t *testing.T) {
+	// An Eddystone-UID plus a long complete name — impossible in a legacy
+	// PDU, routine in an extended one.
+	uid := EddystoneUID{TxPower0m: -20}
+	ads := uid.ADStructures()
+	ads = append(ads, ADStructure{Type: ADCompleteName, Data: bytes.Repeat([]byte("n"), 60)})
+	data, err := SerializeADStructures(nil, ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= MaxAdvDataLen {
+		t.Fatalf("test payload should exceed the legacy limit, got %d", len(data))
+	}
+	adv := AddressFromUint64(2)
+	p := ExtAdvPDU{AdvA: &adv, Data: data}
+	raw, err := p.SerializeTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExtAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseADStructures(got.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBeacon(parsed)
+	if err != nil || b.Format != FormatEddystoneUID {
+		t.Errorf("beacon decode through extended PDU: %v %v", b, err)
+	}
+}

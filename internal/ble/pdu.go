@@ -1,0 +1,306 @@
+// Package ble implements the Bluetooth Low Energy advertising-channel
+// machinery that LocBLE consumes: link-layer advertising PDUs
+// (encode/decode at byte level, including CRC-24 and data whitening),
+// the AD-structure container format, the three commodity beacon payload
+// formats the paper targets (iBeacon, Eddystone, AltBeacon), an
+// advertiser model with the spec's duty-cycle behaviour, and a scanner
+// model with per-OS scan windows and report rates.
+//
+// The codec follows the decode-from-bytes / serialize-to idiom of
+// gopacket's DecodingLayer: types decode in place without allocating and
+// serialize by appending to a caller buffer.
+package ble
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AdvertisingAccessAddress is the fixed access address used by all
+// advertising-channel packets (Bluetooth Core Spec Vol 6 Part B 2.1.2).
+const AdvertisingAccessAddress uint32 = 0x8E89BED6
+
+// MaxAdvDataLen is the maximum AdvData length in a legacy advertising PDU.
+const MaxAdvDataLen = 31
+
+// PDUType is the 4-bit advertising-channel PDU type carried in the header.
+// The paper (Sec. 2.2) inspects these first 4 bits to determine whether a
+// beacon is connectable.
+type PDUType uint8
+
+// Advertising PDU types (Core Spec Vol 6 Part B 2.3).
+const (
+	PDUAdvInd        PDUType = 0x0 // connectable scannable undirected
+	PDUAdvDirectInd  PDUType = 0x1 // connectable directed
+	PDUAdvNonconnInd PDUType = 0x2 // non-connectable non-scannable undirected
+	PDUScanReq       PDUType = 0x3
+	PDUScanRsp       PDUType = 0x4
+	PDUConnectInd    PDUType = 0x5
+	PDUAdvScanInd    PDUType = 0x6 // scannable undirected
+)
+
+// String names the PDU type.
+func (t PDUType) String() string {
+	switch t {
+	case PDUAdvInd:
+		return "ADV_IND"
+	case PDUAdvDirectInd:
+		return "ADV_DIRECT_IND"
+	case PDUAdvNonconnInd:
+		return "ADV_NONCONN_IND"
+	case PDUScanReq:
+		return "SCAN_REQ"
+	case PDUScanRsp:
+		return "SCAN_RSP"
+	case PDUConnectInd:
+		return "CONNECT_IND"
+	case PDUAdvScanInd:
+		return "ADV_SCAN_IND"
+	default:
+		return fmt.Sprintf("PDUType(%#x)", uint8(t))
+	}
+}
+
+// Connectable reports whether a beacon transmitting this PDU type accepts
+// connection requests. LocBLE focuses on non-connectable beacons
+// (Sec. 2.2): they broadcast only and have the longer (≤100 ms → actually
+// ≥100 ms interval) duty-cycle limit.
+func (t PDUType) Connectable() bool {
+	switch t {
+	case PDUAdvInd, PDUAdvDirectInd, PDUConnectInd:
+		return true
+	default:
+		return false
+	}
+}
+
+// Address is a 48-bit Bluetooth device address.
+type Address [6]byte
+
+// String formats the address in the usual colon-separated form,
+// most-significant byte first.
+func (a Address) String() string {
+	return fmt.Sprintf("%02X:%02X:%02X:%02X:%02X:%02X", a[5], a[4], a[3], a[2], a[1], a[0])
+}
+
+// AddressFromUint64 builds an address from the low 48 bits of v.
+func AddressFromUint64(v uint64) Address {
+	var a Address
+	for i := 0; i < 6; i++ {
+		a[i] = byte(v >> (8 * i))
+	}
+	return a
+}
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("ble: truncated PDU")
+	ErrBadLength  = errors.New("ble: header length does not match payload")
+	ErrBadADLen   = errors.New("ble: malformed AD structure length")
+	ErrBadCRC     = errors.New("ble: CRC mismatch")
+	ErrNotBeacon  = errors.New("ble: payload is not a recognized beacon format")
+	ErrDataTooBig = errors.New("ble: AdvData exceeds 31 bytes")
+)
+
+// AdvPDU is a legacy advertising-channel PDU: 2-byte header, 6-byte
+// advertiser address, and up to 31 bytes of advertising data.
+type AdvPDU struct {
+	Type  PDUType
+	ChSel bool // header ChSel bit (channel selection algorithm #2 support)
+	TxAdd bool // advertiser address is random (true) or public (false)
+	RxAdd bool
+	AdvA  Address
+	Data  []byte // AdvData payload (AD structures)
+}
+
+// SerializeTo appends the on-air byte representation of the PDU (header +
+// AdvA + AdvData, no access address or CRC) to buf and returns the
+// extended slice.
+func (p *AdvPDU) SerializeTo(buf []byte) ([]byte, error) {
+	if len(p.Data) > MaxAdvDataLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrDataTooBig, len(p.Data))
+	}
+	h0 := byte(p.Type) & 0x0F
+	if p.ChSel {
+		h0 |= 1 << 5
+	}
+	if p.TxAdd {
+		h0 |= 1 << 6
+	}
+	if p.RxAdd {
+		h0 |= 1 << 7
+	}
+	payloadLen := 6 + len(p.Data)
+	buf = append(buf, h0, byte(payloadLen))
+	buf = append(buf, p.AdvA[:]...)
+	buf = append(buf, p.Data...)
+	return buf, nil
+}
+
+// DecodeFromBytes parses an on-air PDU (header + AdvA + AdvData) in place.
+// The Data field aliases b; callers that retain the PDU beyond the life of
+// b must copy it.
+func (p *AdvPDU) DecodeFromBytes(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+	}
+	h0, plen := b[0], int(b[1])
+	p.Type = PDUType(h0 & 0x0F)
+	p.ChSel = h0&(1<<5) != 0
+	p.TxAdd = h0&(1<<6) != 0
+	p.RxAdd = h0&(1<<7) != 0
+	if len(b)-2 != plen {
+		return fmt.Errorf("%w: header says %d, have %d", ErrBadLength, plen, len(b)-2)
+	}
+	if plen < 6 {
+		return fmt.Errorf("%w: payload %d < 6 (AdvA)", ErrTruncated, plen)
+	}
+	copy(p.AdvA[:], b[2:8])
+	p.Data = b[8:]
+	return nil
+}
+
+// CRC24Init is the advertising-channel CRC preset (Core Spec Vol 6 Part B
+// 3.1.1: 0x555555 for advertising packets).
+const CRC24Init uint32 = 0x555555
+
+// crc24 computes the BLE link-layer CRC over data. The generator
+// polynomial is x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1; bits are processed LSB first.
+func crc24(init uint32, data []byte) uint32 {
+	crc := init
+	for _, b := range data {
+		for bit := 0; bit < 8; bit++ {
+			in := (b >> bit) & 1
+			fb := byte(crc>>23) & 1 // current MSB of 24-bit register
+			crc = (crc << 1) & 0xFFFFFF
+			if fb^in == 1 {
+				crc ^= 0x00065B
+			}
+		}
+	}
+	return crc
+}
+
+// whiten applies (or removes — the operation is an involution) BLE data
+// whitening in place. The whitener is a 7-bit LFSR with polynomial
+// x⁷+x⁴+1, initialized to the channel index with bit 6 set
+// (Core Spec Vol 6 Part B 3.2).
+func whiten(channel int, data []byte) {
+	lfsr := byte(channel&0x3F) | 0x40
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			out := (lfsr >> 6) & 1
+			lfsr = (lfsr << 1) & 0x7F
+			if out == 1 {
+				lfsr ^= 0x11 // taps at positions 4 and 0
+				data[i] ^= 1 << bit
+			}
+		}
+	}
+}
+
+// Frame wraps an advertising PDU into the full on-air packet for the given
+// advertising channel: PDU bytes + CRC-24, whitened. (The preamble and
+// access address are omitted — they are constant for advertising packets
+// and carry no information the simulator needs.)
+func Frame(p *AdvPDU, channel int) ([]byte, error) {
+	raw, err := p.SerializeTo(nil)
+	if err != nil {
+		return nil, err
+	}
+	crc := crc24(CRC24Init, raw)
+	raw = append(raw, byte(crc), byte(crc>>8), byte(crc>>16))
+	whiten(channel, raw)
+	return raw, nil
+}
+
+// Deframe reverses Frame: de-whitens, verifies the CRC, and decodes the
+// PDU. The returned PDU's Data aliases the de-whitened copy of frame.
+func Deframe(frame []byte, channel int) (*AdvPDU, error) {
+	if len(frame) < 5 { // 2 header + 3 CRC
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTruncated, len(frame))
+	}
+	buf := append([]byte(nil), frame...)
+	whiten(channel, buf)
+	body, trailer := buf[:len(buf)-3], buf[len(buf)-3:]
+	want := uint32(trailer[0]) | uint32(trailer[1])<<8 | uint32(trailer[2])<<16
+	if got := crc24(CRC24Init, body); got != want {
+		return nil, fmt.Errorf("%w: got %06x want %06x", ErrBadCRC, got, want)
+	}
+	var p AdvPDU
+	if err := p.DecodeFromBytes(body); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ADType is the assigned number of an AD structure (Supplement to the
+// Core Specification, Part A).
+type ADType uint8
+
+// Common AD types used by beacon payloads.
+const (
+	ADFlags            ADType = 0x01
+	ADIncomplete16UUID ADType = 0x02
+	ADComplete16UUID   ADType = 0x03
+	ADShortenedName    ADType = 0x08
+	ADCompleteName     ADType = 0x09
+	ADTxPowerLevel     ADType = 0x0A
+	ADServiceData16    ADType = 0x16
+	ADManufacturer     ADType = 0xFF
+)
+
+// ADStructure is one length-type-data element of an AdvData payload.
+type ADStructure struct {
+	Type ADType
+	Data []byte
+}
+
+// ParseADStructures splits an AdvData payload into its AD structures.
+// A zero length octet terminates the payload early (per spec, the
+// remainder is padding).
+func ParseADStructures(data []byte) ([]ADStructure, error) {
+	var out []ADStructure
+	for len(data) > 0 {
+		l := int(data[0])
+		if l == 0 {
+			break // early termination; rest is padding
+		}
+		if l+1 > len(data) {
+			return nil, fmt.Errorf("%w: length %d with %d bytes left", ErrBadADLen, l, len(data)-1)
+		}
+		out = append(out, ADStructure{Type: ADType(data[1]), Data: data[2 : l+1]})
+		data = data[l+1:]
+	}
+	return out, nil
+}
+
+// SerializeADStructures encodes AD structures back into an AdvData
+// payload, appending to buf.
+func SerializeADStructures(buf []byte, ads []ADStructure) ([]byte, error) {
+	for _, ad := range ads {
+		if len(ad.Data)+1 > 255 {
+			return nil, fmt.Errorf("%w: AD data %d bytes", ErrBadADLen, len(ad.Data))
+		}
+		buf = append(buf, byte(len(ad.Data)+1), byte(ad.Type))
+		buf = append(buf, ad.Data...)
+	}
+	return buf, nil
+}
+
+// FindAD returns the first AD structure of the given type, or false.
+func FindAD(ads []ADStructure, t ADType) (ADStructure, bool) {
+	for _, ad := range ads {
+		if ad.Type == t {
+			return ad, true
+		}
+	}
+	return ADStructure{}, false
+}
+
+// uint16LE reads a little-endian uint16 (helper shared by payload codecs).
+func uint16LE(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+
+// uint16BE reads a big-endian uint16.
+func uint16BE(b []byte) uint16 { return binary.BigEndian.Uint16(b) }

@@ -1,0 +1,281 @@
+// Package cluster implements LocBLE's multi-beacon clustering calibration
+// (paper Sec. 6, Algorithm 2): beacons that are physically co-located see
+// near-identical RSS *trends* during the observer's L-shaped walk, so
+// their sequences DTW-match the target's; each matched neighbour yields
+// its own position estimate, and the final target position is the
+// confidence-weighted average of the cluster's estimates.
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"locble/internal/dtw"
+	"locble/internal/estimate"
+	"locble/internal/mathx"
+)
+
+// binAverage averages samples into fixed bins of width 1/hz starting at
+// start; empty bins are filled by linear interpolation between their
+// neighbours. Averaging (rather than interpolating single samples)
+// suppresses per-packet fast fading — which is independent even across
+// co-located beacons — so the batched sequence is dominated by the
+// spatially shared slow components the matcher must compare.
+func binAverage(ts, vs []float64, start, end, hz float64) []float64 {
+	step := 1 / hz
+	nBins := int((end-start)/step) + 1
+	if nBins <= 0 {
+		return nil
+	}
+	sums := make([]float64, nBins)
+	counts := make([]int, nBins)
+	for i, t := range ts {
+		b := int((t - start) / step)
+		if b < 0 || b >= nBins {
+			continue
+		}
+		sums[b] += vs[i]
+		counts[b]++
+	}
+	out := make([]float64, nBins)
+	for b := range out {
+		if counts[b] > 0 {
+			out[b] = sums[b] / float64(counts[b])
+		} else {
+			out[b] = math.NaN()
+		}
+	}
+	// Fill empty bins by interpolating between known neighbours.
+	for b := range out {
+		if !math.IsNaN(out[b]) {
+			continue
+		}
+		lo := b - 1
+		for lo >= 0 && math.IsNaN(out[lo]) {
+			lo--
+		}
+		hi := b + 1
+		for hi < nBins && math.IsNaN(out[hi]) {
+			hi++
+		}
+		switch {
+		case lo >= 0 && hi < nBins:
+			frac := float64(b-lo) / float64(hi-lo)
+			out[b] = out[lo] + (out[hi]-out[lo])*frac
+		case lo >= 0:
+			out[b] = out[lo]
+		case hi < nBins:
+			out[b] = out[hi]
+		default:
+			out[b] = 0
+		}
+	}
+	return out
+}
+
+// ErrNoTarget is returned when the target sequence is missing or empty.
+var ErrNoTarget = errors.New("cluster: empty target sequence")
+
+// Sequence is one beacon's RSS time series plus that beacon's independent
+// position estimate for the target's location (each co-located beacon's
+// own regression is a noisy measurement of the same physical spot).
+type Sequence struct {
+	Name string
+	T    []float64
+	RSS  []float64
+	// Estimate is the position estimate computed from this beacon's RSS
+	// (nil when estimation failed; such sequences can still vote on
+	// cluster membership but contribute no position).
+	Estimate *estimate.Estimate
+}
+
+// Config tunes the clustering calibration.
+//
+// Preprocessing follows the paper's intent (remove per-device offsets and
+// high-frequency noise, then compare the sequences' shapes) with two
+// refinements documented in DESIGN.md:
+//
+//  1. Sequences are *bin-averaged* to batch granularity (BatchHz). The
+//     per-packet fast fading is independent even across co-located
+//     beacons, so averaging within batches is what exposes the spatially
+//     shared slow components (trend, shadowing, body blockage) that
+//     co-located beacons actually have in common.
+//  2. Each batched sequence is z-normalized (zero mean, unit variance) —
+//     a scale- and offset-invariant transform serving the same purpose as
+//     the paper's differencing ("avoid using absolute values") without
+//     amplifying the independent high-frequency noise the way per-sample
+//     differencing does. The DTW thresholds are then naturally
+//     dimensionless: a segment matches when its distance is below
+//     ZThreshold·√L.
+type Config struct {
+	// Matcher configures the fixed-window DTW voting (segment length and
+	// warping window; the thresholds are derived from ZThreshold unless
+	// AbsoluteThresholds is set).
+	Matcher dtw.SegmentMatcherConfig
+	// BatchHz is the common bin-averaging rate before normalization.
+	BatchHz float64
+	// ZThreshold is the per-point z-space match threshold (dimensionless).
+	ZThreshold float64
+	// AbsoluteThresholds uses Matcher's fixed thresholds (the paper's
+	// empirical 6.1, calibrated to their devices' raw RSSI scale) instead
+	// of the dimensionless rule.
+	AbsoluteThresholds bool
+	// MaxMemberDistance gates cluster membership by position consistency:
+	// a DTW-matched neighbour only contributes its estimate when that
+	// estimate lies within this distance of the target's own estimate
+	// (metres). Clustering exists because co-located beacons estimate the
+	// same physical spot; a "matched" sequence whose estimate is metres
+	// away is a DTW false positive and would poison the weighted average.
+	MaxMemberDistance float64
+}
+
+// PaperThreshold is the paper's empirical DTW/LB threshold for 10-point
+// segments on their devices' RSSI scale (Sec. 6.1).
+const PaperThreshold = 6.1
+
+// DefaultConfig returns the pipeline's settings.
+func DefaultConfig() Config {
+	m := dtw.DefaultSegmentMatcherConfig()
+	m.SegmentLen = 5
+	m.Window = 1
+	return Config{Matcher: m, BatchHz: 1, ZThreshold: 0.85, MaxMemberDistance: 3.5}
+}
+
+// Membership describes one candidate's clustering outcome.
+type Membership struct {
+	Name    string
+	Matched bool
+	// MatchedSegments / TotalSegments is the vote tally.
+	MatchedSegments, TotalSegments int
+	// Weight is the normalized probability weight used in the final
+	// position average (0 when unmatched or without an estimate).
+	Weight float64
+}
+
+// Result is the calibrated output.
+type Result struct {
+	// X, H is the calibrated target position.
+	X, H float64
+	// Confidence is the weighted mean of the member confidences.
+	Confidence float64
+	// Members records each sequence's matching outcome (including the
+	// target itself, which always matches).
+	Members []Membership
+	// ClusterSize counts the matched members with usable estimates.
+	ClusterSize int
+}
+
+// Calibrate runs Algorithm 2: match every candidate sequence against the
+// target by segment-voting DTW on the differenced, interpolated series,
+// then return the probability-weighted average of the matched members'
+// position estimates. The target's own estimate must be non-nil.
+func Calibrate(target Sequence, candidates []Sequence, cfg Config) (*Result, error) {
+	if len(target.T) == 0 || len(target.RSS) == 0 {
+		return nil, ErrNoTarget
+	}
+	if target.Estimate == nil {
+		return nil, errors.New("cluster: target has no estimate")
+	}
+	if cfg.BatchHz <= 0 {
+		cfg.BatchHz = 1
+	}
+	if cfg.ZThreshold <= 0 {
+		cfg.ZThreshold = 0.85
+	}
+	if cfg.MaxMemberDistance <= 0 {
+		cfg.MaxMemberDistance = 3.5
+	}
+	// Common batch bins over the target's time span, z-normalized.
+	start, end := target.T[0], target.T[len(target.T)-1]
+	zT := mathx.Standardize(binAverage(target.T, target.RSS, start, end, cfg.BatchHz))
+
+	matcher := cfg.Matcher
+	if matcher.SegmentLen <= 0 {
+		matcher.SegmentLen = 5
+	}
+	if !cfg.AbsoluteThresholds {
+		thr := cfg.ZThreshold * math.Sqrt(float64(matcher.SegmentLen))
+		matcher.LBThreshold = thr
+		matcher.DTWThreshold = thr
+	}
+
+	type member struct {
+		est      *estimate.Estimate
+		weight   float64
+		memberIx int // index into res.Members
+	}
+	res := &Result{
+		Members: []Membership{{Name: target.Name, Matched: true}},
+	}
+	members := []member{{est: target.Estimate, weight: math.Max(target.Estimate.Confidence, 1e-6), memberIx: 0}}
+
+	for _, cand := range candidates {
+		ms := Membership{Name: cand.Name}
+		if len(cand.T) >= 2 && len(target.T) >= 2 {
+			zC := mathx.Standardize(binAverage(cand.T, cand.RSS, start, end, cfg.BatchHz))
+			match, err := dtw.MatchSequences(zT, zC, matcher)
+			if err == nil {
+				ms.Matched = match.Matched
+				ms.MatchedSegments = match.MatchedCount
+				ms.TotalSegments = match.TotalSegments
+			}
+		}
+		res.Members = append(res.Members, ms)
+		if ms.Matched && cand.Estimate != nil {
+			members = append(members, member{
+				est:      cand.Estimate,
+				weight:   math.Max(cand.Estimate.Confidence, 1e-6),
+				memberIx: len(res.Members) - 1,
+			})
+		}
+	}
+
+	// Position-consistency gate: co-located beacons estimate the same
+	// physical spot, so estimates far from the members' (component-wise)
+	// median are outliers — whether a DTW false positive or a diverged
+	// regression — and are excluded from the average. Gating against the
+	// median rather than the target's own estimate keeps the calibration
+	// robust when the *target's* estimate is the outlier.
+	if len(members) > 2 {
+		xs := make([]float64, len(members))
+		hs := make([]float64, len(members))
+		for i, m := range members {
+			xs[i] = m.est.X
+			hs[i] = m.est.H
+		}
+		medX, medH := mathx.Median(xs), mathx.Median(hs)
+		kept := members[:0]
+		for _, m := range members {
+			if math.Hypot(m.est.X-medX, m.est.H-medH) <= cfg.MaxMemberDistance {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) > 0 {
+			members = kept
+		}
+	} else if len(members) == 2 {
+		// With a single neighbour there is no majority to take a median
+		// over; gate against the target's own estimate instead.
+		d := math.Hypot(members[1].est.X-members[0].est.X, members[1].est.H-members[0].est.H)
+		if d > cfg.MaxMemberDistance {
+			members = members[:1]
+		}
+	}
+
+	// Weighted sum of candidate positions (paper Sec. 6.2).
+	var sw, sx, sh, sc float64
+	for _, m := range members {
+		sw += m.weight
+		sx += m.weight * m.est.X
+		sh += m.weight * m.est.H
+		sc += m.weight * m.est.Confidence
+	}
+	res.X = sx / sw
+	res.H = sh / sw
+	res.Confidence = sc / sw
+	res.ClusterSize = len(members)
+	for _, m := range members {
+		res.Members[m.memberIx].Weight = m.weight / sw
+	}
+	return res, nil
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"locble/internal/estimate"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+func est(x, h, conf float64) *estimate.Estimate {
+	return &estimate.Estimate{X: x, H: h, Confidence: conf, Candidates: []estimate.Candidate{{X: x, H: h}}}
+}
+
+// seqFromSim extracts a beacon's sequence from a simulated trace.
+func seqFromSim(tr *sim.Trace, name string, e *estimate.Estimate) Sequence {
+	ts, rss := tr.RSSSeries(name)
+	return Sequence{Name: name, T: ts, RSS: rss, Estimate: e}
+}
+
+func clusterScenario(seed int64) sim.Scenario {
+	return sim.Scenario{
+		Beacons: []sim.BeaconSpec{
+			{Name: "target", X: 7, Y: 3},
+			{Name: "near1", X: 7.3, Y: 3},
+			{Name: "near2", X: 7, Y: 3.3},
+			{Name: "far", X: 1, Y: 7},
+		},
+		ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+		EnvModel:     sim.StaticEnv(rf.NLOS),
+		Seed:         seed,
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(Sequence{}, nil, DefaultConfig()); !errors.Is(err, ErrNoTarget) {
+		t.Errorf("want ErrNoTarget, got %v", err)
+	}
+	noEst := Sequence{Name: "t", T: []float64{1, 2}, RSS: []float64{-70, -71}}
+	if _, err := Calibrate(noEst, nil, DefaultConfig()); err == nil {
+		t.Error("want error for missing target estimate")
+	}
+}
+
+func TestCalibrateTargetOnly(t *testing.T) {
+	tr, err := sim.Run(clusterScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := seqFromSim(tr, "target", est(7, 3, 0.9))
+	res, err := Calibrate(target, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClusterSize != 1 || res.X != 7 || res.H != 3 {
+		t.Errorf("target-only calibration = %+v", res)
+	}
+}
+
+func TestClusteringStatistics(t *testing.T) {
+	// Over many seeds: near beacons must join the cluster clearly more
+	// often than the far beacon.
+	nearJoin, farJoin, runs := 0, 0, 0
+	for seed := int64(1); seed <= 14; seed++ {
+		tr, err := sim.Run(clusterScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := seqFromSim(tr, "target", est(7, 3, 0.8))
+		cands := []Sequence{
+			seqFromSim(tr, "near1", est(7.2, 3.1, 0.6)),
+			seqFromSim(tr, "near2", est(6.9, 3.4, 0.6)),
+			seqFromSim(tr, "far", est(1.3, 6.8, 0.6)),
+		}
+		res, err := Calibrate(target, cands, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range res.Members {
+			switch m.Name {
+			case "near1", "near2":
+				if m.Matched {
+					nearJoin++
+				}
+			case "far":
+				if m.Matched {
+					farJoin++
+				}
+			}
+		}
+		runs++
+	}
+	nearRate := float64(nearJoin) / float64(2*runs)
+	farRate := float64(farJoin) / float64(runs)
+	t.Logf("near join rate %.2f, far join rate %.2f over %d runs", nearRate, farRate, runs)
+	if nearRate < 0.5 {
+		t.Errorf("near-beacon join rate %.2f too low", nearRate)
+	}
+	if farRate > nearRate-0.2 {
+		t.Errorf("far beacon joins almost as often (%.2f) as near (%.2f)", farRate, nearRate)
+	}
+}
+
+func TestPositionGateExcludesDistantEstimates(t *testing.T) {
+	// Even if a far beacon's sequence matches by chance, its estimate
+	// (far from the target's) must not receive weight.
+	tr, err := sim.Run(clusterScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := seqFromSim(tr, "target", est(7, 3, 0.9))
+	// Candidate with an identical RSS sequence (guaranteed DTW match) but
+	// a wildly different position estimate.
+	impostor := target
+	impostor.Name = "impostor"
+	impostor.Estimate = est(-5, 20, 0.99)
+	res, err := Calibrate(target, []Sequence{impostor}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Members {
+		if m.Name == "impostor" && m.Weight != 0 {
+			t.Errorf("impostor received weight %g", m.Weight)
+		}
+	}
+	if math.Hypot(res.X-7, res.H-3) > 1e-9 {
+		t.Errorf("calibrated position moved to (%g, %g)", res.X, res.H)
+	}
+}
+
+func TestWeightsAreNormalized(t *testing.T) {
+	tr, err := sim.Run(clusterScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := seqFromSim(tr, "target", est(7, 3, 0.8))
+	cands := []Sequence{
+		seqFromSim(tr, "near1", est(7.2, 3.1, 0.5)),
+		seqFromSim(tr, "near2", est(7.1, 2.9, 0.7)),
+	}
+	res, err := Calibrate(target, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, m := range res.Members {
+		if m.Weight < 0 {
+			t.Errorf("negative weight %g", m.Weight)
+		}
+		sum += m.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g", sum)
+	}
+	// The calibrated position is inside the members' convex hull.
+	if res.X < 6.9 || res.X > 7.3 || res.H < 2.9 || res.H > 3.4 {
+		t.Errorf("calibrated (%g, %g) outside member positions", res.X, res.H)
+	}
+}
+
+func TestCalibrationReducesNoisyError(t *testing.T) {
+	// Statistical claim of Fig. 15: averaging cluster members' estimates
+	// beats a single noisy estimate. Simulate noisy member estimates
+	// around the truth and verify the weighted mean error shrinks.
+	src := rng.New(6)
+	truth := estimate.Candidate{X: 7, H: 3}
+	var single, clustered float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		tr, err := sim.Run(clusterScenario(int64(100 + trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy := func() *estimate.Estimate {
+			return est(truth.X+src.Normal(0, 1.5), truth.H+src.Normal(0, 1.5), 0.7)
+		}
+		tEst := noisy()
+		target := seqFromSim(tr, "target", tEst)
+		cands := []Sequence{
+			seqFromSim(tr, "near1", noisy()),
+			seqFromSim(tr, "near2", noisy()),
+		}
+		res, err := Calibrate(target, cands, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += math.Hypot(tEst.X-truth.X, tEst.H-truth.H)
+		clustered += math.Hypot(res.X-truth.X, res.H-truth.H)
+	}
+	single /= trials
+	clustered /= trials
+	t.Logf("single %.2f m vs clustered %.2f m", single, clustered)
+	if clustered >= single {
+		t.Errorf("clustering did not reduce error: %.2f vs %.2f", clustered, single)
+	}
+}
+
+func TestBinAverage(t *testing.T) {
+	ts := []float64{0, 0.1, 0.2, 1.0, 1.1, 2.5}
+	vs := []float64{1, 2, 3, 10, 20, 42}
+	out := binAverage(ts, vs, 0, 2.5, 1)
+	if len(out) != 3 {
+		t.Fatalf("bins = %d", len(out))
+	}
+	if math.Abs(out[0]-2) > 1e-12 {
+		t.Errorf("bin 0 = %g, want 2", out[0])
+	}
+	if math.Abs(out[1]-15) > 1e-12 {
+		t.Errorf("bin 1 = %g, want 15", out[1])
+	}
+	if math.Abs(out[2]-42) > 1e-12 {
+		t.Errorf("bin 2 = %g, want 42", out[2])
+	}
+}
+
+func TestBinAverageFillsGaps(t *testing.T) {
+	ts := []float64{0, 3}
+	vs := []float64{0, 30}
+	out := binAverage(ts, vs, 0, 3, 1)
+	// Bins 1 and 2 are empty → interpolated between 0 and 30.
+	if len(out) != 4 {
+		t.Fatalf("bins = %d", len(out))
+	}
+	if math.Abs(out[1]-10) > 1e-9 || math.Abs(out[2]-20) > 1e-9 {
+		t.Errorf("gap fill = %v", out)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) {
+			t.Fatal("NaN left in binned output")
+		}
+	}
+}
+
+func TestAbsoluteThresholdsMode(t *testing.T) {
+	// The paper-literal mode uses the fixed 6.1 threshold instead of the
+	// z-space rule; it must run end to end.
+	tr, err := sim.Run(clusterScenario(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.AbsoluteThresholds = true
+	cfg.Matcher.LBThreshold = PaperThreshold
+	cfg.Matcher.DTWThreshold = PaperThreshold
+	target := seqFromSim(tr, "target", est(7, 3, 0.9))
+	cands := []Sequence{seqFromSim(tr, "near1", est(7.2, 3.1, 0.6))}
+	res, err := Calibrate(target, cands, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClusterSize < 1 {
+		t.Error("absolute-threshold calibration lost the target")
+	}
+	// z-normalized sequences have tiny distances, so the paper's raw-RSSI
+	// threshold of 6.1 accepts everything — which is exactly why the
+	// dimensionless rule is the default.
+	for _, m := range res.Members {
+		if m.Name == "near1" && !m.Matched {
+			t.Error("near beacon rejected under the permissive absolute threshold")
+		}
+	}
+}
+
+func TestCandidateWithoutEstimateStillVotes(t *testing.T) {
+	tr, err := sim.Run(clusterScenario(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := seqFromSim(tr, "target", est(7, 3, 0.9))
+	noEst := seqFromSim(tr, "near1", nil)
+	res, err := Calibrate(target, []Sequence{noEst}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate-less member appears in the membership report but never
+	// contributes weight.
+	for _, m := range res.Members {
+		if m.Name == "near1" && m.Weight != 0 {
+			t.Error("estimate-less member received weight")
+		}
+	}
+	if res.X != 7 || res.H != 3 {
+		t.Error("calibration moved despite no usable members")
+	}
+}

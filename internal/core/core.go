@@ -1,0 +1,363 @@
+// Package core wires LocBLE's three layers together (paper Fig. 3,
+// Algorithm 1): the data-collection layer (scan reports + IMU, produced by
+// the sim package or a real device), the location-estimation layer
+// (EnvAware environment recognition, adaptive noise filtering, motion
+// tracking, and the elliptical-regression data fusion), and the
+// calibration layer (multi-beacon DTW clustering).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"locble/internal/cluster"
+	"locble/internal/env"
+	"locble/internal/estimate"
+	"locble/internal/motion"
+	"locble/internal/rf"
+	"locble/internal/sigproc"
+	"locble/internal/sim"
+)
+
+// Errors.
+var (
+	ErrUnknownBeacon = errors.New("core: beacon not present in trace")
+	ErrNoEstimate    = errors.New("core: no segment produced a usable estimate")
+)
+
+// Config tunes the pipeline. The Disable* switches exist for the paper's
+// ablation study (Fig. 5).
+type Config struct {
+	// Estimator configures the elliptical regression.
+	Estimator estimate.Config
+	// ButterworthOrder is the ANF low-pass order (paper: 6).
+	ButterworthOrder int
+	// CutoffHz is the ANF low-pass cutoff.
+	CutoffHz float64
+	// EnvWindow is the EnvAware window in samples (≈2 s of reports).
+	EnvWindow int
+	// EnvHysteresis is how many consecutive windows must disagree before
+	// a regression restart.
+	EnvHysteresis int
+	// DisableANF bypasses the BF+AKF filter (ablation).
+	DisableANF bool
+	// StreamingANF uses the paper's online BF+AKF cascade instead of the
+	// zero-phase forward-backward Butterworth. The streaming filter is
+	// what a live UI runs; batch estimation defaults to zero-phase
+	// filtering because group delay would shift the RSS trend against the
+	// motion track and bias the regression.
+	StreamingANF bool
+	// DisableEnvAware bypasses environment change detection (ablation).
+	DisableEnvAware bool
+	// Tracker configures motion processing.
+	Tracker motion.TrackerConfig
+	// MinSegmentSamples is the minimum regression-segment size.
+	MinSegmentSamples int
+	// AKFMaxAlpha overrides the streaming AKF's maximum raw-stream blend
+	// weight (0 keeps the sigproc default; ablation knob).
+	AKFMaxAlpha float64
+}
+
+// DefaultConfig returns the paper's pipeline settings.
+func DefaultConfig() Config {
+	tc := motion.DefaultTrackerConfig()
+	tc.SnapRightAngles = true // the app instructs the user to turn 90°
+	return Config{
+		Estimator:         estimate.DefaultConfig(),
+		ButterworthOrder:  6,
+		CutoffHz:          0.9,
+		EnvWindow:         20,
+		EnvHysteresis:     1,
+		Tracker:           tc,
+		MinSegmentSamples: 10,
+	}
+}
+
+// Engine is a ready-to-use LocBLE pipeline. The EnvAware classifier is
+// trained once (on the synthetic labelled dataset) and reused; an Engine
+// is safe for concurrent Locate calls.
+type Engine struct {
+	cfg Config
+	clf *env.Classifier
+}
+
+var (
+	sharedClfOnce sync.Once
+	sharedClf     *env.Classifier
+	sharedClfErr  error
+)
+
+// sharedClassifier trains the default EnvAware model once per process.
+func sharedClassifier() (*env.Classifier, error) {
+	sharedClfOnce.Do(func() {
+		d, _, _, err := env.BuildDataset(env.DefaultDatasetConfig())
+		if err != nil {
+			sharedClfErr = err
+			return
+		}
+		sharedClf, sharedClfErr = env.Train(d)
+	})
+	return sharedClf, sharedClfErr
+}
+
+// NewEngine builds an engine, training the EnvAware classifier if needed.
+func NewEngine(cfg Config) (*Engine, error) {
+	clf, err := sharedClassifier()
+	if err != nil {
+		return nil, fmt.Errorf("core: training EnvAware: %w", err)
+	}
+	return &Engine{cfg: cfg, clf: clf}, nil
+}
+
+// NewEngineWithClassifier builds an engine around a caller-provided
+// EnvAware classifier.
+func NewEngineWithClassifier(cfg Config, clf *env.Classifier) *Engine {
+	return &Engine{cfg: cfg, clf: clf}
+}
+
+// Measurement is the result of locating one beacon from one trace.
+type Measurement struct {
+	// Est is the combined location estimate in the observer's starting
+	// coordinate frame (x along initial heading).
+	Est *estimate.Estimate
+	// Track is the observer's dead-reckoned movement.
+	Track *motion.Track
+	// FinalEnv is EnvAware's last classification.
+	FinalEnv rf.Environment
+	// Segments is the number of regression segments (1 + restarts).
+	Segments int
+	// Raw and Filtered are the RSS series before/after ANF (diagnostics).
+	Raw, Filtered []float64
+	// Times are the observation timestamps for Raw/Filtered.
+	Times []float64
+}
+
+// Error returns the distance between the estimate and the true target
+// position (tx, ty) expressed in the observer's frame — callers must
+// convert world coordinates first (see sim traces, whose observer starts
+// at the plan's start pose).
+func (m *Measurement) Error(tx, ty float64) float64 {
+	return math.Hypot(m.Est.X-tx, m.Est.H-ty)
+}
+
+// Locate runs the full pipeline for one beacon of a simulated trace.
+// In moving-target mode (trace has a TargetIMU and the beacon is the
+// target), the target's dead-reckoned movement is fused in, as if its
+// trace bundle had been transferred to the observer.
+func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
+	obs, ok := tr.Observations[beaconName]
+	if !ok || len(obs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBeacon, beaconName)
+	}
+
+	// --- Motion layer -------------------------------------------------
+	_, alignedSamples, err := motion.Align(tr.IMU.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("core: align: %w", err)
+	}
+	track, err := motion.BuildTrack(alignedSamples, e.cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: track: %w", err)
+	}
+
+	// Optional target movement (moving-target mode).
+	var targetTrack *motion.Track
+	if tr.TargetIMU != nil && beaconName == tr.Beacons[0].Name {
+		_, tgtAligned, err := motion.Align(tr.TargetIMU.Samples)
+		if err != nil {
+			return nil, fmt.Errorf("core: align target: %w", err)
+		}
+		targetTrack, err = motion.BuildTrack(tgtAligned, e.cfg.Tracker)
+		if err != nil {
+			return nil, fmt.Errorf("core: target track: %w", err)
+		}
+	}
+
+	m := &Measurement{Track: track}
+
+	// Anchor the estimator's Γ plausibility band to the beacon's
+	// advertised calibrated power (the paper's Γ(e) = P + X(e): P is the
+	// known hardware power from the payload, X(e) the environment loss).
+	// The band spans NLOS penetration + body loss below and device RSSI
+	// offsets above.
+	estCfg := e.cfg.Estimator
+	for _, spec := range tr.Beacons {
+		if spec.Name == beaconName && spec.Tx.TxPowerDBm != 0 {
+			estCfg.GammaSoftMin = spec.Tx.TxPowerDBm - 18
+			estCfg.GammaSoftMax = spec.Tx.TxPowerDBm + 8
+			break
+		}
+	}
+
+	// --- Preprocessing layer (Sec. 4) ---------------------------------
+	raw := make([]float64, len(obs))
+	times := make([]float64, len(obs))
+	for i, o := range obs {
+		raw[i] = o.RSSI
+		times[i] = o.T
+	}
+	m.Raw = raw
+	m.Times = times
+
+	filtered := raw
+	if !e.cfg.DisableANF {
+		fs := tr.Phone.SampleRateHz
+		if fs <= 0 {
+			fs = 9
+		}
+		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
+		if err != nil {
+			return nil, fmt.Errorf("core: ANF design: %w", err)
+		}
+		if e.cfg.StreamingANF {
+			akf := sigproc.NewAKF(bf)
+			if e.cfg.AKFMaxAlpha > 0 {
+				akf.MaxAlpha = e.cfg.AKFMaxAlpha
+			}
+			filtered = akf.Filter(raw)
+		} else {
+			filtered = sigproc.FiltFilt(bf, raw)
+		}
+	}
+	m.Filtered = filtered
+
+	// EnvAware segmentation: indexes where a new regression must start.
+	segStarts := []int{0}
+	if !e.cfg.DisableEnvAware {
+		mon := env.NewMonitor(e.clf, e.cfg.EnvWindow, e.cfg.EnvHysteresis)
+		for i, v := range raw {
+			_, _, changed, err := mon.Push(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: EnvAware: %w", err)
+			}
+			if changed {
+				// The change was detected at the end of a classification
+				// window but happened somewhere inside it; roll the
+				// boundary back a window so the new segment starts clean
+				// and the old one does not absorb mixed-environment data.
+				start := i - e.cfg.EnvWindow*(e.cfg.EnvHysteresis)
+				if last := segStarts[len(segStarts)-1]; start <= last {
+					start = last + 1
+				}
+				if start < len(raw) {
+					segStarts = append(segStarts, start)
+				}
+			}
+		}
+		if cur, ok := mon.Current(); ok {
+			m.FinalEnv = cur
+		}
+	}
+
+	// --- Estimation layer (Sec. 5, Algorithm 1) -----------------------
+	// One joint regression: the target position is shared by all
+	// observations, while each EnvAware segment gets its own (Γ, n)
+	// channel parameters — the regression "restarts" its model on an
+	// environment change without throwing the geometry away.
+	allObs := make([]estimate.Obs, len(obs))
+	for i := range obs {
+		ox, oy := track.At(times[i])
+		p, q := -ox, -oy
+		if targetTrack != nil {
+			bx, by := targetTrack.At(times[i])
+			p += bx
+			q += by
+		}
+		allObs[i] = estimate.Obs{T: times[i], RSS: filtered[i], P: p, Q: q}
+	}
+	m.Segments = len(segStarts)
+
+	// Algorithm 1: when the environment changed, the paper "starts a new
+	// regression with the data" — the estimate should come from the
+	// *current* environment's regression when that segment alone carries
+	// enough data and geometry. Otherwise fall back to the joint fit
+	// (single position, per-segment channel parameters), which uses all
+	// the data without mixing channel models.
+	var est *estimate.Estimate
+	if last := segStarts[len(segStarts)-1]; last > 0 {
+		lastObs := allObs[last:]
+		if len(lastObs) >= 2*e.cfg.MinSegmentSamples {
+			if lastEst, lastErr := estimate.Run(lastObs, estCfg); lastErr == nil && !lastEst.Ambiguous {
+				est = lastEst
+			}
+		}
+	}
+	if est == nil {
+		joint, jointErr := estimate.RunSegmented(allObs, segStarts[1:], estCfg)
+		if jointErr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoEstimate, jointErr)
+		}
+		est = joint
+	}
+	// Residual mirror ambiguity (straight-line walk): resolve with the
+	// L-shape intersection when a turn exists (Sec. 5.1).
+	if est.Ambiguous {
+		if split := firstTurnEnd(track, times); !math.IsNaN(split) {
+			if res, lErr := estimate.RunLShape(allObs, split, estCfg); lErr == nil {
+				est = res.Final
+			}
+		}
+	}
+	m.Est = est
+	return m, nil
+}
+
+// firstTurnEnd returns the end time of the first detected turn inside the
+// observation span, or NaN.
+func firstTurnEnd(track *motion.Track, times []float64) float64 {
+	if len(times) == 0 {
+		return math.NaN()
+	}
+	t0, t1 := times[0], times[len(times)-1]
+	for _, turn := range track.Turns {
+		if turn.End > t0 && turn.End < t1 {
+			return turn.End
+		}
+	}
+	return math.NaN()
+}
+
+// LocateWithCluster locates the target beacon and refines the result with
+// the multi-beacon clustering calibration (paper Sec. 6): every other
+// beacon in the trace is located independently; sequences that DTW-match
+// the target's contribute their estimates to the weighted average.
+func (e *Engine) LocateWithCluster(tr *sim.Trace, targetName string) (*Measurement, *cluster.Result, error) {
+	return e.LocateWithClusterConfig(tr, targetName, cluster.DefaultConfig())
+}
+
+// LocateWithClusterConfig is LocateWithCluster with an explicit
+// calibration configuration (ablation studies sweep the matcher).
+func (e *Engine) LocateWithClusterConfig(tr *sim.Trace, targetName string, ccfg cluster.Config) (*Measurement, *cluster.Result, error) {
+	target, err := e.Locate(tr, targetName)
+	if err != nil {
+		return nil, nil, err
+	}
+	tt, trss := tr.RSSSeries(targetName)
+	targetSeq := cluster.Sequence{Name: targetName, T: tt, RSS: trss, Estimate: target.Est}
+
+	// Locate the neighbours concurrently: their pipelines are independent.
+	var cands []cluster.Sequence
+	for _, res := range e.LocateAll(tr) {
+		if res.Name == targetName {
+			continue
+		}
+		ct, crss := tr.RSSSeries(res.Name)
+		seq := cluster.Sequence{Name: res.Name, T: ct, RSS: crss}
+		if res.Err == nil {
+			seq.Estimate = res.M.Est
+		}
+		cands = append(cands, seq)
+	}
+	cres, err := cluster.Calibrate(targetSeq, cands, ccfg)
+	if err != nil {
+		return target, nil, err
+	}
+	cal := *target.Est
+	cal.X, cal.H = cres.X, cres.H
+	cal.Confidence = cres.Confidence
+	calibrated := *target
+	calibrated.Est = &cal
+	return &calibrated, cres, nil
+}

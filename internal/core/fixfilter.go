@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+
+	"locble/internal/mathx"
+)
+
+// FixFilter is a 2-D constant-velocity Kalman filter over tracking fixes:
+// raw sliding-window fixes are individually noisy (a couple of metres);
+// smoothing them with a motion model yields a stable track for the UI.
+// State: [x, y, vx, vy].
+type FixFilter struct {
+	// ProcessAccel is the assumed RMS acceleration of the target in
+	// m/s² (0.3 suits a browsing shopper; 0 means stationary).
+	ProcessAccel float64
+	// MeasSigma is the per-fix position noise in metres.
+	MeasSigma float64
+
+	x      *mathx.Matrix // 4×1 state
+	p      *mathx.Matrix // 4×4 covariance
+	lastT  float64
+	primed bool
+}
+
+// NewFixFilter returns a smoother with the given motion assumptions.
+func NewFixFilter(processAccel, measSigma float64) *FixFilter {
+	if measSigma <= 0 {
+		measSigma = 1.5
+	}
+	return &FixFilter{ProcessAccel: processAccel, MeasSigma: measSigma}
+}
+
+// SmoothedFix is a filtered track point.
+type SmoothedFix struct {
+	T         float64
+	X, Y      float64
+	VX, VY    float64
+	PosStdDev float64 // 1-σ position uncertainty (metres)
+}
+
+// Update folds one raw fix in and returns the smoothed state.
+func (f *FixFilter) Update(t, mx, my float64) SmoothedFix {
+	if !f.primed {
+		f.x = mathx.NewColumn([]float64{mx, my, 0, 0})
+		f.p = mathx.Identity(4).Scale(f.MeasSigma * f.MeasSigma)
+		f.p.Set(2, 2, 1)
+		f.p.Set(3, 3, 1)
+		f.lastT = t
+		f.primed = true
+		return f.state(t)
+	}
+	dt := t - f.lastT
+	if dt < 0 {
+		dt = 0
+	}
+	f.lastT = t
+
+	// Predict: x' = F·x, P' = F·P·Fᵀ + Q.
+	fm := mathx.Identity(4)
+	fm.Set(0, 2, dt)
+	fm.Set(1, 3, dt)
+	f.x, _ = fm.Mul(f.x)
+	fp, _ := fm.Mul(f.p)
+	f.p, _ = fp.Mul(fm.T())
+	q := f.ProcessAccel * f.ProcessAccel
+	// Discrete white-noise acceleration model.
+	dt2, dt3, dt4 := dt*dt, dt*dt*dt, dt*dt*dt*dt
+	qm := mathx.NewMatrix(4, 4)
+	qm.Set(0, 0, q*dt4/4)
+	qm.Set(1, 1, q*dt4/4)
+	qm.Set(0, 2, q*dt3/2)
+	qm.Set(2, 0, q*dt3/2)
+	qm.Set(1, 3, q*dt3/2)
+	qm.Set(3, 1, q*dt3/2)
+	qm.Set(2, 2, q*dt2)
+	qm.Set(3, 3, q*dt2)
+	f.p, _ = f.p.Add(qm)
+
+	// Update with the position measurement z = H·x + v.
+	r := f.MeasSigma * f.MeasSigma
+	// Innovation.
+	ix := mx - f.x.At(0, 0)
+	iy := my - f.x.At(1, 0)
+	// S = H·P·Hᵀ + R (2×2), K = P·Hᵀ·S⁻¹ (4×2). H selects rows 0,1.
+	s00 := f.p.At(0, 0) + r
+	s01 := f.p.At(0, 1)
+	s10 := f.p.At(1, 0)
+	s11 := f.p.At(1, 1) + r
+	det := s00*s11 - s01*s10
+	if math.Abs(det) < 1e-12 {
+		return f.state(t)
+	}
+	inv00, inv01 := s11/det, -s01/det
+	inv10, inv11 := -s10/det, s00/det
+	for i := 0; i < 4; i++ {
+		k0 := f.p.At(i, 0)*inv00 + f.p.At(i, 1)*inv10
+		k1 := f.p.At(i, 0)*inv01 + f.p.At(i, 1)*inv11
+		f.x.Set(i, 0, f.x.At(i, 0)+k0*ix+k1*iy)
+	}
+	// Joseph-free covariance update P = (I − K·H)·P using the gains
+	// recomputed per column for clarity.
+	k := mathx.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		k.Set(i, 0, f.p.At(i, 0)*inv00+f.p.At(i, 1)*inv10)
+		k.Set(i, 1, f.p.At(i, 0)*inv01+f.p.At(i, 1)*inv11)
+	}
+	kh := mathx.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		kh.Set(i, 0, k.At(i, 0))
+		kh.Set(i, 1, k.At(i, 1))
+	}
+	ikH, _ := mathx.Identity(4).Sub(kh)
+	f.p, _ = ikH.Mul(f.p)
+	return f.state(t)
+}
+
+func (f *FixFilter) state(t float64) SmoothedFix {
+	sd := math.Sqrt(math.Max(f.p.At(0, 0)+f.p.At(1, 1), 0) / 2)
+	return SmoothedFix{
+		T:         t,
+		X:         f.x.At(0, 0),
+		Y:         f.x.At(1, 0),
+		VX:        f.x.At(2, 0),
+		VY:        f.x.At(3, 0),
+		PosStdDev: sd,
+	}
+}
+
+// SmoothFixes runs the filter over a whole fix sequence.
+func SmoothFixes(points []TrackPoint, processAccel, measSigma float64) []SmoothedFix {
+	f := NewFixFilter(processAccel, measSigma)
+	out := make([]SmoothedFix, 0, len(points))
+	for _, p := range points {
+		out = append(out, f.Update(p.T, p.Est.X, p.Est.H))
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"locble/internal/estimate"
+	"locble/internal/rng"
+)
+
+func TestFixFilterSmoothsStationary(t *testing.T) {
+	src := rng.New(1)
+	f := NewFixFilter(0, 1.5)
+	var rawErr, smoothErr float64
+	n := 0
+	var last SmoothedFix
+	for i := 0; i < 50; i++ {
+		mx := 5 + src.Normal(0, 1.5)
+		my := 3 + src.Normal(0, 1.5)
+		last = f.Update(float64(i)*2, mx, my)
+		if i >= 10 { // after convergence
+			rawErr += math.Hypot(mx-5, my-3)
+			smoothErr += math.Hypot(last.X-5, last.Y-3)
+			n++
+		}
+	}
+	rawErr /= float64(n)
+	smoothErr /= float64(n)
+	t.Logf("raw %.2f m vs smoothed %.2f m", rawErr, smoothErr)
+	if smoothErr >= rawErr*0.6 {
+		t.Errorf("smoothing should clearly beat raw fixes: %.2f vs %.2f", smoothErr, rawErr)
+	}
+	if last.PosStdDev <= 0 || last.PosStdDev > 1.5 {
+		t.Errorf("converged uncertainty %.2f m", last.PosStdDev)
+	}
+}
+
+func TestFixFilterTracksMovingTarget(t *testing.T) {
+	src := rng.New(2)
+	f := NewFixFilter(0.3, 1.5)
+	// Target moves at 0.5 m/s along +x; the smoothed track must beat the
+	// raw fixes once the velocity estimate converges.
+	var rawSum, smSum float64
+	n := 0
+	for i := 0; i < 60; i++ {
+		tm := float64(i) * 2
+		tx := 0.5 * tm
+		mx, my := tx+src.Normal(0, 1.5), src.Normal(0, 1.5)
+		sm := f.Update(tm, mx, my)
+		if i >= 20 {
+			rawSum += math.Hypot(mx-tx, my)
+			smSum += math.Hypot(sm.X-tx, sm.Y)
+			n++
+		}
+	}
+	raw, smoothed := rawSum/float64(n), smSum/float64(n)
+	t.Logf("moving target: raw %.2f m vs smoothed %.2f m", raw, smoothed)
+	if smoothed >= raw {
+		t.Errorf("smoothing did not beat raw fixes on a moving target: %.2f vs %.2f", smoothed, raw)
+	}
+}
+
+func TestFixFilterVelocityEstimate(t *testing.T) {
+	f := NewFixFilter(0.3, 0.5)
+	var sm SmoothedFix
+	for i := 0; i < 80; i++ {
+		tm := float64(i)
+		sm = f.Update(tm, 0.7*tm, -0.2*tm)
+	}
+	if math.Abs(sm.VX-0.7) > 0.1 || math.Abs(sm.VY+0.2) > 0.1 {
+		t.Errorf("velocity estimate (%.2f, %.2f), want (0.7, -0.2)", sm.VX, sm.VY)
+	}
+}
+
+func TestSmoothFixes(t *testing.T) {
+	var pts []TrackPoint
+	for i := 0; i < 10; i++ {
+		pts = append(pts, TrackPoint{T: float64(i) * 2, Est: &estimate.Estimate{X: 4, H: 2}})
+	}
+	out := SmoothFixes(pts, 0, 1.0)
+	if len(out) != len(pts) {
+		t.Fatalf("length %d", len(out))
+	}
+	lastFix := out[len(out)-1]
+	if math.Abs(lastFix.X-4) > 0.01 || math.Abs(lastFix.Y-2) > 0.01 {
+		t.Errorf("smoothed to (%.2f, %.2f)", lastFix.X, lastFix.Y)
+	}
+	// Out-of-order timestamps must not blow up.
+	f := NewFixFilter(0.3, 1)
+	f.Update(5, 1, 1)
+	f.Update(3, 1, 1)
+}

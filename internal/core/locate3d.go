@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/estimate"
+	"locble/internal/motion"
+	"locble/internal/sigproc"
+	"locble/internal/sim"
+)
+
+// Locate3D runs the paper's 3-D extension (Sec. 9.3): the observer's walk
+// must include a vertical phone gesture (an `imu.Segment.Lift`) so the
+// movement spans three dimensions; the regression then recovers the
+// beacon's height relative to the phone's carry plane as well as its 2-D
+// position. The vertical displacement is app-guided (the UI asks the
+// user to raise the phone by a known amount), so — like the 90° turn
+// instruction of Sec. 5.2 — the commanded profile from the ground-truth
+// pose track stands in for inertial double-integration.
+func (e *Engine) Locate3D(tr *sim.Trace, beaconName string) (*estimate.Estimate3D, error) {
+	obs, ok := tr.Observations[beaconName]
+	if !ok || len(obs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBeacon, beaconName)
+	}
+	_, alignedSamples, err := motion.Align(tr.IMU.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("core: align: %w", err)
+	}
+	track, err := motion.BuildTrack(alignedSamples, e.cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: track: %w", err)
+	}
+
+	estCfg := e.cfg.Estimator
+	for _, spec := range tr.Beacons {
+		if spec.Name == beaconName && spec.Tx.TxPowerDBm != 0 {
+			estCfg.GammaSoftMin = spec.Tx.TxPowerDBm - 18
+			estCfg.GammaSoftMax = spec.Tx.TxPowerDBm + 8
+			break
+		}
+	}
+
+	raw := make([]float64, len(obs))
+	times := make([]float64, len(obs))
+	for i, o := range obs {
+		raw[i] = o.RSSI
+		times[i] = o.T
+	}
+	filtered := raw
+	if !e.cfg.DisableANF {
+		fs := tr.Phone.SampleRateHz
+		if fs <= 0 {
+			fs = 9
+		}
+		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
+		if err != nil {
+			return nil, fmt.Errorf("core: ANF design: %w", err)
+		}
+		filtered = sigproc.FiltFilt(bf, raw)
+	}
+
+	fused := make([]estimate.Obs3D, len(obs))
+	for i := range obs {
+		ox, oy := track.At(times[i])
+		oz := tr.IMU.HeightAt(times[i]) // app-guided lift profile
+		fused[i] = estimate.Obs3D{
+			T:   times[i],
+			RSS: filtered[i],
+			P:   -ox,
+			Q:   -oy,
+			R:   -oz,
+		}
+	}
+	return estimate.Run3D(fused, estCfg)
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"locble/internal/sim"
+)
+
+// BeaconResult pairs a beacon name with its measurement or error.
+type BeaconResult struct {
+	Name string
+	M    *Measurement
+	Err  error
+}
+
+// LocateAll locates every beacon visible in the trace concurrently (the
+// Engine is safe for concurrent Locate calls; the per-beacon pipelines
+// are independent). Results are returned in beacon-name order.
+func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
+	names := make([]string, 0, len(tr.Observations))
+	for name := range tr.Observations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	results := make([]BeaconResult, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			m, err := e.Locate(tr, name)
+			results[i] = BeaconResult{Name: name, M: m, Err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	return results
+}

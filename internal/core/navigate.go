@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+
+	"locble/internal/estimate"
+)
+
+// Navigator implements LocBLE's navigation mode (paper Secs. 7.1, 7.3):
+// after a measurement fixes the target position in the observer's start
+// frame, standard dead reckoning with the step counter guides the user
+// toward it. The navigator consumes the observer's evolving displacement
+// track and emits bearing/distance advice.
+type Navigator struct {
+	// Target is the estimated target position in the start frame.
+	Target estimate.Candidate
+	// ArriveRadius is the distance at which navigation declares arrival.
+	ArriveRadius float64
+
+	x, y    float64 // current dead-reckoned position
+	heading float64 // current dead-reckoned heading
+	mirror  *estimate.Candidate
+}
+
+// NewNavigator starts navigation toward the measured estimate.
+func NewNavigator(est *estimate.Estimate) *Navigator {
+	return &Navigator{
+		Target:       estimate.Candidate{X: est.X, H: est.H},
+		ArriveRadius: 1.0,
+	}
+}
+
+// Update advances the dead-reckoned pose by one detected step of the
+// given length at the given absolute heading.
+func (n *Navigator) Update(stepLength, heading float64) {
+	n.heading = heading
+	n.x += stepLength * math.Cos(heading)
+	n.y += stepLength * math.Sin(heading)
+}
+
+// SetPose overrides the dead-reckoned pose (e.g. after re-measurement).
+func (n *Navigator) SetPose(x, y, heading float64) {
+	n.x, n.y, n.heading = x, y, heading
+}
+
+// Position returns the current dead-reckoned position.
+func (n *Navigator) Position() (x, y float64) { return n.x, n.y }
+
+// Advice is one navigation instruction.
+type Advice struct {
+	// Distance to the target in metres.
+	Distance float64
+	// Bearing is the absolute heading toward the target (radians).
+	Bearing float64
+	// TurnBy is the relative turn from the current heading (radians,
+	// positive = left/CCW).
+	TurnBy float64
+	// Arrived is true within ArriveRadius of the target.
+	Arrived bool
+}
+
+// Advise computes the current guidance.
+func (n *Navigator) Advise() Advice {
+	dx, dy := n.Target.X-n.x, n.Target.H-n.y
+	dist := math.Hypot(dx, dy)
+	bearing := math.Atan2(dy, dx)
+	turn := math.Mod(bearing-n.heading, 2*math.Pi)
+	if turn > math.Pi {
+		turn -= 2 * math.Pi
+	}
+	if turn <= -math.Pi {
+		turn += 2 * math.Pi
+	}
+	return Advice{
+		Distance: dist,
+		Bearing:  bearing,
+		TurnBy:   turn,
+		Arrived:  dist <= n.ArriveRadius,
+	}
+}
+
+// SetMirror installs the unresolved mirror candidate of a straight-walk
+// measurement, enabling ResolveMirror during navigation (paper Sec. 9.2:
+// "the observer may just walk straight and leave the symmetry problem to
+// the navigation stage").
+func (n *Navigator) SetMirror(c estimate.Candidate) { n.mirror = &c }
+
+// ResolveMirror decides between the target and its mirror from a range
+// observation taken after walking: rangeBefore was the estimated distance
+// at the old position, rangeNow the re-measured distance at the current
+// position. If the distance to the assumed target predicts rangeNow worse
+// than the mirror does, the navigator swaps them and returns true. Call
+// after covering a few metres — the two hypotheses' predicted ranges
+// diverge as the observer leaves the original walking line.
+func (n *Navigator) ResolveMirror(rangeNow float64) (swapped bool) {
+	if n.mirror == nil {
+		return false
+	}
+	dTarget := math.Hypot(n.Target.X-n.x, n.Target.H-n.y)
+	dMirror := math.Hypot(n.mirror.X-n.x, n.mirror.H-n.y)
+	if math.Abs(dMirror-rangeNow) < math.Abs(dTarget-rangeNow) {
+		n.Target, *n.mirror = *n.mirror, n.Target
+		return true
+	}
+	return false
+}
+
+// Retarget updates the target after a refinement measurement expressed in
+// the *current* pose frame: the new estimate (x', h') is measured relative
+// to the position and heading where the refinement walk started.
+func (n *Navigator) Retarget(est *estimate.Estimate, frameX, frameY, frameHeading float64) {
+	c, s := math.Cos(frameHeading), math.Sin(frameHeading)
+	n.Target = estimate.Candidate{
+		X: frameX + est.X*c - est.H*s,
+		H: frameY + est.X*s + est.H*c,
+	}
+}

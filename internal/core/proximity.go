@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+
+	"locble/internal/estimate"
+	"locble/internal/rf"
+)
+
+// ProximityFusionConfig tunes the last-metre refinement (paper Sec. 9.2:
+// "Bluetooth proximity actually demonstrates fairly good accuracy within
+// 2 m. Therefore, if we incorporate proximity in LocBLE, we will be able
+// to bring accuracy under 1 m").
+type ProximityFusionConfig struct {
+	// EngageRange: proximity information is only trusted when the
+	// proximity-implied distance is below this (metres).
+	EngageRange float64
+	// Blend is the weight given to the proximity range over the
+	// regression range when engaged (0..1).
+	Blend float64
+	// TopQuantile selects the strongest RSS used as the proximity
+	// reading (robust maximum).
+	TopQuantile float64
+}
+
+// DefaultProximityFusionConfig returns the last-metre settings.
+func DefaultProximityFusionConfig() ProximityFusionConfig {
+	return ProximityFusionConfig{EngageRange: 2.0, Blend: 0.7, TopQuantile: 0.95}
+}
+
+// RefineWithProximity implements the paper's proposed proximity fusion:
+// when the strongest recent RSS implies the observer passed very close to
+// the beacon, the proximity range (which is accurate in the immediate
+// zone) corrects the regression fix's *magnitude* while keeping its
+// bearing. The minimum point of the walk gives the anchor: the beacon's
+// distance from the closest approach point on the track.
+//
+// m is a completed measurement; the function returns a copy of its
+// estimate with the range blended, or the original estimate when
+// proximity never engaged (no close approach).
+func (e *Engine) RefineWithProximity(m *Measurement, cfg ProximityFusionConfig) *estimate.Estimate {
+	if cfg.EngageRange <= 0 {
+		cfg = DefaultProximityFusionConfig()
+	}
+	if len(m.Filtered) == 0 || m.Est == nil {
+		return m.Est
+	}
+	// Robust strongest reading and when it occurred.
+	idxMax, vMax := 0, math.Inf(-1)
+	for i, v := range m.Filtered {
+		if v > vMax {
+			idxMax, vMax = i, v
+		}
+	}
+	// Proximity-implied distance from the calibrated model at the
+	// estimate's own (Γ, n).
+	dProx := rf.PathLossDistance(vMax, m.Est.Gamma, m.Est.N)
+	if math.IsNaN(dProx) || dProx > cfg.EngageRange {
+		return m.Est
+	}
+	// Closest-approach anchor: the observer position when the maximum
+	// was seen.
+	t := m.Times[idxMax]
+	ax, ay := m.Track.At(t)
+
+	// Current estimate relative to the anchor.
+	vx, vy := m.Est.X-ax, m.Est.H-ay
+	dEst := math.Hypot(vx, vy)
+	if dEst < 1e-9 {
+		return m.Est
+	}
+	// Blend the magnitude toward the proximity distance, keep bearing.
+	dNew := cfg.Blend*dProx + (1-cfg.Blend)*dEst
+	out := *m.Est
+	out.X = ax + vx/dEst*dNew
+	out.H = ay + vy/dEst*dNew
+	out.Candidates = []estimate.Candidate{{X: out.X, H: out.H}}
+	return &out
+}

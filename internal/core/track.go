@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/estimate"
+	"locble/internal/motion"
+	"locble/internal/sigproc"
+	"locble/internal/sim"
+)
+
+// TrackPoint is one sliding-window fix produced by TrackBeacon.
+type TrackPoint struct {
+	// T is the window's end time (seconds into the trace).
+	T float64
+	// Est is the estimate fitted on the window. For a stationary beacon
+	// successive fixes should agree; for a moving target each fix
+	// estimates the target's position at the *start* of its window
+	// (paper Sec. 5: the regression recovers the initial location).
+	Est *estimate.Estimate
+	// WindowStart is the first observation time used.
+	WindowStart float64
+	// Samples used in the window.
+	Samples int
+}
+
+// TrackBeacon runs sliding-window estimation over a trace: a fix every
+// step seconds, each fitted on the most recent window seconds of fused
+// RSS + motion data. This is the "tracking" in the paper's title — a
+// stream of location fixes rather than one measurement — and also what
+// the navigation UI consumes while the user keeps moving.
+func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
+	obs, ok := tr.Observations[beaconName]
+	if !ok || len(obs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBeacon, beaconName)
+	}
+	if window <= 0 {
+		window = 6
+	}
+	if step <= 0 {
+		step = 2
+	}
+
+	_, alignedSamples, err := motion.Align(tr.IMU.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("core: align: %w", err)
+	}
+	track, err := motion.BuildTrack(alignedSamples, e.cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: track: %w", err)
+	}
+	var targetTrack *motion.Track
+	if tr.TargetIMU != nil && beaconName == tr.Beacons[0].Name {
+		_, tgtAligned, err := motion.Align(tr.TargetIMU.Samples)
+		if err != nil {
+			return nil, fmt.Errorf("core: align target: %w", err)
+		}
+		targetTrack, err = motion.BuildTrack(tgtAligned, e.cfg.Tracker)
+		if err != nil {
+			return nil, fmt.Errorf("core: target track: %w", err)
+		}
+	}
+
+	estCfg := e.cfg.Estimator
+	for _, spec := range tr.Beacons {
+		if spec.Name == beaconName && spec.Tx.TxPowerDBm != 0 {
+			estCfg.GammaSoftMin = spec.Tx.TxPowerDBm - 18
+			estCfg.GammaSoftMax = spec.Tx.TxPowerDBm + 8
+			break
+		}
+	}
+
+	raw := make([]float64, len(obs))
+	times := make([]float64, len(obs))
+	for i, o := range obs {
+		raw[i] = o.RSSI
+		times[i] = o.T
+	}
+	filtered := raw
+	if !e.cfg.DisableANF {
+		fs := tr.Phone.SampleRateHz
+		if fs <= 0 {
+			fs = 9
+		}
+		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
+		if err != nil {
+			return nil, fmt.Errorf("core: ANF design: %w", err)
+		}
+		if e.cfg.StreamingANF {
+			filtered = sigproc.NewAKF(bf).Filter(raw)
+		} else {
+			filtered = sigproc.FiltFilt(bf, raw)
+		}
+	}
+
+	fused := make([]estimate.Obs, len(obs))
+	for i := range obs {
+		ox, oy := track.At(times[i])
+		p, q := -ox, -oy
+		if targetTrack != nil {
+			bx, by := targetTrack.At(times[i])
+			p += bx
+			q += by
+		}
+		fused[i] = estimate.Obs{T: times[i], RSS: filtered[i], P: p, Q: q}
+	}
+
+	var points []TrackPoint
+	end := times[len(times)-1]
+	for tEnd := math.Min(times[0]+window, end); ; tEnd += step {
+		lo, hi := 0, len(fused)
+		for lo < len(fused) && fused[lo].T < tEnd-window {
+			lo++
+		}
+		for hi > 0 && fused[hi-1].T > tEnd {
+			hi--
+		}
+		if hi-lo >= estCfg.MinSamples {
+			winObs := fused[lo:hi]
+			est, err := estimate.Run(winObs, estCfg)
+			if err == nil {
+				if est.Ambiguous {
+					// Resolve against the previous fix when available.
+					if len(points) > 0 {
+						prev := estimate.Candidate{X: points[len(points)-1].Est.X, H: points[len(points)-1].Est.H}
+						best := est.Candidates[0]
+						for _, c := range est.Candidates[1:] {
+							if c.Dist(prev) < best.Dist(prev) {
+								best = c
+							}
+						}
+						resolved := *est
+						resolved.X, resolved.H = best.X, best.H
+						est = &resolved
+					}
+				}
+				points = append(points, TrackPoint{
+					T:           tEnd,
+					Est:         est,
+					WindowStart: winObs[0].T,
+					Samples:     len(winObs),
+				})
+			}
+		}
+		if tEnd >= end {
+			break
+		}
+	}
+	if len(points) == 0 {
+		return nil, ErrNoEstimate
+	}
+	return points, nil
+}

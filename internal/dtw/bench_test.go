@@ -1,0 +1,47 @@
+package dtw
+
+import "testing"
+
+func mkSeq(n int, seed uint32) []float64 {
+	out := make([]float64, n)
+	s := seed
+	for i := range out {
+		s = s*1664525 + 1013904223
+		out[i] = float64(s%1000)/100 - 5
+	}
+	return out
+}
+
+func BenchmarkDistance10(b *testing.B)  { benchDistance(b, 10) }
+func BenchmarkDistance100(b *testing.B) { benchDistance(b, 100) }
+
+func benchDistance(b *testing.B, n int) {
+	x, y := mkSeq(n, 1), mkSeq(n, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(x, y, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLBKeogh100(b *testing.B) {
+	x, y := mkSeq(100, 1), mkSeq(100, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LBKeogh(x, y, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchSequences(b *testing.B) {
+	x, y := mkSeq(80, 3), mkSeq(80, 4)
+	cfg := DefaultSegmentMatcherConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatchSequences(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package dtw implements dynamic time warping with a Sakoe–Chiba warping
+// window, the LB_Keogh lower bound, and the fixed-window segment-voting
+// matcher LocBLE's multi-beacon clustering uses (paper Sec. 6.1).
+//
+// The paper's pipeline: differentiate RSS sequences (to remove device
+// offsets), split the target sequence into fixed-length segments, validate
+// each candidate segment with the cheap LB_Keogh envelope bound, run full
+// DTW only on segments that pass, and declare two beacons co-located when
+// more than half of the segments match.
+package dtw
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned when an input sequence is empty.
+var ErrEmpty = errors.New("dtw: empty sequence")
+
+// Distance computes the DTW distance between a and b under a Sakoe–Chiba
+// band of half-width window (window < 0 means unconstrained). The local
+// cost is squared Euclidean; the returned value is the square root of the
+// accumulated cost, making it comparable across lengths when sequences
+// are z-normalized.
+func Distance(a, b []float64, window int) (float64, error) {
+	cost, err := CostMatrix(a, b, window)
+	if err != nil {
+		return 0, err
+	}
+	d := cost[len(a)-1][len(b)-1]
+	if math.IsInf(d, 1) {
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(d), nil
+}
+
+// CostMatrix returns the full accumulated-cost matrix for a vs b (used to
+// visualize the optimal path, as in the paper's Fig. 9(c)/(d)). Cells
+// outside the warping band are +Inf.
+func CostMatrix(a, b []float64, window int) ([][]float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil, ErrEmpty
+	}
+	if window < 0 {
+		window = max(n, m)
+	}
+	// The band must be at least |n−m| wide for a path to exist.
+	if d := abs(n - m); window < d {
+		window = d
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			cost[i][j] = math.Inf(1)
+		}
+	}
+	sq := func(x float64) float64 { return x * x }
+	for i := 0; i < n; i++ {
+		jLo := max(0, i-window)
+		jHi := min(m-1, i+window)
+		for j := jLo; j <= jHi; j++ {
+			d := sq(a[i] - b[j])
+			switch {
+			case i == 0 && j == 0:
+				cost[i][j] = d
+			case i == 0:
+				cost[i][j] = d + cost[i][j-1]
+			case j == 0:
+				cost[i][j] = d + cost[i-1][j]
+			default:
+				cost[i][j] = d + min3(cost[i-1][j-1], cost[i-1][j], cost[i][j-1])
+			}
+		}
+	}
+	return cost, nil
+}
+
+// Path traces the optimal alignment path back through an accumulated cost
+// matrix, returned as (i, j) index pairs from (0,0) to (n−1, m−1).
+func Path(cost [][]float64) [][2]int {
+	if len(cost) == 0 || len(cost[0]) == 0 {
+		return nil
+	}
+	i, j := len(cost)-1, len(cost[0])-1
+	path := [][2]int{{i, j}}
+	for i > 0 || j > 0 {
+		switch {
+		case i == 0:
+			j--
+		case j == 0:
+			i--
+		default:
+			diag, up, left := cost[i-1][j-1], cost[i-1][j], cost[i][j-1]
+			if diag <= up && diag <= left {
+				i, j = i-1, j-1
+			} else if up <= left {
+				i--
+			} else {
+				j--
+			}
+		}
+		path = append(path, [2]int{i, j})
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path
+}
+
+// Envelope computes the upper and lower warping envelope of a sequence for
+// LB_Keogh: upper[i] = max(a[i−w..i+w]), lower[i] = min(a[i−w..i+w]).
+func Envelope(a []float64, window int) (upper, lower []float64) {
+	n := len(a)
+	upper = make([]float64, n)
+	lower = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := max(0, i-window)
+		hi := min(n-1, i+window)
+		u, l := a[lo], a[lo]
+		for k := lo + 1; k <= hi; k++ {
+			if a[k] > u {
+				u = a[k]
+			}
+			if a[k] < l {
+				l = a[k]
+			}
+		}
+		upper[i], lower[i] = u, l
+	}
+	return upper, lower
+}
+
+// LBKeogh computes the LB_Keogh lower bound of DTW(query, candidate): the
+// square root of the summed squared distances from candidate points to the
+// query's warping envelope, for the parts falling outside it. It is a
+// valid lower bound on Distance with the same window and is ~100× cheaper
+// (paper Sec. 6.1 reports the same order of speedup). Both sequences must
+// have equal length.
+func LBKeogh(query, candidate []float64, window int) (float64, error) {
+	if len(query) == 0 || len(candidate) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(query) != len(candidate) {
+		return 0, errors.New("dtw: LB_Keogh requires equal-length sequences")
+	}
+	upper, lower := Envelope(query, window)
+	sum := 0.0
+	for i, c := range candidate {
+		switch {
+		case c > upper[i]:
+			d := c - upper[i]
+			sum += d * d
+		case c < lower[i]:
+			d := lower[i] - c
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum), nil
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,274 @@
+package dtw
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	d, err := Distance(a, a, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self-distance = %g", d)
+	}
+}
+
+func TestDistanceKnown(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 1, 1}
+	d, err := Distance(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal path: 3 cells of squared cost 1 → sqrt(3).
+	if math.Abs(d-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("distance = %g, want √3", d)
+	}
+}
+
+func TestDistanceWarpsShifts(t *testing.T) {
+	// A time-shifted copy should be much closer under DTW than under
+	// lockstep Euclidean distance.
+	a := []float64{0, 0, 1, 5, 1, 0, 0, 0}
+	b := []float64{0, 0, 0, 1, 5, 1, 0, 0}
+	dtwD, err := Distance(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euclid := 0.0
+	for i := range a {
+		euclid += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	euclid = math.Sqrt(euclid)
+	if dtwD >= euclid/2 {
+		t.Errorf("DTW %g should beat Euclidean %g on shifted peaks", dtwD, euclid)
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	if _, err := Distance(nil, []float64{1}, -1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestCostMatrixAndPath(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 2, 3}
+	cost, err := CostMatrix(a, b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cost) != 3 || len(cost[0]) != 4 {
+		t.Fatalf("cost shape %dx%d", len(cost), len(cost[0]))
+	}
+	path := Path(cost)
+	if path[0] != [2]int{0, 0} {
+		t.Errorf("path start %v", path[0])
+	}
+	if path[len(path)-1] != [2]int{2, 3} {
+		t.Errorf("path end %v", path[len(path)-1])
+	}
+	// Path steps move by at most 1 in each index, monotonically.
+	for i := 1; i < len(path); i++ {
+		di, dj := path[i][0]-path[i-1][0], path[i][1]-path[i-1][1]
+		if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+			t.Fatalf("invalid path step %v -> %v", path[i-1], path[i])
+		}
+	}
+	if Path(nil) != nil {
+		t.Error("empty Path should be nil")
+	}
+}
+
+func TestWindowConstraint(t *testing.T) {
+	a := []float64{0, 0, 1, 5, 1, 0, 0, 0}
+	b := []float64{0, 0, 0, 0, 0, 1, 5, 1}
+	wide, _ := Distance(a, b, -1)
+	tight, _ := Distance(a, b, 1)
+	if tight < wide {
+		t.Errorf("tighter window (%g) cannot beat unconstrained (%g)", tight, wide)
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	a := []float64{1, 3, 2, 5, 4}
+	u, l := Envelope(a, 1)
+	wantU := []float64{3, 3, 5, 5, 5}
+	wantL := []float64{1, 1, 2, 2, 4}
+	for i := range a {
+		if u[i] != wantU[i] || l[i] != wantL[i] {
+			t.Errorf("envelope[%d] = (%g, %g), want (%g, %g)", i, u[i], l[i], wantU[i], wantL[i])
+		}
+	}
+}
+
+func TestLBKeoghIsLowerBound(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 2, 1, 0, -1, 0, 1}
+	b := []float64{1, 2, 1, 4, 3, 0, 1, 0, -1, 2}
+	for _, w := range []int{0, 1, 2, 3} {
+		lb, err := LBKeogh(a, b, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Distance(a, b, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > d+1e-9 {
+			t.Errorf("window %d: LB %g exceeds DTW %g", w, lb, d)
+		}
+	}
+}
+
+func TestLBKeoghErrors(t *testing.T) {
+	if _, err := LBKeogh(nil, nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty")
+	}
+	if _, err := LBKeogh([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("want error for unequal lengths")
+	}
+}
+
+func TestMatchSequencesIdentical(t *testing.T) {
+	seq := make([]float64, 50)
+	for i := range seq {
+		seq[i] = math.Sin(float64(i) / 3)
+	}
+	cfg := DefaultSegmentMatcherConfig()
+	res, err := MatchSequences(seq, seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matched || res.MatchedCount != res.TotalSegments {
+		t.Errorf("identical sequences must fully match: %+v", res)
+	}
+}
+
+func TestMatchSequencesRejectsNoise(t *testing.T) {
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	s := uint32(12345)
+	next := func() float64 {
+		s = s*1664525 + 1013904223
+		return float64(s%2000)/100 - 10
+	}
+	for i := range a {
+		a[i] = next()
+	}
+	for i := range b {
+		b[i] = next()
+	}
+	cfg := DefaultSegmentMatcherConfig()
+	cfg.LBThreshold = 3
+	cfg.DTWThreshold = 3
+	res, err := MatchSequences(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched {
+		t.Errorf("independent noise matched: %+v", res)
+	}
+}
+
+func TestMatchSequencesLBSkipsDTW(t *testing.T) {
+	// Wildly different scale: LB alone must reject without running DTW.
+	a := make([]float64, 20)
+	b := make([]float64, 20)
+	for i := range a {
+		a[i] = 0
+		b[i] = 100
+	}
+	cfg := DefaultSegmentMatcherConfig()
+	res, err := MatchSequences(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DTWComputed != 0 {
+		t.Errorf("DTW ran %d times; LB should have rejected everything", res.DTWComputed)
+	}
+	for _, s := range res.Segments {
+		if !s.LBOnly || s.Matched {
+			t.Errorf("segment %+v should be LB-rejected", s)
+		}
+		if !math.IsNaN(s.DTWDist) {
+			t.Errorf("segment %d has DTW distance despite LB rejection", s.Index)
+		}
+	}
+}
+
+func TestMatchSequencesErrors(t *testing.T) {
+	if _, err := MatchSequences(nil, nil, DefaultSegmentMatcherConfig()); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty for empty input")
+	}
+	// Shorter than one segment.
+	cfg := DefaultSegmentMatcherConfig()
+	cfg.SegmentLen = 50
+	if _, err := MatchSequences([]float64{1, 2}, []float64{1, 2}, cfg); !errors.Is(err, ErrEmpty) {
+		t.Error("want ErrEmpty when no full segment fits")
+	}
+}
+
+func TestDifferentiate(t *testing.T) {
+	d := Differentiate([]float64{1, 4, 9, 16})
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("diff[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	if Differentiate([]float64{1}) != nil {
+		t.Error("single-point diff should be nil")
+	}
+}
+
+func TestAlignAndDifferentiate(t *testing.T) {
+	tt := []float64{0, 1, 2, 3}
+	vt := []float64{10, 20, 30, 40}
+	tc := []float64{0, 2, 3} // slower candidate sampling
+	vc := []float64{10, 30, 40}
+	td, cd := AlignAndDifferentiate(tt, vt, tc, vc)
+	if len(td) != 3 || len(cd) != 3 {
+		t.Fatalf("lengths %d/%d", len(td), len(cd))
+	}
+	// The candidate is the same linear signal, so aligned diffs match.
+	for i := range td {
+		if math.Abs(td[i]-cd[i]) > 1e-9 {
+			t.Errorf("aligned diffs differ at %d: %g vs %g", i, td[i], cd[i])
+		}
+	}
+}
+
+// Property: DTW distance is symmetric and non-negative, and LB_Keogh never
+// exceeds it (equal lengths, shared window).
+func TestPropertyDTWInvariants(t *testing.T) {
+	f := func(seed uint8, wPick uint8) bool {
+		n := 12
+		s := uint32(seed)*2654435761 + 1
+		next := func() float64 {
+			s = s*1664525 + 1013904223
+			return float64(s%1000)/100 - 5
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = next()
+			b[i] = next()
+		}
+		w := int(wPick % 5)
+		dab, err1 := Distance(a, b, w)
+		dba, err2 := Distance(b, a, w)
+		lb, err3 := LBKeogh(a, b, w)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return dab >= 0 && math.Abs(dab-dba) < 1e-9 && lb <= dab+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

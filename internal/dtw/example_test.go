@@ -1,0 +1,28 @@
+package dtw_test
+
+import (
+	"fmt"
+
+	"locble/internal/dtw"
+)
+
+// DTW tolerates time shifts that defeat lockstep comparison.
+func ExampleDistance() {
+	a := []float64{0, 0, 1, 5, 1, 0, 0, 0}
+	b := []float64{0, 0, 0, 1, 5, 1, 0, 0} // same peak, one step later
+	d, _ := dtw.Distance(a, b, -1)
+	fmt.Printf("%.1f\n", d)
+	// Output:
+	// 0.0
+}
+
+// LB_Keogh is a cheap lower bound: it can only reject, never accept.
+func ExampleLBKeogh() {
+	a := []float64{0, 1, 2, 3, 4}
+	b := []float64{10, 11, 12, 13, 14}
+	lb, _ := dtw.LBKeogh(a, b, 1)
+	d, _ := dtw.Distance(a, b, 1)
+	fmt.Println(lb <= d)
+	// Output:
+	// true
+}

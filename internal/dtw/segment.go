@@ -1,0 +1,130 @@
+package dtw
+
+import (
+	"math"
+
+	"locble/internal/mathx"
+)
+
+// SegmentMatcherConfig parameterizes the fixed-window DTW voting matcher.
+type SegmentMatcherConfig struct {
+	// SegmentLen is the number of points per target segment. The paper
+	// found 10 to be the best accuracy/cost trade-off (Sec. 6.1).
+	SegmentLen int
+	// Window is the Sakoe–Chiba half-width used for both LB_Keogh and DTW.
+	Window int
+	// LBThreshold rejects a segment when its LB_Keogh bound exceeds it;
+	// the paper's empirical value for 10-point segments is 6.1.
+	LBThreshold float64
+	// DTWThreshold accepts a segment when its DTW distance is below it;
+	// the paper uses the same value as the LB threshold.
+	DTWThreshold float64
+}
+
+// DefaultSegmentMatcherConfig returns the paper's settings.
+func DefaultSegmentMatcherConfig() SegmentMatcherConfig {
+	return SegmentMatcherConfig{SegmentLen: 10, Window: 2, LBThreshold: 6.1, DTWThreshold: 6.1}
+}
+
+// SegmentMatch is the outcome for one target segment.
+type SegmentMatch struct {
+	Index      int
+	LowerBound float64
+	// DTWDist is the full DTW distance, or NaN when the lower bound
+	// already rejected the segment (DTW skipped).
+	DTWDist float64
+	Matched bool
+	// LBOnly is true when the decision came from LB_Keogh rejection.
+	LBOnly bool
+}
+
+// MatchResult is the voting outcome for one candidate sequence against the
+// target.
+type MatchResult struct {
+	Segments []SegmentMatch
+	// MatchedCount is the number of matched segments.
+	MatchedCount int
+	// TotalSegments is the number of usable (full-length) segments.
+	TotalSegments int
+	// Matched is true when more than half of the segments matched
+	// (paper Algo. 2, line 11).
+	Matched bool
+	// DTWComputed counts the segments where full DTW actually ran
+	// (diagnostic for the LB speedup claim).
+	DTWComputed int
+}
+
+// MatchSequences runs the paper's fixed-window DTW voting algorithm:
+// target and candidate are time-aligned, same-rate sequences (the caller
+// interpolates the candidate onto the target timestamps — see
+// AlignAndDifferentiate). The target is split into SegmentLen-point
+// segments; each candidate segment is screened with LB_Keogh and, if it
+// survives, matched with DTW; the sequence matches when >½ of the
+// segments match.
+func MatchSequences(target, candidate []float64, cfg SegmentMatcherConfig) (MatchResult, error) {
+	if len(target) == 0 || len(candidate) == 0 {
+		return MatchResult{}, ErrEmpty
+	}
+	n := min(len(target), len(candidate))
+	segLen := cfg.SegmentLen
+	if segLen <= 0 {
+		segLen = 10
+	}
+	var res MatchResult
+	for start := 0; start+segLen <= n; start += segLen {
+		tSeg := target[start : start+segLen]
+		cSeg := candidate[start : start+segLen]
+		m := SegmentMatch{Index: res.TotalSegments, DTWDist: math.NaN()}
+		lb, err := LBKeogh(tSeg, cSeg, cfg.Window)
+		if err != nil {
+			return MatchResult{}, err
+		}
+		m.LowerBound = lb
+		if lb > cfg.LBThreshold {
+			// LB_Keogh is a lower bound on DTW: DTW ≥ LB > threshold, so
+			// the segment cannot match. Skip the expensive computation.
+			m.Matched = false
+			m.LBOnly = true
+		} else {
+			d, err := Distance(tSeg, cSeg, cfg.Window)
+			if err != nil {
+				return MatchResult{}, err
+			}
+			m.DTWDist = d
+			m.Matched = d <= cfg.DTWThreshold
+			res.DTWComputed++
+		}
+		if m.Matched {
+			res.MatchedCount++
+		}
+		res.TotalSegments++
+		res.Segments = append(res.Segments, m)
+	}
+	if res.TotalSegments == 0 {
+		return MatchResult{}, ErrEmpty
+	}
+	res.Matched = res.MatchedCount*2 > res.TotalSegments
+	return res, nil
+}
+
+// AlignAndDifferentiate prepares a candidate RSS sequence for matching
+// against a target sequence per the paper's preprocessing (Sec. 6.1):
+// the candidate (tc, vc) is linearly interpolated onto the target's
+// timestamps tt (handling heterogeneous sampling rates), then both are
+// first-differenced so device-specific constant offsets cancel.
+func AlignAndDifferentiate(tt, vt, tc, vc []float64) (targetDiff, candDiff []float64) {
+	aligned := mathx.Resample(tc, vc, tt)
+	return Differentiate(vt), Differentiate(aligned)
+}
+
+// Differentiate returns the first difference of xs (length len(xs)−1).
+func Differentiate(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package env implements EnvAware, LocBLE's environment-recognition
+// module (paper Sec. 4.1): RSS readings are segmented into short (1–2 s)
+// windows; each window is summarized by a standardized 9-value feature
+// vector (mean, variance, skewness, min, Q1, median, Q3, max — the paper
+// lists nine statistics; we add the range as the ninth to complete the
+// vector); a linear SVM classifies the window as LOS, partial-LOS or
+// NLOS; and a change monitor tells the estimation layer when to restart
+// its regression.
+package env
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"locble/internal/mathx"
+	"locble/internal/ml"
+	"locble/internal/rf"
+)
+
+// NumFeatures is the size of the window feature vector.
+const NumFeatures = 9
+
+// ErrWindowTooSmall is returned when a feature window has fewer than
+// three samples.
+var ErrWindowTooSmall = errors.New("env: window too small")
+
+// Features computes the window feature vector the paper describes
+// (Sec. 4.1): the window's mean, variance and skewness, the five direct
+// order statistics (min, Q1, median, Q3, max), and the range — nine
+// values. Standardization happens at dataset level (the paper
+// standardizes the assembled feature vectors), handled by the
+// ml.Standardizer fitted during training, so the raw dB statistics are
+// preserved here.
+func Features(window []float64) ([]float64, error) {
+	if len(window) < 3 {
+		return nil, fmt.Errorf("%w: %d samples", ErrWindowTooSmall, len(window))
+	}
+	sorted := append([]float64(nil), window...)
+	sort.Float64s(sorted)
+	f := []float64{
+		mathx.Mean(window),
+		mathx.Variance(window),
+		mathx.Skewness(window),
+		sorted[0],
+		mathx.QuantileSorted(sorted, 0.25),
+		mathx.QuantileSorted(sorted, 0.5),
+		mathx.QuantileSorted(sorted, 0.75),
+		sorted[len(sorted)-1],
+		sorted[len(sorted)-1] - sorted[0],
+	}
+	return f, nil
+}
+
+// Label maps rf.Environment to the classifier's class index.
+func Label(e rf.Environment) int { return int(e) }
+
+// EnvironmentFromLabel is the inverse of Label.
+func EnvironmentFromLabel(k int) rf.Environment { return rf.Environment(k) }
+
+// Classifier wraps a trained model plus its feature standardizer.
+type Classifier struct {
+	model ml.Classifier
+	std   *ml.Standardizer
+}
+
+// Predict classifies one RSS window.
+func (c *Classifier) Predict(window []float64) (rf.Environment, error) {
+	f, err := Features(window)
+	if err != nil {
+		return 0, err
+	}
+	return EnvironmentFromLabel(c.model.Predict(c.std.Apply(f))), nil
+}
+
+// ModelName reports the wrapped model family.
+func (c *Classifier) ModelName() string { return c.model.Name() }
+
+// Train fits the standardizer and a linear SVM on a labelled window
+// dataset (features not yet standardized).
+func Train(d ml.Dataset) (*Classifier, error) {
+	std, err := ml.FitStandardizer(d.X)
+	if err != nil {
+		return nil, err
+	}
+	sd := ml.Dataset{X: std.ApplyAll(d.X), Y: d.Y}
+	svm, err := ml.TrainLinearSVM(sd, ml.DefaultSVMConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{model: svm, std: std}, nil
+}
+
+// TrainWith fits the standardizer and an arbitrary model constructor —
+// used by the ensemble comparison (the paper tried SVM kernels, decision
+// trees, random forests before settling on the linear SVM).
+func TrainWith(d ml.Dataset, fit func(ml.Dataset) (ml.Classifier, error)) (*Classifier, error) {
+	std, err := ml.FitStandardizer(d.X)
+	if err != nil {
+		return nil, err
+	}
+	sd := ml.Dataset{X: std.ApplyAll(d.X), Y: d.Y}
+	model, err := fit(sd)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{model: model, std: std}, nil
+}
+
+// Evaluate runs the classifier over labelled windows and returns the
+// confusion matrix.
+func (c *Classifier) Evaluate(windows [][]float64, labels []int) (*ml.ConfusionMatrix, error) {
+	if len(windows) != len(labels) {
+		return nil, errors.New("env: windows/labels length mismatch")
+	}
+	cm := ml.NewConfusionMatrix(3)
+	for i, w := range windows {
+		pred, err := c.Predict(w)
+		if err != nil {
+			return nil, err
+		}
+		cm.Add(labels[i], int(pred))
+	}
+	return cm, nil
+}
+
+// Monitor watches a stream of RSS samples, classifies each completed
+// window, and reports abrupt environment changes so the location layer
+// can restart its regression (paper Sec. 4.1: "starts a new regression
+// model only if new incoming data shows abrupt environmental changes").
+type Monitor struct {
+	clf *Classifier
+	// WindowSize is the number of samples per classification window
+	// (≈2 s of data at the device's report rate).
+	WindowSize int
+	// Hysteresis is the number of consecutive windows with a new class
+	// required before a change is declared (suppresses flicker).
+	Hysteresis int
+
+	buf       []float64
+	current   rf.Environment
+	hasCur    bool
+	streak    rf.Environment
+	streakLen int
+}
+
+// NewMonitor wraps a classifier into a streaming change monitor.
+func NewMonitor(clf *Classifier, windowSize, hysteresis int) *Monitor {
+	if windowSize < 3 {
+		windowSize = 3
+	}
+	if hysteresis < 1 {
+		hysteresis = 1
+	}
+	return &Monitor{clf: clf, WindowSize: windowSize, Hysteresis: hysteresis}
+}
+
+// Push adds one RSS sample. When a window completes it is classified;
+// changed is true when the environment class switched (with hysteresis).
+func (m *Monitor) Push(rss float64) (env rf.Environment, classified, changed bool, err error) {
+	m.buf = append(m.buf, rss)
+	if len(m.buf) < m.WindowSize {
+		if m.hasCur {
+			return m.current, false, false, nil
+		}
+		return 0, false, false, nil
+	}
+	pred, err := m.clf.Predict(m.buf)
+	m.buf = m.buf[:0]
+	if err != nil {
+		return 0, false, false, err
+	}
+	if !m.hasCur {
+		m.current = pred
+		m.hasCur = true
+		return pred, true, false, nil
+	}
+	if pred == m.current {
+		m.streakLen = 0
+		return pred, true, false, nil
+	}
+	if pred == m.streak {
+		m.streakLen++
+	} else {
+		m.streak = pred
+		m.streakLen = 1
+	}
+	if m.streakLen >= m.Hysteresis {
+		m.current = pred
+		m.streakLen = 0
+		return pred, true, true, nil
+	}
+	return m.current, true, false, nil
+}
+
+// Current returns the monitor's current environment class.
+func (m *Monitor) Current() (rf.Environment, bool) { return m.current, m.hasCur }
+
+// Reset clears the monitor state.
+func (m *Monitor) Reset() {
+	m.buf = m.buf[:0]
+	m.hasCur = false
+	m.streakLen = 0
+}
+
+// Save writes the trained classifier (model + standardizer) as JSON. Only
+// linear-SVM classifiers are serializable — the pipeline's model.
+func (c *Classifier) Save(w io.Writer) error {
+	svm, ok := c.model.(*ml.LinearSVM)
+	if !ok {
+		return fmt.Errorf("env: cannot serialize a %s classifier", c.model.Name())
+	}
+	return ml.SaveLinearSVM(w, svm, c.std)
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	svm, std, err := ml.LoadLinearSVM(r)
+	if err != nil {
+		return nil, err
+	}
+	if std == nil {
+		return nil, errors.New("env: model file has no standardizer")
+	}
+	if len(svm.Weights[0]) != NumFeatures {
+		return nil, fmt.Errorf("env: model expects %d features, EnvAware uses %d",
+			len(svm.Weights[0]), NumFeatures)
+	}
+	return &Classifier{model: svm, std: std}, nil
+}

@@ -1,0 +1,45 @@
+package estimate
+
+import (
+	"testing"
+
+	"locble/internal/rng"
+)
+
+func BenchmarkRunPlanar(b *testing.B) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(obs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunCollinear(b *testing.B) {
+	var path [][2]float64
+	for d := 0.0; d <= 6; d += 0.15 {
+		path = append(path, [2]float64{d, 0})
+	}
+	obs := synthObs(4, 2.5, -60, 2.0, path, 2.0, rng.New(2))
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(obs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSegmented(b *testing.B) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+	split := len(obs) / 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSegmented(obs, []int{split}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package estimate implements LocBLE's location estimator (paper Sec. 5):
+// a regression that fuses relative movement (from the motion tracker)
+// with RSS readings under the modified log-distance model
+//
+//	RSᵢ = Γ(e) − 10·n(e)·log10(lᵢ),   lᵢ² = (x+pᵢ)² + (h+qᵢ)²
+//
+// where (pᵢ, qᵢ) = (bᵢ−aᵢ, dᵢ−cᵢ) is the target-minus-observer relative
+// displacement at sample i and (x, h) is the target's initial position in
+// the observer's coordinate frame.
+//
+// The paper linearizes the model with ϵ = 10^(Γ/(5n)), η = 10^(−1/(5n)):
+//
+//	A·(p²+q²) + C·p + D·q + G = ρ,   ρᵢ = η^{RSᵢ},
+//
+// with A = 1/ϵ, C = 2x/ϵ, D = 2h/ϵ, G = (x²+h²)/ϵ (Eqs. 2–4), solved by
+// least squares, with the fading coefficient n(e) found numerically
+// (Eq. 5). The linearized form works on well-filtered data but is fragile
+// under realistic RSS noise — the multiplicative ρ-domain noise lets the
+// quadratic coefficient A go negative. This implementation therefore uses
+// the elliptical least-squares fit as the *initializer* and refines the
+// position with a dB-domain solver: for any fixed position, (n, Γ) have a
+// closed form (linear regression of RSS on log-distance — the same
+// quantity Eq. 5 minimizes), so only a 2-D Nelder–Mead search over
+// position is needed. Straight-line movement leaves the cross-track
+// coordinate sign-ambiguous; the L-shaped movement resolves the ambiguity
+// by intersecting the per-leg result sets (Sec. 5.1).
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"locble/internal/mathx"
+)
+
+// Estimation errors.
+var (
+	ErrTooFewSamples      = errors.New("estimate: too few samples")
+	ErrInsufficientMotion = errors.New("estimate: observer movement too small to estimate")
+	ErrNoSolution         = errors.New("estimate: regression produced no physical solution")
+)
+
+// Obs is one fused observation: a (filtered) RSS reading matched to the
+// relative displacement at the same timestamp.
+type Obs struct {
+	T   float64 // seconds
+	RSS float64 // dBm, after ANF filtering
+	P   float64 // relative x displacement pᵢ = bᵢ − aᵢ (metres)
+	Q   float64 // relative y displacement qᵢ = dᵢ − cᵢ (metres)
+}
+
+// Candidate is one possible target position.
+type Candidate struct {
+	X, H float64
+}
+
+// Dist returns the Euclidean distance between candidates.
+func (c Candidate) Dist(o Candidate) float64 { return math.Hypot(c.X-o.X, c.H-o.H) }
+
+// Estimate is the output of the regression.
+type Estimate struct {
+	// X, H is the best target position estimate in the observer frame.
+	X, H float64
+	// Candidates holds 1 solution for well-conditioned 2-D movement, or
+	// the 2 symmetric solutions for (near-)collinear movement.
+	Candidates []Candidate
+	// N is the estimated path-loss (fading) coefficient n(e).
+	N float64
+	// Gamma is the estimated power offset Γ(e) in dBm.
+	Gamma float64
+	// ResidualDB is the RMS residual of the fit in dB.
+	ResidualDB float64
+	// Confidence is the paper's estimation confidence: the two-sided
+	// Gaussian tail probability of the residual mean (≈1 for an unbiased
+	// fit, →0 for a biased one).
+	Confidence float64
+	// Ambiguous reports whether the movement was collinear, so Candidates
+	// contains two mirror solutions.
+	Ambiguous bool
+	// Samples is the number of observations used.
+	Samples int
+}
+
+// Range returns the estimated distance from the observer's origin.
+func (e *Estimate) Range() float64 { return math.Hypot(e.X, e.H) }
+
+// Config tunes the estimator.
+type Config struct {
+	// NMin, NMax bound the fading coefficient (physical indoor exponents
+	// are ~1.5–4.5).
+	NMin, NMax float64
+	// NGridStep is the exponent grid used for the elliptical-LS
+	// initializer.
+	NGridStep float64
+	// CollinearRatio: movement is considered collinear when the minor
+	// principal axis of the (p,q) cloud is below this fraction of the
+	// major axis.
+	CollinearRatio float64
+	// MinSpread is the minimum movement extent (metres) along the major
+	// axis required for regression.
+	MinSpread float64
+	// MinSamples is the minimum number of observations.
+	MinSamples int
+	// MaxRange rejects solutions farther than this from the observer
+	// (BLE is dead beyond ~15–20 m; unconstrained fits can run away).
+	MaxRange float64
+	// Soft physical-plausibility prior: the RSS-vs-distance trade-off is
+	// shallow (a farther target with a larger exponent fits noisy data
+	// almost as well — the classic range/exponent ambiguity), so the
+	// position search penalizes fits whose implied exponent or power
+	// offset leaves the physically plausible band. Zero values select
+	// the defaults.
+	NSoftMin, NSoftMax         float64 // plausible exponent band (1.7–4.2)
+	GammaSoftMin, GammaSoftMax float64 // plausible Γ band (−82…−48 dBm)
+	PenaltyWeight              float64 // prior strength (dB² per sample)
+}
+
+// DefaultConfig returns the estimator settings used by the pipeline.
+func DefaultConfig() Config {
+	return Config{
+		NMin:           1.3,
+		NMax:           5.0,
+		NGridStep:      0.5,
+		CollinearRatio: 0.18,
+		MinSpread:      1.0,
+		MinSamples:     8,
+		MaxRange:       25,
+		NSoftMin:       1.4,
+		NSoftMax:       4.2,
+		GammaSoftMin:   -82,
+		GammaSoftMax:   -48,
+		PenaltyWeight:  4.0,
+	}
+}
+
+// softDefaults fills zero prior fields.
+func (c *Config) softDefaults() {
+	if c.NSoftMin == 0 && c.NSoftMax == 0 {
+		c.NSoftMin, c.NSoftMax = 1.4, 4.2
+	}
+	if c.GammaSoftMin == 0 && c.GammaSoftMax == 0 {
+		c.GammaSoftMin, c.GammaSoftMax = -82, -48
+	}
+	if c.PenaltyWeight == 0 {
+		c.PenaltyWeight = 4.0
+	}
+}
+
+// penalizedScore is the position-search objective: dB-domain residual sum
+// of squares plus the soft plausibility prior on the implied (n, Γ).
+func penalizedScore(obs []Obs, cfg Config, dist func(Obs) float64) float64 {
+	n, gamma, ss := dbFit(obs, dist, cfg.NMin, cfg.NMax)
+	penN := math.Max(0, n-cfg.NSoftMax) + math.Max(0, cfg.NSoftMin-n)
+	penG := math.Max(0, gamma-cfg.GammaSoftMax) + math.Max(0, cfg.GammaSoftMin-gamma)
+	return ss + cfg.PenaltyWeight*float64(len(obs))*(penN*penN*4+penG*penG*0.25)
+}
+
+// Run fits the model to the observations and returns the estimate with
+// the ambiguity (if any) unresolved.
+func Run(obs []Obs, cfg Config) (*Estimate, error) {
+	return RunSegmented(obs, nil, cfg)
+}
+
+// RunSegmented fits one target position across environment segments:
+// the geometry (x, h) is shared by all observations, while each segment
+// gets its own (Γⱼ, nⱼ) — the paper's "start a new regression when the
+// environment changes" (Algorithm 1), strengthened so the segments still
+// constrain a single position jointly instead of producing independent
+// (and individually ambiguous) per-segment answers. segStarts lists the
+// first observation index of each segment ([0] or nil for a single
+// segment); segments too short to support their own channel parameters
+// are merged into their predecessor.
+func RunSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
+	if cfg.MinSamples < 5 {
+		cfg.MinSamples = 5
+	}
+	if cfg.MaxRange <= 0 {
+		cfg.MaxRange = 25
+	}
+	if len(obs) < cfg.MinSamples {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewSamples, len(obs), cfg.MinSamples)
+	}
+	cfg.softDefaults()
+	segs := normalizeSegments(len(obs), segStarts)
+	major, minor, dir := movementPCA(obs)
+	if major < cfg.MinSpread {
+		return nil, fmt.Errorf("%w: spread %.2f m < %.2f m", ErrInsufficientMotion, major, cfg.MinSpread)
+	}
+	if minor < cfg.CollinearRatio*major {
+		return runCollinear(obs, segs, cfg, dir)
+	}
+	return runPlanar(obs, segs, cfg)
+}
+
+// normalizeSegments converts segment start indexes into [lo, hi) pairs,
+// merging segments shorter than the minimum needed to fit (Γ, n).
+func normalizeSegments(n int, segStarts []int) [][2]int {
+	const minSeg = 8
+	starts := []int{0}
+	for _, s := range segStarts {
+		if s > starts[len(starts)-1] && s < n {
+			starts = append(starts, s)
+		}
+	}
+	var segs [][2]int
+	for i, lo := range starts {
+		hi := n
+		if i+1 < len(starts) {
+			hi = starts[i+1]
+		}
+		if hi-lo < minSeg && len(segs) > 0 {
+			segs[len(segs)-1][1] = hi // merge into predecessor
+			continue
+		}
+		segs = append(segs, [2]int{lo, hi})
+	}
+	if len(segs) == 0 {
+		segs = [][2]int{{0, n}}
+	}
+	// A leading short segment may remain; merge forward.
+	if segs[0][1]-segs[0][0] < minSeg && len(segs) > 1 {
+		segs[1][0] = segs[0][0]
+		segs = segs[1:]
+	}
+	return segs
+}
+
+// segmentedScore sums the per-segment penalized inner-fit scores for a
+// candidate position.
+func segmentedScore(obs []Obs, segs [][2]int, cfg Config, dist func(Obs) float64) float64 {
+	total := 0.0
+	for _, sg := range segs {
+		total += penalizedScore(obs[sg[0]:sg[1]], cfg, dist)
+	}
+	return total
+}
+
+// runPlanar handles well-spread 2-D movement: elliptical-LS and ring
+// initializers, then Nelder–Mead refinement of the position in the dB
+// domain.
+func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
+	type seed struct {
+		x, h float64
+	}
+	// All elliptical seeds are refined: the objective's global basin
+	// around the true position is narrow (a distant position with an
+	// inflated exponent often *scores* better than a near-miss), so seed
+	// score alone cannot rank basins — every linearized-fit hypothesis
+	// gets a local search.
+	var seeds []seed
+	for n := cfg.NMin; n <= cfg.NMax+1e-9; n += math.Max(cfg.NGridStep, 0.25) {
+		if c, ok := ellipticalLS(obs, n); ok {
+			seeds = append(seeds, seed{c.X, c.H})
+		}
+	}
+	// Ring seeds are screened by score; the best few join the refinement.
+	type scored struct {
+		s seed
+		v float64
+	}
+	var rings []scored
+	for _, r := range ringInits(obs) {
+		ss := segmentedScore(obs, segs, cfg, distPlanar(r[0], r[1]))
+		rings = append(rings, scored{seed{r[0], r[1]}, ss})
+	}
+	const ringPick = 6
+	for i := 0; i < len(rings) && i < ringPick; i++ {
+		min := i
+		for j := i + 1; j < len(rings); j++ {
+			if rings[j].v < rings[min].v {
+				min = j
+			}
+		}
+		rings[i], rings[min] = rings[min], rings[i]
+	}
+	for i := 0; i < len(rings) && i < ringPick; i++ {
+		seeds = append(seeds, rings[i].s)
+	}
+
+	var bx, bh float64
+	bv := math.Inf(1)
+	f := func(v []float64) float64 {
+		if math.Hypot(v[0], v[1]) > cfg.MaxRange {
+			return math.Inf(1)
+		}
+		return segmentedScore(obs, segs, cfg, distPlanar(v[0], v[1]))
+	}
+	for _, s := range seeds {
+		x, v := nelderMead(f, []float64{s.x, s.h}, 1.0, 200)
+		if v < bv {
+			bv, bx, bh = v, x[0], x[1]
+		}
+	}
+	if math.IsInf(bv, 1) {
+		return nil, ErrNoSolution
+	}
+	return finish(obs, segs, cfg, []Candidate{{X: bx, H: bh}}, false)
+}
+
+// runCollinear handles (near-)collinear movement along unit vector dir:
+// the position is parameterized as s·dir + w·perp; the sign of w is
+// unobservable (the paper's symmetry ambiguity, Sec. 5.1), so two mirror
+// candidates are returned.
+func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estimate, error) {
+	perp := [2]float64{-dir[1], dir[0]}
+	pos := func(s, w float64) (float64, float64) {
+		return s*dir[0] + w*perp[0], s*dir[1] + w*perp[1]
+	}
+	type seed struct{ s, w float64 }
+	var seeds []seed
+	if s0, w0, ok := ellipticalLSLine(obs, dir, 2.0); ok {
+		seeds = append(seeds, seed{s0, w0})
+	}
+	for _, r := range ringInits(obs) {
+		// Project ring candidates onto the (s, w) frame, w ≥ 0.
+		s := r[0]*dir[0] + r[1]*dir[1]
+		w := math.Abs(r[0]*perp[0] + r[1]*perp[1])
+		seeds = append(seeds, seed{s, w})
+	}
+	var bs, bw float64
+	bv := math.Inf(1)
+	for _, sd := range seeds {
+		f := func(v []float64) float64 {
+			x, h := pos(v[0], math.Abs(v[1]))
+			if math.Hypot(x, h) > cfg.MaxRange {
+				return math.Inf(1)
+			}
+			return segmentedScore(obs, segs, cfg, distPlanar(x, h))
+		}
+		x, v := nelderMead(f, []float64{sd.s, math.Max(sd.w, 0.3)}, 1.0, 200)
+		if v < bv {
+			bv, bs, bw = v, x[0], math.Abs(x[1])
+		}
+	}
+	if math.IsInf(bv, 1) {
+		return nil, ErrNoSolution
+	}
+	x1, h1 := pos(bs, bw)
+	x2, h2 := pos(bs, -bw)
+	return finish(obs, segs, cfg, []Candidate{{X: x1, H: h1}, {X: x2, H: h2}}, true)
+}
+
+// finish computes per-segment (n, Γ), residual statistics and confidence
+// for the chosen candidate set. The reported N/Gamma come from the
+// longest segment (the dominant environment).
+func finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate, ambiguous bool) (*Estimate, error) {
+	best := cands[0]
+	var n, gamma float64
+	longest := -1
+	resid := make([]float64, 0, len(obs))
+	for _, sg := range segs {
+		segObs := obs[sg[0]:sg[1]]
+		nj, gj, _ := dbFit(segObs, distPlanar(best.X, best.H), cfg.NMin, cfg.NMax)
+		if sz := sg[1] - sg[0]; sz > longest {
+			longest, n, gamma = sz, nj, gj
+		}
+		for _, o := range segObs {
+			l := math.Hypot(best.X+o.P, best.H+o.Q)
+			if l < 0.05 {
+				l = 0.05
+			}
+			resid = append(resid, o.RSS-(gj-10*nj*math.Log10(l)))
+		}
+	}
+	mu := mathx.Mean(resid)
+	sigma := mathx.StdDev(resid)
+	rms := 0.0
+	for _, r := range resid {
+		rms += r * r
+	}
+	rms = math.Sqrt(rms / float64(len(resid)))
+	// Real BLE RSS noise never drops below a fraction of a dB; flooring σ
+	// keeps the confidence well defined for near-perfect synthetic fits.
+	conf := mathx.TwoSidedTailProb(mu, 0, math.Max(sigma, 0.25))
+	return &Estimate{
+		X:          best.X,
+		H:          best.H,
+		Candidates: cands,
+		N:          n,
+		Gamma:      gamma,
+		ResidualDB: rms,
+		Confidence: conf,
+		Ambiguous:  ambiguous,
+		Samples:    len(obs),
+	}, nil
+}
+
+// movementPCA returns the major/minor spread (std dev, metres) of the
+// relative-displacement cloud and the unit vector of the major axis.
+func movementPCA(obs []Obs) (major, minor float64, dir [2]float64) {
+	n := float64(len(obs))
+	var mp, mq float64
+	for _, o := range obs {
+		mp += o.P
+		mq += o.Q
+	}
+	mp /= n
+	mq /= n
+	var spp, sqq, spq float64
+	for _, o := range obs {
+		dp, dq := o.P-mp, o.Q-mq
+		spp += dp * dp
+		sqq += dq * dq
+		spq += dp * dq
+	}
+	spp /= n
+	sqq /= n
+	spq /= n
+	tr := spp + sqq
+	det := spp*sqq - spq*spq
+	disc := math.Sqrt(math.Max(tr*tr/4-det, 0))
+	l1 := tr/2 + disc
+	l2 := tr/2 - disc
+	major = math.Sqrt(math.Max(l1, 0))
+	minor = math.Sqrt(math.Max(l2, 0))
+	if math.Abs(spq) > 1e-12 {
+		v := [2]float64{l1 - sqq, spq}
+		nv := math.Hypot(v[0], v[1])
+		dir = [2]float64{v[0] / nv, v[1] / nv}
+	} else if spp >= sqq {
+		dir = [2]float64{1, 0}
+	} else {
+		dir = [2]float64{0, 1}
+	}
+	return major, minor, dir
+}
+
+// rhoValues computes ρᵢ = η^{RSᵢ−RSmean} (mean-shifted for conditioning).
+func rhoValues(obs []Obs, n float64) ([]float64, float64) {
+	rsm := 0.0
+	for _, o := range obs {
+		rsm += o.RSS
+	}
+	rsm /= float64(len(obs))
+	rho := make([]float64, len(obs))
+	for i, o := range obs {
+		rho[i] = math.Pow(10, -(o.RSS-rsm)/(5*n))
+	}
+	return rho, rsm
+}
+
+// ellipticalLS is the paper's linearized regression at a fixed exponent
+// (Eqs. 3–4): A·(p²+q²) + C·p + D·q + G = ρ. It returns the implied
+// position when the fit is physical (A > 0); it serves as the initializer
+// for the dB-domain refinement.
+func ellipticalLS(obs []Obs, n float64) (Candidate, bool) {
+	rho, _ := rhoValues(obs, n)
+	x := mathx.NewMatrix(len(obs), 4)
+	for i, o := range obs {
+		x.Set(i, 0, o.P*o.P+o.Q*o.Q)
+		x.Set(i, 1, o.P)
+		x.Set(i, 2, o.Q)
+		x.Set(i, 3, 1)
+	}
+	p, err := mathx.LeastSquares(x, rho)
+	if err != nil || p[0] <= 0 {
+		return Candidate{}, false
+	}
+	return Candidate{X: p[1] / (2 * p[0]), H: p[2] / (2 * p[0])}, true
+}
+
+// ellipticalLSLine is the reduced 1-D elliptical regression for collinear
+// movement along dir: A·u² + C·u + G = ρ with u the along-track
+// coordinate, yielding the along-track coordinate s = C/(2A) and the
+// cross-track magnitude |w| = sqrt(G/A − s²).
+func ellipticalLSLine(obs []Obs, dir [2]float64, n float64) (s, w float64, ok bool) {
+	rho, _ := rhoValues(obs, n)
+	x := mathx.NewMatrix(len(obs), 3)
+	for i, o := range obs {
+		u := o.P*dir[0] + o.Q*dir[1]
+		x.Set(i, 0, u*u)
+		x.Set(i, 1, u)
+		x.Set(i, 2, 1)
+	}
+	p, err := mathx.LeastSquares(x, rho)
+	if err != nil || p[0] <= 0 {
+		return 0, 0, false
+	}
+	s = p[1] / (2 * p[0])
+	w2 := p[2]/p[0] - s*s
+	if w2 < 0 {
+		w2 = 0
+	}
+	return s, math.Sqrt(w2), true
+}

@@ -1,0 +1,166 @@
+package estimate
+
+import (
+	"math"
+
+	"locble/internal/mathx"
+)
+
+// Obs3D is a fused observation with a vertical relative displacement
+// (e.g. the phone raised/lowered, or stairs), for the 3-D extension the
+// paper sketches in Sec. 9.3.
+type Obs3D struct {
+	T       float64
+	RSS     float64
+	P, Q, R float64 // relative displacement in x, y, z (metres)
+}
+
+// Estimate3D is the 3-D regression output.
+type Estimate3D struct {
+	X, H, Z    float64
+	N, Gamma   float64
+	ResidualDB float64
+	Confidence float64
+	Samples    int
+}
+
+// Range returns the estimated 3-D distance from the origin.
+func (e *Estimate3D) Range() float64 {
+	return math.Sqrt(e.X*e.X + e.H*e.H + e.Z*e.Z)
+}
+
+// Run3D extends the regression with a third dimension. The elliptical
+// linearization A·(p²+q²+r²) + C·p + D·q + E·r + G = ρ seeds the search;
+// a 3-parameter Nelder–Mead over position with the closed-form (n, Γ)
+// inner fit refines it. The movement must span all three dimensions for
+// the fit to be well conditioned; the practical phone gesture is an
+// L-shaped walk plus raising the phone.
+func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
+	if cfg.MinSamples < 6 {
+		cfg.MinSamples = 6
+	}
+	if cfg.MaxRange <= 0 {
+		cfg.MaxRange = 25
+	}
+	if len(obs) < cfg.MinSamples {
+		return nil, ErrTooFewSamples
+	}
+
+	// Flatten to 2-D Obs for the shared helpers (dbFit needs only RSS and
+	// a distance function).
+	flat := make([]Obs, len(obs))
+	for i, o := range obs {
+		flat[i] = Obs{T: o.T, RSS: o.RSS, P: o.P, Q: o.Q}
+	}
+	eval := func(x, h, z float64) (n, gamma, ss float64) {
+		var sg, sr, sgg, sgr float64
+		nn := float64(len(obs))
+		gs := make([]float64, len(obs))
+		for i, o := range obs {
+			l := math.Sqrt((x+o.P)*(x+o.P) + (h+o.Q)*(h+o.Q) + (z+o.R)*(z+o.R))
+			if l < 0.05 {
+				l = 0.05
+			}
+			g := math.Log10(l)
+			gs[i] = g
+			sg += g
+			sr += o.RSS
+			sgg += g * g
+			sgr += g * o.RSS
+		}
+		den := nn*sgg - sg*sg
+		if den < 1e-12 {
+			n = (cfg.NMin + cfg.NMax) / 2
+		} else {
+			n = -((nn*sgr - sg*sr) / den) / 10
+		}
+		n = math.Min(math.Max(n, cfg.NMin), cfg.NMax)
+		gamma = (sr + 10*n*sg) / nn
+		for i, o := range obs {
+			r := o.RSS - (gamma - 10*n*gs[i])
+			ss += r * r
+		}
+		return n, gamma, ss
+	}
+
+	// Seeds: elliptical LS plus rings in the z = 0 plane.
+	type seed struct{ x, h, z float64 }
+	var seeds []seed
+	for n := cfg.NMin; n <= cfg.NMax+1e-9; n += math.Max(cfg.NGridStep, 0.5) {
+		if c, ok := elliptical3DLS(obs, n); ok {
+			seeds = append(seeds, seed{c[0], c[1], c[2]})
+		}
+	}
+	for _, r := range ringInits(flat) {
+		seeds = append(seeds, seed{r[0], r[1], 0})
+	}
+
+	var bx, bh, bz float64
+	bv := math.Inf(1)
+	for _, s := range seeds {
+		f := func(v []float64) float64 {
+			if math.Sqrt(v[0]*v[0]+v[1]*v[1]+v[2]*v[2]) > cfg.MaxRange {
+				return math.Inf(1)
+			}
+			_, _, ss := eval(v[0], v[1], v[2])
+			return ss
+		}
+		x, v := nelderMead(f, []float64{s.x, s.h, s.z}, 1.0, 250)
+		if v < bv {
+			bv, bx, bh, bz = v, x[0], x[1], x[2]
+		}
+	}
+	if math.IsInf(bv, 1) {
+		return nil, ErrNoSolution
+	}
+
+	n, gamma, _ := eval(bx, bh, bz)
+	resid := make([]float64, len(obs))
+	for i, o := range obs {
+		l := math.Sqrt((bx+o.P)*(bx+o.P) + (bh+o.Q)*(bh+o.Q) + (bz+o.R)*(bz+o.R))
+		if l < 0.05 {
+			l = 0.05
+		}
+		resid[i] = o.RSS - (gamma - 10*n*math.Log10(l))
+	}
+	mu, sigma := mathx.Mean(resid), mathx.StdDev(resid)
+	rms := 0.0
+	for _, r := range resid {
+		rms += r * r
+	}
+	rms = math.Sqrt(rms / float64(len(resid)))
+	return &Estimate3D{
+		X: bx, H: bh, Z: bz,
+		N: n, Gamma: gamma,
+		ResidualDB: rms,
+		Confidence: mathx.TwoSidedTailProb(mu, 0, math.Max(sigma, 0.25)),
+		Samples:    len(obs),
+	}, nil
+}
+
+// elliptical3DLS is the 3-D linearized initializer.
+func elliptical3DLS(obs []Obs3D, n float64) ([3]float64, bool) {
+	rsm := 0.0
+	for _, o := range obs {
+		rsm += o.RSS
+	}
+	rsm /= float64(len(obs))
+	rho := make([]float64, len(obs))
+	for i, o := range obs {
+		rho[i] = math.Pow(10, -(o.RSS-rsm)/(5*n))
+	}
+	x := mathx.NewMatrix(len(obs), 5)
+	for i, o := range obs {
+		x.Set(i, 0, o.P*o.P+o.Q*o.Q+o.R*o.R)
+		x.Set(i, 1, o.P)
+		x.Set(i, 2, o.Q)
+		x.Set(i, 3, o.R)
+		x.Set(i, 4, 1)
+	}
+	p, err := mathx.LeastSquares(x, rho)
+	if err != nil || p[0] <= 0 {
+		return [3]float64{}, false
+	}
+	a := p[0]
+	return [3]float64{p[1] / (2 * a), p[2] / (2 * a), p[3] / (2 * a)}, true
+}

@@ -1,0 +1,120 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// synthSegmented builds observations whose channel parameters switch at a
+// boundary: segment 0 uses (gamma0, n0), segment 1 (gamma1, n1), with the
+// same target position throughout.
+func synthSegmented(x, h float64, path [][2]float64, split int, gamma0, n0, gamma1, n1 float64) []Obs {
+	obs := make([]Obs, 0, len(path))
+	for i, p := range path {
+		px, qx := -p[0], -p[1]
+		l := math.Hypot(x+px, h+qx)
+		gamma, n := gamma0, n0
+		if i >= split {
+			gamma, n = gamma1, n1
+		}
+		obs = append(obs, Obs{T: float64(i) * 0.1, RSS: gamma - 10*n*math.Log10(l), P: px, Q: qx})
+	}
+	return obs
+}
+
+func TestRunSegmentedRecoversAcrossEnvChange(t *testing.T) {
+	// Γ drops 8 dB and the exponent jumps mid-walk (the paper's NLOS→LOS
+	// transition, reversed); a single-model fit must absorb that into a
+	// wrong exponent, while the segmented fit recovers position and both
+	// parameter sets.
+	x, h := 5.5, 2.0
+	path := lPath(4, 4, 0.25)
+	split := len(path) / 2
+	obs := synthSegmented(x, h, path, split, -59, 2.0, -67, 3.0)
+
+	est, err := RunSegmented(obs, []int{split}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunSegmented: %v", err)
+	}
+	if d := math.Hypot(est.X-x, est.H-h); d > 0.5 {
+		t.Errorf("segmented fit off by %.2f m: (%.2f, %.2f)", d, est.X, est.H)
+	}
+	if est.ResidualDB > 0.3 {
+		t.Errorf("segmented residual %.2f dB on noise-free data", est.ResidualDB)
+	}
+
+	// The single-model fit on the same data carries model misfit: its
+	// residual must be clearly larger.
+	single, err := Run(obs, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if single.ResidualDB < est.ResidualDB+0.5 {
+		t.Errorf("single-model residual %.2f should exceed segmented %.2f",
+			single.ResidualDB, est.ResidualDB)
+	}
+}
+
+func TestRunSegmentedMergesTinySegments(t *testing.T) {
+	// Splits that leave segments below the per-segment minimum must be
+	// merged, not errored.
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.25), 0, nil)
+	est, err := RunSegmented(obs, []int{2, 4, len(obs) - 3}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunSegmented with tiny splits: %v", err)
+	}
+	if d := math.Hypot(est.X-5.5, est.H-2); d > 0.4 {
+		t.Errorf("estimate off by %.2f m", d)
+	}
+}
+
+func TestRunSegmentedIgnoresInvalidStarts(t *testing.T) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.25), 0, nil)
+	// Out-of-range and non-monotone split indexes are dropped.
+	est, err := RunSegmented(obs, []int{-5, 0, 999, 20, 10}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunSegmented: %v", err)
+	}
+	if d := math.Hypot(est.X-5.5, est.H-2); d > 0.4 {
+		t.Errorf("estimate off by %.2f m", d)
+	}
+}
+
+func TestNormalizeSegments(t *testing.T) {
+	cases := []struct {
+		n      int
+		starts []int
+		want   [][2]int
+	}{
+		{30, nil, [][2]int{{0, 30}}},
+		{30, []int{15}, [][2]int{{0, 15}, {15, 30}}},
+		{30, []int{27}, [][2]int{{0, 30}}},               // tail too short → merged
+		{30, []int{3}, [][2]int{{0, 30}}},                // head too short → merged
+		{30, []int{10, 12}, [][2]int{{0, 12}, {12, 30}}}, // short middle merges into predecessor
+		{30, []int{0, 0, 10}, [][2]int{{0, 10}, {10, 30}}},
+	}
+	for _, c := range cases {
+		got := normalizeSegments(c.n, c.starts)
+		if len(got) != len(c.want) {
+			t.Errorf("normalizeSegments(%d, %v) = %v, want %v", c.n, c.starts, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("normalizeSegments(%d, %v)[%d] = %v, want %v", c.n, c.starts, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Coverage invariant: segments tile [0, n).
+	got := normalizeSegments(50, []int{9, 20, 21, 45})
+	prev := 0
+	for _, sg := range got {
+		if sg[0] != prev {
+			t.Fatalf("segments do not tile: %v", got)
+		}
+		prev = sg[1]
+	}
+	if prev != 50 {
+		t.Fatalf("segments do not cover: %v", got)
+	}
+}

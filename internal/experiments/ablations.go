@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/cluster"
+	"locble/internal/core"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+// AblationButterworthOrder sweeps the ANF low-pass order (the paper fixes
+// 6) and reports mean estimation error per order.
+func AblationButterworthOrder(opt Options) (*Table, error) {
+	trials := opt.trials(20, 4)
+	table := &Table{
+		ID:      "ablation-bf-order",
+		Title:   "Ablation: Butterworth order (paper uses 6)",
+		Columns: []string{"order", "mean error (m)"},
+	}
+	for _, order := range []int{2, 4, 6, 8} {
+		eng, err := ablationEngine(func(c *core.Config) {
+			c.ButterworthOrder = order
+			c.StreamingANF = true // the order matters most in streaming mode
+		})
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		for trial := 0; trial < trials; trial++ {
+			sc := settingsScenario(opt.Seed+int64(trial)*43, rf.DeviceProfile{}, rf.TxProfile{})
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(sc.Beacons[0].X, sc.Beacons[0].Y))
+		}
+		table.AddRow(fmt.Sprint(order), fmt.Sprintf("%.2f", mean(errs)))
+	}
+	return table, nil
+}
+
+// AblationLShape compares the paper's L-shaped measurement against a
+// straight-line walk of the same total length (which leaves the mirror
+// ambiguity unresolved — the error counts the better candidate, i.e. it
+// is the *optimistic* bound the paper's Sec. 9.2 discussion assumes a
+// later navigation stage would recover).
+func AblationLShape(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(25, 5)
+	table := &Table{
+		ID:      "ablation-lshape",
+		Title:   "Ablation: L-shaped vs straight measurement walk",
+		Columns: []string{"movement", "mean error (m)", "ambiguous runs"},
+	}
+	plans := []struct {
+		name string
+		plan imu.Plan
+	}{
+		{"L-shape 4+4 m", imu.Plan{Segments: imu.LShape(0, 4, 4)}},
+		{"straight 8 m", imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 8}}}},
+	}
+	for _, ps := range plans {
+		var errs []float64
+		ambiguous := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := opt.Seed + int64(trial)*37
+			src := rng.New(seed)
+			d := src.Uniform(5, 8)
+			ang := src.Uniform(0.3, 0.9)
+			bx, by := d*math.Cos(ang), d*math.Sin(ang)
+			sc := sim.Scenario{
+				Beacons:      []sim.BeaconSpec{{Name: "b", X: bx, Y: by}},
+				ObserverPlan: ps.plan,
+				EnvModel:     sim.StaticEnv(rf.LOS),
+				Seed:         seed,
+			}
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			if m.Est.Ambiguous {
+				ambiguous++
+				// Optimistic: credit the better mirror candidate.
+				best := math.Inf(1)
+				for _, c := range m.Est.Candidates {
+					if e := math.Hypot(c.X-bx, c.H-by); e < best {
+						best = e
+					}
+				}
+				errs = append(errs, best)
+				continue
+			}
+			errs = append(errs, m.Error(bx, by))
+		}
+		table.AddRow(ps.name, fmt.Sprintf("%.2f", mean(errs)), fmt.Sprintf("%d/%d", ambiguous, trials))
+	}
+	table.Notes = append(table.Notes,
+		"straight-walk errors are the optimistic better-candidate bound (mirror unresolved, Sec. 9.2)")
+	return table, nil
+}
+
+// AblationRestartPolicy compares EnvAware's restart-on-change policy
+// against ignoring environment changes, in a scenario with a genuine
+// NLOS→LOS transition.
+func AblationRestartPolicy(opt Options) (*Table, error) {
+	trials := opt.trials(25, 5)
+	table := &Table{
+		ID:      "ablation-restart",
+		Title:   "Ablation: regression restart policy on environment change",
+		Columns: []string{"policy", "mean error (m)"},
+	}
+	policies := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"restart on change (paper)", func(c *core.Config) {}},
+		{"ignore changes", func(c *core.Config) { c.DisableEnvAware = true }},
+	}
+	scenarios := []struct {
+		name string
+		wall sim.Wall
+	}{
+		// Walking out of a shadow aligns the Γ step with the distance
+		// trend (a single inflated exponent absorbs it); walking into a
+		// shadow opposes the trend and needs the restart.
+		{"exit shadow (NLOS→LOS)", sim.Wall{X1: 2, Y1: -2, X2: 2, Y2: 9, Class: rf.NLOS}},
+		{"enter shadow (LOS→NLOS)", sim.Wall{X1: 4.5, Y1: 1.0, X2: 8.5, Y2: 1.0, Class: rf.NLOS}},
+	}
+	table.Columns = []string{"policy", "scenario", "mean error (m)"}
+	for _, pol := range policies {
+		eng, err := ablationEngine(pol.mod)
+		if err != nil {
+			return nil, err
+		}
+		for _, scn := range scenarios {
+			var errs []float64
+			for trial := 0; trial < trials; trial++ {
+				seed := opt.Seed + int64(trial)*47
+				sc := sim.Scenario{
+					Beacons:      []sim.BeaconSpec{{Name: "b", X: 7, Y: 2.5}},
+					ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+					EnvModel:     &sim.WallEnv{Walls: []sim.Wall{scn.wall}},
+					Seed:         seed,
+				}
+				tr, err := sim.Run(sc)
+				if err != nil {
+					return nil, err
+				}
+				m, err := eng.Locate(tr, "b")
+				if err != nil {
+					continue
+				}
+				errs = append(errs, m.Error(7, 2.5))
+			}
+			table.AddRow(pol.name, scn.name, fmt.Sprintf("%.2f", mean(errs)))
+		}
+	}
+	return table, nil
+}
+
+// AblationDTWSegment sweeps the clustering matcher's segment length
+// (the paper fixes 10 points on its batch scale).
+func AblationDTWSegment(opt Options) (*Table, error) {
+	trials := opt.trials(12, 3)
+	table := &Table{
+		ID:      "ablation-dtw-segment",
+		Title:   "Ablation: DTW segment length for cluster matching",
+		Columns: []string{"segment length", "near-join rate", "far-join rate"},
+	}
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	for _, segLen := range []int{3, 5, 8} {
+		nearJoin, farJoin, runs := 0, 0, 0
+		for trial := 0; trial < trials; trial++ {
+			seed := opt.Seed + int64(trial)*29
+			sc := sim.Scenario{
+				Beacons: []sim.BeaconSpec{
+					{Name: "target", X: 7, Y: 3},
+					{Name: "near", X: 7.3, Y: 3},
+					{Name: "far", X: 1, Y: 7},
+				},
+				ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+				EnvModel:     sim.StaticEnv(rf.NLOS),
+				Seed:         seed,
+			}
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := cluster.DefaultConfig()
+			ccfg.Matcher.SegmentLen = segLen
+			_, res, err := eng.LocateWithClusterConfig(tr, "target", ccfg)
+			if err != nil {
+				continue
+			}
+			for _, m := range res.Members {
+				switch m.Name {
+				case "near":
+					if m.Matched {
+						nearJoin++
+					}
+				case "far":
+					if m.Matched {
+						farJoin++
+					}
+				}
+			}
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		table.AddRow(fmt.Sprint(segLen),
+			fmt.Sprintf("%.2f", float64(nearJoin)/float64(runs)),
+			fmt.Sprintf("%.2f", float64(farJoin)/float64(runs)))
+	}
+	table.Notes = append(table.Notes,
+		"want high near-join and low far-join; too-short segments vote on noise, too-long ones waste data")
+	return table, nil
+}
+
+// AblationAKFGain sweeps the AKF's maximum raw-stream weight, trading
+// responsiveness against smoothness in the streaming filter.
+func AblationAKFGain(opt Options) (*Table, error) {
+	trials := opt.trials(20, 4)
+	table := &Table{
+		ID:      "ablation-akf-gain",
+		Title:   "Ablation: AKF max raw weight (streaming pipeline)",
+		Columns: []string{"max alpha", "mean error (m)"},
+	}
+	// The knob lives inside sigproc.AKF; exercise it through the
+	// streaming pipeline by scaling the estimator's exposure: we rebuild
+	// the engine per value via the package-level hook below.
+	for _, maxAlpha := range []float64{0.3, 0.6, 0.95} {
+		eng, err := ablationEngine(func(c *core.Config) {
+			c.StreamingANF = true
+			c.AKFMaxAlpha = maxAlpha
+		})
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		for trial := 0; trial < trials; trial++ {
+			sc := settingsScenario(opt.Seed+int64(trial)*23, rf.DeviceProfile{}, rf.TxProfile{})
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(sc.Beacons[0].X, sc.Beacons[0].Y))
+		}
+		table.AddRow(fmt.Sprintf("%.2f", maxAlpha), fmt.Sprintf("%.2f", mean(errs)))
+	}
+	return table, nil
+}

@@ -1,0 +1,146 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 7) on the simulation substrate. Each generator returns
+// a Table or Figure that renders as text rows/series matching what the
+// paper plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"locble/internal/core"
+	"locble/internal/mathx"
+)
+
+// Options scales experiment effort.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Trials per configuration (0 = experiment default).
+	Trials int
+	// Quick shrinks workloads for use inside testing.B loops.
+	Quick bool
+}
+
+func (o Options) trials(def, quick int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// Table is a rendered result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a rendered result figure: series share semantics with the
+// paper's plot of the same ID.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes each series as aligned columns.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(w, "x = %s, y = %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "-- %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(w, "  %8.3f  %8.3f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CDFSeries converts a sample of errors into an empirical CDF series.
+func CDFSeries(name string, errs []float64) Series {
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	s := Series{Name: name}
+	for i, e := range sorted {
+		s.X = append(s.X, e)
+		s.Y = append(s.Y, float64(i+1)/float64(len(sorted)))
+	}
+	return s
+}
+
+// summarize returns mean and the symmetric 75 %-range half-width (the
+// paper's Table 1 reports "mean ± 75 % confidence interval").
+func summarize(errs []float64) (mean, ci float64) {
+	mean = mathx.Mean(errs)
+	lo := mathx.Quantile(errs, 0.125)
+	hi := mathx.Quantile(errs, 0.875)
+	return mean, (hi - lo) / 2
+}
+
+// sharedEngine builds a default engine (EnvAware model cached per
+// process).
+func sharedEngine() (*core.Engine, error) {
+	return core.NewEngine(core.DefaultConfig())
+}

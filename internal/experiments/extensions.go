@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/core"
+	"locble/internal/imu"
+	"locble/internal/mathx"
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+// ExtTracking quantifies the continuous-tracking extension: sliding-window
+// fix error over a patrol walk (the "tracking" of the paper's title,
+// exercised beyond the paper's single-measurement evaluation).
+func ExtTracking(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(10, 3)
+	table := &Table{
+		ID:      "ext-tracking",
+		Title:   "Extension: continuous sliding-window tracking",
+		Columns: []string{"metric", "value"},
+	}
+	var all []float64
+	fixes := 0
+	for trial := 0; trial < trials; trial++ {
+		sc := sim.Scenario{
+			Beacons: []sim.BeaconSpec{{Name: "b", X: 6, Y: 2}},
+			ObserverPlan: imu.Plan{Segments: []imu.Segment{
+				{Heading: 0, Distance: 6},
+				{Heading: math.Pi / 2, Distance: 4},
+				{Heading: math.Pi, Distance: 6},
+				{Heading: -math.Pi / 2, Distance: 4},
+			}},
+			EnvModel: sim.StaticEnv(rf.LOS),
+			Seed:     opt.Seed + int64(trial)*19,
+		}
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := eng.TrackBeacon(tr, "b", 8, 2)
+		if err != nil {
+			continue
+		}
+		for _, p := range pts {
+			all = append(all, math.Hypot(p.Est.X-6, p.Est.H-2))
+		}
+		fixes += len(pts)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("experiments: tracking produced no fixes")
+	}
+	mean, ci := summarize(all)
+	table.AddRow("fixes", fmt.Sprint(fixes))
+	table.AddRow("mean fix error", fmt.Sprintf("%.2f ± %.2f m", mean, ci))
+	table.AddRow("fix cadence", "every 2 s on an 8 s window")
+	return table, nil
+}
+
+// Ext3D quantifies the 3-D extension (paper Sec. 9.3): L-shape + phone
+// lift gesture, shelf-height beacon.
+func Ext3D(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(15, 4)
+	table := &Table{
+		ID:      "ext-3d",
+		Title:   "Extension: 3-D localization (L-shape + phone lift)",
+		Columns: []string{"metric", "value"},
+	}
+	var xy, z []float64
+	for trial := 0; trial < trials; trial++ {
+		sc := sim.Scenario{
+			Beacons: []sim.BeaconSpec{{Name: "shelf", X: 5, Y: 2.5, Z: 1.5}},
+			ObserverPlan: imu.Plan{Segments: []imu.Segment{
+				{Heading: 0, Distance: 4},
+				{Heading: math.Pi / 2, Distance: 4, Lift: 0.6},
+				{Heading: math.Pi / 2, Lift: -1.2},
+			}},
+			EnvModel: sim.StaticEnv(rf.LOS),
+			Seed:     opt.Seed + int64(trial)*23,
+		}
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		est, err := eng.Locate3D(tr, "shelf")
+		if err != nil {
+			continue
+		}
+		xy = append(xy, math.Hypot(est.X-5, est.H-2.5))
+		z = append(z, math.Abs(est.Z-1.5))
+	}
+	if len(xy) == 0 {
+		return nil, fmt.Errorf("experiments: 3-D produced no estimates")
+	}
+	mxy, cxy := summarize(xy)
+	mz, cz := summarize(z)
+	table.AddRow("planar error", fmt.Sprintf("%.2f ± %.2f m", mxy, cxy))
+	table.AddRow("height error", fmt.Sprintf("%.2f ± %.2f m (beacon 1.5 m above carry plane)", mz, cz))
+	table.Notes = append(table.Notes,
+		"height is the weakest axis: the lift baseline is ~1 m vs 8 m of horizontal walk")
+	return table, nil
+}
+
+// ExtProximity quantifies the last-metre proximity fusion (paper
+// Sec. 9.2): walks passing close to the beacon, with and without the
+// refinement.
+func ExtProximity(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(25, 5)
+	table := &Table{
+		ID:      "ext-proximity",
+		Title:   "Extension: last-metre proximity fusion",
+		Columns: []string{"variant", "mean error (m)"},
+	}
+	var base, refined []float64
+	engaged := 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.New(opt.Seed + int64(trial)*29)
+		// Beacon near the walking path (closest approach < 1.5 m).
+		bx := src.Uniform(1.5, 3.5)
+		by := src.Uniform(0.4, 1.2)
+		// Partial blockage keeps the regression's own error around a
+		// metre, the regime the proximity fusion is meant to improve.
+		sc := sim.Scenario{
+			Beacons:      []sim.BeaconSpec{{Name: "b", X: bx, Y: by}},
+			ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+			EnvModel:     sim.StaticEnv(rf.PLOS),
+			Seed:         opt.Seed + int64(trial)*31,
+		}
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		m, err := eng.Locate(tr, "b")
+		if err != nil {
+			continue
+		}
+		ref := eng.RefineWithProximity(m, core.DefaultProximityFusionConfig())
+		if ref.X != m.Est.X || ref.H != m.Est.H {
+			engaged++
+		}
+		base = append(base, math.Hypot(m.Est.X-bx, m.Est.H-by))
+		refined = append(refined, math.Hypot(ref.X-bx, ref.H-by))
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("experiments: proximity produced no estimates")
+	}
+	table.AddRow("regression only", fmt.Sprintf("%.2f", mean(base)))
+	table.AddRow("with proximity fusion", fmt.Sprintf("%.2f", mean(refined)))
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("proximity engaged in %d/%d runs (close approaches)", engaged, len(base)),
+		"paper Sec. 9.2: proximity is accurate within 2 m and should bring accuracy under 1 m",
+		"in this simulator the regression itself already reaches ~0.5 m on close approaches, so the fusion acts as a safeguard (it never degrades a fix by design) rather than an improvement")
+	return table, nil
+}
+
+// ExtCrowded quantifies dense-deployment interference (paper Sec. 9.2
+// future work: "evaluation in crowded environments"): the target's report
+// rate and estimation error as co-channel advertisers are added.
+func ExtCrowded(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(10, 3)
+	table := &Table{
+		ID:      "ext-crowded",
+		Title:   "Extension: dense deployments (co-channel interference)",
+		Columns: []string{"interference", "report rate (Hz)", "mean error (m)"},
+	}
+	type cfg struct {
+		label    string
+		extra    int
+		wifiLoad float64
+	}
+	cases := []cfg{
+		{"0 beacons", 0, 0},
+		{"10 beacons", 10, 0},
+		{"30 beacons", 30, 0},
+		{"60 beacons", 60, 0},
+		{"30 beacons + 40% WiFi", 30, 0.4},
+	}
+	for _, c := range cases {
+		var errs []float64
+		var rateSum float64
+		runs := 0
+		for trial := 0; trial < trials; trial++ {
+			sc := sim.Scenario{
+				Beacons:      []sim.BeaconSpec{{Name: "b", X: 6, Y: 3}},
+				ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+				EnvModel:     sim.StaticEnv(rf.LOS),
+				WiFiLoad:     c.wifiLoad,
+				Seed:         opt.Seed + int64(trial)*37 + int64(c.extra),
+			}
+			for k := 0; k < c.extra; k++ {
+				sc.Beacons = append(sc.Beacons, sim.BeaconSpec{
+					Name: fmt.Sprintf("x%d", k),
+					X:    float64(k%8) + 0.5,
+					Y:    float64(k/8) - 2,
+				})
+			}
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			rateSum += float64(len(tr.Observations["b"])) / tr.Duration
+			runs++
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(6, 3))
+		}
+		if runs == 0 {
+			continue
+		}
+		table.AddRow(c.label,
+			fmt.Sprintf("%.1f", rateSum/float64(runs)),
+			fmt.Sprintf("%.2f", mean(errs)))
+	}
+	table.Notes = append(table.Notes,
+		"collisions thin the data but LocBLE degrades gracefully (cf. Fig. 13a: lower rates keep the median)")
+	return table, nil
+}
+
+// ExtBLE5 quantifies the Bluetooth 5 Coded-PHY extension (paper Sec. 9.3:
+// "wider coverage ... will enhance LocBLE's performance while keeping it
+// still compatible"): long-range NLOS links lose packets below the legacy
+// sensitivity floor; the Coded PHY's extra ~12 dB of link budget restores
+// the data and with it the estimate.
+func ExtBLE5(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(12, 3)
+	table := &Table{
+		ID:      "ext-ble5",
+		Title:   "Extension: Bluetooth 5 LE Coded PHY at long NLOS range",
+		Columns: []string{"distance", "PHY", "report rate (Hz)", "mean error (m)"},
+	}
+	for _, d := range []float64{8, 11, 14} {
+		for _, coded := range []bool{false, true} {
+			var errs []float64
+			var rateSum float64
+			runs := 0
+			for trial := 0; trial < trials; trial++ {
+				sc := sim.Scenario{
+					Beacons:      []sim.BeaconSpec{{Name: "b", X: d * 0.94, Y: d * 0.34}},
+					ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+					EnvModel:     sim.StaticEnv(rf.NLOS),
+					CodedPHY:     coded,
+					Seed:         opt.Seed + int64(trial)*41,
+				}
+				tr, err := sim.Run(sc)
+				if err != nil {
+					return nil, err
+				}
+				rateSum += float64(len(tr.Observations["b"])) / tr.Duration
+				runs++
+				m, err := eng.Locate(tr, "b")
+				if err != nil {
+					continue
+				}
+				errs = append(errs, m.Error(sc.Beacons[0].X, sc.Beacons[0].Y))
+			}
+			phy := "legacy 1M"
+			if coded {
+				phy = "coded S=8"
+			}
+			errStr := "no estimate"
+			if len(errs) > 0 {
+				errStr = fmt.Sprintf("%.2f (%d/%d runs)", mean(errs), len(errs), runs)
+			}
+			table.AddRow(fmt.Sprintf("%.0f m NLOS", d), phy,
+				fmt.Sprintf("%.1f", rateSum/float64(runs)), errStr)
+		}
+	}
+	table.Notes = append(table.Notes,
+		"the Coded PHY recovers packets the legacy floor clips, restoring data volume (and estimates) at range")
+	return table, nil
+}
+
+// ExtTrackingMoving tracks a *walking* phone over time: each sliding
+// window estimates the target's initial position (the regression's
+// reference point, Sec. 5), and adding the target's dead-reckoned
+// displacement yields its trajectory. Reported: RMSE of the reconstructed
+// trajectory against ground truth.
+func ExtTrackingMoving(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(8, 3)
+	table := &Table{
+		ID:      "ext-tracking-moving",
+		Title:   "Extension: trajectory tracking of a walking phone",
+		Columns: []string{"metric", "value"},
+	}
+	var trajErrs []float64
+	fixes := 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.New(opt.Seed + int64(trial)*43)
+		startX, startY := 7.0, 2.0
+		tgtHeading := src.Uniform(0.5, 2.5)
+		tgtPlan := imu.Plan{
+			Segments: []imu.Segment{
+				{Heading: tgtHeading, Distance: 4},
+				{Heading: tgtHeading - math.Pi/2, Distance: 3},
+			},
+			StartX: startX, StartY: startY, StartHeading: tgtHeading,
+			StepFreq: 1.2, // stroll, so the observer's window sees it longer
+		}
+		sc := sim.Scenario{
+			Beacons: []sim.BeaconSpec{{Name: "phone", X: startX, Y: startY, Tx: rf.IOSDeviceTx}},
+			ObserverPlan: imu.Plan{Segments: []imu.Segment{
+				{Heading: 0, Distance: 5},
+				{Heading: math.Pi / 2, Distance: 4},
+				{Heading: math.Pi, Distance: 5},
+			}},
+			TargetPlan: &tgtPlan,
+			EnvModel:   sim.StaticEnv(rf.LOS),
+			Seed:       opt.Seed + int64(trial)*47,
+		}
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := eng.TrackBeacon(tr, "phone", 8, 2)
+		if err != nil {
+			continue
+		}
+		// Reconstruct the trajectory: initial-position estimate plus the
+		// target's ground-truth displacement at the fix time (the app
+		// would use the streamed dead-reckoned displacement; ground truth
+		// isolates the RSS-side error here). Because every window
+		// estimates the *same* initial position, the running median of
+		// the estimates sharpens as fixes accumulate.
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Est.X)
+			ys = append(ys, p.Est.H)
+			medX := mathx.Median(xs)
+			medY := mathx.Median(ys)
+			bx, by := tr.TargetIMU.PositionAt(p.T)
+			estX := medX + (bx - startX)
+			estY := medY + (by - startY)
+			trajErrs = append(trajErrs, math.Hypot(estX-bx, estY-by))
+		}
+		fixes += len(pts)
+	}
+	if len(trajErrs) == 0 {
+		return nil, fmt.Errorf("experiments: moving tracking produced no fixes")
+	}
+	m, ci := summarize(trajErrs)
+	table.AddRow("fixes", fmt.Sprint(fixes))
+	table.AddRow("trajectory RMSE", fmt.Sprintf("%.2f ± %.2f m", m, ci))
+	table.Notes = append(table.Notes,
+		"each window estimates the target's (shared) initial position; the running median of those estimates plus the displacement stream yields a live trajectory")
+	return table, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/core"
+	"locble/internal/env"
+	"locble/internal/imu"
+	"locble/internal/ml"
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sigproc"
+	"locble/internal/sim"
+)
+
+// Fig2RSSVsDistance reproduces Fig. 2: RSS readings while walking away
+// from a beacon on the same path, on three phones — different constant
+// offsets, same trend.
+func Fig2RSSVsDistance(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig2",
+		Title:  "RSS reading on different smartphones",
+		XLabel: "distance (m)",
+		YLabel: "RSSI (dBm)",
+	}
+	phones := []rf.DeviceProfile{rf.IPhone5s, rf.Nexus5x, rf.MotoNex6}
+	for _, phone := range phones {
+		sc := sim.Scenario{
+			// Beacon at the origin; the observer starts next to it and
+			// walks away to 6.1 m (the paper's axis range).
+			Beacons:      []sim.BeaconSpec{{Name: "b", X: 0, Y: 0}},
+			ObserverPlan: imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 6.1}}, StartX: 0.5},
+			Phone:        phone,
+			EnvModel:     sim.StaticEnv(rf.LOS),
+			Seed:         opt.Seed + 2,
+		}
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: phone.Name}
+		for _, o := range tr.Observations["b"] {
+			s.X = append(s.X, o.TrueDist)
+			s.Y = append(s.Y, o.RSSI)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"expect: per-phone constant offsets, shared decreasing trend (paper Fig. 2)")
+	return fig, nil
+}
+
+// Fig4Filtering reproduces Fig. 4: theoretical vs raw vs BF vs BF+AKF
+// over a 40 s trace, plus RMSE-to-theoretical per variant.
+func Fig4Filtering(opt Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  "Performance of BF + AKF filtering design",
+		XLabel: "time (s)",
+		YLabel: "RSSI (dBm)",
+	}
+	// 40 s walk: away then back, NLOS-ish fluctuation (paper trace spans
+	// −90…−65 dBm).
+	sc := sim.Scenario{
+		Beacons: []sim.BeaconSpec{{Name: "b", X: 14, Y: 0}},
+		ObserverPlan: imu.Plan{Segments: []imu.Segment{
+			{Heading: 0, Distance: 11},
+			{Heading: math.Pi, Distance: 11},
+			{Heading: 0, Distance: 11},
+		}, StartX: 0},
+		EnvModel: sim.StaticEnv(rf.PLOS),
+		Seed:     opt.Seed + 4,
+	}
+	tr, err := sim.Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	obs := tr.Observations["b"]
+	raw := Series{Name: "Raw"}
+	theo := Series{Name: "Theoretical"}
+	var rawVals []float64
+	ch := rf.NewChannel(rf.PLOS, rf.EstimoteBeacon, tr.Phone, rng.New(1))
+	for _, o := range obs {
+		raw.X = append(raw.X, o.T)
+		raw.Y = append(raw.Y, o.RSSI)
+		rawVals = append(rawVals, o.RSSI)
+		theo.X = append(theo.X, o.T)
+		theo.Y = append(theo.Y, ch.MeanRSSI(o.TrueDist))
+	}
+	fs := tr.Phone.SampleRateHz
+	bf, err := sigproc.NewButterworth(6, 0.9, fs)
+	if err != nil {
+		return nil, err
+	}
+	bfOut := bf.Filter(rawVals)
+	bf2, _ := sigproc.NewButterworth(6, 0.9, fs)
+	akf := sigproc.NewAKF(bf2)
+	akfOut := akf.Filter(rawVals)
+
+	bfSeries := Series{Name: "BF", X: raw.X, Y: bfOut}
+	akfSeries := Series{Name: "BF + AKF", X: raw.X, Y: akfOut}
+	fig.Series = []Series{theo, raw, bfSeries, akfSeries}
+
+	rmse := func(ys []float64) float64 {
+		s := 0.0
+		for i := range ys {
+			d := ys[i] - theo.Y[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(ys)))
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("RMSE to theoretical: raw %.2f dB, BF %.2f dB, BF+AKF %.2f dB",
+			rmse(raw.Y), rmse(bfOut), rmse(akfOut)),
+		"expect: BF smooth but delayed; BF+AKF tracks changes with less delay (paper Fig. 4)")
+	return fig, nil
+}
+
+// Fig5Preprocessing reproduces Fig. 5: CDFs of estimation error with the
+// full pipeline vs without ANF vs without EnvAware, in environments with
+// NLOS→LOS transitions and p-LOS interruptions (paper envs #2–#4).
+func Fig5Preprocessing(opt Options) (*Figure, error) {
+	trials := opt.trials(30, 6)
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"w. ANF + EnvAware", func(c *core.Config) {}},
+		{"w./o. ANF", func(c *core.Config) { c.DisableANF = true }},
+		{"w./o. EnvAware", func(c *core.Config) { c.DisableEnvAware = true }},
+	}
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Performance of data preprocessing",
+		XLabel: "estimation error (m)",
+		YLabel: "CDF",
+	}
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		// The ANF ablation compares the *streaming* pipeline the paper
+		// runs (BF+AKF) against raw data, so use the streaming filter
+		// here rather than the zero-phase batch default.
+		cfg.StreamingANF = true
+		v.mod(&cfg)
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		for trial := 0; trial < trials; trial++ {
+			seed := opt.Seed + int64(trial)*17
+			// Alternate the two transition geometries the paper's envs
+			// #2–#4 exercise: walking out of a shadow (NLOS→LOS) and
+			// walking into one (LOS→NLOS); random passers-by inject
+			// p-LOS episodes on top.
+			src := rng.New(seed)
+			var walls *sim.WallEnv
+			if trial%2 == 0 {
+				walls = &sim.WallEnv{Walls: []sim.Wall{{X1: 2.0, Y1: -2, X2: 2.0, Y2: 9, Class: rf.NLOS}}}
+			} else {
+				walls = &sim.WallEnv{Walls: []sim.Wall{{X1: 4.5, Y1: 1.0, X2: 8.5, Y2: 1.0, Class: rf.NLOS}}}
+			}
+			envModel := sim.NewPasserbyEnv(walls, 0.25, 1.8, src)
+			sc := sim.Scenario{
+				Beacons:      []sim.BeaconSpec{{Name: "b", X: 7, Y: 2.5}},
+				ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+				EnvModel:     envModel,
+				Seed:         seed,
+			}
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(7, 2.5))
+		}
+		if len(errs) == 0 {
+			return nil, fmt.Errorf("experiments: fig5 variant %q produced no estimates", v.name)
+		}
+		fig.Series = append(fig.Series, CDFSeries(v.name, errs))
+	}
+	fig.Notes = append(fig.Notes,
+		"expect: removing ANF costs >1.5 m, removing EnvAware >1 m median error (paper Fig. 5)")
+	return fig, nil
+}
+
+// EnvAwareClassification reproduces the Sec. 4.1 classifier study:
+// precision/recall of the 3-class environment classifier for the linear
+// SVM and the alternatives the paper tried.
+func EnvAwareClassification(opt Options) (*Table, error) {
+	cfg := env.DefaultDatasetConfig()
+	cfg.Seed = opt.Seed + 99
+	if opt.Quick {
+		cfg.TracesPerEnv = 20
+	}
+	d, _, _, err := env.BuildDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(opt.Seed + 1)
+	train, test := d.Split(0.3, src)
+
+	table := &Table{
+		ID:      "sec4.1",
+		Title:   "EnvAware 3-class environment classification (held out)",
+		Columns: []string{"classifier", "accuracy", "macro precision", "macro recall"},
+	}
+	models := []struct {
+		name string
+		fit  func(ml.Dataset) (ml.Classifier, error)
+	}{
+		{"linear SVM", func(d ml.Dataset) (ml.Classifier, error) { return ml.TrainLinearSVM(d, ml.DefaultSVMConfig()) }},
+		{"decision tree", func(d ml.Dataset) (ml.Classifier, error) { return ml.TrainDecisionTree(d, ml.DefaultTreeConfig()) }},
+		{"random forest", func(d ml.Dataset) (ml.Classifier, error) { return ml.TrainRandomForest(d, ml.DefaultForestConfig()) }},
+	}
+	for _, mspec := range models {
+		std, err := ml.FitStandardizer(train.X)
+		if err != nil {
+			return nil, err
+		}
+		model, err := mspec.fit(ml.Dataset{X: std.ApplyAll(train.X), Y: train.Y})
+		if err != nil {
+			return nil, err
+		}
+		cm := ml.NewConfusionMatrix(3)
+		for i, x := range test.X {
+			cm.Add(test.Y[i], model.Predict(std.Apply(x)))
+		}
+		table.AddRow(mspec.name,
+			fmt.Sprintf("%.3f", cm.Accuracy()),
+			fmt.Sprintf("%.3f", cm.MacroPrecision()),
+			fmt.Sprintf("%.3f", cm.MacroRecall()))
+	}
+	table.Notes = append(table.Notes,
+		"paper: 94.7 % precision / 94.5 % recall with the linear SVM on their hand-collected traces")
+	return table, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderable is anything the harness can print.
+type Renderable interface {
+	Render(w io.Writer)
+}
+
+// Entry is one registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(Options) (Renderable, error)
+}
+
+// wrapT adapts a Table generator.
+func wrapT(f func(Options) (*Table, error)) func(Options) (Renderable, error) {
+	return func(o Options) (Renderable, error) { return f(o) }
+}
+
+// wrapF adapts a Figure generator.
+func wrapF(f func(Options) (*Figure, error)) func(Options) (Renderable, error) {
+	return func(o Options) (Renderable, error) { return f(o) }
+}
+
+// All returns every experiment in paper order.
+func All() []Entry {
+	return []Entry{
+		{"fig2", "RSS vs distance on three phones", wrapF(Fig2RSSVsDistance)},
+		{"fig4", "BF + AKF filtering", wrapF(Fig4Filtering)},
+		{"fig5", "Preprocessing ablation CDFs", wrapF(Fig5Preprocessing)},
+		{"sec4.1", "EnvAware classification", wrapT(EnvAwareClassification)},
+		{"fig8", "Step and turn detection", wrapT(Fig8StepTurn)},
+		{"fig9", "DTW clustering and LB speedup", wrapT(Fig9DTW)},
+		{"table1", "Per-environment accuracy", wrapT(Table1Environments)},
+		{"fig10b", "Navigation overall error", wrapF(Fig10bNavigation)},
+		{"fig11a", "Stationary target vs Dartle", wrapT(Fig11aStationary)},
+		{"fig11b", "Moving target CDFs", wrapF(Fig11bMovingTarget)},
+		{"fig12a", "Error vs target distance", wrapF(Fig12aDistanceSweep)},
+		{"fig12b", "Navigation approach", wrapF(Fig12bNavigationApproach)},
+		{"fig13a", "Sampling-rate sweep", wrapF(Fig13aSamplingRate)},
+		{"fig13b", "Walk-length sweep", wrapF(Fig13bWalkLength)},
+		{"fig14", "Beacon hardware types", wrapT(Fig14BeaconTypes)},
+		{"fig15", "Clustering calibration", wrapF(Fig15Clustering)},
+		{"sec7.8", "System overhead", wrapT(Overhead)},
+		{"ablation-bf-order", "Butterworth order", wrapT(AblationButterworthOrder)},
+		{"ablation-lshape", "L-shape vs straight walk", wrapT(AblationLShape)},
+		{"ablation-restart", "EnvAware restart policy", wrapT(AblationRestartPolicy)},
+		{"ablation-dtw-segment", "DTW segment length", wrapT(AblationDTWSegment)},
+		{"ablation-akf-gain", "AKF max raw weight", wrapT(AblationAKFGain)},
+		{"ext-tracking", "Continuous tracking", wrapT(ExtTracking)},
+		{"ext-3d", "3-D localization", wrapT(Ext3D)},
+		{"ext-proximity", "Last-metre proximity fusion", wrapT(ExtProximity)},
+		{"ext-crowded", "Dense deployments", wrapT(ExtCrowded)},
+		{"ext-ble5", "Bluetooth 5 Coded PHY", wrapT(ExtBLE5)},
+		{"ext-tracking-moving", "Trajectory tracking of a walking phone", wrapT(ExtTrackingMoving)},
+	}
+}
+
+// ByID finds a registered experiment.
+func ByID(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/core"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+// settingsScenario is the shared stationary measurement for the
+// Sec. 7.6 settings sweeps (environments #2–#4 flavoured: light clutter).
+func settingsScenario(seed int64, phone rf.DeviceProfile, tx rf.TxProfile) sim.Scenario {
+	src := rng.New(seed)
+	d := src.Uniform(5.5, 7.5)
+	ang := src.Uniform(0.25, 0.8)
+	beacon := sim.BeaconSpec{Name: "b", X: d * math.Cos(ang), Y: d * math.Sin(ang)}
+	if tx.Name != "" {
+		beacon.Tx = tx
+	}
+	walls := &sim.WallEnv{Walls: []sim.Wall{
+		{X1: src.Uniform(1.5, 3), Y1: 0.5, X2: src.Uniform(3, 4.5), Y2: 2.5, Class: rf.PLOS},
+	}}
+	sc := sim.Scenario{
+		Beacons:      []sim.BeaconSpec{beacon},
+		ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+		EnvModel:     walls,
+		Seed:         seed,
+	}
+	if phone.Name != "" {
+		sc.Phone = phone
+	}
+	return sc
+}
+
+// resample decimates a trace's observations of one beacon to a target
+// rate by inserting idle gaps, as the paper does ("by inserting an idle
+// delay between two consecutive scans").
+func resampleObs(obs []sim.BeaconObservation, fromHz, toHz float64) []sim.BeaconObservation {
+	if toHz >= fromHz {
+		return obs
+	}
+	keepEvery := fromHz / toHz
+	var out []sim.BeaconObservation
+	next := 0.0
+	for i, o := range obs {
+		if float64(i) >= next {
+			out = append(out, o)
+			next += keepEvery
+		}
+	}
+	return out
+}
+
+// Fig13aSamplingRate reproduces Fig. 13(a): CDFs of estimation error at
+// 9 / 8 / 6.5 / 5.5 Hz sampling (resampled from the original traces).
+func Fig13aSamplingRate(opt Options) (*Figure, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(30, 6)
+	fig := &Figure{
+		ID:     "fig13a",
+		Title:  "Estimation error vs sampling frequency",
+		XLabel: "estimation error (m)",
+		YLabel: "CDF",
+	}
+	rates := []float64{9, 8, 6.5, 5.5}
+	// Generate base traces once, then decimate per rate.
+	type run struct {
+		tr     *sim.Trace
+		bx, by float64
+	}
+	var runs []run
+	for trial := 0; trial < trials; trial++ {
+		sc := settingsScenario(opt.Seed+int64(trial)*59, rf.DeviceProfile{}, rf.TxProfile{})
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{tr, sc.Beacons[0].X, sc.Beacons[0].Y})
+	}
+	for _, rate := range rates {
+		var errs []float64
+		for _, r := range runs {
+			// Clone the trace with decimated observations.
+			decimated := *r.tr
+			decimated.Observations = map[string][]sim.BeaconObservation{
+				"b": resampleObs(r.tr.Observations["b"], r.tr.Phone.SampleRateHz, rate),
+			}
+			decimated.Phone.SampleRateHz = rate
+			m, err := eng.Locate(&decimated, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(r.bx, r.by))
+		}
+		if len(errs) == 0 {
+			continue
+		}
+		fig.Series = append(fig.Series, CDFSeries(fmt.Sprintf("%g Hz", rate), errs))
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: medians stay stable at lower rates; the tail degrades")
+	return fig, nil
+}
+
+// Fig13bWalkLength reproduces Fig. 13(b): CDFs of estimation error when
+// only the first 100/80/70/50 % of the measurement data is used.
+func Fig13bWalkLength(opt Options) (*Figure, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(30, 6)
+	fig := &Figure{
+		ID:     "fig13b",
+		Title:  "Estimation error vs measurement data length",
+		XLabel: "estimation error (m)",
+		YLabel: "CDF",
+	}
+	fractions := []float64{1.0, 0.8, 0.7, 0.5}
+	type run struct {
+		tr     *sim.Trace
+		bx, by float64
+	}
+	var runs []run
+	for trial := 0; trial < trials; trial++ {
+		sc := settingsScenario(opt.Seed+int64(trial)*61+1, rf.DeviceProfile{}, rf.TxProfile{})
+		tr, err := sim.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{tr, sc.Beacons[0].X, sc.Beacons[0].Y})
+	}
+	for _, frac := range fractions {
+		var errs []float64
+		for _, r := range runs {
+			obs := r.tr.Observations["b"]
+			n := int(float64(len(obs)) * frac)
+			truncated := *r.tr
+			truncated.Observations = map[string][]sim.BeaconObservation{"b": obs[:n]}
+			m, err := eng.Locate(&truncated, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(r.bx, r.by))
+		}
+		if len(errs) == 0 {
+			continue
+		}
+		fig.Series = append(fig.Series, CDFSeries(fmt.Sprintf("%.0f%%", frac*100), errs))
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: stable down to 80 % of data (~3 m walk), degrades at 70 %, much worse at 50 %")
+	return fig, nil
+}
+
+// Fig14BeaconTypes reproduces Fig. 14: mean estimation error per beacon
+// hardware type (iOS device / RadBeacon / Estimote) in environment #2.
+func Fig14BeaconTypes(opt Options) (*Table, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(25, 5)
+	table := &Table{
+		ID:      "fig14",
+		Title:   "Estimation error by beacon hardware",
+		Columns: []string{"beacon type", "mean error (m)", "paper"},
+	}
+	types := []rf.TxProfile{rf.IOSDeviceTx, rf.RadBeaconUSB, rf.EstimoteBeacon}
+	paperVals := map[string]string{
+		"iOS device": "≈1.3 m", "RadBeacon": "≈1.1 m", "Estimote": "≈1.0 m",
+	}
+	for _, tx := range types {
+		var errs []float64
+		for trial := 0; trial < trials; trial++ {
+			sc := settingsScenario(opt.Seed+int64(trial)*73+2, rf.DeviceProfile{}, tx)
+			tr, err := sim.Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			m, err := eng.Locate(tr, "b")
+			if err != nil {
+				continue
+			}
+			errs = append(errs, m.Error(sc.Beacons[0].X, sc.Beacons[0].Y))
+		}
+		table.AddRow(tx.Name, fmt.Sprintf("%.2f", mean(errs)), paperVals[tx.Name])
+	}
+	table.Notes = append(table.Notes,
+		"paper: dedicated beacons slightly better than smart-device beacons; no strong dependence")
+	return table, nil
+}
+
+// Fig15Clustering reproduces Fig. 15: estimation error vs number of
+// clustered beacons (1/2/4/6) in the heavy-blockage Lab and Hall
+// environments.
+func Fig15Clustering(opt Options) (*Figure, error) {
+	eng, err := sharedEngine()
+	if err != nil {
+		return nil, err
+	}
+	trials := opt.trials(15, 4)
+	fig := &Figure{
+		ID:     "fig15",
+		Title:  "Calibration performance vs number of beacons",
+		XLabel: "number of beacons",
+		YLabel: "estimation error (m)",
+	}
+	envs := []struct {
+		name   string
+		preset int
+	}{
+		{"Lab", 7},
+		{"Hall", 8},
+	}
+	counts := []int{1, 2, 4, 6}
+	for _, e := range envs {
+		p, _ := sim.PresetByIndex(e.preset)
+		s := Series{Name: e.name}
+		for _, nBeacons := range counts {
+			var errs []float64
+			for trial := 0; trial < trials; trial++ {
+				seed := opt.Seed + int64(trial)*83 + int64(e.preset)*5 + int64(nBeacons)
+				src := rng.New(seed)
+				// Target plus (n−1) neighbours within 0.4 m; heavy
+				// blockage: a concrete wall crosses the path.
+				tx, ty := 7.0, 3.0
+				beacons := []sim.BeaconSpec{{Name: "target", X: tx, Y: ty}}
+				for k := 1; k < nBeacons; k++ {
+					beacons = append(beacons, sim.BeaconSpec{
+						Name: fmt.Sprintf("n%d", k),
+						X:    tx + src.Uniform(-0.4, 0.4),
+						Y:    ty + src.Uniform(-0.4, 0.4),
+					})
+				}
+				walls := &sim.WallEnv{Walls: []sim.Wall{
+					{X1: 3, Y1: -2, X2: 3, Y2: 9, Class: rf.NLOS},
+				}}
+				_ = p
+				sc := sim.Scenario{
+					Beacons:      beacons,
+					ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+					EnvModel:     walls,
+					Seed:         seed,
+				}
+				tr, err := sim.Run(sc)
+				if err != nil {
+					return nil, err
+				}
+				var errV float64
+				if nBeacons == 1 {
+					m, err := eng.Locate(tr, "target")
+					if err != nil {
+						continue
+					}
+					errV = m.Error(tx, ty)
+				} else {
+					m, _, err := eng.LocateWithCluster(tr, "target")
+					if err != nil {
+						continue
+					}
+					errV = m.Error(tx, ty)
+				}
+				errs = append(errs, errV)
+			}
+			if len(errs) == 0 {
+				continue
+			}
+			s.X = append(s.X, float64(nBeacons))
+			s.Y = append(s.Y, mean(errs))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: single-beacon error ~3 m under heavy blockage; halves by 6 beacons")
+	return fig, nil
+}
+
+// ablationEngine builds an engine with a modified config.
+func ablationEngine(mod func(*core.Config)) (*core.Engine, error) {
+	cfg := core.DefaultConfig()
+	mod(&cfg)
+	return core.NewEngine(cfg)
+}

@@ -1,0 +1,418 @@
+// Package imu synthesizes the inertial sensor streams a smartphone
+// produces while its user walks: 3-axis accelerometer with per-step
+// vertical oscillation, 3-axis gyroscope with turn "bumps", and a
+// magnetometer whose heading fluctuates indoors but is accurate over
+// short periods (paper Sec. 5.2). The synthesizer also emits the
+// ground-truth pose track and step/turn event times, which the motion
+// package's detectors are evaluated against (Fig. 8; 94.77 % step
+// accuracy, 3.45° angle error).
+package imu
+
+import (
+	"errors"
+	"math"
+
+	"locble/internal/rng"
+)
+
+// Gravity is standard gravity in m/s².
+const Gravity = 9.80665
+
+// Sample is one IMU reading in the device frame.
+type Sample struct {
+	T    float64    // seconds since trace start
+	Acc  [3]float64 // accelerometer, m/s² (includes gravity)
+	Gyro [3]float64 // gyroscope, rad/s
+	Mag  [3]float64 // magnetometer, arbitrary units (unit field vector)
+}
+
+// Pose is a ground-truth observer pose.
+type Pose struct {
+	T       float64
+	X, Y    float64 // metres, world frame
+	Z       float64 // phone height offset from the carry plane, metres
+	Heading float64 // radians, 0 = +x axis, CCW positive
+	Walking bool
+}
+
+// Segment is one leg of a walking plan: turn in place to face Heading,
+// then walk Distance metres. Lift raises (or lowers) the phone by that
+// many metres over the course of the segment — the app-guided gesture the
+// paper's 3-D extension needs (Sec. 9.3: "3-D localization can be done by
+// modifying our data fusion and L-shaped movement").
+type Segment struct {
+	Heading  float64 // absolute heading in radians
+	Distance float64 // metres (0 = turn only)
+	Lift     float64 // metres of vertical phone movement during the segment
+}
+
+// Plan describes a walk to synthesize.
+type Plan struct {
+	Segments []Segment
+	// StepLength in metres (default 0.7).
+	StepLength float64
+	// StepFreq in steps/second (default 1.8).
+	StepFreq float64
+	// TurnRate in rad/s while turning in place (default ~60°/s).
+	TurnRate float64
+	// SampleRate of the IMU in Hz (default 100).
+	SampleRate float64
+	// StartX, StartY is the starting position in metres.
+	StartX, StartY float64
+	// StartHeading is the initial facing in radians.
+	StartHeading float64
+	// LeadIn is standing time before the first segment (default 0.5 s).
+	LeadIn float64
+}
+
+// LShape returns the paper's canonical measurement movement (Sec. 5.1):
+// walk legA metres along heading, turn 90° left, walk legB metres.
+func LShape(heading, legA, legB float64) []Segment {
+	return []Segment{
+		{Heading: heading, Distance: legA},
+		{Heading: heading + math.Pi/2, Distance: legB},
+	}
+}
+
+func (p *Plan) defaults() {
+	if p.StepLength <= 0 {
+		p.StepLength = 0.7
+	}
+	if p.StepFreq <= 0 {
+		p.StepFreq = 1.8
+	}
+	if p.TurnRate <= 0 {
+		p.TurnRate = math.Pi / 3
+	}
+	if p.SampleRate <= 0 {
+		p.SampleRate = 100
+	}
+	if p.LeadIn <= 0 {
+		p.LeadIn = 0.5
+	}
+}
+
+// Noise configures sensor imperfections.
+type Noise struct {
+	AccSigma  float64 // m/s²
+	GyroSigma float64 // rad/s
+	// MagSigma is white heading noise in radians.
+	MagSigma float64
+	// MagDriftSigma is the scale of the slowly varying indoor magnetic
+	// disturbance in radians (random-walk, paper Sec. 5.2.2 notes the
+	// field "fluctuates in indoor environments but is accurate over a
+	// short period").
+	MagDriftSigma float64
+	// GyroBias is a constant rate bias in rad/s.
+	GyroBias float64
+}
+
+// DefaultNoise returns indoor-smartphone-grade sensor noise.
+func DefaultNoise() Noise {
+	return Noise{
+		AccSigma:      0.25,
+		GyroSigma:     0.02,
+		MagSigma:      0.035,
+		MagDriftSigma: 0.012,
+		GyroBias:      0.004,
+	}
+}
+
+// Event marks a ground-truth gait or turn event.
+type Event struct {
+	T float64
+	// Kind is "step", "turn-begin" or "turn-end".
+	Kind string
+	// Angle is the signed turn angle in radians for turn-end events.
+	Angle float64
+}
+
+// Trace is a synthesized IMU recording with ground truth.
+type Trace struct {
+	Samples []Sample
+	Truth   []Pose
+	Events  []Event
+	// Steps is the ground-truth step count.
+	Steps int
+	// Duration in seconds.
+	Duration float64
+}
+
+// phase is an internal timeline element.
+type phase struct {
+	start, end float64
+	kind       string // "stand", "turn", "walk"
+	h0, h1     float64
+	x0, y0     float64
+	x1, y1     float64
+	z0, z1     float64
+	steps      int
+}
+
+// ErrEmptyPlan is returned when the plan has no segments.
+var ErrEmptyPlan = errors.New("imu: plan has no segments")
+
+// Synthesize renders the plan to an IMU trace using noise parameters and
+// randomness from src.
+func Synthesize(p Plan, noise Noise, src *rng.Source) (*Trace, error) {
+	p.defaults()
+	if len(p.Segments) == 0 {
+		return nil, ErrEmptyPlan
+	}
+	phases := buildTimeline(&p)
+	total := phases[len(phases)-1].end
+
+	dt := 1 / p.SampleRate
+	n := int(total/dt) + 1
+	tr := &Trace{Duration: total}
+
+	magDrift := 0.0
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		ph := phaseAt(phases, t)
+		pose := poseAt(ph, t)
+
+		var s Sample
+		s.T = t
+
+		// Accelerometer: gravity on z plus gait oscillation while walking.
+		s.Acc[2] = Gravity
+		if ph.kind == "walk" {
+			// Per-step vertical bounce at the step frequency with a
+			// second harmonic, plus smaller fore-aft sway.
+			w := 2 * math.Pi * p.StepFreq
+			tw := t - ph.start
+			vert := 1.9*math.Sin(w*tw) + 0.5*math.Sin(2*w*tw)
+			s.Acc[2] += vert
+			fore := 0.6 * math.Cos(w*tw)
+			s.Acc[0] += fore
+		}
+		for k := 0; k < 3; k++ {
+			s.Acc[k] += src.Normal(0, noise.AccSigma)
+		}
+
+		// Gyroscope: z-rate during turns (bell-shaped bump).
+		if ph.kind == "turn" {
+			dur := ph.end - ph.start
+			frac := (t - ph.start) / dur
+			// Raised-cosine rate profile integrating to (h1−h0).
+			rate := (ph.h1 - ph.h0) / dur * (1 - math.Cos(2*math.Pi*frac))
+			s.Gyro[2] = rate
+		}
+		for k := 0; k < 3; k++ {
+			s.Gyro[k] += src.Normal(0, noise.GyroSigma)
+		}
+		s.Gyro[2] += noise.GyroBias
+
+		// Magnetometer: unit north vector rotated into the device frame
+		// by the heading, with indoor drift + white noise. We model the
+		// horizontal field; heading = atan2(−my, mx).
+		magDrift += src.Normal(0, noise.MagDriftSigma*math.Sqrt(dt))
+		hNoisy := pose.Heading + magDrift + src.Normal(0, noise.MagSigma)
+		s.Mag[0] = math.Cos(hNoisy)
+		s.Mag[1] = -math.Sin(hNoisy)
+		s.Mag[2] = 0.35 // vertical dip component
+
+		tr.Samples = append(tr.Samples, s)
+		tr.Truth = append(tr.Truth, pose)
+	}
+
+	// Ground-truth events.
+	for _, ph := range phases {
+		switch ph.kind {
+		case "walk":
+			for k := 0; k < ph.steps; k++ {
+				tr.Events = append(tr.Events, Event{
+					T:    ph.start + (float64(k)+0.25)/p.StepFreq,
+					Kind: "step",
+				})
+				tr.Steps++
+			}
+		case "turn":
+			tr.Events = append(tr.Events,
+				Event{T: ph.start, Kind: "turn-begin"},
+				Event{T: ph.end, Kind: "turn-end", Angle: ph.h1 - ph.h0},
+			)
+		}
+	}
+	return tr, nil
+}
+
+func buildTimeline(p *Plan) []phase {
+	var phases []phase
+	t := 0.0
+	x, y, h := p.StartX, p.StartY, p.StartHeading
+
+	z := 0.0
+	phases = append(phases, phase{start: t, end: t + p.LeadIn, kind: "stand", h0: h, h1: h, x0: x, y0: y, x1: x, y1: y, z0: z, z1: z})
+	t += p.LeadIn
+
+	for _, seg := range p.Segments {
+		if d := angleDiff(seg.Heading, h); math.Abs(d) > 1e-9 {
+			dur := math.Abs(d) / p.TurnRate
+			phases = append(phases, phase{start: t, end: t + dur, kind: "turn", h0: h, h1: h + d, x0: x, y0: y, x1: x, y1: y, z0: z, z1: z})
+			t += dur
+			h += d
+		}
+		if seg.Distance > 1e-9 || math.Abs(seg.Lift) > 1e-9 {
+			steps := int(math.Round(seg.Distance / p.StepLength))
+			if steps < 1 && seg.Distance > 1e-9 {
+				steps = 1
+			}
+			dur := float64(steps) / p.StepFreq
+			if steps == 0 {
+				// Pure lift gesture: ~1 s per half metre of vertical move.
+				dur = math.Max(0.8, 2*math.Abs(seg.Lift))
+			}
+			x1 := x + seg.Distance*math.Cos(h)
+			y1 := y + seg.Distance*math.Sin(h)
+			z1 := z + seg.Lift
+			kind := "walk"
+			if steps == 0 {
+				kind = "stand"
+			}
+			phases = append(phases, phase{start: t, end: t + dur, kind: kind, h0: h, h1: h, x0: x, y0: y, x1: x1, y1: y1, z0: z, z1: z1, steps: steps})
+			t += dur
+			x, y, z = x1, y1, z1
+		}
+	}
+	// Trailing stand so filters settle.
+	phases = append(phases, phase{start: t, end: t + 0.5, kind: "stand", h0: h, h1: h, x0: x, y0: y, x1: x, y1: y, z0: z, z1: z})
+	return phases
+}
+
+func phaseAt(phases []phase, t float64) *phase {
+	for i := range phases {
+		if t < phases[i].end {
+			return &phases[i]
+		}
+	}
+	return &phases[len(phases)-1]
+}
+
+func poseAt(ph *phase, t float64) Pose {
+	frac := 0.0
+	if ph.end > ph.start {
+		frac = (t - ph.start) / (ph.end - ph.start)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	return Pose{
+		T:       t,
+		X:       ph.x0 + (ph.x1-ph.x0)*frac,
+		Y:       ph.y0 + (ph.y1-ph.y0)*frac,
+		Z:       ph.z0 + (ph.z1-ph.z0)*frac,
+		Heading: ph.h0 + (ph.h1-ph.h0)*frac,
+		Walking: ph.kind == "walk",
+	}
+}
+
+// angleDiff returns the signed smallest rotation from a to b in (−π, π].
+func angleDiff(b, a float64) float64 {
+	d := math.Mod(b-a, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// AngleDiff is the exported signed smallest rotation from a to b.
+func AngleDiff(b, a float64) float64 { return angleDiff(b, a) }
+
+// HeightAt interpolates the ground-truth phone height offset at time t.
+func (tr *Trace) HeightAt(t float64) float64 {
+	if len(tr.Truth) == 0 {
+		return 0
+	}
+	if t <= tr.Truth[0].T {
+		return tr.Truth[0].Z
+	}
+	last := tr.Truth[len(tr.Truth)-1]
+	if t >= last.T {
+		return last.Z
+	}
+	dt := tr.Truth[1].T - tr.Truth[0].T
+	i := int(t / dt)
+	if i+1 >= len(tr.Truth) {
+		return last.Z
+	}
+	a, b := tr.Truth[i], tr.Truth[i+1]
+	frac := (t - a.T) / dt
+	return a.Z + (b.Z-a.Z)*frac
+}
+
+// HeadingAt interpolates the ground-truth heading at time t.
+func (tr *Trace) HeadingAt(t float64) float64 {
+	if len(tr.Truth) == 0 {
+		return 0
+	}
+	if t <= tr.Truth[0].T {
+		return tr.Truth[0].Heading
+	}
+	last := tr.Truth[len(tr.Truth)-1]
+	if t >= last.T {
+		return last.Heading
+	}
+	dt := tr.Truth[1].T - tr.Truth[0].T
+	i := int(t / dt)
+	if i+1 >= len(tr.Truth) {
+		return last.Heading
+	}
+	a, b := tr.Truth[i], tr.Truth[i+1]
+	frac := (t - a.T) / dt
+	return a.Heading + angleDiff(b.Heading, a.Heading)*frac
+}
+
+// PositionAt interpolates the ground-truth position at time t.
+func (tr *Trace) PositionAt(t float64) (x, y float64) {
+	if len(tr.Truth) == 0 {
+		return 0, 0
+	}
+	if t <= tr.Truth[0].T {
+		return tr.Truth[0].X, tr.Truth[0].Y
+	}
+	last := tr.Truth[len(tr.Truth)-1]
+	if t >= last.T {
+		return last.X, last.Y
+	}
+	// Truth is uniformly sampled; index directly.
+	dt := tr.Truth[1].T - tr.Truth[0].T
+	i := int(t / dt)
+	if i+1 >= len(tr.Truth) {
+		return last.X, last.Y
+	}
+	a, b := tr.Truth[i], tr.Truth[i+1]
+	frac := (t - a.T) / dt
+	return a.X + (b.X-a.X)*frac, a.Y + (b.Y-a.Y)*frac
+}
+
+// RandomWaypointPlan builds a walking plan of legs random-waypoint style
+// inside a w×h room: each leg heads to a uniformly drawn waypoint. Useful
+// for coverage studies and long tracking sessions beyond the canonical
+// L-shape.
+func RandomWaypointPlan(w, h float64, legs int, src *rng.Source) Plan {
+	var segs []Segment
+	x, y := w*0.1, h*0.1
+	for i := 0; i < legs; i++ {
+		nx := src.Uniform(0.1*w, 0.9*w)
+		ny := src.Uniform(0.1*h, 0.9*h)
+		dx, dy := nx-x, ny-y
+		dist := math.Hypot(dx, dy)
+		if dist < 0.5 {
+			continue
+		}
+		segs = append(segs, Segment{Heading: math.Atan2(dy, dx), Distance: dist})
+		x, y = nx, ny
+	}
+	if len(segs) == 0 {
+		segs = []Segment{{Heading: 0, Distance: math.Max(1, 0.5*w)}}
+	}
+	return Plan{Segments: segs, StartX: w * 0.1, StartY: h * 0.1}
+}

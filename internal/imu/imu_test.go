@@ -1,0 +1,255 @@
+package imu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locble/internal/rng"
+)
+
+func TestSynthesizeBasics(t *testing.T) {
+	plan := Plan{Segments: LShape(0, 4, 4)}
+	tr, err := Synthesize(plan, DefaultNoise(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 || len(tr.Truth) != len(tr.Samples) {
+		t.Fatalf("samples %d truth %d", len(tr.Samples), len(tr.Truth))
+	}
+	// 4 m legs at 0.7 m steps → ~6 steps each.
+	if tr.Steps < 10 || tr.Steps > 14 {
+		t.Errorf("ground-truth steps = %d, want ≈12", tr.Steps)
+	}
+	// Final position: (4, 4) from the L-shape.
+	x, y := tr.PositionAt(1e9)
+	if math.Hypot(x-4, y-4) > 0.3 {
+		t.Errorf("final position (%g, %g), want ≈(4, 4)", x, y)
+	}
+}
+
+func TestSynthesizeEmptyPlan(t *testing.T) {
+	if _, err := Synthesize(Plan{}, DefaultNoise(), rng.New(1)); err != ErrEmptyPlan {
+		t.Errorf("want ErrEmptyPlan, got %v", err)
+	}
+}
+
+func TestGravityPresent(t *testing.T) {
+	plan := Plan{Segments: []Segment{{Heading: 0, Distance: 3}}}
+	tr, _ := Synthesize(plan, Noise{}, rng.New(2))
+	var meanZ float64
+	for _, s := range tr.Samples {
+		meanZ += s.Acc[2]
+	}
+	meanZ /= float64(len(tr.Samples))
+	if math.Abs(meanZ-Gravity) > 0.3 {
+		t.Errorf("mean vertical acceleration %g, want ≈g", meanZ)
+	}
+}
+
+func TestTurnEventsAndGyro(t *testing.T) {
+	plan := Plan{Segments: []Segment{
+		{Heading: 0, Distance: 2},
+		{Heading: math.Pi / 2, Distance: 2},
+	}}
+	tr, _ := Synthesize(plan, Noise{}, rng.New(3))
+	var begin, end *Event
+	for i := range tr.Events {
+		switch tr.Events[i].Kind {
+		case "turn-begin":
+			begin = &tr.Events[i]
+		case "turn-end":
+			end = &tr.Events[i]
+		}
+	}
+	if begin == nil || end == nil {
+		t.Fatal("missing turn events")
+	}
+	if math.Abs(end.Angle-math.Pi/2) > 1e-9 {
+		t.Errorf("turn angle %g, want π/2", end.Angle)
+	}
+	// Integrated gyro z over the turn ≈ the turn angle.
+	dt := tr.Samples[1].T - tr.Samples[0].T
+	integ := 0.0
+	for _, s := range tr.Samples {
+		if s.T >= begin.T && s.T <= end.T {
+			integ += s.Gyro[2] * dt
+		}
+	}
+	if math.Abs(integ-math.Pi/2) > 0.15 {
+		t.Errorf("integrated gyro = %g rad, want ≈π/2", integ)
+	}
+}
+
+func TestMagnetometerTracksHeading(t *testing.T) {
+	plan := Plan{Segments: []Segment{
+		{Heading: 0, Distance: 2},
+		{Heading: math.Pi / 2, Distance: 2},
+	}}
+	tr, _ := Synthesize(plan, Noise{MagSigma: 0.001}, rng.New(4))
+	// Early heading ≈ 0; late heading ≈ π/2.
+	early := math.Atan2(-tr.Samples[10].Mag[1], tr.Samples[10].Mag[0])
+	lastIdx := len(tr.Samples) - 10
+	late := math.Atan2(-tr.Samples[lastIdx].Mag[1], tr.Samples[lastIdx].Mag[0])
+	if math.Abs(early) > 0.1 {
+		t.Errorf("early heading %g, want ≈0", early)
+	}
+	if math.Abs(late-math.Pi/2) > 0.1 {
+		t.Errorf("late heading %g, want ≈π/2", late)
+	}
+}
+
+func TestPositionInterpolation(t *testing.T) {
+	plan := Plan{Segments: []Segment{{Heading: 0, Distance: 4}}}
+	tr, _ := Synthesize(plan, Noise{}, rng.New(5))
+	x0, y0 := tr.PositionAt(-1)
+	if x0 != 0 || y0 != 0 {
+		t.Errorf("before-start position (%g, %g)", x0, y0)
+	}
+	// Position should be monotone along +x.
+	prev := -1.0
+	for tm := 0.0; tm < tr.Duration; tm += 0.2 {
+		x, _ := tr.PositionAt(tm)
+		if x < prev-1e-9 {
+			t.Fatalf("position went backwards at t=%g", tm)
+		}
+		prev = x
+	}
+}
+
+func TestHeadingAt(t *testing.T) {
+	plan := Plan{Segments: []Segment{
+		{Heading: 0, Distance: 2},
+		{Heading: math.Pi / 2, Distance: 2},
+	}}
+	tr, _ := Synthesize(plan, Noise{}, rng.New(6))
+	if h := tr.HeadingAt(0.1); math.Abs(h) > 1e-9 {
+		t.Errorf("initial heading %g", h)
+	}
+	if h := tr.HeadingAt(tr.Duration); math.Abs(h-math.Pi/2) > 1e-9 {
+		t.Errorf("final heading %g, want π/2", h)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ b, a, want float64 }{
+		{math.Pi / 2, 0, math.Pi / 2},
+		{0, math.Pi / 2, -math.Pi / 2},
+		{-3, 3, 2*math.Pi - 6},
+		{math.Pi, 0, math.Pi},
+	}
+	for _, c := range cases {
+		if got := AngleDiff(c.b, c.a); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AngleDiff(%g, %g) = %g, want %g", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestRotationMatrixOps(t *testing.T) {
+	r := RotationZYX(math.Pi/2, 0, 0)
+	v := r.Apply([3]float64{1, 0, 0})
+	if math.Abs(v[0]) > 1e-12 || math.Abs(v[1]-1) > 1e-12 {
+		t.Errorf("yaw π/2 of x̂ = %v, want ŷ", v)
+	}
+	// Rᵀ·R = I.
+	id := r.Transpose().Mul(r)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id[i][j]-want) > 1e-12 {
+				t.Errorf("RᵀR[%d][%d] = %g", i, j, id[i][j])
+			}
+		}
+	}
+}
+
+func TestApplyPostureInvertible(t *testing.T) {
+	plan := Plan{Segments: LShape(0, 3, 3)}
+	tr, _ := Synthesize(plan, DefaultNoise(), rng.New(7))
+	orig := append([]Sample(nil), tr.Samples...)
+	r := RotationZYX(0.4, 0.2, -0.3)
+	tr.ApplyPosture(r)
+	// Check the posture changed something.
+	if tr.Samples[50].Acc == orig[50].Acc {
+		t.Error("posture did not rotate samples")
+	}
+	// Applying the inverse posture restores.
+	tr.ApplyPosture(r.Transpose())
+	for k := 0; k < 3; k++ {
+		if math.Abs(tr.Samples[50].Acc[k]-orig[50].Acc[k]) > 1e-9 {
+			t.Errorf("inverse posture did not restore acc[%d]", k)
+		}
+	}
+}
+
+// Property: for any single-leg plan, the travelled distance matches the
+// plan's distance to within one step length.
+func TestPropertyPlanDistance(t *testing.T) {
+	f := func(dQ, hQ uint8) bool {
+		dist := 1 + float64(dQ%80)/10 // 1 … 8.9 m
+		heading := float64(hQ) / 255 * 2 * math.Pi
+		plan := Plan{Segments: []Segment{{Heading: heading, Distance: dist}}, StartHeading: heading}
+		tr, err := Synthesize(plan, Noise{}, rng.New(int64(dQ)*7+int64(hQ)))
+		if err != nil {
+			return false
+		}
+		x, y := tr.PositionAt(1e9)
+		return math.Abs(math.Hypot(x, y)-dist) < 0.71
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomWaypointPlan(t *testing.T) {
+	src := rng.New(3)
+	plan := RandomWaypointPlan(8, 6, 5, src)
+	if len(plan.Segments) == 0 {
+		t.Fatal("empty plan")
+	}
+	tr, err := Synthesize(plan, DefaultNoise(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walk must stay inside the room (with small margins for step
+	// quantization).
+	for _, p := range tr.Truth {
+		if p.X < -0.8 || p.X > 8.8 || p.Y < -0.8 || p.Y > 6.8 {
+			t.Fatalf("walk left the room at (%.1f, %.1f)", p.X, p.Y)
+		}
+	}
+	// Degenerate room still yields a usable plan.
+	tiny := RandomWaypointPlan(0.1, 0.1, 3, rng.New(4))
+	if len(tiny.Segments) == 0 {
+		t.Error("tiny room should fall back to one leg")
+	}
+}
+
+func TestHeightAtFollowsLift(t *testing.T) {
+	plan := Plan{Segments: []Segment{
+		{Heading: 0, Distance: 2},
+		{Heading: 0, Lift: 1.0},
+	}}
+	tr, err := Synthesize(plan, Noise{}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := tr.HeightAt(0.1); math.Abs(z) > 1e-9 {
+		t.Errorf("height before lift = %g", z)
+	}
+	if z := tr.HeightAt(tr.Duration); math.Abs(z-1.0) > 1e-9 {
+		t.Errorf("final height = %g, want 1.0", z)
+	}
+	// Monotone during the lift.
+	prev := -1.0
+	for tm := 0.0; tm <= tr.Duration; tm += 0.1 {
+		z := tr.HeightAt(tm)
+		if z < prev-1e-9 {
+			t.Fatalf("height decreased during a positive lift at t=%g", tm)
+		}
+		prev = z
+	}
+}

@@ -1,0 +1,72 @@
+package imu
+
+import "math"
+
+// RotationMatrix is a 3×3 rotation, row-major.
+type RotationMatrix [3][3]float64
+
+// IdentityRotation returns the identity rotation.
+func IdentityRotation() RotationMatrix {
+	return RotationMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// RotationZYX builds a rotation from yaw (z), pitch (y) and roll (x)
+// Euler angles, applied in Z·Y·X order.
+func RotationZYX(yaw, pitch, roll float64) RotationMatrix {
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	cp, sp := math.Cos(pitch), math.Sin(pitch)
+	cr, sr := math.Cos(roll), math.Sin(roll)
+	return RotationMatrix{
+		{cy * cp, cy*sp*sr - sy*cr, cy*sp*cr + sy*sr},
+		{sy * cp, sy*sp*sr + cy*cr, sy*sp*cr - cy*sr},
+		{-sp, cp * sr, cp * cr},
+	}
+}
+
+// Apply rotates vector v.
+func (r RotationMatrix) Apply(v [3]float64) [3]float64 {
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = r[i][0]*v[0] + r[i][1]*v[1] + r[i][2]*v[2]
+	}
+	return out
+}
+
+// Transpose returns the inverse rotation.
+func (r RotationMatrix) Transpose() RotationMatrix {
+	var out RotationMatrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out[i][j] = r[j][i]
+		}
+	}
+	return out
+}
+
+// Mul composes rotations: (r·s)(v) = r(s(v)).
+func (r RotationMatrix) Mul(s RotationMatrix) RotationMatrix {
+	var out RotationMatrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				out[i][j] += r[i][k] * s[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// ApplyPosture rotates every sample of the trace from the earth frame into
+// a device frame held at the given posture: deviceVec = Rᵀ · earthVec.
+// It models a phone held at an arbitrary orientation; the motion package's
+// coordinate alignment must undo it (paper Sec. 5.2, "to make our motion
+// tracker independent of phone postures").
+func (tr *Trace) ApplyPosture(r RotationMatrix) {
+	rt := r.Transpose()
+	for i := range tr.Samples {
+		s := &tr.Samples[i]
+		s.Acc = rt.Apply(s.Acc)
+		s.Gyro = rt.Apply(s.Gyro)
+		s.Mag = rt.Apply(s.Mag)
+	}
+}

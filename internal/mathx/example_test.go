@@ -1,0 +1,32 @@
+package mathx_test
+
+import (
+	"fmt"
+
+	"locble/internal/mathx"
+)
+
+// Least squares via the normal equations — the paper's Eq. (4).
+func ExampleLeastSquares() {
+	// y = 2x + 1 sampled at x = 0..4.
+	x := mathx.NewMatrix(5, 2)
+	y := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, 1)
+		y[i] = 2*float64(i) + 1
+	}
+	p, _ := mathx.LeastSquares(x, y)
+	fmt.Printf("slope %.1f intercept %.1f\n", p[0], p[1])
+	// Output:
+	// slope 2.0 intercept 1.0
+}
+
+func ExampleQuantile() {
+	xs := []float64{1, 2, 3, 4, 5}
+	fmt.Println(mathx.Quantile(xs, 0.5))
+	fmt.Println(mathx.Quantile(xs, 0.25))
+	// Output:
+	// 3
+	// 2
+}

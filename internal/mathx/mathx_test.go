@@ -1,0 +1,528 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %g", m.At(1, 2))
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %g", m.At(1, 0))
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if _, err := NewMatrixFromRows(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Errorf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}})
+	b, _ := NewMatrixFromRows([][]float64{{10, 20}})
+	sum, _ := a.Add(b)
+	if sum.At(0, 1) != 22 {
+		t.Errorf("Add = %g", sum.At(0, 1))
+	}
+	diff, _ := b.Sub(a)
+	if diff.At(0, 0) != 9 {
+		t.Errorf("Sub = %g", diff.At(0, 0))
+	}
+	sc := a.Scale(3)
+	if sc.At(0, 1) != 6 {
+		t.Errorf("Scale = %g", sc.At(0, 1))
+	}
+	if _, err := a.Add(NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Error("want ErrShape for Add")
+	}
+	if _, err := a.Sub(NewMatrix(2, 2)); !errors.Is(err, ErrShape) {
+		t.Error("want ErrShape for Sub")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{3, 2, -1}, {2, -2, 4}, {-1, 0.5, -1}})
+	b := NewColumn([]float64{1, -2, 0})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, -2}
+	for i, w := range want {
+		if !almostEqual(x.At(i, 0), w, 1e-9) {
+			t.Errorf("x[%d] = %g, want %g", i, x.At(i, 0), w)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	b := NewColumn([]float64{1, 2})
+	if _, err := Solve(a, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a, _ := NewMatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	b := NewColumn([]float64{2, 3})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x.At(0, 0), 3, 1e-12) || !almostEqual(x.At(1, 0), 2, 1e-12) {
+		t.Errorf("x = (%g, %g), want (3, 2)", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-9) {
+				t.Errorf("A·A⁻¹(%d,%d) = %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	x := NewMatrix(10, 2)
+	y := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, 1)
+		y[i] = 2.5*float64(i) - 7
+	}
+	p, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p[0], 2.5, 1e-9) || !almostEqual(p[1], -7, 1e-9) {
+		t.Errorf("p = %v, want (2.5, -7)", p)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	x := NewMatrix(2, 3)
+	if _, err := LeastSquares(x, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Error("want ErrShape for underdetermined system")
+	}
+	if _, err := LeastSquares(NewMatrix(3, 2), []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Error("want ErrShape for length mismatch")
+	}
+}
+
+func TestWeightedLeastSquares(t *testing.T) {
+	// Two clusters of points at different values; the heavy-weight
+	// cluster should dominate the constant fit.
+	x := NewMatrix(4, 1)
+	for i := 0; i < 4; i++ {
+		x.Set(i, 0, 1)
+	}
+	y := []float64{0, 0, 10, 10}
+	w := []float64{1, 1, 9, 9}
+	p, err := WeightedLeastSquares(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] < 8 {
+		t.Errorf("weighted mean = %g, want near 9", p[0])
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Mean(xs), 5, 1e-12) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if !almostEqual(Variance(xs), 4, 1e-12) {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if !almostEqual(StdDev(xs), 2, 1e-12) {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	sym := []float64{1, 2, 3, 4, 5}
+	if math.Abs(Skewness(sym)) > 1e-12 {
+		t.Errorf("symmetric skewness = %g", Skewness(sym))
+	}
+	right := []float64{1, 1, 1, 1, 10}
+	if Skewness(right) <= 0 {
+		t.Errorf("right-tailed skewness = %g, want > 0", Skewness(right))
+	}
+	if Skewness([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("degenerate skewness should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty Quantile should be NaN")
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := Standardize(xs)
+	if !almostEqual(Mean(z), 0, 1e-12) {
+		t.Errorf("standardized mean = %g", Mean(z))
+	}
+	if !almostEqual(StdDev(z), 1, 1e-12) {
+		t.Errorf("standardized std = %g", StdDev(z))
+	}
+	flat := Standardize([]float64{7, 7, 7})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("flat standardize = %v", flat)
+		}
+	}
+}
+
+func TestRMSEAndCDF(t *testing.T) {
+	if !almostEqual(RMSE([]float64{0, 0}, []float64{3, 4}), math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %g", RMSE([]float64{0, 0}, []float64{3, 4}))
+	}
+	if !math.IsNaN(RMSE([]float64{1}, []float64{1, 2})) {
+		t.Error("length-mismatched RMSE should be NaN")
+	}
+	cdf := CDF([]float64{1, 2, 3, 4}, []float64{0, 2, 5})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i], 1e-12) {
+			t.Errorf("CDF[%d] = %g, want %g", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestNormalDistribution(t *testing.T) {
+	if !almostEqual(NormalCDF(0, 0, 1), 0.5, 1e-12) {
+		t.Errorf("Φ(0) = %g", NormalCDF(0, 0, 1))
+	}
+	if !almostEqual(NormalCDF(1.96, 0, 1), 0.975, 1e-3) {
+		t.Errorf("Φ(1.96) = %g", NormalCDF(1.96, 0, 1))
+	}
+	if !almostEqual(NormalPDF(0, 0, 1), 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("φ(0) = %g", NormalPDF(0, 0, 1))
+	}
+	if NormalPDF(0, 0, -1) != 0 {
+		t.Error("negative sigma PDF should be 0")
+	}
+	// Degenerate CDF is a step function.
+	if NormalCDF(-1, 0, 0) != 0 || NormalCDF(1, 0, 0) != 1 {
+		t.Error("degenerate CDF should step at mu")
+	}
+}
+
+func TestTwoSidedTailProb(t *testing.T) {
+	if !almostEqual(TwoSidedTailProb(0, 0, 1), 1, 1e-12) {
+		t.Errorf("tail at mean = %g", TwoSidedTailProb(0, 0, 1))
+	}
+	p := TwoSidedTailProb(1.96, 0, 1)
+	if !almostEqual(p, 0.05, 2e-3) {
+		t.Errorf("tail at 1.96σ = %g, want ≈0.05", p)
+	}
+	if TwoSidedTailProb(1, 0, 0) != 0 || TwoSidedTailProb(0, 0, 0) != 1 {
+		t.Error("degenerate tail prob")
+	}
+}
+
+func TestInterp1AndResample(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 20}
+	if !almostEqual(Interp1(xs, ys, 0.5), 5, 1e-12) {
+		t.Errorf("Interp1(0.5) = %g", Interp1(xs, ys, 0.5))
+	}
+	if Interp1(xs, ys, -1) != 0 || Interp1(xs, ys, 5) != 20 {
+		t.Error("out-of-range interp should clamp")
+	}
+	if !math.IsNaN(Interp1(nil, nil, 0)) {
+		t.Error("empty interp should be NaN")
+	}
+	rs := Resample(xs, ys, []float64{0.25, 1.75})
+	if !almostEqual(rs[0], 2.5, 1e-12) || !almostEqual(rs[1], 17.5, 1e-12) {
+		t.Errorf("Resample = %v", rs)
+	}
+}
+
+func TestClampAndLerp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+	if Lerp(0, 10, 0.3) != 3 {
+		t.Errorf("Lerp = %g", Lerp(0, 10, 0.3))
+	}
+}
+
+// Property: Solve returns x with A·x = b for random well-conditioned
+// systems.
+func TestPropertySolveResidual(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 3 + int(seed%3)
+		a := NewMatrix(n, n)
+		b := NewColumn(make([]float64, n))
+		// Diagonally dominant matrix from a cheap PRNG: always solvable.
+		s := uint32(seed) + 1
+		next := func() float64 {
+			s = s*1664525 + 1013904223
+			return float64(s%1000)/500 - 1
+		}
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := next()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, rowSum+1)
+			b.Set(i, 0, next()*10)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.Mul(x)
+		for i := 0; i < n; i++ {
+			if math.Abs(ax.At(i, 0)-b.At(i, 0)) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			if v < Min(xs)-1e-12 || v > Max(xs)+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRDecomposition(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 2}, {3, 4}, {5, 6}, {7, 9},
+	})
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q orthonormal: QᵀQ = I.
+	qtq, _ := q.T().Mul(q)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(qtq.At(i, j), want, 1e-10) {
+				t.Errorf("QᵀQ[%d][%d] = %g", i, j, qtq.At(i, j))
+			}
+		}
+	}
+	// R upper triangular and QR = A.
+	if math.Abs(r.At(1, 0)) > 1e-12 {
+		t.Errorf("R not triangular: %g", r.At(1, 0))
+	}
+	qr, _ := q.Mul(r)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if !almostEqual(qr.At(i, j), a.At(i, j), 1e-10) {
+				t.Errorf("QR[%d][%d] = %g, want %g", i, j, qr.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLeastSquaresQRMatchesNormalEquations(t *testing.T) {
+	x := NewMatrix(12, 3)
+	y := make([]float64, 12)
+	s := uint32(5)
+	next := func() float64 {
+		s = s*1664525 + 1013904223
+		return float64(s%1000)/100 - 5
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, next())
+		}
+		y[i] = next()
+	}
+	p1, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LeastSquaresQR(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if !almostEqual(p1[i], p2[i], 1e-8) {
+			t.Errorf("p[%d]: normal %g vs QR %g", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestLeastSquaresQRIllConditioned(t *testing.T) {
+	// Vandermonde-ish matrix the normal equations butcher.
+	const m, n = 12, 4
+	x := NewMatrix(m, n)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ti := 1 + float64(i)/1000 // closely spaced abscissas
+		v := 1.0
+		for j := 0; j < n; j++ {
+			x.Set(i, j, v)
+			v *= ti
+		}
+		y[i] = 2 + 3*ti // exact linear function
+	}
+	p, err := LeastSquaresQR(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual must be essentially zero even if the coefficients trade
+	// off (the function is representable).
+	for i := 0; i < m; i++ {
+		pred := 0.0
+		for j := 0; j < n; j++ {
+			pred += x.At(i, j) * p[j]
+		}
+		if math.Abs(pred-y[i]) > 1e-6 {
+			t.Fatalf("QR residual %g at row %d", pred-y[i], i)
+		}
+	}
+}
+
+func TestQRErrors(t *testing.T) {
+	if _, _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Error("want error for wide matrix")
+	}
+	if _, err := LeastSquaresQR(NewMatrix(3, 2), []float64{1, 2}); err == nil {
+		t.Error("want error for shape mismatch")
+	}
+}

@@ -1,0 +1,336 @@
+// Package mathx provides the small dense linear-algebra and statistics
+// substrate used by the LocBLE estimators: matrices, least-squares solvers,
+// descriptive statistics, quantiles, and Gaussian distribution helpers.
+//
+// The package is deliberately minimal — only the operations the paper's
+// algorithms need — and uses no dependencies beyond the standard library.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mathx: dimension mismatch")
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix size %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices. All rows must have the
+// same length.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty rows", ErrShape)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m, nil
+}
+
+// NewColumn builds a column vector (n×1 matrix) from v.
+func NewColumn(v []float64) *Matrix {
+	m := NewMatrix(len(v), 1)
+	copy(m.data, v)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mathx: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				oi[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("%w: %dx%d - %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Solve solves A·x = b for x using Gaussian elimination with partial
+// pivoting. A must be square; b must have the same number of rows.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: A is %dx%d, want square", ErrShape, a.rows, a.cols)
+	}
+	if b.rows != a.rows {
+		return nil, fmt.Errorf("%w: b has %d rows, want %d", ErrShape, b.rows, a.rows)
+	}
+	n := a.rows
+	// Augmented working copies.
+	aw := a.Clone()
+	bw := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest |value| in this column.
+		pivot := col
+		maxAbs := math.Abs(aw.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(aw.At(r, col)); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			aw.swapRows(pivot, col)
+			bw.swapRows(pivot, col)
+		}
+		pv := aw.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aw.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aw.Set(r, c, aw.At(r, c)-f*aw.At(col, c))
+			}
+			for c := 0; c < bw.cols; c++ {
+				bw.Set(r, c, bw.At(r, c)-f*bw.At(col, c))
+			}
+		}
+	}
+	// Back substitution.
+	x := NewMatrix(n, bw.cols)
+	for c := 0; c < bw.cols; c++ {
+		for i := n - 1; i >= 0; i-- {
+			sum := bw.At(i, c)
+			for j := i + 1; j < n; j++ {
+				sum -= aw.At(i, j) * x.At(j, c)
+			}
+			x.Set(i, c, sum/aw.At(i, i))
+		}
+	}
+	return x, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Inverse returns the inverse of a square matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: %dx%d, want square", ErrShape, a.rows, a.cols)
+	}
+	return Solve(a, Identity(a.rows))
+}
+
+// LeastSquares solves the overdetermined system X·p ≈ y in the
+// least-squares sense via the normal equations p = (XᵀX)⁻¹Xᵀy, matching
+// Eq. (4) of the paper. A small Tikhonov ridge is added when the normal
+// matrix is near singular so that degenerate movement patterns (e.g. the
+// observer standing still) return a usable, if imprecise, estimate instead
+// of failing outright.
+func LeastSquares(x *Matrix, y []float64) ([]float64, error) {
+	if x.rows != len(y) {
+		return nil, fmt.Errorf("%w: X has %d rows, y has %d", ErrShape, x.rows, len(y))
+	}
+	if x.rows < x.cols {
+		return nil, fmt.Errorf("%w: %d observations for %d parameters", ErrShape, x.rows, x.cols)
+	}
+	xt := x.T()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	xty, err := xt.Mul(NewColumn(y))
+	if err != nil {
+		return nil, err
+	}
+	sol, err := Solve(xtx, xty)
+	if errors.Is(err, ErrSingular) {
+		// QR fallback: avoids the normal equations' squared condition
+		// number; if the design matrix itself is rank deficient, a small
+		// Tikhonov ridge gives a usable (if imprecise) answer.
+		if p, qErr := LeastSquaresQR(x, y); qErr == nil {
+			return p, nil
+		}
+		tr := 0.0
+		for i := 0; i < xtx.rows; i++ {
+			tr += xtx.At(i, i)
+		}
+		lambda := 1e-8 * (tr/float64(xtx.rows) + 1)
+		reg := xtx.Clone()
+		for i := 0; i < reg.rows; i++ {
+			reg.Set(i, i, reg.At(i, i)+lambda)
+		}
+		sol, err = Solve(reg, xty)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sol.Col(0), nil
+}
+
+// WeightedLeastSquares solves X·p ≈ y with per-observation weights w ≥ 0.
+func WeightedLeastSquares(x *Matrix, y, w []float64) ([]float64, error) {
+	if x.rows != len(y) || x.rows != len(w) {
+		return nil, fmt.Errorf("%w: X rows %d, y %d, w %d", ErrShape, x.rows, len(y), len(w))
+	}
+	xw := x.Clone()
+	yw := make([]float64, len(y))
+	for i := 0; i < x.rows; i++ {
+		s := math.Sqrt(math.Max(w[i], 0))
+		for j := 0; j < x.cols; j++ {
+			xw.Set(i, j, xw.At(i, j)*s)
+		}
+		yw[i] = y[i] * s
+	}
+	return LeastSquares(xw, yw)
+}

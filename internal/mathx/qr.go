@@ -1,0 +1,138 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR computes the thin QR decomposition of an m×n matrix (m ≥ n) using
+// Householder reflections: A = Q·R with Q m×n orthonormal and R n×n upper
+// triangular. Solving least squares through QR avoids forming the normal
+// equations, whose condition number is the square of A's.
+func QR(a *Matrix) (q, r *Matrix, err error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, nil, fmt.Errorf("%w: QR needs rows ≥ cols (%dx%d)", ErrShape, m, n)
+	}
+	// Work on a copy; accumulate the reflectors' action on an identity to
+	// build the thin Q.
+	rw := a.Clone()
+	// qAcc starts as the m×m identity applied lazily: instead, store the
+	// reflector vectors and apply them to I's first n columns at the end.
+	type reflector struct {
+		v    []float64 // Householder vector (length m−k)
+		beta float64
+		k    int
+	}
+	var refs []reflector
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		normX := 0.0
+		for i := k; i < m; i++ {
+			v := rw.At(i, k)
+			normX += v * v
+		}
+		normX = math.Sqrt(normX)
+		if normX < 1e-300 {
+			return nil, nil, ErrSingular
+		}
+		alpha := -math.Copysign(normX, rw.At(k, k))
+		v := make([]float64, m-k)
+		v[0] = rw.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = rw.At(i, k)
+		}
+		vNorm2 := 0.0
+		for _, vi := range v {
+			vNorm2 += vi * vi
+		}
+		if vNorm2 < 1e-300 {
+			// Column already triangular; record a no-op.
+			refs = append(refs, reflector{v: nil, k: k})
+			continue
+		}
+		beta := 2 / vNorm2
+		refs = append(refs, reflector{v: v, beta: beta, k: k})
+		// Apply H = I − β·v·vᵀ to the remaining columns of R.
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i-k] * rw.At(i, j)
+			}
+			dot *= beta
+			for i := k; i < m; i++ {
+				rw.Set(i, j, rw.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+
+	// R is the top n×n of rw.
+	r = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, rw.At(i, j))
+		}
+	}
+	// Thin Q: apply the reflectors in reverse to the first n columns of I.
+	q = NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, m)
+		col[j] = 1
+		for ri := len(refs) - 1; ri >= 0; ri-- {
+			rf := refs[ri]
+			if rf.v == nil {
+				continue
+			}
+			dot := 0.0
+			for i := rf.k; i < m; i++ {
+				dot += rf.v[i-rf.k] * col[i]
+			}
+			dot *= rf.beta
+			for i := rf.k; i < m; i++ {
+				col[i] -= dot * rf.v[i-rf.k]
+			}
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, j, col[i])
+		}
+	}
+	return q, r, nil
+}
+
+// LeastSquaresQR solves X·p ≈ y via QR: R·p = Qᵀ·y. It is numerically
+// preferable to the normal equations for ill-conditioned design matrices;
+// LeastSquares falls back to it when the normal matrix is near singular.
+func LeastSquaresQR(x *Matrix, y []float64) ([]float64, error) {
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("%w: X has %d rows, y has %d", ErrShape, x.Rows(), len(y))
+	}
+	q, r, err := QR(x)
+	if err != nil {
+		return nil, err
+	}
+	n := x.Cols()
+	// qty = Qᵀ·y.
+	qty := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < x.Rows(); i++ {
+			s += q.At(i, j) * y[i]
+		}
+		qty[j] = s
+	}
+	// Back substitution on R.
+	p := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qty[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * p[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		p[i] = s / d
+	}
+	return p, nil
+}

@@ -1,0 +1,242 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Skewness returns the standardized third moment of xs. A flat or
+// degenerate sample returns 0.
+func Skewness(xs []float64) float64 {
+	if len(xs) < 3 {
+		return 0
+	}
+	mu := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := (x - mu) / sd
+		s += d * d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the minimum of xs; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (the same convention as numpy's
+// default). It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Standardize returns (xs − mean) / std elementwise. If the standard
+// deviation is zero the centered values are returned unscaled.
+func Standardize(xs []float64) []float64 {
+	mu := Mean(xs)
+	sd := StdDev(xs)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if sd == 0 {
+			out[i] = x - mu
+		} else {
+			out[i] = (x - mu) / sd
+		}
+	}
+	return out
+}
+
+// RMSE returns the root-mean-square error between a and b, which must have
+// equal length.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(a)))
+}
+
+// CDF computes the empirical CDF of errs evaluated at each value in at,
+// returning P(err ≤ at[i]).
+func CDF(errs []float64, at []float64) []float64 {
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(at))
+	for i, a := range at {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(a, math.Inf(1)))) / float64(len(sorted))
+	}
+	return out
+}
+
+// NormalPDF is the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF is the cumulative distribution of N(mu, sigma²) at x.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// TwoSidedTailProb returns P(|Z| ≥ |x−mu|/sigma) for Z ~ N(0,1): the
+// probability mass at least as extreme as x under N(mu, sigma²). The paper
+// uses this as the estimation confidence P(µ) (Sec. 5, "Estimation
+// confidence"): residual means near zero score close to 1, biased
+// residuals score near 0.
+func TwoSidedTailProb(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x == mu {
+			return 1
+		}
+		return 0
+	}
+	z := math.Abs(x-mu) / sigma
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// Lerp linearly interpolates between a and b at fraction t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Interp1 linearly interpolates the sampled function (xs, ys) at x. The xs
+// must be strictly ascending. Values outside the range clamp to the
+// endpoints.
+func Interp1(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return math.NaN()
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	// xs[i-1] < x <= xs[i]
+	t := (x - xs[i-1]) / (xs[i] - xs[i-1])
+	return Lerp(ys[i-1], ys[i], t)
+}
+
+// Resample linearly re-samples the series (xs, ys) at the given query
+// points.
+func Resample(xs, ys, at []float64) []float64 {
+	out := make([]float64, len(at))
+	for i, x := range at {
+		out[i] = Interp1(xs, ys, x)
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package ml
+
+import "fmt"
+
+// ConfusionMatrix counts predictions: M[actual][predicted].
+type ConfusionMatrix struct {
+	Classes int
+	M       [][]int
+}
+
+// NewConfusionMatrix allocates a matrix for the given number of classes.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	return &ConfusionMatrix{Classes: classes, M: m}
+}
+
+// Add records one (actual, predicted) observation.
+func (c *ConfusionMatrix) Add(actual, predicted int) {
+	c.M[actual][predicted]++
+}
+
+// Evaluate runs a classifier over a test set and fills a confusion matrix.
+func Evaluate(clf Classifier, test Dataset, classes int) *ConfusionMatrix {
+	cm := NewConfusionMatrix(classes)
+	for i, x := range test.X {
+		cm.Add(test.Y[i], clf.Predict(x))
+	}
+	return cm
+}
+
+// Accuracy is the overall fraction of correct predictions.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for i := range c.M {
+		for j, n := range c.M[i] {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision returns the precision of class k: TP / (TP + FP).
+func (c *ConfusionMatrix) Precision(k int) float64 {
+	tp := c.M[k][k]
+	col := 0
+	for i := range c.M {
+		col += c.M[i][k]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(tp) / float64(col)
+}
+
+// Recall returns the recall of class k: TP / (TP + FN).
+func (c *ConfusionMatrix) Recall(k int) float64 {
+	tp := c.M[k][k]
+	row := 0
+	for _, n := range c.M[k] {
+		row += n
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(tp) / float64(row)
+}
+
+// MacroPrecision averages per-class precision (the paper reports macro
+// precision/recall for the 3-class environment classifier).
+func (c *ConfusionMatrix) MacroPrecision() float64 {
+	s := 0.0
+	for k := 0; k < c.Classes; k++ {
+		s += c.Precision(k)
+	}
+	return s / float64(c.Classes)
+}
+
+// MacroRecall averages per-class recall.
+func (c *ConfusionMatrix) MacroRecall() float64 {
+	s := 0.0
+	for k := 0; k < c.Classes; k++ {
+		s += c.Recall(k)
+	}
+	return s / float64(c.Classes)
+}
+
+// F1 returns the macro F1 score.
+func (c *ConfusionMatrix) F1() float64 {
+	p, r := c.MacroPrecision(), c.MacroRecall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix with summary metrics.
+func (c *ConfusionMatrix) String() string {
+	s := "actual\\pred"
+	for j := 0; j < c.Classes; j++ {
+		s += fmt.Sprintf("\t%d", j)
+	}
+	s += "\n"
+	for i := range c.M {
+		s += fmt.Sprintf("%d", i)
+		for _, n := range c.M[i] {
+			s += fmt.Sprintf("\t%d", n)
+		}
+		s += "\n"
+	}
+	s += fmt.Sprintf("accuracy=%.3f macroP=%.3f macroR=%.3f\n", c.Accuracy(), c.MacroPrecision(), c.MacroRecall())
+	return s
+}

@@ -1,0 +1,288 @@
+package ml
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"locble/internal/rng"
+)
+
+// blobs builds a linearly separable 2-class dataset.
+func blobs(n int, seed int64) Dataset {
+	src := rng.New(seed)
+	var d Dataset
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{src.Normal(-2, 0.7), src.Normal(-2, 0.7)})
+		d.Y = append(d.Y, 0)
+		d.X = append(d.X, []float64{src.Normal(2, 0.7), src.Normal(2, 0.7)})
+		d.Y = append(d.Y, 1)
+	}
+	return d
+}
+
+// blobs3 builds a 3-class dataset with a nonlinearly placed third class.
+func blobs3(n int, seed int64) Dataset {
+	src := rng.New(seed)
+	var d Dataset
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{src.Normal(-3, 0.8), src.Normal(0, 0.8)})
+		d.Y = append(d.Y, 0)
+		d.X = append(d.X, []float64{src.Normal(3, 0.8), src.Normal(0, 0.8)})
+		d.Y = append(d.Y, 1)
+		d.X = append(d.X, []float64{src.Normal(0, 0.8), src.Normal(3.5, 0.8)})
+		d.Y = append(d.Y, 2)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := blobs(10, 1)
+	f, c, err := d.Validate()
+	if err != nil || f != 2 || c != 2 {
+		t.Errorf("Validate = %d features, %d classes, %v", f, c, err)
+	}
+	bad := Dataset{X: [][]float64{{1, 2}, {1}}, Y: []int{0, 1}}
+	if _, _, err := bad.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Error("want ErrBadDataset for ragged rows")
+	}
+	neg := Dataset{X: [][]float64{{1}}, Y: []int{-1}}
+	if _, _, err := neg.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Error("want ErrBadDataset for negative label")
+	}
+	empty := Dataset{}
+	if _, _, err := empty.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Error("want ErrBadDataset for empty dataset")
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	d := blobs(50, 2)
+	train, test := d.Split(0.25, rng.New(3))
+	if len(test.X) != 25 || len(train.X) != 75 {
+		t.Errorf("split sizes %d/%d", len(train.X), len(test.X))
+	}
+}
+
+func TestLinearSVMSeparable(t *testing.T) {
+	d := blobs(100, 4)
+	svm, err := TrainLinearSVM(d, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := Evaluate(svm, d, 2)
+	if cm.Accuracy() < 0.98 {
+		t.Errorf("separable-data accuracy = %.3f", cm.Accuracy())
+	}
+	if svm.Name() != "linear-svm" {
+		t.Error("Name()")
+	}
+}
+
+func TestLinearSVMMulticlass(t *testing.T) {
+	d := blobs3(80, 5)
+	svm, err := TrainLinearSVM(d, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := Evaluate(svm, d, 3)
+	if cm.Accuracy() < 0.95 {
+		t.Errorf("3-class accuracy = %.3f\n%s", cm.Accuracy(), cm)
+	}
+	vals := svm.DecisionValues(d.X[0])
+	if len(vals) != 3 {
+		t.Errorf("DecisionValues length %d", len(vals))
+	}
+}
+
+func TestLinearSVMErrors(t *testing.T) {
+	oneClass := Dataset{X: [][]float64{{1}, {2}}, Y: []int{0, 0}}
+	if _, err := TrainLinearSVM(oneClass, DefaultSVMConfig()); !errors.Is(err, ErrBadDataset) {
+		t.Error("want ErrBadDataset for single class")
+	}
+}
+
+func TestDecisionTreeSeparable(t *testing.T) {
+	d := blobs3(60, 6)
+	tree, err := TrainDecisionTree(d, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := Evaluate(tree, d, 3)
+	if cm.Accuracy() < 0.95 {
+		t.Errorf("tree accuracy = %.3f", cm.Accuracy())
+	}
+	if tree.Name() != "decision-tree" {
+		t.Error("Name()")
+	}
+}
+
+func TestDecisionTreeXOR(t *testing.T) {
+	// XOR: not linearly separable; the tree must still nail it.
+	var d Dataset
+	src := rng.New(7)
+	for i := 0; i < 200; i++ {
+		x := []float64{src.Uniform(-1, 1), src.Uniform(-1, 1)}
+		y := 0
+		if (x[0] > 0) != (x[1] > 0) {
+			y = 1
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	tree, err := TrainDecisionTree(d, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := Evaluate(tree, d, 2); cm.Accuracy() < 0.95 {
+		t.Errorf("XOR tree accuracy = %.3f", cm.Accuracy())
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	d := blobs3(60, 8)
+	forest, err := TrainRandomForest(d, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := Evaluate(forest, d, 3)
+	if cm.Accuracy() < 0.95 {
+		t.Errorf("forest accuracy = %.3f", cm.Accuracy())
+	}
+	if forest.Name() != "random-forest" {
+		t.Error("Name()")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 100}, {3, 300}, {5, 500}}
+	s, err := FitStandardizer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := s.ApplyAll(x)
+	for j := 0; j < 2; j++ {
+		mean, ss := 0.0, 0.0
+		for i := range z {
+			mean += z[i][j]
+		}
+		mean /= 3
+		for i := range z {
+			ss += (z[i][j] - mean) * (z[i][j] - mean)
+		}
+		if math.Abs(mean) > 1e-12 || math.Abs(ss/3-1) > 1e-12 {
+			t.Errorf("feature %d: mean %g var %g after standardize", j, mean, ss/3)
+		}
+	}
+	if _, err := FitStandardizer(nil); !errors.Is(err, ErrBadDataset) {
+		t.Error("want ErrBadDataset for empty input")
+	}
+	// Constant feature: std clamps to 1, no NaN.
+	s2, _ := FitStandardizer([][]float64{{5}, {5}})
+	if out := s2.Apply([]float64{5}); out[0] != 0 {
+		t.Errorf("constant feature standardizes to %g", out[0])
+	}
+}
+
+func TestConfusionMatrixMetrics(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	// 8 true positives of class 1, 2 misses, 1 false positive, 9 TN.
+	for i := 0; i < 8; i++ {
+		cm.Add(1, 1)
+	}
+	cm.Add(1, 0)
+	cm.Add(1, 0)
+	cm.Add(0, 1)
+	for i := 0; i < 9; i++ {
+		cm.Add(0, 0)
+	}
+	if p := cm.Precision(1); math.Abs(p-8.0/9.0) > 1e-12 {
+		t.Errorf("precision = %g", p)
+	}
+	if r := cm.Recall(1); math.Abs(r-0.8) > 1e-12 {
+		t.Errorf("recall = %g", r)
+	}
+	if a := cm.Accuracy(); math.Abs(a-17.0/20.0) > 1e-12 {
+		t.Errorf("accuracy = %g", a)
+	}
+	if cm.F1() <= 0 || cm.F1() > 1 {
+		t.Errorf("F1 = %g", cm.F1())
+	}
+	if cm.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfusionMatrixDegenerate(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	if cm.Accuracy() != 0 || cm.Precision(0) != 0 || cm.Recall(0) != 0 {
+		t.Error("empty matrix metrics should be 0")
+	}
+}
+
+// Property: SVM prediction is invariant to duplicating the dataset
+// (training on X vs X+X yields similar accuracy on X).
+func TestPropertySVMStableUnderDuplication(t *testing.T) {
+	f := func(seed uint8) bool {
+		d := blobs(40, int64(seed))
+		dup := Dataset{X: append(append([][]float64{}, d.X...), d.X...), Y: append(append([]int{}, d.Y...), d.Y...)}
+		s1, err1 := TrainLinearSVM(d, DefaultSVMConfig())
+		s2, err2 := TrainLinearSVM(dup, DefaultSVMConfig())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		a1 := Evaluate(s1, d, 2).Accuracy()
+		a2 := Evaluate(s2, d, 2).Accuracy()
+		return math.Abs(a1-a2) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVMPersistenceRoundTrip(t *testing.T) {
+	d := blobs3(60, 12)
+	std, err := FitStandardizer(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm, err := TrainLinearSVM(Dataset{X: std.ApplyAll(d.X), Y: d.Y}, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveLinearSVM(&buf, svm, std); err != nil {
+		t.Fatal(err)
+	}
+	svm2, std2, err := LoadLinearSVM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std2 == nil {
+		t.Fatal("standardizer lost")
+	}
+	for i, x := range d.X {
+		if svm.Predict(std.Apply(x)) != svm2.Predict(std2.Apply(x)) {
+			t.Fatalf("prediction %d changed after round trip", i)
+		}
+	}
+}
+
+func TestLoadLinearSVMRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version":99,"kind":"linear-svm"}`,
+		`{"version":1,"kind":"other"}`,
+		`{"version":1,"kind":"linear-svm","weights":[[1,2]],"bias":[0,0]}`,
+		`{"version":1,"kind":"linear-svm","weights":[[1,2],[1]],"bias":[0,0]}`,
+		`{"version":1,"kind":"linear-svm","weights":[[1,2],[3,4]],"bias":[0,0],"std_mean":[1],"std_std":[1]}`,
+	}
+	for _, c := range cases {
+		if _, _, err := LoadLinearSVM(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted garbage %q", c)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: a phone app trains EnvAware once (or ships a
+// pre-trained model) and loads it at startup instead of retraining. Only
+// the linear SVM is serializable — it is the model the pipeline uses; the
+// tree ensembles exist for the paper's comparison study.
+
+const svmModelVersion = 1
+
+type svmFile struct {
+	Version int         `json:"version"`
+	Kind    string      `json:"kind"`
+	Weights [][]float64 `json:"weights"`
+	Bias    []float64   `json:"bias"`
+	Mean    []float64   `json:"std_mean,omitempty"`
+	Std     []float64   `json:"std_std,omitempty"`
+}
+
+// SaveLinearSVM writes the SVM (and optional standardizer) as JSON.
+func SaveLinearSVM(w io.Writer, svm *LinearSVM, std *Standardizer) error {
+	f := svmFile{Version: svmModelVersion, Kind: "linear-svm", Weights: svm.Weights, Bias: svm.Bias}
+	if std != nil {
+		f.Mean = std.Mean
+		f.Std = std.Std
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// LoadLinearSVM reads a model written by SaveLinearSVM. The returned
+// standardizer is nil when none was saved.
+func LoadLinearSVM(r io.Reader) (*LinearSVM, *Standardizer, error) {
+	var f svmFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("ml: decode model: %w", err)
+	}
+	if f.Version != svmModelVersion || f.Kind != "linear-svm" {
+		return nil, nil, fmt.Errorf("ml: unsupported model %q v%d", f.Kind, f.Version)
+	}
+	if len(f.Weights) == 0 || len(f.Weights) != len(f.Bias) {
+		return nil, nil, fmt.Errorf("ml: malformed model: %d weight rows, %d biases", len(f.Weights), len(f.Bias))
+	}
+	width := len(f.Weights[0])
+	for i, row := range f.Weights {
+		if len(row) != width {
+			return nil, nil, fmt.Errorf("ml: malformed model: weight row %d has %d values, want %d", i, len(row), width)
+		}
+	}
+	svm := &LinearSVM{Weights: f.Weights, Bias: f.Bias}
+	var std *Standardizer
+	if len(f.Mean) > 0 {
+		if len(f.Mean) != width || len(f.Std) != width {
+			return nil, nil, fmt.Errorf("ml: malformed model: standardizer width mismatch")
+		}
+		std = &Standardizer{Mean: f.Mean, Std: f.Std}
+	}
+	return svm, std, nil
+}

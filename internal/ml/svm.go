@@ -1,0 +1,263 @@
+// Package ml implements the small machine-learning toolkit EnvAware needs
+// (paper Sec. 4.1): a linear support-vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm, a CART decision tree and a
+// random forest (the alternatives the paper benchmarked against before
+// choosing the linear SVM), a feature standardizer, and precision/recall
+// metrics. Everything is stdlib-only.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"locble/internal/rng"
+)
+
+// ErrBadDataset is returned for empty or inconsistent training data.
+var ErrBadDataset = errors.New("ml: bad dataset")
+
+// Classifier is the common interface of all models in this package.
+type Classifier interface {
+	// Predict returns the predicted class label for a feature vector.
+	Predict(x []float64) int
+	// Name identifies the model family.
+	Name() string
+}
+
+// Dataset is a labelled feature matrix. Labels are small non-negative
+// class indices.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Validate checks shape consistency and returns the feature width and the
+// number of classes (max label + 1).
+func (d *Dataset) Validate() (features, classes int, err error) {
+	if len(d.X) == 0 || len(d.X) != len(d.Y) {
+		return 0, 0, fmt.Errorf("%w: %d rows, %d labels", ErrBadDataset, len(d.X), len(d.Y))
+	}
+	features = len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != features {
+			return 0, 0, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadDataset, i, len(row), features)
+		}
+	}
+	for _, y := range d.Y {
+		if y < 0 {
+			return 0, 0, fmt.Errorf("%w: negative label %d", ErrBadDataset, y)
+		}
+		if y+1 > classes {
+			classes = y + 1
+		}
+	}
+	return features, classes, nil
+}
+
+// Split partitions the dataset into train/test with the given test
+// fraction, shuffled by src.
+func (d *Dataset) Split(testFrac float64, src *rng.Source) (train, test Dataset) {
+	perm := src.Perm(len(d.X))
+	nTest := int(float64(len(d.X)) * testFrac)
+	for i, p := range perm {
+		if i < nTest {
+			test.X = append(test.X, d.X[p])
+			test.Y = append(test.Y, d.Y[p])
+		} else {
+			train.X = append(train.X, d.X[p])
+			train.Y = append(train.Y, d.Y[p])
+		}
+	}
+	return train, test
+}
+
+// SVMConfig holds linear-SVM training hyperparameters.
+type SVMConfig struct {
+	// Lambda is the Pegasos regularization strength.
+	Lambda float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Seed drives the stochastic sample order.
+	Seed int64
+}
+
+// DefaultSVMConfig returns hyperparameters that train EnvAware's
+// classifier to the paper's reported accuracy on the synthetic dataset.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{Lambda: 3e-6, Epochs: 120, Seed: 1}
+}
+
+// LinearSVM is a one-vs-rest multiclass linear SVM. Weights[k] is the
+// hyperplane for class k (with Bias[k]); prediction is argmax of the
+// decision values.
+type LinearSVM struct {
+	Weights [][]float64
+	Bias    []float64
+}
+
+// Name implements Classifier.
+func (s *LinearSVM) Name() string { return "linear-svm" }
+
+// TrainLinearSVM trains a one-vs-rest linear SVM with Pegasos
+// (Shalev-Shwartz et al.): at step t, for example (x, y∈{−1,+1}),
+// w ← (1 − ηλ)w + η·y·x·1[y·⟨w,x⟩ < 1], with η = 1/(λt).
+func TrainLinearSVM(d Dataset, cfg SVMConfig) (*LinearSVM, error) {
+	features, classes, err := d.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("%w: need ≥2 classes, have %d", ErrBadDataset, classes)
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 40
+	}
+	src := rng.New(cfg.Seed)
+	svm := &LinearSVM{
+		Weights: make([][]float64, classes),
+		Bias:    make([]float64, classes),
+	}
+	for k := 0; k < classes; k++ {
+		svm.Weights[k] = make([]float64, features)
+		trainBinaryPegasos(d, k, svm.Weights[k], &svm.Bias[k], cfg, src.Split(int64(k)))
+	}
+	return svm, nil
+}
+
+func trainBinaryPegasos(d Dataset, positive int, w []float64, b *float64, cfg SVMConfig, src *rng.Source) {
+	n := len(d.X)
+	t := 0
+	// Averaged Pegasos: the returned solution is the average of the
+	// iterates over the second half of training, which converges much
+	// more stably than the final iterate.
+	avgW := make([]float64, len(w))
+	avgB := 0.0
+	avgCount := 0
+	halfway := cfg.Epochs / 2
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, i := range src.Perm(n) {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			x := d.X[i]
+			y := -1.0
+			if d.Y[i] == positive {
+				y = 1.0
+			}
+			margin := *b
+			for j, wj := range w {
+				margin += wj * x[j]
+			}
+			decay := 1 - eta*cfg.Lambda
+			for j := range w {
+				w[j] *= decay
+			}
+			if y*margin < 1 {
+				for j := range w {
+					w[j] += eta * y * x[j]
+				}
+				*b += eta * y
+			}
+		}
+		if epoch >= halfway {
+			for j := range w {
+				avgW[j] += w[j]
+			}
+			avgB += *b
+			avgCount++
+		}
+	}
+	if avgCount > 0 {
+		for j := range w {
+			w[j] = avgW[j] / float64(avgCount)
+		}
+		*b = avgB / float64(avgCount)
+	}
+}
+
+// DecisionValues returns the per-class margins for x.
+func (s *LinearSVM) DecisionValues(x []float64) []float64 {
+	out := make([]float64, len(s.Weights))
+	for k, w := range s.Weights {
+		v := s.Bias[k]
+		for j, wj := range w {
+			v += wj * x[j]
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// Predict implements Classifier: argmax over one-vs-rest margins.
+func (s *LinearSVM) Predict(x []float64) int {
+	vals := s.DecisionValues(x)
+	best, bestV := 0, math.Inf(-1)
+	for k, v := range vals {
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// Standardizer rescales features to zero mean and unit variance, fitted on
+// training data and applied to both training and inference inputs (the
+// paper standardizes its 9-value feature vector).
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer learns per-feature mean and standard deviation.
+func FitStandardizer(x [][]float64) (*Standardizer, error) {
+	if len(x) == 0 {
+		return nil, ErrBadDataset
+	}
+	f := len(x[0])
+	s := &Standardizer{Mean: make([]float64, f), Std: make([]float64, f)}
+	for _, row := range x {
+		if len(row) != f {
+			return nil, fmt.Errorf("%w: ragged feature matrix", ErrBadDataset)
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply standardizes a single feature vector (returns a new slice).
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardizes a whole matrix.
+func (s *Standardizer) ApplyAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"locble/internal/rng"
+)
+
+// TreeConfig holds CART training hyperparameters.
+type TreeConfig struct {
+	MaxDepth    int
+	MinLeafSize int
+	// MaxFeatures limits the number of features considered per split
+	// (0 = all); random forests set this to √F.
+	MaxFeatures int
+	Seed        int64
+}
+
+// DefaultTreeConfig returns sensible defaults for EnvAware-sized data.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 12, MinLeafSize: 3}
+}
+
+// DecisionTree is a CART classifier with Gini-impurity splits.
+type DecisionTree struct {
+	root    *treeNode
+	classes int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// leaf prediction
+	label int
+	leaf  bool
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "decision-tree" }
+
+// TrainDecisionTree fits a CART tree on d.
+func TrainDecisionTree(d Dataset, cfg TreeConfig) (*DecisionTree, error) {
+	_, classes, err := d.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeafSize <= 0 {
+		cfg.MinLeafSize = 1
+	}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	src := rng.New(cfg.Seed)
+	tree := &DecisionTree{classes: classes}
+	tree.root = buildNode(d, idx, cfg, classes, 0, src)
+	return tree, nil
+}
+
+func buildNode(d Dataset, idx []int, cfg TreeConfig, classes, depth int, src *rng.Source) *treeNode {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	majority, best := 0, -1
+	pure := true
+	for c, n := range counts {
+		if n > best {
+			majority, best = c, n
+		}
+		if n != 0 && n != len(idx) {
+			pure = false
+		}
+	}
+	if pure || depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize {
+		return &treeNode{leaf: true, label: majority}
+	}
+
+	features := len(d.X[0])
+	candidates := make([]int, features)
+	for f := range candidates {
+		candidates[f] = f
+	}
+	if cfg.MaxFeatures > 0 && cfg.MaxFeatures < features {
+		perm := src.Perm(features)
+		candidates = perm[:cfg.MaxFeatures]
+	}
+
+	bestGini := math.Inf(1)
+	bestFeature, bestThreshold := -1, 0.0
+	vals := make([]float64, 0, len(idx))
+	for _, f := range candidates {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, d.X[i][f])
+		}
+		sort.Float64s(vals)
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			thr := (vals[k] + vals[k-1]) / 2
+			g := splitGini(d, idx, f, thr, classes)
+			if g < bestGini {
+				bestGini, bestFeature, bestThreshold = g, f, thr
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, label: majority}
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.X[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < cfg.MinLeafSize || len(rightIdx) < cfg.MinLeafSize {
+		return &treeNode{leaf: true, label: majority}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      buildNode(d, leftIdx, cfg, classes, depth+1, src),
+		right:     buildNode(d, rightIdx, cfg, classes, depth+1, src),
+	}
+}
+
+func splitGini(d Dataset, idx []int, f int, thr float64, classes int) float64 {
+	lc := make([]int, classes)
+	rc := make([]int, classes)
+	nl, nr := 0, 0
+	for _, i := range idx {
+		if d.X[i][f] <= thr {
+			lc[d.Y[i]]++
+			nl++
+		} else {
+			rc[d.Y[i]]++
+			nr++
+		}
+	}
+	gini := func(c []int, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		g := 1.0
+		for _, k := range c {
+			p := float64(k) / float64(n)
+			g -= p * p
+		}
+		return g
+	}
+	n := float64(nl + nr)
+	return float64(nl)/n*gini(lc, nl) + float64(nr)/n*gini(rc, nr)
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// ForestConfig holds random-forest hyperparameters.
+type ForestConfig struct {
+	Trees int
+	Tree  TreeConfig
+	Seed  int64
+}
+
+// DefaultForestConfig returns defaults for EnvAware-sized data.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 25, Tree: TreeConfig{MaxDepth: 10, MinLeafSize: 2}, Seed: 7}
+}
+
+// RandomForest is a bootstrap-aggregated ensemble of CART trees with
+// per-split feature subsampling.
+type RandomForest struct {
+	trees   []*DecisionTree
+	classes int
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "random-forest" }
+
+// TrainRandomForest fits the ensemble on d.
+func TrainRandomForest(d Dataset, cfg ForestConfig) (*RandomForest, error) {
+	features, classes, err := d.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 25
+	}
+	if cfg.Tree.MaxFeatures <= 0 {
+		cfg.Tree.MaxFeatures = int(math.Ceil(math.Sqrt(float64(features))))
+	}
+	src := rng.New(cfg.Seed)
+	forest := &RandomForest{classes: classes}
+	n := len(d.X)
+	for t := 0; t < cfg.Trees; t++ {
+		ts := src.Split(int64(t))
+		boot := Dataset{X: make([][]float64, n), Y: make([]int, n)}
+		for i := 0; i < n; i++ {
+			p := ts.Intn(n)
+			boot.X[i] = d.X[p]
+			boot.Y[i] = d.Y[p]
+		}
+		tc := cfg.Tree
+		tc.Seed = int64(t) + cfg.Seed*7919
+		tree, err := TrainDecisionTree(boot, tc)
+		if err != nil {
+			return nil, err
+		}
+		forest.trees = append(forest.trees, tree)
+	}
+	return forest, nil
+}
+
+// Predict implements Classifier by majority vote.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make([]int, f.classes)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,447 @@
+// Package motion turns raw smartphone IMU streams into the observer's
+// movement track: coordinate alignment from phone frame to earth frame,
+// moving-average + peak-voting step detection, step-length inference from
+// step frequency, gyroscope+magnetometer turn detection, and pedestrian
+// dead reckoning (paper Sec. 5.2). The tracker's output — the observer's
+// (aᵢ, cᵢ) displacements per RSS timestamp — feeds the elliptical
+// regression in the estimate package.
+package motion
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"locble/internal/imu"
+	"locble/internal/sigproc"
+)
+
+// ErrNoSamples is returned when a detector is given an empty trace.
+var ErrNoSamples = errors.New("motion: no samples")
+
+// Align estimates the rotation from the device frame to the earth frame
+// using the mean accelerometer vector (gravity defines "down") and the
+// magnetometer (horizontal field defines "north"), the well-known
+// coordinate alignment the paper cites. It returns the rotation and the
+// aligned copy of the samples.
+func Align(samples []imu.Sample) (imu.RotationMatrix, []imu.Sample, error) {
+	if len(samples) == 0 {
+		return imu.IdentityRotation(), nil, ErrNoSamples
+	}
+	// Gravity direction: mean accelerometer (gait oscillation and noise
+	// average out).
+	var g [3]float64
+	for _, s := range samples {
+		for k := 0; k < 3; k++ {
+			g[k] += s.Acc[k]
+		}
+	}
+	norm := math.Sqrt(g[0]*g[0] + g[1]*g[1] + g[2]*g[2])
+	if norm < 1e-9 {
+		return imu.IdentityRotation(), nil, errors.New("motion: degenerate gravity vector")
+	}
+	for k := range g {
+		g[k] /= norm
+	}
+	// Rotation taking device "up" (g) to earth z: Rodrigues from g to
+	// (0,0,1). Tilt correction is all the alignment needs: once gravity
+	// points along +z, the horizontal magnetometer components give the
+	// device's absolute heading directly (MagHeading), and the gyro z-axis
+	// measures true turn rate. Yaw must NOT be rotated away — it carries
+	// the heading information the dead reckoner consumes.
+	r := rotationBetween(g, [3]float64{0, 0, 1})
+
+	aligned := make([]imu.Sample, len(samples))
+	for i, s := range samples {
+		aligned[i] = s
+		aligned[i].Acc = r.Apply(s.Acc)
+		aligned[i].Gyro = r.Apply(s.Gyro)
+		aligned[i].Mag = r.Apply(s.Mag)
+	}
+	return r, aligned, nil
+}
+
+// rotationBetween returns the rotation carrying unit vector a onto unit
+// vector b (Rodrigues' formula).
+func rotationBetween(a, b [3]float64) imu.RotationMatrix {
+	cross := [3]float64{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+	dot := a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+	s2 := cross[0]*cross[0] + cross[1]*cross[1] + cross[2]*cross[2]
+	if s2 < 1e-18 {
+		if dot > 0 {
+			return imu.IdentityRotation()
+		}
+		// a = −b: rotate π around any perpendicular axis; pick x/z.
+		return imu.RotationZYX(0, math.Pi, 0)
+	}
+	k := cross
+	// K is the skew matrix of k; R = I + K + K²·(1−dot)/s².
+	kmat := imu.RotationMatrix{
+		{0, -k[2], k[1]},
+		{k[2], 0, -k[0]},
+		{-k[1], k[0], 0},
+	}
+	id := imu.IdentityRotation()
+	k2 := kmat.Mul(kmat)
+	f := (1 - dot) / s2
+	var r imu.RotationMatrix
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = id[i][j] + kmat[i][j] + k2[i][j]*f
+		}
+	}
+	return r
+}
+
+// Step is one detected step.
+type Step struct {
+	T      float64 // time of the detected peak
+	Length float64 // inferred step length, metres
+	Freq   float64 // instantaneous step frequency, Hz
+}
+
+// StepDetectorConfig tunes the peak-voting step detector.
+type StepDetectorConfig struct {
+	// SmoothWindow is the moving-average window in samples (Sec. 5.2.1).
+	SmoothWindow int
+	// MinPeak is the minimum vertical-acceleration deviation (m/s²,
+	// gravity removed) for a candidate peak.
+	MinPeak float64
+	// MinInterval is the refractory period between steps in seconds
+	// (rejects double peaks within one gait cycle).
+	MinInterval float64
+	// VoteWindow is the half-width in samples of the neighbourhood that
+	// votes a candidate as the local maximum.
+	VoteWindow int
+}
+
+// DefaultStepDetectorConfig returns settings for 100 Hz IMU data.
+func DefaultStepDetectorConfig() StepDetectorConfig {
+	return StepDetectorConfig{SmoothWindow: 15, MinPeak: 0.8, MinInterval: 0.35, VoteWindow: 12}
+}
+
+// StepLengthModel infers step length from step frequency; faster cadence
+// means longer steps (the paper cites this frequency-based inference).
+// Length = Base + Slope·freq, clamped to plausible human gait.
+type StepLengthModel struct {
+	Base, Slope float64
+}
+
+// DefaultStepLengthModel returns the calibration used throughout the
+// simulator (0.7 m at the synthesizer's default 1.8 Hz cadence).
+func DefaultStepLengthModel() StepLengthModel {
+	return StepLengthModel{Base: 0.25, Slope: 0.25}
+}
+
+// Length evaluates the model at freq Hz.
+func (m StepLengthModel) Length(freq float64) float64 {
+	l := m.Base + m.Slope*freq
+	if l < 0.3 {
+		l = 0.3
+	}
+	if l > 1.1 {
+		l = 1.1
+	}
+	return l
+}
+
+// DetectSteps runs the moving-average + peak-voting step detector over
+// earth-frame samples: smooth the vertical acceleration (gravity
+// removed), then accept a sample as a step peak when it wins the local
+// vote (is the maximum of its neighbourhood), exceeds MinPeak, and falls
+// outside the refractory interval of the previous step.
+func DetectSteps(samples []imu.Sample, cfg StepDetectorConfig, lenModel StepLengthModel) ([]Step, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	vert := make([]float64, len(samples))
+	for i, s := range samples {
+		vert[i] = s.Acc[2] - imu.Gravity
+	}
+	smooth := sigproc.Smooth(vert, cfg.SmoothWindow)
+
+	var steps []Step
+	lastT := math.Inf(-1)
+	for i := cfg.VoteWindow; i < len(smooth)-cfg.VoteWindow; i++ {
+		v := smooth[i]
+		if v < cfg.MinPeak {
+			continue
+		}
+		// Voting: candidate must be the maximum of its neighbourhood.
+		isMax := true
+		for k := i - cfg.VoteWindow; k <= i+cfg.VoteWindow; k++ {
+			if smooth[k] > v {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		t := samples[i].T
+		if t-lastT < cfg.MinInterval {
+			continue
+		}
+		freq := 1.8 // default cadence until we have an inter-step interval
+		if len(steps) > 0 {
+			freq = 1 / (t - steps[len(steps)-1].T)
+		}
+		steps = append(steps, Step{T: t, Freq: freq, Length: lenModel.Length(freq)})
+		lastT = t
+	}
+	// First step's frequency: copy the second's, if any.
+	if len(steps) >= 2 {
+		steps[0].Freq = steps[1].Freq
+		steps[0].Length = lenModel.Length(steps[0].Freq)
+	}
+	return steps, nil
+}
+
+// Turn is one detected turning maneuver.
+type Turn struct {
+	Begin, End float64 // seconds
+	Angle      float64 // signed turn angle in radians (from magnetometer)
+}
+
+// TurnDetectorConfig tunes the gyroscope bump detector.
+type TurnDetectorConfig struct {
+	// RateThreshold is the |gyro z| rate (rad/s) that opens a bump.
+	RateThreshold float64
+	// CloseThreshold is the rate below which the bump closes.
+	CloseThreshold float64
+	// MinDuration discards spurious blips shorter than this (seconds).
+	MinDuration float64
+	// SmoothWindow smooths the gyro rate before thresholding.
+	SmoothWindow int
+}
+
+// DefaultTurnDetectorConfig returns settings for 100 Hz data.
+func DefaultTurnDetectorConfig() TurnDetectorConfig {
+	return TurnDetectorConfig{RateThreshold: 0.35, CloseThreshold: 0.15, MinDuration: 0.3, SmoothWindow: 9}
+}
+
+// MagHeading extracts the magnetometer heading at sample i: the paper uses
+// the magnetic heading at the bump's endpoints to measure the turn angle.
+func MagHeading(s imu.Sample) float64 {
+	return math.Atan2(-s.Mag[1], s.Mag[0])
+}
+
+// DetectTurns finds turning maneuvers: the gyroscope identifies the
+// beginning and end of each rate bump; the magnetic headings at those
+// points give the turn angle (Sec. 5.2.2, Fig. 8(b)).
+func DetectTurns(samples []imu.Sample, cfg TurnDetectorConfig) ([]Turn, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	rate := make([]float64, len(samples))
+	for i, s := range samples {
+		rate[i] = s.Gyro[2]
+	}
+	smooth := sigproc.Smooth(rate, cfg.SmoothWindow)
+
+	// The |rate| threshold necessarily clips the slow edges of the bump,
+	// so the headings must be read well outside the detected interval —
+	// the rotation has not finished where the rate drops below the close
+	// threshold. Margin ≈ 0.3 s of samples.
+	margin := cfg.SmoothWindow
+	if len(samples) >= 2 {
+		if dt := samples[1].T - samples[0].T; dt > 0 {
+			margin = maxInt(margin, int(0.3/dt))
+		}
+	}
+
+	var turns []Turn
+	open := false
+	var beginIdx int
+	for i, r := range smooth {
+		a := math.Abs(r)
+		switch {
+		case !open && a >= cfg.RateThreshold:
+			open = true
+			beginIdx = i
+		case open && a < cfg.CloseThreshold:
+			open = false
+			b, e := beginIdx, i
+			if samples[e].T-samples[b].T < cfg.MinDuration {
+				continue
+			}
+			bi := maxInt(0, b-margin)
+			ei := minInt(len(samples)-1, e+margin)
+			angle := headingDelta(samples, bi, ei)
+			turns = append(turns, Turn{Begin: samples[b].T, End: samples[e].T, Angle: angle})
+		}
+	}
+	if open {
+		b, e := beginIdx, len(samples)-1
+		if samples[e].T-samples[b].T >= cfg.MinDuration {
+			angle := headingDelta(samples, maxInt(0, b-margin), e)
+			turns = append(turns, Turn{Begin: samples[b].T, End: samples[e].T, Angle: angle})
+		}
+	}
+	return turns, nil
+}
+
+// headingDelta averages a few headings around each endpoint and returns
+// the signed difference end−begin.
+func headingDelta(samples []imu.Sample, b, e int) float64 {
+	avg := func(center int) float64 {
+		lo, hi := maxInt(0, center-5), minInt(len(samples)-1, center+5)
+		// Average on the unit circle to avoid wrap-around artefacts.
+		var sx, sy float64
+		for k := lo; k <= hi; k++ {
+			h := MagHeading(samples[k])
+			sx += math.Cos(h)
+			sy += math.Sin(h)
+		}
+		return math.Atan2(sy, sx)
+	}
+	return imu.AngleDiff(avg(e), avg(b))
+}
+
+// Displacement is the observer's cumulative movement at a point in time —
+// the (aᵢ, cᵢ) pair of the paper's Eq. (1).
+type Displacement struct {
+	T    float64
+	X, Y float64
+}
+
+// Track is the dead-reckoned movement of a device.
+type Track struct {
+	Steps []Step
+	Turns []Turn
+	// Points is the cumulative displacement after each step.
+	Points []Displacement
+	// InitialHeading is the assumed starting heading (radians).
+	InitialHeading float64
+}
+
+// TrackerConfig bundles the detector configurations.
+type TrackerConfig struct {
+	Step   StepDetectorConfig
+	Turn   TurnDetectorConfig
+	LenMod StepLengthModel
+	// SnapRightAngles rounds detected turn angles to the nearest 90° —
+	// the paper notes LocBLE can ask the user to make a right-angle turn
+	// to avoid angle measurement error (Sec. 5.2.2).
+	SnapRightAngles bool
+}
+
+// DefaultTrackerConfig returns the default pipeline settings.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{
+		Step:   DefaultStepDetectorConfig(),
+		Turn:   DefaultTurnDetectorConfig(),
+		LenMod: DefaultStepLengthModel(),
+	}
+}
+
+// BuildTrack runs step and turn detection over earth-frame samples and
+// dead-reckons the displacement track: each step advances the position by
+// its length along the current heading; each completed turn rotates the
+// heading by the measured angle.
+func BuildTrack(samples []imu.Sample, cfg TrackerConfig) (*Track, error) {
+	steps, err := DetectSteps(samples, cfg.Step, cfg.LenMod)
+	if err != nil {
+		return nil, err
+	}
+	turns, err := DetectTurns(samples, cfg.Turn)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SnapRightAngles {
+		for i := range turns {
+			turns[i].Angle = snapRight(turns[i].Angle)
+		}
+	}
+	tr := &Track{Steps: steps, Turns: turns}
+
+	heading := 0.0
+	if len(samples) > 0 {
+		// Initial heading from the magnetometer before movement begins.
+		heading = MagHeading(samples[0])
+	}
+	tr.InitialHeading = heading
+
+	// Merge step and turn events in time order.
+	type ev struct {
+		t      float64
+		isTurn bool
+		idx    int
+	}
+	var evs []ev
+	for i, s := range steps {
+		evs = append(evs, ev{t: s.T, idx: i})
+	}
+	for i, t := range turns {
+		evs = append(evs, ev{t: t.End, isTurn: true, idx: i})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+
+	x, y := 0.0, 0.0
+	h := heading
+	tr.Points = append(tr.Points, Displacement{T: 0, X: 0, Y: 0})
+	for _, e := range evs {
+		if e.isTurn {
+			h += turns[e.idx].Angle
+			continue
+		}
+		st := steps[e.idx]
+		x += st.Length * math.Cos(h)
+		y += st.Length * math.Sin(h)
+		tr.Points = append(tr.Points, Displacement{T: st.T, X: x, Y: y})
+	}
+	return tr, nil
+}
+
+// snapRight rounds an angle to the nearest multiple of 90°.
+func snapRight(a float64) float64 {
+	q := math.Round(a / (math.Pi / 2))
+	return q * math.Pi / 2
+}
+
+// At interpolates the displacement at time t.
+func (tr *Track) At(t float64) (x, y float64) {
+	pts := tr.Points
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	if t <= pts[0].T {
+		return pts[0].X, pts[0].Y
+	}
+	for i := 1; i < len(pts); i++ {
+		if t < pts[i].T {
+			a, b := pts[i-1], pts[i]
+			frac := (t - a.T) / (b.T - a.T)
+			return a.X + (b.X-a.X)*frac, a.Y + (b.Y-a.Y)*frac
+		}
+	}
+	last := pts[len(pts)-1]
+	return last.X, last.Y
+}
+
+// TotalDistance returns the walked path length.
+func (tr *Track) TotalDistance() float64 {
+	d := 0.0
+	for _, s := range tr.Steps {
+		d += s.Length
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

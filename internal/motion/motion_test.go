@@ -1,0 +1,277 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"locble/internal/imu"
+	"locble/internal/rng"
+)
+
+func synth(t *testing.T, plan imu.Plan, seed int64) *imu.Trace {
+	t.Helper()
+	tr, err := imu.Synthesize(plan, imu.DefaultNoise(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAlignIdentityWhenFlat(t *testing.T) {
+	tr := synth(t, imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 3}}}, 1)
+	r, aligned, err := Align(tr.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned) != len(tr.Samples) {
+		t.Fatal("aligned length mismatch")
+	}
+	// Flat phone: rotation ≈ identity.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(r[i][j]-want) > 0.05 {
+				t.Errorf("Align rotation[%d][%d] = %g", i, j, r[i][j])
+			}
+		}
+	}
+}
+
+func TestAlignRecoversTiltedPosture(t *testing.T) {
+	tr := synth(t, imu.Plan{Segments: imu.LShape(0, 4, 4)}, 2)
+	posture := imu.RotationZYX(0, 0.35, -0.25) // pitch + roll, no yaw
+	tr.ApplyPosture(posture)
+	_, aligned, err := Align(tr.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After alignment gravity must again sit on +z.
+	var g [3]float64
+	for _, s := range aligned {
+		for k := 0; k < 3; k++ {
+			g[k] += s.Acc[k]
+		}
+	}
+	n := float64(len(aligned))
+	if math.Abs(g[2]/n-imu.Gravity) > 0.3 || math.Abs(g[0]/n) > 0.3 || math.Abs(g[1]/n) > 0.3 {
+		t.Errorf("gravity after align = (%.2f, %.2f, %.2f)", g[0]/n, g[1]/n, g[2]/n)
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	if _, _, err := Align(nil); err == nil {
+		t.Error("want error for empty samples")
+	}
+}
+
+func TestStepDetectionAccuracy(t *testing.T) {
+	// Paper: 94.77 % step accuracy. Check detection within ±1 step over
+	// several traces.
+	total, detected := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		tr := synth(t, imu.Plan{Segments: imu.LShape(0, 4, 4)}, seed)
+		_, aligned, err := Align(tr.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, err := DetectSteps(aligned, DefaultStepDetectorConfig(), DefaultStepLengthModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += tr.Steps
+		detected += len(steps)
+	}
+	acc := 1 - math.Abs(float64(detected-total))/float64(total)
+	if acc < 0.9 {
+		t.Errorf("step count accuracy %.3f (detected %d of %d), want ≥ 0.9 (paper 0.9477)", acc, detected, total)
+	}
+}
+
+func TestStepLengthModel(t *testing.T) {
+	m := DefaultStepLengthModel()
+	if l := m.Length(1.8); math.Abs(l-0.7) > 0.05 {
+		t.Errorf("length at default cadence = %g, want ≈0.7", l)
+	}
+	if m.Length(0.1) < 0.3 || m.Length(10) > 1.1 {
+		t.Error("step length must clamp to plausible gait")
+	}
+	if m.Length(2.2) <= m.Length(1.4) {
+		t.Error("faster cadence should mean longer steps")
+	}
+}
+
+func TestTurnDetection(t *testing.T) {
+	tr := synth(t, imu.Plan{Segments: []imu.Segment{
+		{Heading: 0, Distance: 3},
+		{Heading: math.Pi / 2, Distance: 3},
+	}}, 3)
+	_, aligned, _ := Align(tr.Samples)
+	turns, err := DetectTurns(aligned, DefaultTurnDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 1 {
+		t.Fatalf("detected %d turns, want 1", len(turns))
+	}
+	errDeg := math.Abs(turns[0].Angle-math.Pi/2) * 180 / math.Pi
+	// Paper: 3.45° average angle error.
+	if errDeg > 10 {
+		t.Errorf("turn angle error %.1f°, want < 10", errDeg)
+	}
+}
+
+func TestTurnAngleAccuracyMean(t *testing.T) {
+	var sum float64
+	n := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		tr := synth(t, imu.Plan{Segments: []imu.Segment{
+			{Heading: 0, Distance: 3},
+			{Heading: math.Pi / 2, Distance: 3},
+		}}, seed)
+		_, aligned, _ := Align(tr.Samples)
+		turns, err := DetectTurns(aligned, DefaultTurnDetectorConfig())
+		if err != nil || len(turns) != 1 {
+			continue
+		}
+		sum += math.Abs(turns[0].Angle-math.Pi/2) * 180 / math.Pi
+		n++
+	}
+	if n < 8 {
+		t.Fatalf("only %d/12 traces produced one turn", n)
+	}
+	if mean := sum / float64(n); mean > 6 {
+		t.Errorf("mean turn angle error %.2f°, want ≤ 6 (paper 3.45°)", mean)
+	}
+}
+
+func TestNoTurnsOnStraightWalk(t *testing.T) {
+	tr := synth(t, imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 5}}}, 4)
+	_, aligned, _ := Align(tr.Samples)
+	turns, err := DetectTurns(aligned, DefaultTurnDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 0 {
+		t.Errorf("straight walk produced %d turns", len(turns))
+	}
+}
+
+func TestBuildTrackEndpointAccuracy(t *testing.T) {
+	var sumErr float64
+	const runs = 8
+	for seed := int64(1); seed <= runs; seed++ {
+		tr := synth(t, imu.Plan{Segments: imu.LShape(0, 4, 4)}, seed)
+		_, aligned, _ := Align(tr.Samples)
+		cfg := DefaultTrackerConfig()
+		cfg.SnapRightAngles = true
+		track, err := BuildTrack(aligned, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gx, gy := tr.PositionAt(1e9)
+		fx, fy := track.At(1e9)
+		sumErr += math.Hypot(fx-gx, fy-gy)
+	}
+	if mean := sumErr / runs; mean > 1.0 {
+		t.Errorf("mean dead-reckoning endpoint error %.2f m, want ≤ 1.0", mean)
+	}
+}
+
+func TestTrackAtInterpolates(t *testing.T) {
+	track := &Track{Points: []Displacement{
+		{T: 0, X: 0, Y: 0},
+		{T: 1, X: 1, Y: 0},
+		{T: 2, X: 1, Y: 2},
+	}}
+	x, y := track.At(0.5)
+	if math.Abs(x-0.5) > 1e-12 || y != 0 {
+		t.Errorf("At(0.5) = (%g, %g)", x, y)
+	}
+	x, y = track.At(1.5)
+	if math.Abs(x-1) > 1e-12 || math.Abs(y-1) > 1e-12 {
+		t.Errorf("At(1.5) = (%g, %g)", x, y)
+	}
+	x, y = track.At(99)
+	if x != 1 || y != 2 {
+		t.Errorf("At(∞) = (%g, %g)", x, y)
+	}
+	if x, y := (&Track{}).At(1); x != 0 || y != 0 {
+		t.Error("empty track should report origin")
+	}
+}
+
+func TestTotalDistance(t *testing.T) {
+	track := &Track{Steps: []Step{{Length: 0.7}, {Length: 0.7}, {Length: 0.6}}}
+	if d := track.TotalDistance(); math.Abs(d-2.0) > 1e-12 {
+		t.Errorf("TotalDistance = %g", d)
+	}
+}
+
+func TestSnapRightAngles(t *testing.T) {
+	if got := snapRight(1.48); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("snapRight(1.48) = %g", got)
+	}
+	if got := snapRight(-1.62); math.Abs(got+math.Pi/2) > 1e-12 {
+		t.Errorf("snapRight(-1.62) = %g", got)
+	}
+	if got := snapRight(0.1); got != 0 {
+		t.Errorf("snapRight(0.1) = %g", got)
+	}
+}
+
+func TestMagHeading(t *testing.T) {
+	s := imu.Sample{Mag: [3]float64{math.Cos(0.7), -math.Sin(0.7), 0.3}}
+	if h := MagHeading(s); math.Abs(h-0.7) > 1e-12 {
+		t.Errorf("MagHeading = %g, want 0.7", h)
+	}
+}
+
+func TestDetectStepsEmpty(t *testing.T) {
+	if _, err := DetectSteps(nil, DefaultStepDetectorConfig(), DefaultStepLengthModel()); err == nil {
+		t.Error("want error for empty samples")
+	}
+	if _, err := DetectTurns(nil, DefaultTurnDetectorConfig()); err == nil {
+		t.Error("want error for empty samples")
+	}
+}
+
+// The dead-reckoned track must be (approximately) invariant to the
+// phone's tilt posture — Align undoes pitch/roll before the detectors
+// run. (Yaw offsets rotate the track's frame, so only tilt is varied;
+// a deterministic grid keeps the check reproducible.)
+func TestPostureInvarianceGrid(t *testing.T) {
+	base := synth(t, imu.Plan{Segments: imu.LShape(0, 4, 4)}, 77)
+	_, aF, err := Align(append([]imu.Sample(nil), base.Samples...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrackerConfig()
+	tf, err := BuildTrack(aF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, fy := tf.At(math.Inf(1))
+
+	for _, pitchDeg := range []float64{-25, -10, 0, 10, 25} {
+		for _, rollDeg := range []float64{-25, 0, 15} {
+			tilted := *base
+			tilted.Samples = append([]imu.Sample(nil), base.Samples...)
+			(&tilted).ApplyPosture(imu.RotationZYX(0, pitchDeg*math.Pi/180, rollDeg*math.Pi/180))
+			_, aT, err := Align(tilted.Samples)
+			if err != nil {
+				t.Fatalf("pitch %g roll %g: %v", pitchDeg, rollDeg, err)
+			}
+			tt, err := BuildTrack(aT, cfg)
+			if err != nil {
+				t.Fatalf("pitch %g roll %g: %v", pitchDeg, rollDeg, err)
+			}
+			tx, ty := tt.At(math.Inf(1))
+			if d := math.Hypot(fx-tx, fy-ty); d > 1.0 {
+				t.Errorf("pitch %g° roll %g°: track endpoint moved %.2f m", pitchDeg, rollDeg, d)
+			}
+		}
+	}
+}

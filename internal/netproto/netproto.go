@@ -1,0 +1,282 @@
+// Package netproto implements the device-to-device exchange LocBLE's
+// moving-target mode needs (paper Secs. 5 and 7.1): after the measurement
+// the target sends its RSS and motion traces to the observer for
+// processing. The paper used UPnP; this package provides the same
+// semantics with a small, self-contained protocol: UDP discovery
+// (request/offer, like SSDP's M-SEARCH) plus a length-prefixed JSON
+// exchange over TCP for the trace payload.
+package netproto
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// DiscoverMagic opens every discovery datagram.
+	DiscoverMagic = "LOCBLE-DISCOVER/1"
+	// OfferMagic opens every discovery response.
+	OfferMagic = "LOCBLE-OFFER/1"
+	// MaxFrameSize bounds a trace frame (guards against corrupt length
+	// prefixes).
+	MaxFrameSize = 16 << 20
+)
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("netproto: frame exceeds maximum size")
+	ErrBadMagic      = errors.New("netproto: bad protocol magic")
+)
+
+// TimedRSS is one RSS reading in a trace bundle.
+type TimedRSS struct {
+	T    float64 `json:"t"`
+	RSS  float64 `json:"rss"`
+	Chan int     `json:"chan,omitempty"`
+}
+
+// MotionPoint is one dead-reckoned displacement sample.
+type MotionPoint struct {
+	T float64 `json:"t"`
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TraceBundle is the payload the target ships to the observer after a
+// measurement: its RSS observations and its own motion track.
+type TraceBundle struct {
+	Device string        `json:"device"`
+	RSS    []TimedRSS    `json:"rss"`
+	Motion []MotionPoint `json:"motion"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("netproto: marshal: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Server announces a device and serves its trace bundle. It listens for
+// discovery datagrams on UDP and serves trace fetches on TCP.
+type Server struct {
+	DeviceName string
+
+	mu     sync.Mutex
+	bundle *TraceBundle
+
+	tcp net.Listener
+	udp net.PacketConn
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// SetBundle publishes the bundle served to clients (replacing any prior
+// one). Safe for concurrent use.
+func (s *Server) SetBundle(b *TraceBundle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bundle = b
+}
+
+// NewServer starts a server for the named device on loopback. Pass port 0
+// for an ephemeral port; the chosen addresses are available via Addr and
+// DiscoveryAddr.
+func NewServer(device string, port int) (*Server, error) {
+	tcp, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("netproto: listen tcp: %w", err)
+	}
+	udp, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		// Ephemeral UDP port independent of the TCP one is fine.
+		udp, err = net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			tcp.Close()
+			return nil, fmt.Errorf("netproto: listen udp: %w", err)
+		}
+	}
+	s := &Server{DeviceName: device, tcp: tcp, udp: udp, closed: make(chan struct{})}
+	s.wg.Add(2)
+	go s.serveTCP()
+	go s.serveUDP()
+	return s, nil
+}
+
+// Addr returns the TCP trace-exchange address.
+func (s *Server) Addr() string { return s.tcp.Addr().String() }
+
+// DiscoveryAddr returns the UDP discovery address.
+func (s *Server) DiscoveryAddr() string { return s.udp.LocalAddr().String() }
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.tcp.Close()
+	s.udp.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 512)
+	for {
+		n, addr, err := s.udp.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		if string(buf[:n]) != DiscoverMagic {
+			continue
+		}
+		offer := fmt.Sprintf("%s %s %s", OfferMagic, s.DeviceName, s.Addr())
+		s.udp.WriteTo([]byte(offer), addr)
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			var req struct {
+				Op string `json:"op"`
+			}
+			br := bufio.NewReader(conn)
+			if err := ReadFrame(br, &req); err != nil {
+				return
+			}
+			if req.Op != "fetch" {
+				WriteFrame(conn, map[string]string{"error": "unknown op"})
+				return
+			}
+			s.mu.Lock()
+			b := s.bundle
+			s.mu.Unlock()
+			if b == nil {
+				b = &TraceBundle{Device: s.DeviceName}
+			}
+			WriteFrame(conn, b)
+		}()
+	}
+}
+
+// ServiceInfo describes a discovered device.
+type ServiceInfo struct {
+	Device string
+	Addr   string // TCP trace-exchange address
+}
+
+// Discover probes a list of UDP discovery addresses and returns the
+// devices that answered within the context deadline. (On a real phone
+// deployment this would be a broadcast; loopback simulations enumerate
+// candidate ports.)
+func Discover(ctx context.Context, addrs []string) ([]ServiceInfo, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+	}
+	for _, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			continue
+		}
+		conn.WriteTo([]byte(DiscoverMagic), ua)
+	}
+	var found []ServiceInfo
+	buf := make([]byte, 512)
+	for len(found) < len(addrs) {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			break // deadline
+		}
+		var magic, device, addr string
+		if _, err := fmt.Sscanf(string(buf[:n]), "%s %s %s", &magic, &device, &addr); err != nil {
+			continue
+		}
+		if magic != OfferMagic {
+			continue
+		}
+		found = append(found, ServiceInfo{Device: device, Addr: addr})
+	}
+	return found, nil
+}
+
+// Fetch retrieves the trace bundle from a device's TCP address.
+func Fetch(ctx context.Context, addr string) (*TraceBundle, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+	}
+	if err := WriteFrame(conn, map[string]string{"op": "fetch"}); err != nil {
+		return nil, err
+	}
+	var b TraceBundle
+	if err := ReadFrame(bufio.NewReader(conn), &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

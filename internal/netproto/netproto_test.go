@@ -1,0 +1,160 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testBundle() *TraceBundle {
+	return &TraceBundle{
+		Device: "target-phone",
+		RSS: []TimedRSS{
+			{T: 0.1, RSS: -72.5, Chan: 37},
+			{T: 0.2, RSS: -73.1, Chan: 38},
+		},
+		Motion: []MotionPoint{
+			{T: 0.1, X: 0, Y: 0},
+			{T: 0.7, X: 0.7, Y: 0},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := testBundle()
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out TraceBundle
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Device != in.Device || len(out.RSS) != 2 || out.RSS[1].RSS != -73.1 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out TraceBundle
+	if err := ReadFrame(buf, &out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestServerFetch(t *testing.T) {
+	srv, err := NewServer("target-phone", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetBundle(testBundle())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	got, err := Fetch(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != "target-phone" || len(got.RSS) != 2 || len(got.Motion) != 2 {
+		t.Errorf("fetched %+v", got)
+	}
+}
+
+func TestServerFetchEmptyBundle(t *testing.T) {
+	srv, err := NewServer("empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	got, err := Fetch(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != "empty" || len(got.RSS) != 0 {
+		t.Errorf("empty fetch = %+v", got)
+	}
+}
+
+func TestDiscovery(t *testing.T) {
+	srv, err := NewServer("disc-phone", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	found, err := Discover(ctx, []string{srv.DiscoveryAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].Device != "disc-phone" || found[0].Addr != srv.Addr() {
+		t.Fatalf("discovered %+v", found)
+	}
+}
+
+func TestDiscoveryTimeoutOnSilence(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	found, err := Discover(ctx, []string{"127.0.0.1:1"}) // nothing listens
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 0 {
+		t.Errorf("found %v on a dead port", found)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("discovery did not respect the deadline")
+	}
+}
+
+func TestEndToEndDiscoverAndFetch(t *testing.T) {
+	srv, err := NewServer("e2e", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetBundle(testBundle())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	found, err := Discover(ctx, []string{srv.DiscoveryAddr()})
+	if err != nil || len(found) != 1 {
+		t.Fatalf("discover: %v %v", found, err)
+	}
+	b, err := Fetch(ctx, found[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Device != "target-phone" {
+		t.Errorf("fetched from wrong device: %q", b.Device)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer("close", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+}
+
+func TestFetchConnectionRefused(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := Fetch(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("want connection error")
+	}
+}

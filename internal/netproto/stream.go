@@ -1,0 +1,182 @@
+package netproto
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Streaming extends the bundle exchange with a live mode: during a
+// continuous tracking session the target pushes (RSS, motion) batches as
+// they are produced instead of one bundle at the end — what the
+// observer's sliding-window tracker consumes. The wire format reuses the
+// length-prefixed JSON frames.
+
+// StreamBatch is one live update from the target.
+type StreamBatch struct {
+	Seq    int           `json:"seq"`
+	RSS    []TimedRSS    `json:"rss,omitempty"`
+	Motion []MotionPoint `json:"motion,omitempty"`
+	// Final marks the last batch of the session.
+	Final bool `json:"final,omitempty"`
+}
+
+// ErrStreamClosed is returned after the stream has been closed.
+var ErrStreamClosed = errors.New("netproto: stream closed")
+
+// StreamServer publishes live batches to any number of subscribers.
+type StreamServer struct {
+	DeviceName string
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	subs   map[net.Conn]chan StreamBatch
+	seq    int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewStreamServer starts a live-stream publisher on loopback (port 0 for
+// ephemeral).
+func NewStreamServer(device string, port int) (*StreamServer, error) {
+	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("netproto: stream listen: %w", err)
+	}
+	s := &StreamServer{
+		DeviceName: device,
+		ln:         ln,
+		subs:       make(map[net.Conn]chan StreamBatch),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the TCP address subscribers dial.
+func (s *StreamServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *StreamServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		ch := make(chan StreamBatch, 64)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.subs[conn] = ch
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn, ch)
+	}
+}
+
+func (s *StreamServer) serve(conn net.Conn, ch chan StreamBatch) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for b := range ch {
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if err := WriteFrame(conn, b); err != nil {
+			return
+		}
+		if b.Final {
+			return
+		}
+	}
+}
+
+// Publish sends one batch to every current subscriber. Slow subscribers
+// whose buffers are full are skipped (live data has no value late).
+func (s *StreamServer) Publish(rss []TimedRSS, motion []MotionPoint, final bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStreamClosed
+	}
+	s.seq++
+	b := StreamBatch{Seq: s.seq, RSS: rss, Motion: motion, Final: final}
+	for _, ch := range s.subs {
+		select {
+		case ch <- b:
+		default: // drop for this subscriber
+		}
+	}
+	if final {
+		s.closed = true
+		for _, ch := range s.subs {
+			close(ch)
+		}
+		s.subs = map[net.Conn]chan StreamBatch{}
+	}
+	return nil
+}
+
+// Close shuts the server down.
+func (s *StreamServer) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, ch := range s.subs {
+			close(ch)
+		}
+		s.subs = map[net.Conn]chan StreamBatch{}
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// Subscribe dials a StreamServer and delivers batches to the returned
+// channel until the stream ends, the context is cancelled, or an error
+// occurs. The channel is closed when the subscription ends.
+func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan StreamBatch, 16)
+	go func() {
+		defer close(out)
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			if dl, ok := ctx.Deadline(); ok {
+				conn.SetReadDeadline(dl)
+			} else {
+				conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+			}
+			var b StreamBatch
+			if err := ReadFrame(br, &b); err != nil {
+				return
+			}
+			select {
+			case out <- b:
+			case <-ctx.Done():
+				return
+			}
+			if b.Final {
+				return
+			}
+		}
+	}()
+	return out, nil
+}

@@ -1,0 +1,311 @@
+// Package rf simulates 2.4 GHz radio-frequency propagation for BLE
+// advertisements. The paper's algorithms never observe the channel
+// directly — only RSS time series — so the goal of this substrate is to
+// produce RSS with the same statistical structure the paper measures:
+//
+//   - a log-distance trend RS = Γ(e) − 10·n(e)·log10(d) (paper Eq. 1),
+//   - an environment-dependent path-loss exponent n(e) and offset Γ(e)
+//     (LOS / partial-LOS / NLOS; paper Sec. 4.1),
+//   - spatially correlated log-normal shadowing (Gudmundson model),
+//   - fast fading (Rician for LOS, Rayleigh-like for NLOS) that is
+//     frequency-selective across the three advertising channels
+//     (paper Sec. 2.2–2.3),
+//   - receiver chipset measurement offset and noise (paper Sec. 2.4).
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"locble/internal/rng"
+)
+
+// SpeedOfLight in m/s, used for free-space reference loss.
+const SpeedOfLight = 299792458.0
+
+// Environment identifies the propagation class the paper's EnvAware module
+// distinguishes (Sec. 4.1).
+type Environment int
+
+const (
+	// LOS is a clear line-of-sight path.
+	LOS Environment = iota
+	// PLOS is partial line of sight: a low-blocking-coefficient obstacle
+	// (glass, wooden door, human body) sits in the path.
+	PLOS
+	// NLOS is non line of sight: a high-blocking-coefficient obstacle
+	// (concrete wall, cinder wall, metal board) sits in the path.
+	NLOS
+)
+
+// String returns the conventional name for the environment.
+func (e Environment) String() string {
+	switch e {
+	case LOS:
+		return "LOS"
+	case PLOS:
+		return "p-LOS"
+	case NLOS:
+		return "NLOS"
+	default:
+		return fmt.Sprintf("Environment(%d)", int(e))
+	}
+}
+
+// Environments lists all propagation classes.
+func Environments() []Environment { return []Environment{LOS, PLOS, NLOS} }
+
+// PropagationParams holds the per-environment parameters of the modified
+// log-distance model RS = Γ(e) − 10·n(e)·log10(d).
+type PropagationParams struct {
+	// PathLossExponent is n(e). Free space is 2; indoor NLOS is 3–4.
+	PathLossExponent float64
+	// ExtraLoss is subtracted from Γ(e): the penetration loss of the
+	// blocking object in dB (0 for LOS).
+	ExtraLoss float64
+	// ShadowSigma is the standard deviation of log-normal shadowing in dB.
+	ShadowSigma float64
+	// ShadowCorrDist is the Gudmundson decorrelation distance in metres:
+	// shadowing at positions Δd apart correlates as exp(−Δd/ShadowCorrDist).
+	ShadowCorrDist float64
+	// RicianK is the Rician K-factor (linear) of fast fading; 0 means
+	// Rayleigh (rich multipath, no dominant path).
+	RicianK float64
+}
+
+// DefaultParams returns the propagation parameters used throughout the
+// simulator for each environment class. Values follow common indoor
+// 2.4 GHz measurement literature and reproduce the qualitative RSS
+// behaviour in the paper's Figs. 2 and 4.
+func DefaultParams(env Environment) PropagationParams {
+	switch env {
+	case LOS:
+		return PropagationParams{
+			PathLossExponent: 2.0,
+			ExtraLoss:        0,
+			ShadowSigma:      1.5,
+			ShadowCorrDist:   2.5,
+			RicianK:          20.0,
+		}
+	case PLOS:
+		return PropagationParams{
+			PathLossExponent: 2.5,
+			ExtraLoss:        4.5,
+			ShadowSigma:      3.0,
+			ShadowCorrDist:   2.0,
+			RicianK:          3.5,
+		}
+	default: // NLOS
+		return PropagationParams{
+			PathLossExponent: 3.0,
+			ExtraLoss:        8.0,
+			ShadowSigma:      5.0,
+			ShadowCorrDist:   1.5,
+			RicianK:          0,
+		}
+	}
+}
+
+// DeviceProfile models the receiver hardware configuration: the paper
+// observes that different phones report the same RSS trend with different
+// constant offsets (Fig. 2) and that chipsets add measurement noise
+// (Sec. 2.4, ±5 dB at room temperature for the BCM4334).
+type DeviceProfile struct {
+	// Name identifies the phone model.
+	Name string
+	// RSSIOffset is the constant dB offset this chipset adds to readings.
+	RSSIOffset float64
+	// NoiseSigma is the standard deviation of the chipset measurement
+	// noise in dB.
+	NoiseSigma float64
+	// SampleRateHz is the effective BLE scan report rate of this device
+	// (9 Hz on recent iPhones, 8 Hz on Nexus 6P per Sec. 7.6.1).
+	SampleRateHz float64
+}
+
+// Stock smartphone profiles used by the paper's experiments (Fig. 2,
+// Sec. 7.6.1). Offsets are relative to the iPhone 5s reference.
+var (
+	IPhone5s = DeviceProfile{Name: "iPhone 5s", RSSIOffset: 0, NoiseSigma: 1.6, SampleRateHz: 9}
+	IPhone6s = DeviceProfile{Name: "iPhone 6s", RSSIOffset: -1.0, NoiseSigma: 1.5, SampleRateHz: 9}
+	Nexus5x  = DeviceProfile{Name: "Nexus 5x", RSSIOffset: -6.0, NoiseSigma: 2.0, SampleRateHz: 8}
+	Nexus6P  = DeviceProfile{Name: "Nexus 6P", RSSIOffset: -4.5, NoiseSigma: 1.8, SampleRateHz: 8}
+	MotoNex6 = DeviceProfile{Name: "Moto Nexus 6", RSSIOffset: 3.5, NoiseSigma: 2.2, SampleRateHz: 8}
+)
+
+// TxProfile models the transmitter hardware: dedicated beacons radiate a
+// slightly cleaner signal than smart-device-integrated beacons whose chips
+// are built more compactly (paper Sec. 7.6.3, Fig. 14).
+type TxProfile struct {
+	// Name identifies the beacon hardware type.
+	Name string
+	// TxPowerDBm is the (calibrated) transmit power at 1 m in dBm. iBeacon
+	// "measured power" is typically around −59 dBm at 1 m.
+	TxPowerDBm float64
+	// JitterSigma is extra per-packet power jitter from the transmitter in
+	// dB (compact smart-device radios jitter more).
+	JitterSigma float64
+}
+
+// Stock beacon hardware profiles (paper Fig. 14).
+var (
+	EstimoteBeacon = TxProfile{Name: "Estimote", TxPowerDBm: -59, JitterSigma: 0.6}
+	RadBeaconUSB   = TxProfile{Name: "RadBeacon", TxPowerDBm: -60, JitterSigma: 0.8}
+	IOSDeviceTx    = TxProfile{Name: "iOS device", TxPowerDBm: -58, JitterSigma: 1.4}
+)
+
+// Channel simulates the radio channel between one transmitter and one
+// receiver. It is stateful: shadowing is spatially correlated, so each
+// sample must report the receiver's travelled distance since the previous
+// sample.
+//
+// A Channel is not safe for concurrent use.
+type Channel struct {
+	params PropagationParams
+	tx     TxProfile
+	rx     DeviceProfile
+	src    *rng.Source
+
+	// chanGain is the static frequency-selective gain of each of the three
+	// advertising channels (37, 38, 39) in dB. Narrowband BLE channels sit
+	// at different points of the frequency-selective fading profile, so
+	// their mean levels differ (paper Sec. 2.2).
+	chanGain [3]float64
+
+	shadow     float64 // current correlated shadowing value, dB
+	hasShadow  bool
+	env        Environment
+	fastScale  float64 // fast-fading envelope → dB conversion reference
+	minRSSI    float64
+	hopCounter int
+
+	// field-based shadowing state (see SetShadowField / SampleAt).
+	field                          *ShadowField
+	prevOx, prevOy, prevBx, prevBy float64
+	hasPrevPos                     bool
+	unitShadow                     float64
+	hasUnitShadow                  bool
+}
+
+// NewChannel creates a channel in env between tx and rx hardware, drawing
+// randomness from src.
+func NewChannel(env Environment, tx TxProfile, rx DeviceProfile, src *rng.Source) *Channel {
+	c := &Channel{
+		params:    DefaultParams(env),
+		tx:        tx,
+		rx:        rx,
+		src:       src,
+		env:       env,
+		fastScale: 1 / math.Sqrt2, // unit mean power envelope reference
+		minRSSI:   -105,
+	}
+	// Frequency-selective offsets: draw once per link; a few dB spread.
+	for i := range c.chanGain {
+		c.chanGain[i] = src.Normal(0, 1.5)
+	}
+	return c
+}
+
+// SetSensitivityFloor lowers (or raises) the receiver's clipping floor in
+// dBm. Bluetooth 5's LE Coded PHY (S=8) buys ~12 dB of link budget — the
+// "wider coverage" the paper's Sec. 9.3 expects to enhance LocBLE — which
+// manifests here as a lower floor before readings are clipped/lost.
+func (c *Channel) SetSensitivityFloor(dBm float64) { c.minRSSI = dBm }
+
+// SetEnvironment switches the propagation class mid-run (e.g. the observer
+// walks from behind a wall into line of sight). Shadowing state is kept so
+// the transition is continuous apart from the parameter change.
+func (c *Channel) SetEnvironment(env Environment) {
+	c.env = env
+	c.params = DefaultParams(env)
+}
+
+// Environment returns the current propagation class.
+func (c *Channel) Environment() Environment { return c.env }
+
+// Params returns the current propagation parameters.
+func (c *Channel) Params() PropagationParams { return c.params }
+
+// Gamma returns Γ(e) = P + X(e): the effective power offset of the link,
+// combining Tx power and environment penetration loss, before receiver
+// offset. This is the ground-truth value of the paper's Γ(e).
+func (c *Channel) Gamma() float64 {
+	return c.tx.TxPowerDBm - c.params.ExtraLoss
+}
+
+// MeanRSSI returns the noiseless model RSS at distance d (metres),
+// including the receiver offset: the "theoretical" curve in Fig. 4.
+func (c *Channel) MeanRSSI(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	return c.Gamma() - 10*c.params.PathLossExponent*math.Log10(d) + c.rx.RSSIOffset
+}
+
+// Sample draws one RSSI reading at distance d (metres) on advertising
+// channel ch (37, 38 or 39), after the receiver moved deltaDist metres
+// since the previous sample (for shadowing correlation).
+func (c *Channel) Sample(d float64, ch int, deltaDist float64) float64 {
+	if ch < 37 || ch > 39 {
+		panic(fmt.Sprintf("rf: invalid advertising channel %d", ch))
+	}
+	// Correlated shadowing (Gudmundson): AR(1) over travelled distance.
+	rho := math.Exp(-math.Abs(deltaDist) / c.params.ShadowCorrDist)
+	if !c.hasShadow {
+		c.shadow = c.src.Normal(0, c.params.ShadowSigma)
+		c.hasShadow = true
+	} else {
+		innov := c.src.Normal(0, c.params.ShadowSigma*math.Sqrt(1-rho*rho))
+		c.shadow = rho*c.shadow + innov
+	}
+
+	// Fast fading: envelope draw converted to dB around 0 mean power.
+	var envp float64
+	if k := c.params.RicianK; k > 0 {
+		sigma := math.Sqrt(1 / (2 * (k + 1)))
+		nu := math.Sqrt(k / (k + 1))
+		envp = c.src.Rician(nu, sigma)
+	} else {
+		envp = c.src.Rayleigh(c.fastScale)
+	}
+	fastDB := 20 * math.Log10(math.Max(envp, 1e-3))
+
+	rssi := c.MeanRSSI(d) +
+		c.shadow +
+		fastDB +
+		c.chanGain[ch-37] +
+		c.src.Normal(0, c.rx.NoiseSigma) +
+		c.src.Normal(0, c.tx.JitterSigma)
+
+	if rssi < c.minRSSI {
+		rssi = c.minRSSI
+	}
+	return rssi
+}
+
+// NextChannel returns the next advertising channel in the fixed hop
+// sequence 37 → 38 → 39 → 37 … that BLE advertisers use (Sec. 2.2).
+func (c *Channel) NextChannel() int {
+	ch := 37 + c.hopCounter%3
+	c.hopCounter++
+	return ch
+}
+
+// PathLossDistance inverts the log-distance model: given an RSS reading
+// (receiver offset removed), gamma and exponent n, it returns the implied
+// distance. This is the primitive ranging operation baselines use.
+func PathLossDistance(rss, gamma, n float64) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	return math.Pow(10, (gamma-rss)/(10*n))
+}
+
+// FreeSpaceLoss returns the free-space path loss in dB at distance d
+// metres and frequency f Hz (reference for calibrating Γ).
+func FreeSpaceLoss(d, f float64) float64 {
+	if d <= 0 || f <= 0 {
+		return math.NaN()
+	}
+	return 20*math.Log10(d) + 20*math.Log10(f) + 20*math.Log10(4*math.Pi/SpeedOfLight)
+}

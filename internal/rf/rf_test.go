@@ -1,0 +1,252 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locble/internal/rng"
+)
+
+func TestEnvironmentString(t *testing.T) {
+	if LOS.String() != "LOS" || PLOS.String() != "p-LOS" || NLOS.String() != "NLOS" {
+		t.Error("environment names")
+	}
+	if len(Environments()) != 3 {
+		t.Error("Environments() should list 3 classes")
+	}
+}
+
+func TestDefaultParamsOrdering(t *testing.T) {
+	los, plos, nlos := DefaultParams(LOS), DefaultParams(PLOS), DefaultParams(NLOS)
+	if !(los.PathLossExponent < plos.PathLossExponent && plos.PathLossExponent < nlos.PathLossExponent) {
+		t.Error("exponent should grow with blockage")
+	}
+	if !(los.ExtraLoss < plos.ExtraLoss && plos.ExtraLoss < nlos.ExtraLoss) {
+		t.Error("penetration loss should grow with blockage")
+	}
+	if !(los.RicianK > plos.RicianK && plos.RicianK > nlos.RicianK) {
+		t.Error("Rician K should shrink with blockage")
+	}
+}
+
+func TestMeanRSSIMonotoneInDistance(t *testing.T) {
+	ch := NewChannel(LOS, EstimoteBeacon, IPhone6s, rng.New(1))
+	prev := math.Inf(1)
+	for d := 0.5; d <= 15; d += 0.5 {
+		v := ch.MeanRSSI(d)
+		if v >= prev {
+			t.Fatalf("MeanRSSI not decreasing at %g m: %g >= %g", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMeanRSSIDeviceOffset(t *testing.T) {
+	src := rng.New(2)
+	a := NewChannel(LOS, EstimoteBeacon, IPhone5s, src.Split(1))
+	b := NewChannel(LOS, EstimoteBeacon, Nexus5x, src.Split(2))
+	diff := a.MeanRSSI(4) - b.MeanRSSI(4)
+	want := IPhone5s.RSSIOffset - Nexus5x.RSSIOffset
+	if math.Abs(diff-want) > 1e-9 {
+		t.Errorf("device offset = %g, want %g", diff, want)
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	// Mean of many samples should track the model mean; LOS variance
+	// should be clearly below NLOS variance.
+	stats := func(env Environment) (mean, variance float64) {
+		ch := NewChannel(env, EstimoteBeacon, IPhone6s, rng.New(7))
+		const n = 4000
+		var s, ss float64
+		for i := 0; i < n; i++ {
+			v := ch.Sample(4, ch.NextChannel(), 0.1)
+			s += v
+			ss += v * v
+		}
+		mean = s / n
+		return mean, ss/n - mean*mean
+	}
+	mLOS, vLOS := stats(LOS)
+	mNLOS, vNLOS := stats(NLOS)
+	if math.Abs(mLOS-NewChannel(LOS, EstimoteBeacon, IPhone6s, rng.New(9)).MeanRSSI(4)) > 2.5 {
+		t.Errorf("LOS sample mean %g far from model", mLOS)
+	}
+	if mNLOS >= mLOS {
+		t.Errorf("NLOS mean %g should be below LOS mean %g", mNLOS, mLOS)
+	}
+	if vNLOS <= vLOS {
+		t.Errorf("NLOS variance %g should exceed LOS variance %g", vNLOS, vLOS)
+	}
+}
+
+func TestSampleChannelValidation(t *testing.T) {
+	ch := NewChannel(LOS, EstimoteBeacon, IPhone6s, rng.New(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid channel should panic")
+		}
+	}()
+	ch.Sample(4, 40, 0.1)
+}
+
+func TestNextChannelHops(t *testing.T) {
+	ch := NewChannel(LOS, EstimoteBeacon, IPhone6s, rng.New(4))
+	want := []int{37, 38, 39, 37, 38, 39}
+	for i, w := range want {
+		if got := ch.NextChannel(); got != w {
+			t.Fatalf("hop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSetEnvironmentChangesParams(t *testing.T) {
+	ch := NewChannel(LOS, EstimoteBeacon, IPhone6s, rng.New(5))
+	losMean := ch.MeanRSSI(4)
+	ch.SetEnvironment(NLOS)
+	if ch.Environment() != NLOS {
+		t.Error("Environment() after SetEnvironment")
+	}
+	if ch.MeanRSSI(4) >= losMean {
+		t.Error("NLOS mean should drop below LOS mean")
+	}
+}
+
+func TestPathLossDistanceInverts(t *testing.T) {
+	gamma, n := -59.0, 2.0
+	for _, d := range []float64{0.5, 1, 3, 7, 12} {
+		rss := gamma - 10*n*math.Log10(d)
+		if got := PathLossDistance(rss, gamma, n); math.Abs(got-d) > 1e-9 {
+			t.Errorf("PathLossDistance(%g) = %g, want %g", rss, got, d)
+		}
+	}
+	if !math.IsNaN(PathLossDistance(-70, -59, 0)) {
+		t.Error("n=0 should return NaN")
+	}
+}
+
+func TestFreeSpaceLoss(t *testing.T) {
+	// 2.4 GHz at 1 m ≈ 40 dB.
+	fsl := FreeSpaceLoss(1, 2.4e9)
+	if math.Abs(fsl-40.05) > 0.3 {
+		t.Errorf("FSL(1 m, 2.4 GHz) = %g, want ≈40", fsl)
+	}
+	if !math.IsNaN(FreeSpaceLoss(0, 2.4e9)) {
+		t.Error("zero distance should be NaN")
+	}
+}
+
+func TestShadowFieldSpatialCorrelation(t *testing.T) {
+	// Two independent smooth processes can show large *sample* correlation
+	// over a short window, so the contrast is asserted on the average of
+	// many field realizations.
+	var nearSum, farSum float64
+	const trials = 12
+	for seed := int64(0); seed < trials; seed++ {
+		f := NewShadowField(2.0, rng.New(100+seed))
+		corr := func(b1x, b1y, b2x, b2y float64) float64 {
+			var xs, ys []float64
+			for d := 0.0; d < 30; d += 0.1 {
+				xs = append(xs, f.At(d, 0, b1x, b1y))
+				ys = append(ys, f.At(d, 0, b2x, b2y))
+			}
+			return pearson(xs, ys)
+		}
+		nearSum += corr(7, 3, 7.3, 3)
+		farSum += math.Abs(corr(7, 3, 1, 9))
+	}
+	near := nearSum / trials
+	far := farSum / trials
+	if near < 0.85 {
+		t.Errorf("co-located beacons should share shadowing: mean corr = %g", near)
+	}
+	if far > 0.5 {
+		t.Errorf("far-beacon mean |corr| = %g, want well below near (%g)", far, near)
+	}
+}
+
+func TestSampleAtUsesSharedField(t *testing.T) {
+	src := rng.New(12)
+	f := NewShadowField(2.0, src.Split(0))
+	mk := func(label int64) *Channel {
+		c := NewChannel(NLOS, EstimoteBeacon, IPhone6s, src.Split(label))
+		c.SetShadowField(f)
+		return c
+	}
+	a, b := mk(1), mk(2)
+	// Average many samples per position to suppress independent fast
+	// fading; the slow pattern should correlate for nearby beacons —
+	// partially, because shadowing is split between the shared field and
+	// the per-link micro-shadowing (see sharedShadowWeight).
+	var sa, sb []float64
+	for d := 0.5; d < 8; d += 0.25 {
+		var ma, mb float64
+		for k := 0; k < 40; k++ {
+			ma += a.SampleAt(d, 0, 9, 1, 37)
+			mb += b.SampleAt(d, 0, 9.3, 1, 37)
+		}
+		sa = append(sa, ma/40)
+		sb = append(sb, mb/40)
+	}
+	if c := pearson(sa, sb); c < 0.4 {
+		t.Errorf("co-located beacon RSS patterns correlate only %g", c)
+	}
+}
+
+func TestBodyLossShape(t *testing.T) {
+	if BodyLoss(0, 0, 6) != 0 {
+		t.Error("beacon ahead: no body loss")
+	}
+	if got := BodyLoss(math.Pi, 0, 6); math.Abs(got-6) > 1e-9 {
+		t.Errorf("beacon behind: loss %g, want 6", got)
+	}
+	if BodyLoss(math.Pi/2, 0, 6) != 0 {
+		t.Error("beacon at 90°: inside the clear cone")
+	}
+	// Monotone ramp in the rear cone.
+	prev := -1.0
+	for a := 100.0; a <= 180; a += 5 {
+		l := BodyLoss(a*math.Pi/180, 0, 6)
+		if l < prev {
+			t.Fatalf("body loss not monotone at %g°", a)
+		}
+		prev = l
+	}
+	// Wrap-around: bearing −170° vs heading 170° is only 20° apart.
+	if l := BodyLoss(-170*math.Pi/180, 170*math.Pi/180, 6); l != 0 {
+		t.Errorf("wrap-around angle treated as rear: %g", l)
+	}
+}
+
+// Property: sampled RSSI is always within physical bounds and finite.
+func TestPropertySampleBounded(t *testing.T) {
+	f := func(seed uint8, envPick uint8, dQ uint8) bool {
+		env := Environment(envPick % 3)
+		ch := NewChannel(env, EstimoteBeacon, IPhone6s, rng.New(int64(seed)))
+		d := 0.3 + float64(dQ)/16 // 0.3 … 16 m
+		v := ch.Sample(d, 37+int(seed)%3, 0.1)
+		return v >= -105 && v < 0 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		sxy += (x[i] - mx) * (y[i] - my)
+		sxx += (x[i] - mx) * (x[i] - mx)
+		syy += (y[i] - my) * (y[i] - my)
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

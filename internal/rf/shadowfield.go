@@ -1,0 +1,229 @@
+package rf
+
+import (
+	"math"
+
+	"locble/internal/rng"
+)
+
+// ShadowField is a smooth random field over link endpoints that produces
+// *spatially correlated* shadowing: two links whose beacon endpoints are
+// close (e.g. one observer and two beacons 0.3 m apart) see nearly
+// identical shadowing, while links to beacons metres apart are
+// statistically independent. This is the physical effect LocBLE's
+// multi-beacon clustering exploits (paper Sec. 6.1: co-located beacons
+// "exhibit a similar pattern of RSS changes") — per-link independent
+// shadowing would erase it.
+//
+// Construction: beacon space is partitioned into cells of BeaconCorrDist;
+// each cell owns an independent smooth random process over the observer's
+// position (a sum of random plane waves with wavelengths ~ the observer
+// decorrelation distance); the field value for a link is the bilinear
+// blend of the four cells around the beacon position, renormalized to
+// unit variance. Beacons in the same cell share the process exactly;
+// beacons cells apart use independent processes.
+type ShadowField struct {
+	corrDist float64 // observer-side decorrelation distance
+	cellSize float64 // beacon-side decorrelation distance
+	seed     int64
+	cells    map[[2]int64][]wave
+}
+
+type wave struct {
+	kx, ky, phase float64
+}
+
+// BeaconCorrDist is the beacon-side decorrelation distance: beacons on
+// the same shelf share shadowing; beacons across the room do not.
+const BeaconCorrDist = 1.0
+
+// NewShadowField builds a field with the given observer-side
+// decorrelation distance in metres.
+func NewShadowField(corrDist float64, src *rng.Source) *ShadowField {
+	if corrDist <= 0 {
+		corrDist = 2
+	}
+	return &ShadowField{
+		corrDist: corrDist,
+		cellSize: BeaconCorrDist,
+		seed:     int64(src.Intn(1 << 30)),
+		cells:    make(map[[2]int64][]wave),
+	}
+}
+
+const wavesPerCell = 24
+
+// cellWaves returns (lazily building) the wave set of a beacon cell.
+func (f *ShadowField) cellWaves(cx, cy int64) []wave {
+	key := [2]int64{cx, cy}
+	if w, ok := f.cells[key]; ok {
+		return w
+	}
+	// Deterministic per-cell stream: mix the cell coordinates into the
+	// field seed (splitmix-style) so cells are independent yet stable.
+	z := uint64(f.seed) ^ (uint64(cx)*0x9E3779B97F4A7C15 + uint64(cy)*0xC2B2AE3D27D4EB4F)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	src := rng.New(int64(z ^ (z >> 31)))
+	ws := make([]wave, wavesPerCell)
+	for i := range ws {
+		ws[i] = wave{
+			kx:    src.Normal(0, 1/f.corrDist),
+			ky:    src.Normal(0, 1/f.corrDist),
+			phase: src.Uniform(0, 2*math.Pi),
+		}
+	}
+	f.cells[key] = ws
+	return ws
+}
+
+// cellValue evaluates a cell's observer-process at (ox, oy), unit
+// variance.
+func (f *ShadowField) cellValue(cx, cy int64, ox, oy float64) float64 {
+	s := 0.0
+	for _, w := range f.cellWaves(cx, cy) {
+		s += math.Cos(w.kx*ox + w.ky*oy + w.phase)
+	}
+	return s * math.Sqrt(2.0/wavesPerCell)
+}
+
+// At evaluates the unit-variance field for the link between the observer
+// at (ox, oy) and the beacon at (bx, by).
+func (f *ShadowField) At(ox, oy, bx, by float64) float64 {
+	gx := bx / f.cellSize
+	gy := by / f.cellSize
+	x0 := int64(math.Floor(gx))
+	y0 := int64(math.Floor(gy))
+	tx := gx - float64(x0)
+	ty := gy - float64(y0)
+
+	w00 := (1 - tx) * (1 - ty)
+	w10 := tx * (1 - ty)
+	w01 := (1 - tx) * ty
+	w11 := tx * ty
+	v := w00*f.cellValue(x0, y0, ox, oy) +
+		w10*f.cellValue(x0+1, y0, ox, oy) +
+		w01*f.cellValue(x0, y0+1, ox, oy) +
+		w11*f.cellValue(x0+1, y0+1, ox, oy)
+	// Renormalize: the blend of independent unit-variance processes has
+	// variance Σw².
+	norm := math.Sqrt(w00*w00 + w10*w10 + w01*w01 + w11*w11)
+	if norm < 1e-12 {
+		return 0
+	}
+	return v / norm
+}
+
+// SetShadowField switches the channel from autoregressive per-link
+// shadowing to field-based shadowing; SampleAt must then be used instead
+// of Sample.
+func (c *Channel) SetShadowField(f *ShadowField) { c.field = f }
+
+// Shadowing split between the shared spatial field and the per-link slow
+// component: large-scale blockage shadowing is common to co-located
+// beacons (what the clustering layer detects), but the sub-metre
+// multipath/standing-wave structure differs even between beacons on the
+// same shelf, producing independent slow deviations per link (what makes
+// each cluster member's estimate an *independent* measurement worth
+// averaging, paper Sec. 6.2). Weights satisfy ws²+wi² = 1 so the total
+// shadowing variance stays ShadowSigma².
+const (
+	sharedShadowWeight  = 0.75
+	perLinkShadowWeight = 0.661438 // sqrt(1 − 0.75²)
+)
+
+// SampleAt draws one RSSI reading for the link between explicit endpoint
+// positions, using the shared spatial shadow field when one is installed
+// (falling back to the AR(1) model otherwise, with the travelled distance
+// derived from the previous endpoints).
+func (c *Channel) SampleAt(ox, oy, bx, by float64, ch int) float64 {
+	d := math.Hypot(ox-bx, oy-by)
+	delta := 0.0
+	if c.hasPrevPos {
+		delta = math.Hypot(ox-c.prevOx, oy-c.prevOy) + math.Hypot(bx-c.prevBx, by-c.prevBy)
+	}
+	c.prevOx, c.prevOy, c.prevBx, c.prevBy = ox, oy, bx, by
+	c.hasPrevPos = true
+	if c.field == nil {
+		return c.Sample(d, ch, delta)
+	}
+	// Per-link unit-variance AR(1) micro-shadowing over travelled
+	// distance (decorrelation ~0.8 m: sub-metre multipath structure).
+	rho := math.Exp(-delta / 0.8)
+	if !c.hasUnitShadow {
+		c.unitShadow = c.src.Normal(0, 1)
+		c.hasUnitShadow = true
+	} else {
+		c.unitShadow = rho*c.unitShadow + c.src.Normal(0, math.Sqrt(1-rho*rho))
+	}
+	shadow := c.params.ShadowSigma *
+		(sharedShadowWeight*c.field.At(ox, oy, bx, by) + perLinkShadowWeight*c.unitShadow)
+	return c.sampleWithShadow(d, ch, shadow)
+}
+
+// DefaultBodyLossDB is the peak attenuation of the user's body when the
+// beacon is directly behind the walking direction. Measurement studies of
+// BLE/WiFi body blockage at 2.4 GHz report 5–9 dB.
+const DefaultBodyLossDB = 6.0
+
+// BodyLoss returns the attenuation caused by the phone holder's body for
+// a beacon at bearing (radians, world frame) while the user faces
+// heading. The body blocks a rear cone: no extra loss while the beacon is
+// within ±100° of the facing direction (the phone is held in front), then
+// a smooth ramp to the full loss directly behind. The body is the most
+// common p-LOS blocker the paper calls out (Sec. 4.1), and — crucially
+// for the clustering layer — it is *shared* across co-located beacons and
+// different for beacons in other directions.
+func BodyLoss(bearing, heading, maxLossDB float64) float64 {
+	d := math.Mod(bearing-heading, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	const coneStart = 100 * math.Pi / 180
+	a := math.Abs(d)
+	if a <= coneStart {
+		return 0
+	}
+	s := (a - coneStart) / (math.Pi - coneStart)
+	s = s * s * (3 - 2*s) // smoothstep
+	return maxLossDB * s
+}
+
+// SampleLink is SampleAt plus body shadowing: heading is the observer's
+// facing direction (radians).
+func (c *Channel) SampleLink(ox, oy, bx, by, heading float64, ch int) float64 {
+	bearing := math.Atan2(by-oy, bx-ox)
+	loss := BodyLoss(bearing, heading, DefaultBodyLossDB)
+	return c.SampleAt(ox, oy, bx, by, ch) - loss
+}
+
+// sampleWithShadow is Sample with an externally supplied shadowing value.
+func (c *Channel) sampleWithShadow(d float64, ch int, shadow float64) float64 {
+	if ch < 37 || ch > 39 {
+		panic("rf: invalid advertising channel")
+	}
+	var envp float64
+	if k := c.params.RicianK; k > 0 {
+		sigma := math.Sqrt(1 / (2 * (k + 1)))
+		nu := math.Sqrt(k / (k + 1))
+		envp = c.src.Rician(nu, sigma)
+	} else {
+		envp = c.src.Rayleigh(c.fastScale)
+	}
+	fastDB := 20 * math.Log10(math.Max(envp, 1e-3))
+
+	rssi := c.MeanRSSI(d) +
+		shadow +
+		fastDB +
+		c.chanGain[ch-37] +
+		c.src.Normal(0, c.rx.NoiseSigma) +
+		c.src.Normal(0, c.tx.JitterSigma)
+
+	if rssi < c.minRSSI {
+		rssi = c.minRSSI
+	}
+	return rssi
+}

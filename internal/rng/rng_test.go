@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(1)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams coincide on %d/100 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(3)
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Normal mean = %g, want ≈5", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("Normal variance = %g, want ≈4", variance)
+	}
+}
+
+func TestRayleighMoments(t *testing.T) {
+	s := New(4)
+	const n = 20000
+	const sigma = 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Rayleigh(sigma)
+		if v < 0 {
+			t.Fatal("Rayleigh draw negative")
+		}
+		sum += v
+	}
+	want := sigma * math.Sqrt(math.Pi/2)
+	if got := sum / n; math.Abs(got-want) > 0.07 {
+		t.Errorf("Rayleigh mean = %g, want ≈%g", got, want)
+	}
+}
+
+func TestRicianDegeneratesToRayleigh(t *testing.T) {
+	// With nu = 0 the Rician is a Rayleigh.
+	s := New(5)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Rician(0, 1)
+	}
+	want := math.Sqrt(math.Pi / 2)
+	if got := sum / n; math.Abs(got-want) > 0.05 {
+		t.Errorf("Rician(0,1) mean = %g, want ≈%g", got, want)
+	}
+}
+
+func TestRicianConcentratesWithK(t *testing.T) {
+	// Large LOS amplitude: the envelope concentrates near nu.
+	s := New(6)
+	const n = 5000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Rician(10, 0.5)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.2 || sd > 1 {
+		t.Errorf("Rician(10, 0.5): mean %g sd %g", mean, sd)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(7)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(0.5) // mean 2
+	}
+	if got := sum / n; math.Abs(got-2) > 0.1 {
+		t.Errorf("Exponential(0.5) mean = %g, want ≈2", got)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(8)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %g", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 100; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

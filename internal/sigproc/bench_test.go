@@ -1,0 +1,44 @@
+package sigproc
+
+import (
+	"testing"
+
+	"locble/internal/rng"
+)
+
+func benchInput(n int) []float64 {
+	src := rng.New(1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = -70 + src.Normal(0, 3)
+	}
+	return out
+}
+
+func BenchmarkButterworthFilter(b *testing.B) {
+	bf, _ := NewButterworth(6, 0.9, 9)
+	xs := benchInput(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bf.Filter(xs)
+	}
+}
+
+func BenchmarkAKFFilter(b *testing.B) {
+	bf, _ := NewButterworth(6, 0.9, 9)
+	akf := NewAKF(bf)
+	xs := benchInput(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		akf.Filter(xs)
+	}
+}
+
+func BenchmarkFiltFilt(b *testing.B) {
+	bf, _ := NewButterworth(6, 0.9, 9)
+	xs := benchInput(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FiltFilt(bf, xs)
+	}
+}

@@ -1,0 +1,25 @@
+package sigproc
+
+// FiltFilt applies the Butterworth filter forward and then backward over
+// the series, yielding zero-phase (no group delay) smoothing. Streaming
+// use cases need the BF+AKF cascade (delay matters for a live UI); batch
+// estimation at the end of a measurement can use FiltFilt instead, which
+// removes the systematic time lag between the RSS trend and the motion
+// track that group delay would otherwise introduce into the regression.
+func FiltFilt(bf *Butterworth, xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	fwd := bf.Filter(xs)
+	// Reverse, filter, reverse back.
+	rev := make([]float64, len(fwd))
+	for i, v := range fwd {
+		rev[len(fwd)-1-i] = v
+	}
+	back := bf.Filter(rev)
+	out := make([]float64, len(back))
+	for i, v := range back {
+		out[len(back)-1-i] = v
+	}
+	return out
+}

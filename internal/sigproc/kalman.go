@@ -1,0 +1,149 @@
+package sigproc
+
+import "math"
+
+// Kalman is a scalar (1-D state) Kalman filter tracking a slowly varying
+// level — the smoothed RSS — from noisy observations.
+type Kalman struct {
+	// Q is the process noise variance (how fast the true level may move).
+	Q float64
+	// R is the measurement noise variance.
+	R float64
+
+	x      float64 // state estimate
+	p      float64 // estimate variance
+	primed bool
+}
+
+// NewKalman returns a scalar Kalman filter with the given process and
+// measurement noise variances.
+func NewKalman(q, r float64) *Kalman {
+	return &Kalman{Q: q, R: r}
+}
+
+// Process folds one measurement in and returns the updated state estimate.
+func (k *Kalman) Process(z float64) float64 {
+	if !k.primed {
+		k.x = z
+		k.p = k.R
+		k.primed = true
+		return k.x
+	}
+	// Predict.
+	k.p += k.Q
+	// Update.
+	gain := k.p / (k.p + k.R)
+	k.x += gain * (z - k.x)
+	k.p *= 1 - gain
+	return k.x
+}
+
+// State returns the current estimate and its variance.
+func (k *Kalman) State() (x, p float64) { return k.x, k.p }
+
+// Reset clears the filter.
+func (k *Kalman) Reset() { k.primed = false; k.x, k.p = 0, 0 }
+
+// AKF is the paper's adaptive Kalman filter (Sec. 4.2): the Butterworth
+// output is smooth but delayed; the raw RSS is responsive but noisy. AKF
+// runs a Kalman filter whose *measurement* is a blend of the two, with the
+// blend weight adapted from the innovation: when raw readings consistently
+// diverge from the Butterworth output (the channel genuinely moved), the
+// filter leans toward the raw stream to cut the delay; when they agree,
+// it leans on the Butterworth output for smoothness.
+type AKF struct {
+	kf    *Kalman
+	bf    *Butterworth
+	baseQ float64
+
+	// innovation statistics for adaptation
+	innovVar float64
+	bias     float64 // EWMA of the signed innovation
+	alpha    float64 // current raw-vs-BF blend weight in [minAlpha, maxAlpha]
+
+	// Adaptation parameters.
+	MinAlpha   float64 // floor of raw weight (keeps smoothness)
+	MaxAlpha   float64 // ceiling of raw weight (keeps stability)
+	AdaptRate  float64 // EWMA rate for the innovation variance
+	DivergeSig float64 // innovation z-score at which alpha saturates
+}
+
+// NewAKF builds the paper's BF+AKF cascade: a Butterworth low-pass filter
+// (order, cutoff, sampling rate) fused by an adaptive Kalman filter.
+func NewAKF(bf *Butterworth) *AKF {
+	return &AKF{
+		kf:         NewKalman(0.05, 2.0),
+		baseQ:      0.05,
+		bf:         bf,
+		alpha:      0.2,
+		MinAlpha:   0.1,
+		MaxAlpha:   0.95,
+		AdaptRate:  0.15,
+		DivergeSig: 3.5,
+	}
+}
+
+// Process consumes one raw RSS sample and returns the fused estimate.
+func (a *AKF) Process(raw float64) float64 {
+	smooth := a.bf.Process(raw)
+
+	// The raw−smooth innovation distinguishes two situations:
+	//   * symmetric per-sample noise — the innovation flips sign, its
+	//     short-term mean (bias) stays near zero → trust the smooth stream;
+	//   * a genuine level change — the Butterworth output lags behind and
+	//     the innovation stays one-sided → trust the raw stream until the
+	//     smooth stream catches up.
+	// The bias is normalized by the *calm-period* innovation scale, which
+	// is deliberately not updated during divergence: a sustained transient
+	// must not inflate its own normalization, or the filter would conclude
+	// mid-transient that the divergence is ordinary.
+	innov := raw - smooth
+	const biasRate = 0.35
+	a.bias = (1-biasRate)*a.bias + biasRate*innov
+	// Std of the bias of pure noise: σ·sqrt(r/(2−r)).
+	biasSigma := math.Sqrt(a.innovVar) * math.Sqrt(biasRate/(2-biasRate))
+	z := 0.0
+	if biasSigma > 1e-9 {
+		z = math.Abs(a.bias) / biasSigma
+	}
+	if z < 2 || a.innovVar == 0 {
+		a.innovVar = (1-a.AdaptRate)*a.innovVar + a.AdaptRate*innov*innov
+	}
+
+	// Noise keeps z around 1; only a clearly one-sided divergence ramps
+	// the raw-stream weight up.
+	const rampStart = 1.6
+	frac := math.Min(math.Max(z-rampStart, 0)/(a.DivergeSig-rampStart+1e-9), 1)
+	target := a.MinAlpha + (a.MaxAlpha-a.MinAlpha)*frac
+	a.alpha += 0.5 * (target - a.alpha)
+
+	blended := a.alpha*raw + (1-a.alpha)*smooth
+	// Adaptive process noise: when the blend leans toward the raw stream
+	// (the channel is genuinely moving), the tracker must also believe the
+	// level can move quickly, or the Kalman gain itself becomes the
+	// bottleneck on responsiveness.
+	a.kf.Q = a.baseQ * (1 + 80*a.alpha*a.alpha)
+	return a.kf.Process(blended)
+}
+
+// Alpha returns the current raw-stream blend weight (for diagnostics).
+func (a *AKF) Alpha() float64 { return a.alpha }
+
+// Reset clears all filter state.
+func (a *AKF) Reset() {
+	a.kf.Reset()
+	a.bf.Reset()
+	a.innovVar = 0
+	a.bias = 0
+	a.alpha = 0.2
+}
+
+// Filter applies the AKF to a whole series from a reset state.
+func (a *AKF) Filter(xs []float64) []float64 {
+	a.Reset()
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = a.Process(x)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package sigproc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locble/internal/rng"
+)
+
+func TestButterworthDesignErrors(t *testing.T) {
+	cases := []struct {
+		order            int
+		cutoff, sampleHz float64
+	}{
+		{5, 1, 10},  // odd order
+		{0, 1, 10},  // zero order
+		{6, 0, 10},  // zero cutoff
+		{6, 6, 10},  // cutoff above Nyquist
+		{6, 1, 0},   // zero sample rate
+		{6, -1, 10}, // negative cutoff
+	}
+	for _, c := range cases {
+		if _, err := NewButterworth(c.order, c.cutoff, c.sampleHz); !errors.Is(err, ErrFilterDesign) {
+			t.Errorf("order=%d fc=%g fs=%g: want ErrFilterDesign, got %v", c.order, c.cutoff, c.sampleHz, err)
+		}
+	}
+}
+
+func TestButterworthDCGain(t *testing.T) {
+	bf, err := NewButterworth(6, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant input must pass through with unit gain.
+	var y float64
+	for i := 0; i < 300; i++ {
+		y = bf.Process(-70)
+	}
+	if math.Abs(y-(-70)) > 1e-6 {
+		t.Errorf("DC gain: output %g for constant −70 input", y)
+	}
+}
+
+func TestButterworthPriming(t *testing.T) {
+	// Thanks to priming, even the FIRST output should be at the input
+	// level (no ring-up from zero).
+	bf, _ := NewButterworth(6, 1, 10)
+	y := bf.Process(-70)
+	if math.Abs(y-(-70)) > 1e-6 {
+		t.Errorf("first output = %g, want −70 (primed)", y)
+	}
+}
+
+func TestButterworthAttenuatesHighFrequency(t *testing.T) {
+	bf, _ := NewButterworth(6, 0.5, 10)
+	// 4 Hz tone at 10 Hz sampling — far above the 0.5 Hz cutoff.
+	const n = 400
+	var peakIn, peakOut float64
+	for i := 0; i < n; i++ {
+		x := math.Sin(2 * math.Pi * 4 * float64(i) / 10)
+		y := bf.Process(x)
+		if i > n/2 {
+			peakIn = math.Max(peakIn, math.Abs(x))
+			peakOut = math.Max(peakOut, math.Abs(y))
+		}
+	}
+	if peakOut > peakIn*0.01 {
+		t.Errorf("4 Hz tone attenuated only to %g of input", peakOut/peakIn)
+	}
+}
+
+func TestButterworthPassesLowFrequency(t *testing.T) {
+	bf, _ := NewButterworth(6, 2, 10)
+	// 0.2 Hz tone — well below cutoff.
+	var peakOut float64
+	for i := 0; i < 600; i++ {
+		y := bf.Process(math.Sin(2 * math.Pi * 0.2 * float64(i) / 10))
+		if i > 300 {
+			peakOut = math.Max(peakOut, math.Abs(y))
+		}
+	}
+	if peakOut < 0.9 {
+		t.Errorf("0.2 Hz tone passed at only %g", peakOut)
+	}
+}
+
+func TestButterworthOrderSharpness(t *testing.T) {
+	// Higher order attenuates an above-cutoff tone more.
+	atten := func(order int) float64 {
+		bf, _ := NewButterworth(order, 1, 10)
+		var peak float64
+		for i := 0; i < 400; i++ {
+			y := bf.Process(math.Sin(2 * math.Pi * 2 * float64(i) / 10))
+			if i > 200 {
+				peak = math.Max(peak, math.Abs(y))
+			}
+		}
+		return peak
+	}
+	if a2, a6 := atten(2), atten(6); a6 >= a2 {
+		t.Errorf("order 6 (%g) should attenuate more than order 2 (%g)", a6, a2)
+	}
+}
+
+func TestGroupDelayGrowsWithOrder(t *testing.T) {
+	bf2, _ := NewButterworth(2, 1, 10)
+	bf8, _ := NewButterworth(8, 1, 10)
+	if d2, d8 := bf2.GroupDelaySamples(), bf8.GroupDelaySamples(); d8 <= d2 {
+		t.Errorf("delay(8th)=%g should exceed delay(2nd)=%g", d8, d2)
+	}
+}
+
+func TestFilterResets(t *testing.T) {
+	bf, _ := NewButterworth(4, 1, 10)
+	a := bf.Filter([]float64{-70, -71, -72, -69, -70})
+	b := bf.Filter([]float64{-70, -71, -72, -69, -70})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Filter is not deterministic after Reset: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestKalmanConvergesToConstant(t *testing.T) {
+	k := NewKalman(0.01, 4)
+	src := rng.New(1)
+	var last float64
+	for i := 0; i < 500; i++ {
+		last = k.Process(-70 + src.Normal(0, 2))
+	}
+	if math.Abs(last-(-70)) > 1.0 {
+		t.Errorf("Kalman converged to %g, want ≈ −70", last)
+	}
+	x, p := k.State()
+	if x != last || p <= 0 {
+		t.Errorf("State() = %g, %g", x, p)
+	}
+}
+
+func TestKalmanReset(t *testing.T) {
+	k := NewKalman(0.01, 1)
+	k.Process(5)
+	k.Reset()
+	if y := k.Process(10); y != 10 {
+		t.Errorf("after Reset first output = %g, want 10 (re-primed)", y)
+	}
+}
+
+func TestAKFSmoothsNoise(t *testing.T) {
+	bf, _ := NewButterworth(6, 0.9, 9)
+	akf := NewAKF(bf)
+	src := rng.New(2)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = -70 + src.Normal(0, 3)
+	}
+	ys := akf.Filter(xs)
+	varIn, varOut := variance(xs), variance(ys)
+	if varOut > varIn*0.3 {
+		t.Errorf("AKF reduced variance only %g→%g", varIn, varOut)
+	}
+}
+
+func TestAKFFasterThanBFOnStep(t *testing.T) {
+	// The AKF's whole purpose (Sec. 4.2): respond to a genuine level step
+	// faster than the Butterworth alone.
+	settle := func(filter func(float64) float64) int {
+		for i := 0; i < 400; i++ {
+			filter(-80)
+		}
+		for i := 0; i < 400; i++ {
+			if y := filter(-60); math.Abs(y-(-60)) < 2 {
+				return i
+			}
+		}
+		return 400
+	}
+	bf1, _ := NewButterworth(6, 0.5, 9)
+	bfOnly := settle(bf1.Process)
+	bf2, _ := NewButterworth(6, 0.5, 9)
+	akf := NewAKF(bf2)
+	akfSteps := settle(akf.Process)
+	if akfSteps >= bfOnly {
+		t.Errorf("AKF settled in %d steps, BF alone in %d — AKF must be faster", akfSteps, bfOnly)
+	}
+}
+
+func TestAKFAlphaAdapts(t *testing.T) {
+	bf, _ := NewButterworth(6, 0.5, 9)
+	akf := NewAKF(bf)
+	for i := 0; i < 100; i++ {
+		akf.Process(-70)
+	}
+	calm := akf.Alpha()
+	// Large persistent divergence drives alpha up.
+	for i := 0; i < 30; i++ {
+		akf.Process(-50)
+	}
+	excited := akf.Alpha()
+	if excited <= calm {
+		t.Errorf("alpha should rise on divergence: %g → %g", calm, excited)
+	}
+	if excited > akf.MaxAlpha+1e-9 {
+		t.Errorf("alpha %g exceeded MaxAlpha %g", excited, akf.MaxAlpha)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	ma := NewMovingAverage(3)
+	got := []float64{
+		ma.Process(3),  // mean(3)
+		ma.Process(6),  // mean(3,6)
+		ma.Process(9),  // mean(3,6,9)
+		ma.Process(12), // mean(6,9,12)
+	}
+	want := []float64{3, 4.5, 6, 9}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MA[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if NewMovingAverage(0).Process(5) != 5 {
+		t.Error("window 0 should clamp to 1")
+	}
+}
+
+func TestSmoothLength(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Smooth(xs, 2); len(got) != len(xs) {
+		t.Errorf("Smooth changed length: %d", len(got))
+	}
+}
+
+func TestFiltFiltZeroPhase(t *testing.T) {
+	// A slow ramp with noise: zero-phase output must not lag the ramp.
+	bf, _ := NewButterworth(6, 0.9, 9)
+	src := rng.New(3)
+	n := 180
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = -80 + 10*float64(i)/float64(n) + src.Normal(0, 2)
+	}
+	ys := FiltFilt(bf, xs)
+	if len(ys) != n {
+		t.Fatalf("length %d", len(ys))
+	}
+	// Compare mid-series: FiltFilt should track the true ramp closely.
+	trueMid := -80 + 10*0.5
+	if math.Abs(ys[n/2]-trueMid) > 1.5 {
+		t.Errorf("FiltFilt mid = %g, want ≈ %g (no lag)", ys[n/2], trueMid)
+	}
+	// Forward-only filtering *does* lag behind (sanity contrast).
+	bf2, _ := NewButterworth(6, 0.9, 9)
+	fwd := bf2.Filter(xs)
+	if math.Abs(fwd[n-1]-xs[n-1]) < math.Abs(ys[n-1]-xs[n-1])-3 {
+		t.Log("forward filter unexpectedly close at the end (noise)")
+	}
+	if FiltFilt(bf, nil) != nil {
+		t.Error("empty FiltFilt should be nil")
+	}
+}
+
+// Property: the Butterworth output of a bounded signal stays bounded
+// (stability), for all even orders 2–8 and valid cutoffs.
+func TestPropertyButterworthStable(t *testing.T) {
+	f := func(orderPick, cutPick, seed uint8) bool {
+		order := 2 + 2*int(orderPick%4)
+		cutoff := 0.2 + float64(cutPick%40)/10 // 0.2 … 4.1 Hz at 10 Hz
+		bf, err := NewButterworth(order, cutoff, 10)
+		if err != nil {
+			return false
+		}
+		src := rng.New(int64(seed))
+		for i := 0; i < 500; i++ {
+			y := bf.Process(src.Uniform(-100, -40))
+			if math.Abs(y) > 1000 || math.IsNaN(y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func variance(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs))
+}

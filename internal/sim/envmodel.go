@@ -1,0 +1,146 @@
+// Package sim is the world simulator for LocBLE experiments: it places
+// beacons and a walking observer (and optionally a walking target) in an
+// environment, runs the BLE advertising/scanning machinery over the rf
+// channel, and produces the exact inputs a phone app would see — scan
+// reports with RSSI plus IMU samples — together with ground truth.
+package sim
+
+import (
+	"math"
+
+	"locble/internal/rf"
+	"locble/internal/rng"
+)
+
+// EnvModel decides the propagation class of the observer↔beacon link at a
+// given moment. It abstracts walls, racks and passers-by.
+type EnvModel interface {
+	// Env returns the environment for the link between the observer at
+	// (ox, oy) and the beacon at (bx, by) at time t (seconds).
+	Env(t, ox, oy, bx, by float64) rf.Environment
+}
+
+// StaticEnv is a constant propagation class.
+type StaticEnv rf.Environment
+
+// Env implements EnvModel.
+func (s StaticEnv) Env(_, _, _, _, _ float64) rf.Environment { return rf.Environment(s) }
+
+// Wall is a blocking segment: links crossing it are NLOS (or PLOS for
+// low-blocking materials like glass).
+type Wall struct {
+	X1, Y1, X2, Y2 float64
+	// Class is the environment imposed when the wall blocks the link
+	// (NLOS for concrete, PLOS for glass/wood).
+	Class rf.Environment
+}
+
+// WallEnv models an environment with blocking segments; the link is LOS
+// unless a wall intersects it (the most blocking wall wins).
+type WallEnv struct {
+	Walls []Wall
+}
+
+// Env implements EnvModel.
+func (w *WallEnv) Env(_, ox, oy, bx, by float64) rf.Environment {
+	worst := rf.LOS
+	for _, wall := range w.Walls {
+		if segmentsIntersect(ox, oy, bx, by, wall.X1, wall.Y1, wall.X2, wall.Y2) {
+			if wall.Class > worst {
+				worst = wall.Class
+			}
+		}
+	}
+	return worst
+}
+
+// PasserbyEnv wraps another model and injects random partial-LOS episodes
+// (people walking through the link), as in the paper's Fig. 5 experiment
+// where "people randomly come in between during the observer's movement
+// to form p-LOS paths".
+type PasserbyEnv struct {
+	Base EnvModel
+	// Rate is the episode arrival rate (episodes per second).
+	Rate float64
+	// Duration is the mean episode length (seconds).
+	Duration float64
+
+	src      *rng.Source
+	episodes [][2]float64 // generated lazily up to horizon
+	horizon  float64
+}
+
+// NewPasserbyEnv wraps base with Poisson-arriving p-LOS episodes.
+func NewPasserbyEnv(base EnvModel, rate, duration float64, src *rng.Source) *PasserbyEnv {
+	return &PasserbyEnv{Base: base, Rate: rate, Duration: duration, src: src}
+}
+
+// Env implements EnvModel.
+func (p *PasserbyEnv) Env(t, ox, oy, bx, by float64) rf.Environment {
+	for p.horizon <= t {
+		gap := p.src.Exponential(p.Rate)
+		start := p.horizon + gap
+		dur := p.src.Exponential(1 / p.Duration)
+		p.episodes = append(p.episodes, [2]float64{start, start + dur})
+		p.horizon = start + dur
+	}
+	base := p.Base.Env(t, ox, oy, bx, by)
+	for _, ep := range p.episodes {
+		if t >= ep[0] && t < ep[1] {
+			// A body only worsens LOS links; it cannot improve NLOS.
+			if base < rf.PLOS {
+				return rf.PLOS
+			}
+			return base
+		}
+	}
+	return base
+}
+
+// ScheduleEnv switches the class at fixed times regardless of geometry:
+// phases[i] applies from Times[i] until Times[i+1].
+type ScheduleEnv struct {
+	Times   []float64
+	Classes []rf.Environment
+}
+
+// Env implements EnvModel.
+func (s *ScheduleEnv) Env(t, _, _, _, _ float64) rf.Environment {
+	cur := s.Classes[0]
+	for i, start := range s.Times {
+		if t >= start {
+			cur = s.Classes[i]
+		}
+	}
+	return cur
+}
+
+// segmentsIntersect reports proper or touching intersection of segments
+// AB and CD.
+func segmentsIntersect(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+	d1 := cross(dx-cx, dy-cy, ax-cx, ay-cy)
+	d2 := cross(dx-cx, dy-cy, bx-cx, by-cy)
+	d3 := cross(bx-ax, by-ay, cx-ax, cy-ay)
+	d4 := cross(bx-ax, by-ay, dx-ax, dy-ay)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	onSeg := func(px, py, qx, qy, rx, ry float64) bool {
+		return math.Min(px, qx) <= rx && rx <= math.Max(px, qx) &&
+			math.Min(py, qy) <= ry && ry <= math.Max(py, qy)
+	}
+	switch {
+	case d1 == 0 && onSeg(cx, cy, dx, dy, ax, ay):
+		return true
+	case d2 == 0 && onSeg(cx, cy, dx, dy, bx, by):
+		return true
+	case d3 == 0 && onSeg(ax, ay, bx, by, cx, cy):
+		return true
+	case d4 == 0 && onSeg(ax, ay, bx, by, dx, dy):
+		return true
+	}
+	return false
+}
+
+func cross(ax, ay, bx, by float64) float64 { return ax*by - ay*bx }

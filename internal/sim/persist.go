@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// traceFileVersion guards the on-disk format.
+const traceFileVersion = 1
+
+// traceFile is the serialized form of a Trace. All substructures use
+// exported fields, so plain JSON round-trips losslessly; the envelope
+// adds a version for forward compatibility.
+type traceFile struct {
+	Version int    `json:"version"`
+	Trace   *Trace `json:"trace"`
+}
+
+// SaveTrace writes the trace as gzip-compressed JSON. Saved traces make
+// the offline-estimation workflow possible: record once (or generate with
+// cmd/locble-trace), then analyze repeatedly without re-simulating.
+func SaveTrace(w io.Writer, tr *Trace) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	if err := enc.Encode(traceFile{Version: traceFileVersion, Trace: tr}); err != nil {
+		gz.Close()
+		return fmt.Errorf("sim: encode trace: %w", err)
+	}
+	return gz.Close()
+}
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(r io.Reader) (*Trace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("sim: open trace: %w", err)
+	}
+	defer gz.Close()
+	var tf traceFile
+	if err := json.NewDecoder(gz).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("sim: decode trace: %w", err)
+	}
+	if tf.Version != traceFileVersion {
+		return nil, fmt.Errorf("sim: unsupported trace version %d", tf.Version)
+	}
+	if tf.Trace == nil {
+		return nil, fmt.Errorf("sim: trace file has no trace")
+	}
+	if err := validateTrace(tf.Trace); err != nil {
+		return nil, err
+	}
+	return tf.Trace, nil
+}
+
+// validateTrace sanity-checks a loaded trace before it reaches the
+// pipeline (a truncated or hand-edited file should fail fast, not panic
+// deep inside estimation).
+func validateTrace(tr *Trace) error {
+	if tr.IMU == nil || len(tr.IMU.Samples) == 0 {
+		return fmt.Errorf("sim: trace has no IMU samples")
+	}
+	if len(tr.IMU.Truth) != len(tr.IMU.Samples) {
+		return fmt.Errorf("sim: trace IMU truth/sample length mismatch (%d vs %d)",
+			len(tr.IMU.Truth), len(tr.IMU.Samples))
+	}
+	if len(tr.Observations) == 0 {
+		return fmt.Errorf("sim: trace has no observations")
+	}
+	var bad []string
+	for name, obs := range tr.Observations {
+		for i := 1; i < len(obs); i++ {
+			if obs[i].T < obs[i-1].T {
+				bad = append(bad, name)
+				break
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("sim: out-of-order observations for %s", strings.Join(bad, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"locble/internal/rf"
+	"locble/internal/rng"
+)
+
+// Preset reproduces one of the paper's nine experimental environments
+// (Table 1).
+type Preset struct {
+	Index int
+	Name  string
+	// W, H are the room dimensions in metres ("Scale" row of Table 1).
+	W, H float64
+	// Outdoor marks environment #9 (parking lot).
+	Outdoor bool
+	// PaperAccuracy is the paper's reported mean accuracy in metres
+	// (Table 1, 5th row) — the reproduction target.
+	PaperAccuracy float64
+	// PaperCI is the paper's 75 %-confidence half-width in metres.
+	PaperCI float64
+	// PaperDistance is the observer→target distance used in the
+	// stationary-target experiment (Sec. 7.4.1) where given.
+	PaperDistance float64
+	// Clutter scales how many blocking walls/racks the room gets.
+	Clutter int
+	// PasserbyRate is the rate of human p-LOS episodes per second.
+	PasserbyRate float64
+}
+
+// Presets returns the nine Table 1 environments. The paper's distances
+// for environments #1–#6 come from Sec. 7.4.1 (4.5, 6.4, 6.7, 6.8, 9.1,
+// 7.9 m); #7–#9 are exercised by the clustering and moving-target
+// experiments.
+func Presets() []Preset {
+	return []Preset{
+		{Index: 1, Name: "Meeting room", W: 5, H: 5, PaperAccuracy: 0.8, PaperCI: 0.2, PaperDistance: 4.5, Clutter: 0, PasserbyRate: 0.00},
+		{Index: 2, Name: "Hallway", W: 8, H: 3, PaperAccuracy: 1.4, PaperCI: 0.3, PaperDistance: 6.4, Clutter: 1, PasserbyRate: 0.02},
+		{Index: 3, Name: "Bedroom", W: 7, H: 7, PaperAccuracy: 1.4, PaperCI: 0.4, PaperDistance: 6.7, Clutter: 1, PasserbyRate: 0.00},
+		{Index: 4, Name: "Living room", W: 7, H: 7, PaperAccuracy: 1.6, PaperCI: 0.3, PaperDistance: 6.8, Clutter: 1, PasserbyRate: 0.02},
+		{Index: 5, Name: "Restaurant", W: 9, H: 10, PaperAccuracy: 1.6, PaperCI: 0.4, PaperDistance: 9.1, Clutter: 2, PasserbyRate: 0.05},
+		{Index: 6, Name: "Store", W: 9, H: 10, PaperAccuracy: 1.8, PaperCI: 0.6, PaperDistance: 7.9, Clutter: 3, PasserbyRate: 0.05},
+		{Index: 7, Name: "Labs", W: 8, H: 10, PaperAccuracy: 2.3, PaperCI: 0.5, PaperDistance: 8.5, Clutter: 4, PasserbyRate: 0.02},
+		{Index: 8, Name: "Hall", W: 9, H: 11, PaperAccuracy: 2.1, PaperCI: 0.5, PaperDistance: 9.0, Clutter: 3, PasserbyRate: 0.05},
+		{Index: 9, Name: "Parking lot", W: 16, H: 15, Outdoor: true, PaperAccuracy: 1.2, PaperCI: 0.5, PaperDistance: 7.0, Clutter: 0, PasserbyRate: 0.00},
+	}
+}
+
+// PresetByIndex returns the Table 1 environment with the given index.
+func PresetByIndex(i int) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Index == i {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// EnvModelFor builds the propagation model of a preset: Clutter blocking
+// segments placed pseudo-randomly in the room (racks → NLOS, light
+// furniture → p-LOS), wrapped with passer-by episodes when the preset has
+// foot traffic. Outdoor presets are clean LOS.
+func (p Preset) EnvModelFor(src *rng.Source) EnvModel {
+	if p.Outdoor || p.Clutter == 0 && p.PasserbyRate == 0 {
+		return StaticEnv(rf.LOS)
+	}
+	var base EnvModel = StaticEnv(rf.LOS)
+	if p.Clutter > 0 {
+		we := &WallEnv{}
+		for i := 0; i < p.Clutter; i++ {
+			// Each obstacle is a segment across a band of the room.
+			cx := src.Uniform(0.2*p.W, 0.8*p.W)
+			cy := src.Uniform(0.2*p.H, 0.8*p.H)
+			length := src.Uniform(0.2*p.W, 0.5*p.W)
+			class := rf.PLOS
+			if src.Bool(0.5) {
+				class = rf.NLOS
+			}
+			if src.Bool(0.5) {
+				we.Walls = append(we.Walls, Wall{X1: cx - length/2, Y1: cy, X2: cx + length/2, Y2: cy, Class: class})
+			} else {
+				we.Walls = append(we.Walls, Wall{X1: cx, Y1: cy - length/2, X2: cx, Y2: cy + length/2, Class: class})
+			}
+		}
+		base = we
+	}
+	if p.PasserbyRate > 0 {
+		base = NewPasserbyEnv(base, p.PasserbyRate, 1.5, src)
+	}
+	return base
+}

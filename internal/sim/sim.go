@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"locble/internal/ble"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/rng"
+)
+
+// BeaconSpec places one beacon in the world.
+type BeaconSpec struct {
+	// Name labels the beacon; it is encoded into the iBeacon major/minor
+	// so the scanner can resolve identity from the payload.
+	Name string
+	X, Y float64
+	// Z is the beacon's height relative to the phone's carry plane
+	// (default 0: same height). A shelf-top beacon at Z = 1.5 m makes
+	// every link distance a 3-D distance — a realistic error source for
+	// the 2-D estimator (paper Sec. 9.3 motivates the 3-D extension).
+	Z float64
+	// Tx is the transmitter hardware profile (default Estimote).
+	Tx rf.TxProfile
+	// AdvInterval is the advertising interval (default 100 ms ⇒ 10 Hz,
+	// the paper's configuration).
+	AdvInterval time.Duration
+	// Connectable selects ADV_IND instead of ADV_NONCONN_IND.
+	Connectable bool
+}
+
+// Scenario describes one measurement run.
+type Scenario struct {
+	// Beacons in the world. Beacons[0] is conventionally the target.
+	Beacons []BeaconSpec
+	// ObserverPlan is the observer's walking plan.
+	ObserverPlan imu.Plan
+	// TargetPlan, when non-nil, makes Beacons[0] a moving device that
+	// follows this plan (the paper's moving-target mode); its IMU trace
+	// is also produced.
+	TargetPlan *imu.Plan
+	// Phone is the observer's receiver hardware (default iPhone 6s).
+	Phone rf.DeviceProfile
+	// EnvModel decides per-moment propagation (default LOS).
+	EnvModel EnvModel
+	// Noise configures the observer's IMU (default DefaultNoise).
+	Noise *imu.Noise
+	// Posture rotates the observer phone's device frame (default flat).
+	Posture *imu.RotationMatrix
+	// DisableCollisions turns off co-channel collision modelling (two
+	// advertisements overlapping on the same channel destroy each other;
+	// the paper observed the target's report rate dropping from 8 Hz to
+	// ~3 Hz under interference, Sec. 6.1).
+	DisableCollisions bool
+	// CodedPHY models Bluetooth 5's LE Coded PHY (S=8): ~12 dB more link
+	// budget, i.e. a 12 dB lower receiver sensitivity floor (the paper's
+	// Sec. 9.3 "wider coverage" extension). Legacy 1M PHY otherwise.
+	CodedPHY bool
+	// WiFiLoad models co-existing Wi-Fi traffic in the 2.4 GHz band
+	// (paper Sec. 7.2: "our indoor test environment did not rule out WiFi
+	// access points"): the fraction of airtime occupied by Wi-Fi bursts,
+	// 0..1. BLE advertising channels 37/38/39 sit beside Wi-Fi channels
+	// 1/6/11; a BLE packet overlapping a burst on its channel is lost.
+	WiFiLoad float64
+	// Seed drives all randomness of the run.
+	Seed int64
+}
+
+// BeaconObservation is one RSSI sighting of a beacon.
+type BeaconObservation struct {
+	T       float64 // seconds
+	RSSI    float64 // dBm
+	Channel int
+	// TrueDist is the ground-truth distance at T (diagnostics only).
+	TrueDist float64
+	// Env is the ground-truth propagation class at T (diagnostics only).
+	Env rf.Environment
+}
+
+// Trace is the complete output of one simulated measurement.
+type Trace struct {
+	// IMU is the observer's sensor trace (with posture applied).
+	IMU *imu.Trace
+	// TargetIMU is the target's sensor trace in moving-target mode.
+	TargetIMU *imu.Trace
+	// Observations maps beacon name → time-ordered RSSI sightings.
+	Observations map[string][]BeaconObservation
+	// Beacons echoes the specs (with defaults filled).
+	Beacons []BeaconSpec
+	// Phone echoes the receiver profile.
+	Phone rf.DeviceProfile
+	// Duration of the run in seconds.
+	Duration float64
+}
+
+// TargetPosition returns beacon b's ground-truth position at time t
+// (constant unless the scenario had a TargetPlan and b is the target).
+func (tr *Trace) TargetPosition(b int, t float64) (x, y float64) {
+	if b == 0 && tr.TargetIMU != nil {
+		return tr.TargetIMU.PositionAt(t)
+	}
+	return tr.Beacons[b].X, tr.Beacons[b].Y
+}
+
+// ErrNoBeacons is returned for a scenario without beacons.
+var ErrNoBeacons = errors.New("sim: scenario has no beacons")
+
+// Run executes the scenario.
+func Run(sc Scenario) (*Trace, error) {
+	if len(sc.Beacons) == 0 {
+		return nil, ErrNoBeacons
+	}
+	if sc.Phone.Name == "" {
+		sc.Phone = rf.IPhone6s
+	}
+	if sc.EnvModel == nil {
+		sc.EnvModel = StaticEnv(rf.LOS)
+	}
+	noise := imu.DefaultNoise()
+	if sc.Noise != nil {
+		noise = *sc.Noise
+	}
+	root := rng.New(sc.Seed)
+
+	// Observer IMU trace.
+	obsTrace, err := imu.Synthesize(sc.ObserverPlan, noise, root.Split(1))
+	if err != nil {
+		return nil, fmt.Errorf("sim: observer plan: %w", err)
+	}
+
+	// Target IMU trace (moving-target mode).
+	var tgtTrace *imu.Trace
+	if sc.TargetPlan != nil {
+		tgtTrace, err = imu.Synthesize(*sc.TargetPlan, noise, root.Split(2))
+		if err != nil {
+			return nil, fmt.Errorf("sim: target plan: %w", err)
+		}
+	}
+
+	duration := obsTrace.Duration
+	if tgtTrace != nil && tgtTrace.Duration > duration {
+		duration = tgtTrace.Duration
+	}
+
+	tr := &Trace{
+		IMU:          obsTrace,
+		TargetIMU:    tgtTrace,
+		Observations: make(map[string][]BeaconObservation),
+		Phone:        sc.Phone,
+		Duration:     duration,
+	}
+
+	// Scanner tuned so the effective report rate matches the phone model
+	// (paper Sec. 7.6.1) given the beacons' 10 Hz advertising.
+	scanner := scannerFor(sc.Phone, root.Split(3))
+	const codedPhyGainDB = 12
+	if sc.CodedPHY {
+		scanner.ReportFloorDBm -= codedPhyGainDB
+	}
+
+	// One spatial shadow field per run: co-located beacons must see
+	// correlated shadowing or the clustering layer has nothing to detect.
+	shadowField := rf.NewShadowField(2.0, root.Split(4))
+
+	// Phase 1: build every beacon's advertiser and collect all
+	// transmissions into one global, time-sorted schedule.
+	type scheduled struct {
+		ble.Transmission
+		beacon  int
+		collide bool
+	}
+	advertisers := make([]*ble.Advertiser, len(sc.Beacons))
+	channels := make([]*rf.Channel, len(sc.Beacons))
+	var schedule []scheduled
+	for bi := range sc.Beacons {
+		spec := &sc.Beacons[bi]
+		if spec.Tx.Name == "" {
+			spec.Tx = rf.EstimoteBeacon
+		}
+		if spec.AdvInterval == 0 {
+			spec.AdvInterval = 100 * time.Millisecond
+		}
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("beacon-%d", bi)
+		}
+		linkSrc := root.Split(int64(100 + bi))
+
+		pduType := ble.PDUAdvNonconnInd
+		if spec.Connectable {
+			pduType = ble.PDUAdvInd
+		}
+		payload := ble.IBeacon{Major: uint16(bi + 1), Minor: uint16(sc.Seed & 0xFFFF), MeasuredPower: int8(spec.Tx.TxPowerDBm)}
+		copy(payload.UUID[:], []byte(fmt.Sprintf("%-16s", spec.Name)))
+		adData, err := ble.SerializeADStructures(nil, payload.ADStructures())
+		if err != nil {
+			return nil, fmt.Errorf("sim: beacon %q payload: %w", spec.Name, err)
+		}
+		pdu := ble.AdvPDU{
+			Type: pduType,
+			AdvA: ble.AddressFromUint64(0xC00000000000 | uint64(bi+1)),
+			Data: adData,
+		}
+		adv, err := ble.NewAdvertiser(pdu, spec.AdvInterval, linkSrc.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("sim: beacon %q: %w", spec.Name, err)
+		}
+		advertisers[bi] = adv
+
+		ch := rf.NewChannel(rf.LOS, spec.Tx, sc.Phone, linkSrc.Split(2))
+		ch.SetShadowField(shadowField)
+		if sc.CodedPHY {
+			ch.SetSensitivityFloor(-105 - codedPhyGainDB)
+		}
+		channels[bi] = ch
+
+		for _, tx := range adv.EventsUntil(time.Duration(duration * float64(time.Second))) {
+			schedule = append(schedule, scheduled{Transmission: tx, beacon: bi})
+		}
+	}
+	sort.Slice(schedule, func(i, j int) bool { return schedule[i].At < schedule[j].At })
+
+	// Wi-Fi interference: per-channel busy intervals. Bursts arrive
+	// Poisson at a rate matching the configured load with ~1.5 ms mean
+	// length (typical aggregate frame airtime).
+	var wifiBusy [3][][2]time.Duration
+	if sc.WiFiLoad > 0 {
+		load := math.Min(sc.WiFiLoad, 0.95)
+		wifiSrc := root.Split(5)
+		const meanBurst = 1500 * time.Microsecond
+		horizon := time.Duration(duration * float64(time.Second))
+		// Mean idle gap such that busy/(busy+gap) = load.
+		meanGap := meanBurst.Seconds() * (1 - load) / load
+		rate := 1 / meanGap // gap arrivals per second per channel
+		for chIdx := 0; chIdx < 3; chIdx++ {
+			t := time.Duration(0)
+			for t < horizon {
+				gap := time.Duration(wifiSrc.Exponential(rate) * float64(time.Second))
+				burst := time.Duration(wifiSrc.Exponential(1/meanBurst.Seconds()) * float64(time.Second))
+				start := t + gap
+				wifiBusy[chIdx] = append(wifiBusy[chIdx], [2]time.Duration{start, start + burst})
+				t = start + burst
+			}
+		}
+	}
+	wifiBlocked := func(at time.Duration, ch int) bool {
+		busy := wifiBusy[ch-37]
+		// Binary search over sorted intervals.
+		lo, hi := 0, len(busy)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if busy[mid][1] < at {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(busy) && busy[lo][0] <= at
+	}
+
+	// Phase 2: co-channel collisions — a legacy advertisement occupies
+	// the air for ~0.4 ms; two packets overlapping on the same channel
+	// destroy each other at the receiver (the paper observed the target's
+	// report rate dropping under interference, Sec. 6.1).
+	if !sc.DisableCollisions {
+		const airtime = 400 * time.Microsecond
+		for i := 1; i < len(schedule); i++ {
+			for j := i - 1; j >= 0; j-- {
+				if schedule[i].At-schedule[j].At > airtime {
+					break
+				}
+				if schedule[i].Channel == schedule[j].Channel && schedule[i].beacon != schedule[j].beacon {
+					schedule[i].collide = true
+					schedule[j].collide = true
+				}
+			}
+		}
+	}
+
+	// Phase 3: deliver the surviving transmissions through the scanner
+	// and the per-link radio channel.
+	for _, txe := range schedule {
+		if txe.collide {
+			continue
+		}
+		if sc.WiFiLoad > 0 && wifiBlocked(txe.At, txe.Channel) {
+			continue
+		}
+		bi := txe.beacon
+		spec := &sc.Beacons[bi]
+		t := txe.At.Seconds()
+		if !scanner.Hears(txe.At, txe.Channel) {
+			continue
+		}
+		ox, oy := obsTrace.PositionAt(t)
+		bx, by := spec.X, spec.Y
+		if bi == 0 && tgtTrace != nil {
+			bx, by = tgtTrace.PositionAt(t)
+		}
+		envClass := sc.EnvModel.Env(t, ox, oy, bx, by)
+		ch := channels[bi]
+		ch.SetEnvironment(envClass)
+
+		planar := math.Hypot(ox-bx, oy-by)
+		dz := spec.Z - obsTrace.HeightAt(t)
+		d := math.Hypot(planar, dz)
+		heading := obsTrace.HeadingAt(t)
+		rssi := ch.SampleLink(ox, oy, bx, by, heading, txe.Channel) // shadow/body from planar geometry
+		if dz != 0 {
+			// Correct the path loss for the true 3-D distance (the field
+			// and body terms depend on planar geometry; the mean loss on
+			// the slant range).
+			rssi += 10 * ch.Params().PathLossExponent * (math.Log10(math.Max(planar, 0.1)) - math.Log10(math.Max(d, 0.1)))
+		}
+
+		// Round-trip through the byte-level codec: the frame is built,
+		// whitened, CRC'd, then received and decoded — exercising the
+		// same parsing path a real sniffer-stack would.
+		frame, err := advertisers[bi].Frame(txe.Channel)
+		if err != nil {
+			return nil, fmt.Errorf("sim: frame: %w", err)
+		}
+		report, err := scanner.Receive(txe.At, txe.Channel, frame, rssi)
+		if err != nil {
+			if errors.Is(err, ble.ErrBelowFloor) {
+				continue
+			}
+			return nil, fmt.Errorf("sim: receive: %w", err)
+		}
+		_ = report // identity verified via payload; we key by spec name
+		tr.Observations[spec.Name] = append(tr.Observations[spec.Name], BeaconObservation{
+			T:        t,
+			RSSI:     rssi,
+			Channel:  txe.Channel,
+			TrueDist: d,
+			Env:      envClass,
+		})
+	}
+	tr.Beacons = sc.Beacons
+
+	if sc.Posture != nil {
+		tr.IMU.ApplyPosture(*sc.Posture)
+	}
+	return tr, nil
+}
+
+// scannerFor builds a scanner whose effective report rate approximates the
+// device profile's SampleRateHz under 10 Hz advertising.
+func scannerFor(p rf.DeviceProfile, src *rng.Source) *ble.Scanner {
+	s := ble.NewScanner(src)
+	want := p.SampleRateHz
+	if want <= 0 || want >= 10 {
+		s.DropProb = 0.02
+		return s
+	}
+	s.DropProb = 1 - want/10.0
+	return s
+}
+
+// RSSSeries extracts aligned (t, rssi) slices for one beacon.
+func (tr *Trace) RSSSeries(name string) (ts, rss []float64) {
+	obs := tr.Observations[name]
+	ts = make([]float64, len(obs))
+	rss = make([]float64, len(obs))
+	for i, o := range obs {
+		ts[i] = o.T
+		rss[i] = o.RSSI
+	}
+	return ts, rss
+}

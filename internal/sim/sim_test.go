@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/rng"
+)
+
+func basicScenario(seed int64) Scenario {
+	return Scenario{
+		Beacons:      []BeaconSpec{{Name: "b", X: 5, Y: 2}},
+		ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+		EnvModel:     StaticEnv(rf.LOS),
+		Seed:         seed,
+	}
+}
+
+func TestRunProducesObservations(t *testing.T) {
+	tr, err := Run(basicScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := tr.Observations["b"]
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	// ~9 Hz effective rate over ~9 s.
+	rate := float64(len(obs)) / tr.Duration
+	if rate < 7 || rate > 10 {
+		t.Errorf("report rate = %.1f Hz, want ≈9", rate)
+	}
+	// Observations are time ordered and carry valid channels.
+	for i, o := range obs {
+		if o.Channel < 37 || o.Channel > 39 {
+			t.Fatalf("bad channel %d", o.Channel)
+		}
+		if i > 0 && o.T < obs[i-1].T {
+			t.Fatal("observations out of order")
+		}
+		if o.RSSI > -20 || o.RSSI < -110 {
+			t.Fatalf("implausible RSSI %g", o.RSSI)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Scenario{}); !errors.Is(err, ErrNoBeacons) {
+		t.Errorf("want ErrNoBeacons, got %v", err)
+	}
+	sc := basicScenario(1)
+	sc.ObserverPlan = imu.Plan{}
+	if _, err := Run(sc); err == nil {
+		t.Error("want error for empty observer plan")
+	}
+}
+
+func TestRSSTrendFollowsDistance(t *testing.T) {
+	// Observer walks straight toward the beacon: mean RSS of the last
+	// quarter must exceed the first quarter.
+	sc := Scenario{
+		Beacons:      []BeaconSpec{{Name: "b", X: 10, Y: 0}},
+		ObserverPlan: imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 7}}},
+		EnvModel:     StaticEnv(rf.LOS),
+		Seed:         2,
+	}
+	tr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := tr.Observations["b"]
+	q := len(obs) / 4
+	var first, last float64
+	for i := 0; i < q; i++ {
+		first += obs[i].RSSI
+		last += obs[len(obs)-1-i].RSSI
+	}
+	if last <= first {
+		t.Errorf("RSS did not rise while approaching: first %.1f last %.1f", first/float64(q), last/float64(q))
+	}
+}
+
+func TestDeviceSampleRates(t *testing.T) {
+	// Nexus 6P (8 Hz) must deliver fewer reports than an iPhone 6s (9 Hz).
+	rate := func(p rf.DeviceProfile) float64 {
+		sc := basicScenario(3)
+		sc.Phone = p
+		tr, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(tr.Observations["b"])) / tr.Duration
+	}
+	ip := rate(rf.IPhone6s)
+	nx := rate(rf.Nexus6P)
+	if nx >= ip {
+		t.Errorf("Nexus rate %.2f should be below iPhone rate %.2f", nx, ip)
+	}
+}
+
+func TestMultipleBeacons(t *testing.T) {
+	sc := basicScenario(4)
+	sc.Beacons = append(sc.Beacons, BeaconSpec{Name: "c", X: 1, Y: 6}, BeaconSpec{X: 2, Y: 2})
+	tr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Observations) != 3 {
+		t.Fatalf("observations for %d beacons, want 3", len(tr.Observations))
+	}
+	if _, ok := tr.Observations["beacon-2"]; !ok {
+		t.Error("unnamed beacon should get a default name")
+	}
+}
+
+func TestMovingTargetPositions(t *testing.T) {
+	tgt := imu.Plan{Segments: []imu.Segment{{Heading: 0, Distance: 3}}, StartX: 5, StartY: 5}
+	sc := basicScenario(5)
+	sc.TargetPlan = &tgt
+	tr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TargetIMU == nil {
+		t.Fatal("moving-target trace missing TargetIMU")
+	}
+	x0, y0 := tr.TargetPosition(0, 0)
+	if math.Hypot(x0-5, y0-5) > 0.2 {
+		t.Errorf("target initial position (%g, %g)", x0, y0)
+	}
+	x1, _ := tr.TargetPosition(0, 1e9)
+	if x1 <= x0+2 {
+		t.Errorf("target did not move: %g → %g", x0, x1)
+	}
+}
+
+func TestTrueDistDiagnostics(t *testing.T) {
+	tr, err := Run(basicScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range tr.Observations["b"] {
+		ox, oy := tr.IMU.PositionAt(o.T)
+		want := math.Hypot(ox-5, oy-2)
+		if math.Abs(o.TrueDist-want) > 1e-9 {
+			t.Fatalf("TrueDist %g, recomputed %g", o.TrueDist, want)
+		}
+	}
+}
+
+func TestRSSSeries(t *testing.T) {
+	tr, _ := Run(basicScenario(7))
+	ts, rss := tr.RSSSeries("b")
+	if len(ts) != len(rss) || len(ts) != len(tr.Observations["b"]) {
+		t.Error("RSSSeries shape mismatch")
+	}
+	if ts2, _ := tr.RSSSeries("missing"); len(ts2) != 0 {
+		t.Error("missing beacon should give empty series")
+	}
+}
+
+func TestWallEnvBlocksLink(t *testing.T) {
+	we := &WallEnv{Walls: []Wall{{X1: 2, Y1: -5, X2: 2, Y2: 5, Class: rf.NLOS}}}
+	if e := we.Env(0, 0, 0, 4, 0); e != rf.NLOS {
+		t.Errorf("link crossing the wall = %v", e)
+	}
+	if e := we.Env(0, 3, 0, 4, 0); e != rf.LOS {
+		t.Errorf("link beside the wall = %v", e)
+	}
+	// Worst wall wins.
+	we2 := &WallEnv{Walls: []Wall{
+		{X1: 1, Y1: -5, X2: 1, Y2: 5, Class: rf.PLOS},
+		{X1: 2, Y1: -5, X2: 2, Y2: 5, Class: rf.NLOS},
+	}}
+	if e := we2.Env(0, 0, 0, 4, 0); e != rf.NLOS {
+		t.Errorf("worst wall should win: %v", e)
+	}
+}
+
+func TestPasserbyEnvInjectsPLOS(t *testing.T) {
+	p := NewPasserbyEnv(StaticEnv(rf.LOS), 0.5, 1.0, rng.New(8))
+	sawPLOS := false
+	for tm := 0.0; tm < 60; tm += 0.1 {
+		if p.Env(tm, 0, 0, 5, 0) == rf.PLOS {
+			sawPLOS = true
+			break
+		}
+	}
+	if !sawPLOS {
+		t.Error("passerby env never produced p-LOS in 60 s at rate 0.5/s")
+	}
+	// It must not improve NLOS.
+	p2 := NewPasserbyEnv(StaticEnv(rf.NLOS), 5, 2, rng.New(9))
+	for tm := 0.0; tm < 10; tm += 0.5 {
+		if p2.Env(tm, 0, 0, 5, 0) != rf.NLOS {
+			t.Fatal("passerby must not improve an NLOS link")
+		}
+	}
+}
+
+func TestScheduleEnv(t *testing.T) {
+	s := &ScheduleEnv{Times: []float64{0, 5}, Classes: []rf.Environment{rf.NLOS, rf.LOS}}
+	if s.Env(2, 0, 0, 0, 0) != rf.NLOS {
+		t.Error("t=2 should be NLOS")
+	}
+	if s.Env(7, 0, 0, 0, 0) != rf.LOS {
+		t.Error("t=7 should be LOS")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 9 {
+		t.Fatalf("%d presets, want 9 (Table 1)", len(ps))
+	}
+	if ps[8].Outdoor != true || ps[8].Name != "Parking lot" {
+		t.Error("preset #9 should be the outdoor parking lot")
+	}
+	if _, ok := PresetByIndex(5); !ok {
+		t.Error("PresetByIndex(5) missing")
+	}
+	if _, ok := PresetByIndex(99); ok {
+		t.Error("PresetByIndex(99) should not exist")
+	}
+	for _, p := range ps {
+		if p.PaperAccuracy <= 0 || p.W <= 0 || p.H <= 0 {
+			t.Errorf("preset %d has invalid fields: %+v", p.Index, p)
+		}
+		m := p.EnvModelFor(rng.New(int64(p.Index)))
+		if m == nil {
+			t.Errorf("preset %d has nil env model", p.Index)
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	if !segmentsIntersect(0, 0, 4, 4, 0, 4, 4, 0) {
+		t.Error("crossing diagonals should intersect")
+	}
+	if segmentsIntersect(0, 0, 1, 1, 2, 2, 3, 3) {
+		t.Error("disjoint collinear segments should not intersect")
+	}
+	if !segmentsIntersect(0, 0, 2, 2, 1, 1, 3, 3) {
+		t.Error("overlapping collinear segments should intersect")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := Run(basicScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(basicScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, ob := a.Observations["b"], b.Observations["b"]
+	if len(oa) != len(ob) {
+		t.Fatalf("different lengths %d vs %d", len(oa), len(ob))
+	}
+	for i := range oa {
+		if oa[i].RSSI != ob[i].RSSI || oa[i].T != ob[i].T {
+			t.Fatal("same seed must reproduce the trace exactly")
+		}
+	}
+}
+
+func TestCollisionsReduceReportRate(t *testing.T) {
+	// A dense deployment sharing the 3 advertising channels collides;
+	// the target's effective report rate must drop relative to a solo
+	// run (the paper observed ~8 Hz → ~3 Hz under interference).
+	solo := basicScenario(9)
+	soloTr, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := basicScenario(9)
+	for i := 0; i < 30; i++ {
+		dense.Beacons = append(dense.Beacons, BeaconSpec{
+			Name: fmt.Sprintf("x%d", i), X: float64(i%6) + 1, Y: float64(i / 6),
+		})
+	}
+	denseTr, err := Run(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRate := float64(len(soloTr.Observations["b"])) / soloTr.Duration
+	denseRate := float64(len(denseTr.Observations["b"])) / denseTr.Duration
+	t.Logf("solo %.1f Hz vs dense %.1f Hz", soloRate, denseRate)
+	if denseRate >= soloRate {
+		t.Errorf("interference did not reduce the report rate: %.1f vs %.1f Hz", denseRate, soloRate)
+	}
+
+	// Disabling collisions restores the rate.
+	dense.DisableCollisions = true
+	cleanTr, err := Run(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRate := float64(len(cleanTr.Observations["b"])) / cleanTr.Duration
+	if cleanRate <= denseRate {
+		t.Errorf("DisableCollisions did not restore the rate: %.1f vs %.1f Hz", cleanRate, denseRate)
+	}
+}
+
+func TestTracePersistenceRoundTrip(t *testing.T) {
+	tr, err := Run(basicScenario(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tr.Duration || len(got.IMU.Samples) != len(tr.IMU.Samples) {
+		t.Error("round trip changed IMU shape")
+	}
+	oa, ob := tr.Observations["b"], got.Observations["b"]
+	if len(oa) != len(ob) {
+		t.Fatalf("observation count %d vs %d", len(oa), len(ob))
+	}
+	for i := range oa {
+		if oa[i].RSSI != ob[i].RSSI || oa[i].T != ob[i].T || oa[i].Channel != ob[i].Channel {
+			t.Fatal("observation round trip mismatch")
+		}
+	}
+	if got.Phone.Name != tr.Phone.Name {
+		t.Error("phone profile lost")
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("want error for non-gzip input")
+	}
+	// Valid gzip, invalid payload.
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write([]byte(`{"version":1,"trace":{}}`))
+	gz.Close()
+	if _, err := LoadTrace(&buf); err == nil {
+		t.Error("want error for empty trace")
+	}
+	// Wrong version.
+	var buf2 bytes.Buffer
+	gz2 := gzip.NewWriter(&buf2)
+	gz2.Write([]byte(`{"version":99}`))
+	gz2.Close()
+	if _, err := LoadTrace(&buf2); err == nil {
+		t.Error("want error for wrong version")
+	}
+}
+
+func TestBeaconHeightWeakensSignal(t *testing.T) {
+	// A shelf-top beacon (Z = 2 m) is effectively farther: mean RSS must
+	// drop relative to a same-plane beacon at the same (x, y).
+	flat := basicScenario(30)
+	flatTr, err := Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := basicScenario(30)
+	high.Beacons[0].Z = 2.0
+	highTr, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanRSS := func(tr *Trace) float64 {
+		var s float64
+		obs := tr.Observations["b"]
+		for _, o := range obs {
+			s += o.RSSI
+		}
+		return s / float64(len(obs))
+	}
+	mf, mh := meanRSS(flatTr), meanRSS(highTr)
+	if mh >= mf {
+		t.Errorf("elevated beacon should read weaker: flat %.1f vs high %.1f dBm", mf, mh)
+	}
+	// TrueDist must report the 3-D slant range.
+	o := highTr.Observations["b"][0]
+	ox, oy := highTr.IMU.PositionAt(o.T)
+	planar := math.Hypot(ox-5, oy-2)
+	want := math.Hypot(planar, 2.0)
+	if math.Abs(o.TrueDist-want) > 1e-9 {
+		t.Errorf("TrueDist %g, want slant %g", o.TrueDist, want)
+	}
+}
+
+func TestWiFiLoadReducesReportRate(t *testing.T) {
+	clean := basicScenario(40)
+	cleanTr, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := basicScenario(40)
+	busy.WiFiLoad = 0.5
+	busyTr, err := Run(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(len(cleanTr.Observations["b"])) / cleanTr.Duration
+	br := float64(len(busyTr.Observations["b"])) / busyTr.Duration
+	t.Logf("clean %.1f Hz vs 50%% WiFi load %.1f Hz", cr, br)
+	// Half the airtime busy → roughly half the packets lost.
+	if br > cr*0.75 {
+		t.Errorf("WiFi load barely reduced the rate: %.1f vs %.1f Hz", br, cr)
+	}
+	if br < cr*0.25 {
+		t.Errorf("WiFi load over-aggressive: %.1f vs %.1f Hz", br, cr)
+	}
+}

@@ -1,0 +1,333 @@
+// Package locble is a Go implementation of LocBLE — "Locating and
+// Tracking BLE Beacons with Smartphones" (Chen, Shin, Jiang, Kim;
+// CoNEXT 2017) — together with the full simulation substrate needed to
+// reproduce the paper's evaluation: a byte-level BLE advertising stack,
+// a 2.4 GHz propagation simulator, an IMU/gait synthesizer, and the
+// LocBLE pipeline itself (EnvAware environment recognition, adaptive
+// noise filtering, sensor-fusion elliptical regression, L-shape
+// disambiguation, and multi-beacon DTW clustering calibration).
+//
+// # Quick start
+//
+//	sys, err := locble.New()
+//	trace, err := locble.Simulate(locble.Scenario{
+//	    Beacons:      []locble.BeaconSpec{{Name: "keys", X: 6, Y: 3}},
+//	    ObserverPlan: locble.LShapeWalk(0, 4, 4),
+//	    Seed:         1,
+//	})
+//	pos, err := sys.Locate(trace, "keys")
+//	fmt.Printf("keys at (%.1f, %.1f) ± conf %.2f\n", pos.X, pos.Y, pos.Confidence)
+//
+// Coordinates are relative to the observer's starting position in metres
+// (paper Sec. 5: the origin is where the measurement walk begins).
+package locble
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"locble/internal/cluster"
+	"locble/internal/core"
+	"locble/internal/estimate"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/sim"
+)
+
+// Re-exported substrate types, so applications never import internal
+// packages directly.
+type (
+	// Scenario describes a simulated measurement run (beacons, walking
+	// plan, environment, phone hardware, seed).
+	Scenario = sim.Scenario
+	// BeaconSpec places one beacon in the world.
+	BeaconSpec = sim.BeaconSpec
+	// Trace is the output of a simulated measurement: scan reports plus
+	// IMU samples plus ground truth.
+	Trace = sim.Trace
+	// WalkPlan is an observer (or moving-target) walking plan.
+	WalkPlan = imu.Plan
+	// WalkSegment is one leg of a walking plan.
+	WalkSegment = imu.Segment
+	// DeviceProfile models a phone's receiver hardware.
+	DeviceProfile = rf.DeviceProfile
+	// BeaconHardware models transmitter hardware (Estimote, RadBeacon,
+	// a phone in beacon mode, …).
+	BeaconHardware = rf.TxProfile
+	// Environment is the propagation class (LOS / p-LOS / NLOS).
+	Environment = rf.Environment
+	// EnvModel decides the propagation class per link and moment.
+	EnvModel = sim.EnvModel
+	// Estimate is a raw estimator output.
+	Estimate = estimate.Estimate
+	// ClusterResult reports the multi-beacon calibration outcome.
+	ClusterResult = cluster.Result
+	// Preset is one of the paper's Table 1 environments.
+	Preset = sim.Preset
+)
+
+// Propagation classes.
+const (
+	LOS  = rf.LOS
+	PLOS = rf.PLOS
+	NLOS = rf.NLOS
+)
+
+// Stock hardware profiles.
+var (
+	IPhone5s       = rf.IPhone5s
+	IPhone6s       = rf.IPhone6s
+	Nexus5x        = rf.Nexus5x
+	Nexus6P        = rf.Nexus6P
+	MotoNexus6     = rf.MotoNex6
+	EstimoteBeacon = rf.EstimoteBeacon
+	RadBeaconUSB   = rf.RadBeaconUSB
+	IOSDeviceTx    = rf.IOSDeviceTx
+)
+
+// LShapeWalk returns the canonical measurement movement (paper Sec. 5.1):
+// walk legA metres along heading (radians), turn 90° left, walk legB
+// metres.
+func LShapeWalk(heading, legA, legB float64) WalkPlan {
+	return WalkPlan{Segments: imu.LShape(heading, legA, legB)}
+}
+
+// StraightWalk returns a single-leg walk (leaves the mirror ambiguity
+// unresolved; see Position.Ambiguous).
+func StraightWalk(heading, distance float64) WalkPlan {
+	return WalkPlan{Segments: []WalkSegment{{Heading: heading, Distance: distance}}}
+}
+
+// StaticEnv is a constant propagation class for Scenario.EnvModel.
+func StaticEnv(e Environment) EnvModel { return sim.StaticEnv(e) }
+
+// Wall is a blocking segment for WallsEnv: links crossing it take the
+// wall's propagation class (NLOS for concrete, PLOS for glass/wood).
+type Wall = sim.Wall
+
+// WallsEnv is an environment with blocking segments; links are LOS unless
+// a wall crosses them (the most blocking wall wins).
+func WallsEnv(walls ...Wall) EnvModel { return &sim.WallEnv{Walls: walls} }
+
+// Presets returns the paper's nine Table 1 environments.
+func Presets() []Preset { return sim.Presets() }
+
+// Simulate runs a scenario through the BLE + RF + IMU substrate and
+// returns the trace a phone app would have recorded.
+func Simulate(sc Scenario) (*Trace, error) { return sim.Run(sc) }
+
+// Position is a located beacon.
+type Position struct {
+	// X, Y in metres, relative to the observer's start; x points along
+	// the observer's initial magnetometer heading frame.
+	X, Y float64
+	// Range is the distance from the observer's starting point.
+	Range float64
+	// Confidence is the estimation confidence in [0, 1] (paper Sec. 5).
+	Confidence float64
+	// Environment is EnvAware's final classification of the link.
+	Environment Environment
+	// PathLossExponent is the estimated n(e).
+	PathLossExponent float64
+	// Ambiguous marks a straight-walk measurement whose mirror solution
+	// could not be ruled out; Mirror then holds the other candidate.
+	Ambiguous bool
+	Mirror    *Position
+}
+
+// Option configures a System.
+type Option func(*core.Config)
+
+// WithoutANF disables adaptive noise filtering (ablation).
+func WithoutANF() Option { return func(c *core.Config) { c.DisableANF = true } }
+
+// WithoutEnvAware disables environment-change detection (ablation).
+func WithoutEnvAware() Option { return func(c *core.Config) { c.DisableEnvAware = true } }
+
+// WithStreamingANF selects the paper's online BF+AKF filter instead of
+// the default zero-phase batch filter.
+func WithStreamingANF() Option { return func(c *core.Config) { c.StreamingANF = true } }
+
+// WithButterworthOrder overrides the ANF low-pass order (paper: 6).
+func WithButterworthOrder(order int) Option {
+	return func(c *core.Config) { c.ButterworthOrder = order }
+}
+
+// System is a ready-to-use LocBLE pipeline. Safe for concurrent use.
+type System struct {
+	engine *core.Engine
+}
+
+// New builds a System, training the EnvAware classifier on first use
+// (the trained model is cached per process).
+func New(opts ...Option) (*System, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("locble: %w", err)
+	}
+	return &System{engine: eng}, nil
+}
+
+// Locate runs the full pipeline for one beacon of a trace.
+func (s *System) Locate(tr *Trace, beacon string) (*Position, error) {
+	m, err := s.engine.Locate(tr, beacon)
+	if err != nil {
+		return nil, err
+	}
+	return positionFrom(m), nil
+}
+
+// LocateAll locates every beacon visible in the trace concurrently,
+// returning positions keyed by beacon name (beacons whose estimation
+// failed are omitted).
+func (s *System) LocateAll(tr *Trace) map[string]*Position {
+	out := make(map[string]*Position)
+	for _, res := range s.engine.LocateAll(tr) {
+		if res.Err == nil {
+			out[res.Name] = positionFrom(res.M)
+		}
+	}
+	return out
+}
+
+// LocateCalibrated locates the beacon and refines the estimate with the
+// multi-beacon clustering calibration (paper Sec. 6) using every other
+// beacon visible in the trace.
+func (s *System) LocateCalibrated(tr *Trace, beacon string) (*Position, *ClusterResult, error) {
+	m, cres, err := s.engine.LocateWithCluster(tr, beacon)
+	if err != nil {
+		return nil, nil, err
+	}
+	return positionFrom(m), cres, nil
+}
+
+// Navigator starts a navigation session toward a located position
+// (paper Sec. 7.3: measure, then dead-reckon toward the target).
+func (s *System) Navigator(p *Position) *core.Navigator {
+	return core.NewNavigator(&estimate.Estimate{X: p.X, H: p.Y})
+}
+
+// Fix is one sliding-window tracking fix.
+type Fix struct {
+	// T is the fix time in seconds into the trace.
+	T float64
+	// Position at that fix.
+	Position Position
+}
+
+// Track produces a stream of location fixes over the trace — a fix every
+// step seconds, each fitted on the last window seconds (the "tracking"
+// of the paper's title). Zero values select window = 6 s, step = 2 s.
+func (s *System) Track(tr *Trace, beacon string, window, step float64) ([]Fix, error) {
+	pts, err := s.engine.TrackBeacon(tr, beacon, window, step)
+	if err != nil {
+		return nil, err
+	}
+	fixes := make([]Fix, len(pts))
+	for i, p := range pts {
+		fixes[i] = Fix{T: p.T, Position: Position{
+			X:                p.Est.X,
+			Y:                p.Est.H,
+			Range:            p.Est.Range(),
+			Confidence:       p.Est.Confidence,
+			PathLossExponent: p.Est.N,
+			Ambiguous:        p.Est.Ambiguous,
+		}}
+	}
+	return fixes, nil
+}
+
+// TrackSmoothed is Track followed by a 2-D constant-velocity Kalman
+// smoother over the fixes — the stable track a live UI would draw.
+// processAccel is the assumed target acceleration in m/s² (0 for a
+// stationary beacon, ~0.3 for a walking person).
+func (s *System) TrackSmoothed(tr *Trace, beacon string, window, step, processAccel float64) ([]Fix, error) {
+	pts, err := s.engine.TrackBeacon(tr, beacon, window, step)
+	if err != nil {
+		return nil, err
+	}
+	smoothed := core.SmoothFixes(pts, processAccel, 1.5)
+	fixes := make([]Fix, len(smoothed))
+	for i, p := range smoothed {
+		fixes[i] = Fix{T: p.T, Position: Position{
+			X:     p.X,
+			Y:     p.Y,
+			Range: math.Hypot(p.X, p.Y),
+			// Map the filter's 1-σ uncertainty onto a [0,1] confidence.
+			Confidence: 1 / (1 + p.PosStdDev),
+		}}
+	}
+	return fixes, nil
+}
+
+// LocateNear locates a beacon and applies the last-metre proximity
+// refinement (paper Sec. 9.2): when the walk passed within ~2 m of the
+// beacon, the proximity-implied range corrects the fix.
+func (s *System) LocateNear(tr *Trace, beacon string) (*Position, error) {
+	m, err := s.engine.Locate(tr, beacon)
+	if err != nil {
+		return nil, err
+	}
+	refined := s.engine.RefineWithProximity(m, core.DefaultProximityFusionConfig())
+	m2 := *m
+	m2.Est = refined
+	return positionFrom(&m2), nil
+}
+
+// Position3D is a located beacon with height (paper Sec. 9.3).
+type Position3D struct {
+	X, Y, Z    float64
+	Range      float64
+	Confidence float64
+}
+
+// Locate3D runs the 3-D extension: the observer plan must include a
+// vertical phone gesture (WalkSegment.Lift) so the movement spans three
+// dimensions; the estimate then includes the beacon's height relative to
+// the phone's carry plane.
+func (s *System) Locate3D(tr *Trace, beacon string) (*Position3D, error) {
+	est, err := s.engine.Locate3D(tr, beacon)
+	if err != nil {
+		return nil, err
+	}
+	return &Position3D{
+		X: est.X, Y: est.H, Z: est.Z,
+		Range:      est.Range(),
+		Confidence: est.Confidence,
+	}, nil
+}
+
+// SaveTrace writes a trace as gzip-compressed JSON for offline analysis.
+func SaveTrace(w io.Writer, tr *Trace) error { return sim.SaveTrace(w, tr) }
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(r io.Reader) (*Trace, error) { return sim.LoadTrace(r) }
+
+// Engine exposes the underlying pipeline for advanced use (benchmarks,
+// custom experiments).
+func (s *System) Engine() *core.Engine { return s.engine }
+
+func positionFrom(m *core.Measurement) *Position {
+	p := &Position{
+		X:                m.Est.X,
+		Y:                m.Est.H,
+		Range:            m.Est.Range(),
+		Confidence:       m.Est.Confidence,
+		Environment:      m.FinalEnv,
+		PathLossExponent: m.Est.N,
+		Ambiguous:        m.Est.Ambiguous,
+	}
+	if m.Est.Ambiguous && len(m.Est.Candidates) == 2 {
+		alt := m.Est.Candidates[1]
+		if math.Abs(alt.X-p.X) < 1e-9 && math.Abs(alt.H-p.Y) < 1e-9 {
+			alt = m.Est.Candidates[0]
+		}
+		p.Mirror = &Position{X: alt.X, Y: alt.H, Range: math.Hypot(alt.X, alt.H), Confidence: p.Confidence}
+	}
+	return p
+}

@@ -1,0 +1,311 @@
+package locble_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"locble"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "keys", X: 6, Y: 3}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(locble.LOS),
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sys.Locate(tr, "keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Hypot(pos.X-6, pos.Y-3); e > 3 {
+		t.Errorf("quickstart error %.2f m", e)
+	}
+	if pos.Range <= 0 || pos.Confidence < 0 || pos.Confidence > 1 {
+		t.Errorf("implausible position fields: %+v", pos)
+	}
+}
+
+func TestPublicAPIStraightWalkAmbiguity(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "b", X: 4, Y: 3}},
+		ObserverPlan: locble.StraightWalk(0, 7),
+		EnvModel:     locble.StaticEnv(locble.LOS),
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sys.Locate(tr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos.Ambiguous {
+		t.Skip("this seed resolved the ambiguity (no turn detected expected); skipping mirror check")
+	}
+	if pos.Mirror == nil {
+		t.Fatal("ambiguous position without a mirror candidate")
+	}
+	// Mirror is reflected across the walking line (y ≈ −y).
+	if math.Abs(pos.Mirror.Y+pos.Y) > 1.0 {
+		t.Errorf("mirror (%.2f, %.2f) is not the reflection of (%.2f, %.2f)",
+			pos.Mirror.X, pos.Mirror.Y, pos.X, pos.Y)
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{
+			{Name: "b", X: 6, Y: 3},
+			{Name: "n1", X: 6.3, Y: 3},
+			{Name: "n2", X: 6, Y: 3.3},
+		},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		EnvModel:     locble.StaticEnv(locble.PLOS),
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, cres, err := sys.LocateCalibrated(tr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.ClusterSize < 1 {
+		t.Error("cluster should at least contain the target")
+	}
+	if e := math.Hypot(pos.X-6, pos.Y-3); e > 4 {
+		t.Errorf("calibrated error %.2f m", e)
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	for _, opt := range []locble.Option{
+		locble.WithoutANF(),
+		locble.WithoutEnvAware(),
+		locble.WithStreamingANF(),
+		locble.WithButterworthOrder(4),
+	} {
+		if _, err := locble.New(opt); err != nil {
+			t.Errorf("New with option: %v", err)
+		}
+	}
+}
+
+func TestPublicAPINavigator(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nav := sys.Navigator(&locble.Position{X: 3, Y: 4})
+	adv := nav.Advise()
+	if math.Abs(adv.Distance-5) > 1e-9 {
+		t.Errorf("navigator distance %.2f, want 5", adv.Distance)
+	}
+}
+
+func TestPresetsExposed(t *testing.T) {
+	if len(locble.Presets()) != 9 {
+		t.Error("Presets() should expose the nine Table 1 environments")
+	}
+}
+
+func TestPublicAPITrack(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{{Name: "b", X: 6, Y: 2}},
+		ObserverPlan: locble.WalkPlan{Segments: []locble.WalkSegment{
+			{Heading: 0, Distance: 6},
+			{Heading: math.Pi / 2, Distance: 4},
+			{Heading: math.Pi, Distance: 6},
+		}},
+		EnvModel: locble.StaticEnv(locble.LOS),
+		Seed:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixes, err := sys.Track(tr, "b", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes) < 3 {
+		t.Fatalf("only %d fixes", len(fixes))
+	}
+	for i := 1; i < len(fixes); i++ {
+		if fixes[i].T <= fixes[i-1].T {
+			t.Fatal("fix times not increasing")
+		}
+	}
+}
+
+func TestPublicAPILocate3D(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{{Name: "shelf", X: 5, Y: 2.5, Z: 1.5}},
+		ObserverPlan: locble.WalkPlan{Segments: []locble.WalkSegment{
+			{Heading: 0, Distance: 4},
+			{Heading: math.Pi / 2, Distance: 4, Lift: 0.6},
+			{Heading: math.Pi / 2, Lift: -1.2},
+		}},
+		EnvModel: locble.StaticEnv(locble.LOS),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sys.Locate3D(tr, "shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Hypot(pos.X-5, pos.Y-2.5) > 4 {
+		t.Errorf("3-D planar estimate far off: (%.2f, %.2f, %.2f)", pos.X, pos.Y, pos.Z)
+	}
+}
+
+func TestPublicAPITracePersistence(t *testing.T) {
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "b", X: 6, Y: 3}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := locble.SaveTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := locble.LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := sys.Locate(tr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sys.Locate(got, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1.X-p2.X) > 1e-9 || math.Abs(p1.Y-p2.Y) > 1e-9 {
+		t.Error("replayed trace gives a different estimate")
+	}
+}
+
+func TestPublicAPILocateNear(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons:      []locble.BeaconSpec{{Name: "b", X: 2, Y: 0.6}},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		Seed:         10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sys.LocateNear(tr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Hypot(pos.X-2, pos.Y-0.6); e > 2.5 {
+		t.Errorf("LocateNear error %.2f m", e)
+	}
+}
+
+func TestPublicAPITrackSmoothed(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{{Name: "b", X: 6, Y: 2}},
+		ObserverPlan: locble.WalkPlan{Segments: []locble.WalkSegment{
+			{Heading: 0, Distance: 6},
+			{Heading: math.Pi / 2, Distance: 4},
+			{Heading: math.Pi, Distance: 6},
+		}},
+		EnvModel: locble.StaticEnv(locble.LOS),
+		Seed:     12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sys.Track(tr, "b", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := sys.TrackSmoothed(tr, "b", 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smooth) != len(raw) {
+		t.Fatalf("smoothed %d fixes vs raw %d", len(smooth), len(raw))
+	}
+	// Smoothed fixes jitter less: compare step-to-step movement.
+	jitter := func(fs []locble.Fix) float64 {
+		var s float64
+		for i := 1; i < len(fs); i++ {
+			s += math.Hypot(fs[i].Position.X-fs[i-1].Position.X, fs[i].Position.Y-fs[i-1].Position.Y)
+		}
+		return s
+	}
+	if jitter(smooth) >= jitter(raw) {
+		t.Errorf("smoothed jitter %.2f should be below raw %.2f", jitter(smooth), jitter(raw))
+	}
+}
+
+func TestPublicAPILocateAll(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := locble.Simulate(locble.Scenario{
+		Beacons: []locble.BeaconSpec{
+			{Name: "a", X: 5, Y: 2},
+			{Name: "b", X: 2, Y: 5},
+		},
+		ObserverPlan: locble.LShapeWalk(0, 4, 4),
+		Seed:         14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sys.LocateAll(tr)
+	if len(all) == 0 {
+		t.Fatal("LocateAll found nothing")
+	}
+	for name, pos := range all {
+		if pos.Range <= 0 {
+			t.Errorf("%s: bad range %g", name, pos.Range)
+		}
+	}
+}
