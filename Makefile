@@ -2,10 +2,12 @@
 # Smartphones" (CoNEXT 2017). Stdlib-only; everything works offline.
 
 GO ?= go
+# Per-target budget for `make fuzz` (Go fuzzing flag syntax, e.g. 30s).
+FUZZTIME ?= 10s
 
-.PHONY: all build test race cover bench repro examples clean
+.PHONY: all build test race fuzz cover bench repro examples clean help
 
-all: build test
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +18,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short coverage-guided shake of every fuzz target (decoder robustness:
+# BLE deframing/AD parsing/beacon decoding, netproto frame reading).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDeframe -fuzztime=$(FUZZTIME) ./internal/ble/
+	$(GO) test -run='^$$' -fuzz=FuzzParseADStructures -fuzztime=$(FUZZTIME) ./internal/ble/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBeacon -fuzztime=$(FUZZTIME) ./internal/ble/
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/netproto/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
@@ -42,3 +52,14 @@ examples:
 
 clean:
 	rm -f cover.out
+
+help:
+	@echo "make all      - build + vet + test + race detector (the full gate)"
+	@echo "make build    - compile and vet every package"
+	@echo "make test     - run the test suite"
+	@echo "make race     - run the test suite under the race detector"
+	@echo "make fuzz     - short fuzz pass over all fuzz targets (FUZZTIME=$(FUZZTIME) each)"
+	@echo "make cover    - coverage summary"
+	@echo "make bench    - all benchmarks (one per paper table/figure)"
+	@echo "make repro    - regenerate the paper's evaluation (repro-quick: reduced trials)"
+	@echo "make examples - run every example program"

@@ -14,6 +14,7 @@
 //	-seed         simulation seed
 //	-navigate     after measuring, walk to the estimate
 //	-cluster      add 3 co-located neighbour beacons and calibrate
+//	-faults       inject impairments before processing (see -faults help)
 //	-v            verbose diagnostics
 package main
 
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"locble"
+	"locble/internal/faults"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 		beacon   = flag.String("beacon", "estimote", "beacon hardware")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		replay   = flag.String("replay", "", "analyze a saved trace file (see locble-trace -save)")
+		faultsF  = flag.String("faults", "", "comma-separated fault injectors (\"-faults help\" lists them)")
 		navigate = flag.Bool("navigate", false, "navigate to the estimate after measuring")
 		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
 		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
@@ -43,6 +46,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *faultsF == "help" {
+		printFaultsHelp()
+		return
+	}
 	if *replay != "" {
 		if err := runReplay(*replay, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "locble:", err)
@@ -50,14 +57,67 @@ func main() {
 		}
 		return
 	}
-	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *navigate, *trackF, *clusterF, *verbose); err != nil {
+	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *faultsF, *navigate, *trackF, *clusterF, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "locble:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bx, by float64, envName, phoneName, beaconName string, seed int64, navigate, trackOn, clusterOn, verbose bool) error {
+// cannedFaults maps the -faults spellings to preconfigured injectors —
+// enough to demo every degradation path from the command line.
+var cannedFaults = map[string]struct {
+	fault faults.Fault
+	desc  string
+}{
+	"dropout":  {faults.DropoutBurst{Start: 3, Duration: 2}, "2 s RSS dropout burst at t=3 s"},
+	"stall":    {faults.ScannerStall{Start: 2, Duration: 1.5}, "BLE scanner stalled 1.5 s at t=2 s"},
+	"drop":     {faults.RandomDrop{Prob: 0.3}, "30% i.i.d. advertising-packet loss"},
+	"nan":      {faults.NonFiniteRSSI{Prob: 0.2}, "20% NaN/Inf RSSI readings"},
+	"clip":     {faults.ClipRSSI{Floor: -72, Ceil: -58}, "receiver clipping to [-72, -58] dBm"},
+	"dupes":    {faults.DuplicateReports{Prob: 0.3}, "30% duplicated scan reports"},
+	"reorder":  {faults.ReorderReports{Window: 6}, "scan reports shuffled in windows of 6"},
+	"skew":     {faults.ClockSkew{Offset: 4}, "BLE clock 4 s ahead of the IMU"},
+	"jitter":   {faults.JitterTimestamps{Sigma: 0.05}, "50 ms Gaussian timestamp jitter"},
+	"truncate": {faults.TruncateWindow{Keep: 2.5}, "measurement cut off after 2.5 s"},
+	"imudrop":  {faults.IMUDropout{Start: 4, Duration: 2}, "2 s IMU dropout at t=4 s"},
+	"imusat":   {faults.IMUSaturate{MaxAccel: 9}, "accelerometer railing at ±9 m/s²"},
+	"corrupt":  {faults.CorruptPDU{BitProb: 0.01}, "1%/bit PDU corruption on the air"},
+}
+
+func printFaultsHelp() {
+	fmt.Println("fault injectors (-faults a,b,...):")
+	for _, name := range []string{"dropout", "stall", "drop", "nan", "clip", "dupes",
+		"reorder", "skew", "jitter", "truncate", "imudrop", "imusat", "corrupt"} {
+		fmt.Printf("  %-9s %s\n", name, cannedFaults[name].desc)
+	}
+}
+
+// parseFaults resolves a comma-separated -faults spec.
+func parseFaults(spec string) ([]faults.Fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var fs []faults.Fault
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" {
+			continue
+		}
+		c, ok := cannedFaults[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault %q (try -faults help)", name)
+		}
+		fs = append(fs, c.fault)
+	}
+	return fs, nil
+}
+
+func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faultSpec string, navigate, trackOn, clusterOn, verbose bool) error {
 	envClass, err := parseEnv(envName)
+	if err != nil {
+		return err
+	}
+	injectors, err := parseFaults(faultSpec)
 	if err != nil {
 		return err
 	}
@@ -107,6 +167,10 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, navi
 	if err != nil {
 		return err
 	}
+	if len(injectors) > 0 {
+		faults.Apply(trace, seed, injectors...)
+		fmt.Printf("injected faults: %s\n", faults.Chain(injectors...).Name())
+	}
 
 	if trackOn {
 		fixes, err := sys.TrackSmoothed(trace, "target", 8, 2, 0)
@@ -145,6 +209,10 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, navi
 	} else {
 		p, err := sys.Locate(trace, "target")
 		if err != nil {
+			if h := locble.HealthFromError(err); h.Status == locble.HealthRejected {
+				fmt.Printf("\nmeasurement rejected: %s\n", h)
+				return nil
+			}
 			return err
 		}
 		pos = p
@@ -152,6 +220,7 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, navi
 
 	fmt.Printf("\nestimate: (%.2f, %.2f) m  range %.2f m  confidence %.2f\n",
 		pos.X, pos.Y, pos.Range, pos.Confidence)
+	fmt.Printf("health: %s\n", pos.Health.String())
 	fmt.Printf("environment: %s   path-loss exponent: %.2f\n", pos.Environment, pos.PathLossExponent)
 	fmt.Printf("true error: %.2f m\n", math.Hypot(pos.X-bx, pos.Y-by))
 	if pos.Ambiguous && pos.Mirror != nil {
@@ -204,8 +273,8 @@ func runReplay(path string, verbose bool) error {
 			fmt.Printf("  %-12s no estimate: %v\n", spec.Name, err)
 			continue
 		}
-		fmt.Printf("  %-12s est (%.2f, %.2f) m  range %.2f  conf %.2f  env %s\n",
-			spec.Name, pos.X, pos.Y, pos.Range, pos.Confidence, pos.Environment)
+		fmt.Printf("  %-12s est (%.2f, %.2f) m  range %.2f  conf %.2f  env %s  health %s\n",
+			spec.Name, pos.X, pos.Y, pos.Range, pos.Confidence, pos.Environment, pos.Health.String())
 		if verbose {
 			fmt.Printf("               true (%.2f, %.2f), error %.2f m\n",
 				spec.X, spec.Y, math.Hypot(pos.X-spec.X, pos.Y-spec.Y))

@@ -17,7 +17,6 @@ import (
 	"locble/internal/estimate"
 	"locble/internal/motion"
 	"locble/internal/rf"
-	"locble/internal/sigproc"
 	"locble/internal/sim"
 )
 
@@ -58,6 +57,9 @@ type Config struct {
 	// AKFMaxAlpha overrides the streaming AKF's maximum raw-stream blend
 	// weight (0 keeps the sigproc default; ablation knob).
 	AKFMaxAlpha float64
+	// Sanitize tunes the defensive input pass (zero fields take the
+	// calibrated defaults).
+	Sanitize SanitizeConfig
 }
 
 // DefaultConfig returns the paper's pipeline settings.
@@ -72,6 +74,7 @@ func DefaultConfig() Config {
 		EnvHysteresis:     1,
 		Tracker:           tc,
 		MinSegmentSamples: 10,
+		Sanitize:          DefaultSanitizeConfig(),
 	}
 }
 
@@ -132,6 +135,11 @@ type Measurement struct {
 	Raw, Filtered []float64
 	// Times are the observation timestamps for Raw/Filtered.
 	Times []float64
+	// Health grades how much this fix should be trusted: OK for clean
+	// input, Degraded (with machine-readable reasons) when the input was
+	// impaired but recoverable. Rejected inputs never produce a
+	// Measurement — Locate returns a *RejectedError instead.
+	Health Health
 }
 
 // Error returns the distance between the estimate and the true target
@@ -147,87 +155,25 @@ func (m *Measurement) Error(tx, ty float64) float64 {
 // target), the target's dead-reckoned movement is fused in, as if its
 // trace bundle had been transferred to the observer.
 func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
-	obs, ok := tr.Observations[beaconName]
-	if !ok || len(obs) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownBeacon, beaconName)
-	}
-
-	// --- Motion layer -------------------------------------------------
-	_, alignedSamples, err := motion.Align(tr.IMU.Samples)
+	p, err := e.prepare(tr, beaconName)
 	if err != nil {
-		return nil, fmt.Errorf("core: align: %w", err)
-	}
-	track, err := motion.BuildTrack(alignedSamples, e.cfg.Tracker)
-	if err != nil {
-		return nil, fmt.Errorf("core: track: %w", err)
+		return nil, err
 	}
 
-	// Optional target movement (moving-target mode).
-	var targetTrack *motion.Track
-	if tr.TargetIMU != nil && beaconName == tr.Beacons[0].Name {
-		_, tgtAligned, err := motion.Align(tr.TargetIMU.Samples)
-		if err != nil {
-			return nil, fmt.Errorf("core: align target: %w", err)
-		}
-		targetTrack, err = motion.BuildTrack(tgtAligned, e.cfg.Tracker)
-		if err != nil {
-			return nil, fmt.Errorf("core: target track: %w", err)
-		}
+	m := &Measurement{
+		Track:    p.track,
+		Raw:      p.raw,
+		Times:    p.times,
+		Filtered: p.filtered,
+		Health:   p.health,
 	}
-
-	m := &Measurement{Track: track}
-
-	// Anchor the estimator's Γ plausibility band to the beacon's
-	// advertised calibrated power (the paper's Γ(e) = P + X(e): P is the
-	// known hardware power from the payload, X(e) the environment loss).
-	// The band spans NLOS penetration + body loss below and device RSSI
-	// offsets above.
-	estCfg := e.cfg.Estimator
-	for _, spec := range tr.Beacons {
-		if spec.Name == beaconName && spec.Tx.TxPowerDBm != 0 {
-			estCfg.GammaSoftMin = spec.Tx.TxPowerDBm - 18
-			estCfg.GammaSoftMax = spec.Tx.TxPowerDBm + 8
-			break
-		}
-	}
-
-	// --- Preprocessing layer (Sec. 4) ---------------------------------
-	raw := make([]float64, len(obs))
-	times := make([]float64, len(obs))
-	for i, o := range obs {
-		raw[i] = o.RSSI
-		times[i] = o.T
-	}
-	m.Raw = raw
-	m.Times = times
-
-	filtered := raw
-	if !e.cfg.DisableANF {
-		fs := tr.Phone.SampleRateHz
-		if fs <= 0 {
-			fs = 9
-		}
-		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
-		if err != nil {
-			return nil, fmt.Errorf("core: ANF design: %w", err)
-		}
-		if e.cfg.StreamingANF {
-			akf := sigproc.NewAKF(bf)
-			if e.cfg.AKFMaxAlpha > 0 {
-				akf.MaxAlpha = e.cfg.AKFMaxAlpha
-			}
-			filtered = akf.Filter(raw)
-		} else {
-			filtered = sigproc.FiltFilt(bf, raw)
-		}
-	}
-	m.Filtered = filtered
+	estCfg := p.estCfg
 
 	// EnvAware segmentation: indexes where a new regression must start.
 	segStarts := []int{0}
 	if !e.cfg.DisableEnvAware {
 		mon := env.NewMonitor(e.clf, e.cfg.EnvWindow, e.cfg.EnvHysteresis)
-		for i, v := range raw {
+		for i, v := range p.raw {
 			_, _, changed, err := mon.Push(v)
 			if err != nil {
 				return nil, fmt.Errorf("core: EnvAware: %w", err)
@@ -241,7 +187,7 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 				if last := segStarts[len(segStarts)-1]; start <= last {
 					start = last + 1
 				}
-				if start < len(raw) {
+				if start < len(p.raw) {
 					segStarts = append(segStarts, start)
 				}
 			}
@@ -256,17 +202,7 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	// observations, while each EnvAware segment gets its own (Γ, n)
 	// channel parameters — the regression "restarts" its model on an
 	// environment change without throwing the geometry away.
-	allObs := make([]estimate.Obs, len(obs))
-	for i := range obs {
-		ox, oy := track.At(times[i])
-		p, q := -ox, -oy
-		if targetTrack != nil {
-			bx, by := targetTrack.At(times[i])
-			p += bx
-			q += by
-		}
-		allObs[i] = estimate.Obs{T: times[i], RSS: filtered[i], P: p, Q: q}
-	}
+	allObs := p.fused
 	m.Segments = len(segStarts)
 
 	// Algorithm 1: when the environment changed, the paper "starts a new
@@ -287,18 +223,23 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	if est == nil {
 		joint, jointErr := estimate.RunSegmented(allObs, segStarts[1:], estCfg)
 		if jointErr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrNoEstimate, jointErr)
+			return nil, rejectedErr(m.Health, ReasonNoEstimate, fmt.Errorf("%w: %v", ErrNoEstimate, jointErr))
 		}
 		est = joint
 	}
 	// Residual mirror ambiguity (straight-line walk): resolve with the
 	// L-shape intersection when a turn exists (Sec. 5.1).
 	if est.Ambiguous {
-		if split := firstTurnEnd(track, times); !math.IsNaN(split) {
+		if split := firstTurnEnd(p.track, p.times); !math.IsNaN(split) {
 			if res, lErr := estimate.RunLShape(allObs, split, estCfg); lErr == nil {
 				est = res.Final
 			}
 		}
+	}
+	// A NaN must never escape as a fix, whatever the input did to the
+	// regression.
+	if !finiteEstimate(est) {
+		return nil, rejectedErr(m.Health, ReasonNonFiniteEstimate, ErrNoEstimate)
 	}
 	m.Est = est
 	return m, nil

@@ -12,6 +12,11 @@ type BeaconResult struct {
 	Name string
 	M    *Measurement
 	Err  error
+	// Health is the degradation report for this beacon: the
+	// measurement's own on success, or the report recovered from the
+	// rejection error (so a caller can tell "unusable input" apart from
+	// "beacon absent" without unwrapping errors).
+	Health Health
 }
 
 // LocateAll locates every beacon visible in the trace concurrently (the
@@ -31,7 +36,13 @@ func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
 		go func(i int, name string) {
 			defer wg.Done()
 			m, err := e.Locate(tr, name)
-			results[i] = BeaconResult{Name: name, M: m, Err: err}
+			res := BeaconResult{Name: name, M: m, Err: err}
+			if err != nil {
+				res.Health = HealthFromError(err)
+			} else {
+				res.Health = m.Health
+			}
+			results[i] = res
 		}(i, name)
 	}
 	wg.Wait()

@@ -16,6 +16,10 @@ type Navigator struct {
 	Target estimate.Candidate
 	// ArriveRadius is the distance at which navigation declares arrival.
 	ArriveRadius float64
+	// SourceHealth is the health of the measurement the target came
+	// from; navigation toward a degraded fix advertises that in every
+	// Advice so a UI can show "approximate" guidance.
+	SourceHealth Health
 
 	x, y    float64 // current dead-reckoned position
 	heading float64 // current dead-reckoned heading
@@ -57,6 +61,9 @@ type Advice struct {
 	TurnBy float64
 	// Arrived is true within ArriveRadius of the target.
 	Arrived bool
+	// Degraded is true when the fix being navigated toward came from
+	// impaired data (see Navigator.SourceHealth for the reasons).
+	Degraded bool
 }
 
 // Advise computes the current guidance.
@@ -76,6 +83,7 @@ func (n *Navigator) Advise() Advice {
 		Bearing:  bearing,
 		TurnBy:   turn,
 		Arrived:  dist <= n.ArriveRadius,
+		Degraded: n.SourceHealth.Status != HealthOK,
 	}
 }
 

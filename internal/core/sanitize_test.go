@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"locble/internal/rf"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+// Regression: preprocessing used to assume monotonic observation
+// timestamps. A shuffled stream must produce the same estimate as the
+// sorted one (sanitization restores order) — never garbage.
+func TestLocateShuffledTimestampsMatchesSorted(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Locate(tr, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := *tr
+	obs := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	src := rng.New(42)
+	for i := len(obs) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		obs[i], obs[j] = obs[j], obs[i]
+	}
+	shuffled.Observations = map[string][]sim.BeaconObservation{"target": obs}
+
+	got, err := eng.Locate(&shuffled, "target")
+	if err != nil {
+		t.Fatalf("Locate on shuffled input: %v", err)
+	}
+	if math.Abs(got.Est.X-want.Est.X) > 1e-9 || math.Abs(got.Est.H-want.Est.H) > 1e-9 {
+		t.Errorf("shuffled input changed the estimate: (%.4f, %.4f) vs (%.4f, %.4f)",
+			got.Est.X, got.Est.H, want.Est.X, want.Est.H)
+	}
+	if got.Health.Repaired == 0 {
+		t.Error("sanitization should report repaired (re-ordered) observations")
+	}
+}
+
+func TestLocateCleanTraceIsHealthOK(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.Locate(tr, "target")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Health.Status != HealthOK {
+			t.Errorf("seed %d: clean trace classified %s", seed, m.Health)
+		}
+	}
+}
+
+func TestLocateNonFiniteRSSIDegrades(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	for i := range obs {
+		if i%4 == 0 {
+			obs[i].RSSI = math.NaN()
+		}
+	}
+	poisoned := *tr
+	poisoned.Observations = map[string][]sim.BeaconObservation{"target": obs}
+	m, err := eng.Locate(&poisoned, "target")
+	if err != nil {
+		t.Fatalf("Locate with NaN RSSI: %v", err)
+	}
+	if m.Health.Status != HealthDegraded || !m.Health.Has(ReasonNonFiniteRSS) {
+		t.Errorf("health = %s, want degraded with %s", m.Health, ReasonNonFiniteRSS)
+	}
+	if !finiteEstimate(m.Est) {
+		t.Error("non-finite estimate escaped")
+	}
+}
+
+func TestLocateShortWindowRejected(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []sim.BeaconObservation
+	for _, o := range tr.Observations["target"] {
+		if o.T <= 2.0 {
+			kept = append(kept, o)
+		}
+	}
+	short := *tr
+	short.Observations = map[string][]sim.BeaconObservation{"target": kept}
+	_, err = eng.Locate(&short, "target")
+	var re *RejectedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RejectedError, got %v", err)
+	}
+	if re.Health.Status != HealthRejected || !re.Health.Has(ReasonShortWindow) {
+		t.Errorf("health = %s, want rejected with %s", re.Health, ReasonShortWindow)
+	}
+	if HealthFromError(err).Status != HealthRejected {
+		t.Error("HealthFromError lost the rejection")
+	}
+}
+
+func TestHealthStringAndHas(t *testing.T) {
+	var h Health
+	if h.Status != HealthOK || h.String() != "OK" {
+		t.Errorf("zero health = %q", h.String())
+	}
+	h.degrade(ReasonRSSGaps)
+	h.degrade(ReasonRSSGaps) // idempotent
+	if len(h.Reasons) != 1 || !h.Has(ReasonRSSGaps) || h.Has(ReasonClockSkew) {
+		t.Errorf("reasons = %v", h.Reasons)
+	}
+	h.reject(ReasonShortWindow)
+	if h.Status != HealthRejected || h.String() != "rejected (rss-gaps, short-window)" {
+		t.Errorf("health = %q", h.String())
+	}
+}
+
+func TestBridgeGapsInsertsAndMasks(t *testing.T) {
+	times := []float64{0, 0.1, 0.2, 0.3, 1.3, 1.4, 1.5}
+	rss := []float64{-60, -60, -60, -60, -70, -70, -70}
+	bt, brss, keep := bridgeGaps(times, rss, DefaultSanitizeConfig())
+	if keep == nil {
+		t.Fatal("expected bridge insertion for a 1 s gap at 0.1 s cadence")
+	}
+	if len(bt) != len(brss) || len(bt) != len(keep) {
+		t.Fatal("length mismatch")
+	}
+	kept := 0
+	for i, k := range keep {
+		if k {
+			kept++
+		} else {
+			if bt[i] <= 0.3 || bt[i] >= 1.3 {
+				t.Errorf("inserted sample at t=%.2f outside the gap", bt[i])
+			}
+			if brss[i] < -70 || brss[i] > -60 {
+				t.Errorf("inserted RSS %.1f outside interpolation range", brss[i])
+			}
+		}
+	}
+	if kept != len(times) {
+		t.Errorf("keep mask preserves %d of %d originals", kept, len(times))
+	}
+	// No gap → fast path, nil mask.
+	if _, _, k := bridgeGaps([]float64{0, 0.1, 0.2}, []float64{1, 2, 3}, DefaultSanitizeConfig()); k != nil {
+		t.Error("uniform series should not be bridged")
+	}
+}

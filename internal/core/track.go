@@ -1,12 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"locble/internal/estimate"
-	"locble/internal/motion"
-	"locble/internal/sigproc"
 	"locble/internal/sim"
 )
 
@@ -23,6 +20,10 @@ type TrackPoint struct {
 	WindowStart float64
 	// Samples used in the window.
 	Samples int
+	// Health is the trace-level degradation report (shared by every fix
+	// of the run); windows whose fit returned non-finite values are
+	// dropped rather than flagged.
+	Health Health
 }
 
 // TrackBeacon runs sliding-window estimation over a trace: a fix every
@@ -31,10 +32,6 @@ type TrackPoint struct {
 // stream of location fixes rather than one measurement — and also what
 // the navigation UI consumes while the user keeps moving.
 func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
-	obs, ok := tr.Observations[beaconName]
-	if !ok || len(obs) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownBeacon, beaconName)
-	}
 	if window <= 0 {
 		window = 6
 	}
@@ -42,73 +39,15 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 		step = 2
 	}
 
-	_, alignedSamples, err := motion.Align(tr.IMU.Samples)
+	p, err := e.prepare(tr, beaconName)
 	if err != nil {
-		return nil, fmt.Errorf("core: align: %w", err)
+		return nil, err
 	}
-	track, err := motion.BuildTrack(alignedSamples, e.cfg.Tracker)
-	if err != nil {
-		return nil, fmt.Errorf("core: track: %w", err)
-	}
-	var targetTrack *motion.Track
-	if tr.TargetIMU != nil && beaconName == tr.Beacons[0].Name {
-		_, tgtAligned, err := motion.Align(tr.TargetIMU.Samples)
-		if err != nil {
-			return nil, fmt.Errorf("core: align target: %w", err)
-		}
-		targetTrack, err = motion.BuildTrack(tgtAligned, e.cfg.Tracker)
-		if err != nil {
-			return nil, fmt.Errorf("core: target track: %w", err)
-		}
-	}
-
-	estCfg := e.cfg.Estimator
-	for _, spec := range tr.Beacons {
-		if spec.Name == beaconName && spec.Tx.TxPowerDBm != 0 {
-			estCfg.GammaSoftMin = spec.Tx.TxPowerDBm - 18
-			estCfg.GammaSoftMax = spec.Tx.TxPowerDBm + 8
-			break
-		}
-	}
-
-	raw := make([]float64, len(obs))
-	times := make([]float64, len(obs))
-	for i, o := range obs {
-		raw[i] = o.RSSI
-		times[i] = o.T
-	}
-	filtered := raw
-	if !e.cfg.DisableANF {
-		fs := tr.Phone.SampleRateHz
-		if fs <= 0 {
-			fs = 9
-		}
-		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
-		if err != nil {
-			return nil, fmt.Errorf("core: ANF design: %w", err)
-		}
-		if e.cfg.StreamingANF {
-			filtered = sigproc.NewAKF(bf).Filter(raw)
-		} else {
-			filtered = sigproc.FiltFilt(bf, raw)
-		}
-	}
-
-	fused := make([]estimate.Obs, len(obs))
-	for i := range obs {
-		ox, oy := track.At(times[i])
-		p, q := -ox, -oy
-		if targetTrack != nil {
-			bx, by := targetTrack.At(times[i])
-			p += bx
-			q += by
-		}
-		fused[i] = estimate.Obs{T: times[i], RSS: filtered[i], P: p, Q: q}
-	}
+	fused, estCfg := p.fused, p.estCfg
 
 	var points []TrackPoint
-	end := times[len(times)-1]
-	for tEnd := math.Min(times[0]+window, end); ; tEnd += step {
+	end := p.times[len(p.times)-1]
+	for tEnd := math.Min(p.times[0]+window, end); ; tEnd += step {
 		lo, hi := 0, len(fused)
 		for lo < len(fused) && fused[lo].T < tEnd-window {
 			lo++
@@ -119,7 +58,7 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 		if hi-lo >= estCfg.MinSamples {
 			winObs := fused[lo:hi]
 			est, err := estimate.Run(winObs, estCfg)
-			if err == nil {
+			if err == nil && finiteEstimate(est) {
 				if est.Ambiguous {
 					// Resolve against the previous fix when available.
 					if len(points) > 0 {
@@ -140,6 +79,7 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 					Est:         est,
 					WindowStart: winObs[0].T,
 					Samples:     len(winObs),
+					Health:      p.health,
 				})
 			}
 		}
@@ -148,7 +88,7 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 		}
 	}
 	if len(points) == 0 {
-		return nil, ErrNoEstimate
+		return nil, rejectedErr(p.health, ReasonNoEstimate, ErrNoEstimate)
 	}
 	return points, nil
 }

@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/sim"
+)
+
+func testTrace(t *testing.T, seed int64) *sim.Trace {
+	t.Helper()
+	tr, err := sim.Run(sim.Scenario{
+		Beacons:      []sim.BeaconSpec{{Name: "target", X: 6, Y: 3}},
+		ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+		EnvModel:     sim.StaticEnv(rf.LOS),
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDropoutBurstRemovesWindow(t *testing.T) {
+	tr := testTrace(t, 1)
+	before := len(tr.Observations["target"])
+	Apply(tr, 1, DropoutBurst{Start: 3, Duration: 2})
+	after := tr.Observations["target"]
+	if len(after) >= before {
+		t.Fatalf("burst removed nothing (%d -> %d)", before, len(after))
+	}
+	for _, o := range after {
+		if o.T >= 3 && o.T < 5 {
+			t.Fatalf("observation at t=%.2f survived the burst", o.T)
+		}
+	}
+}
+
+func TestRandomDropDeterministic(t *testing.T) {
+	a, b := testTrace(t, 2), testTrace(t, 2)
+	Apply(a, 7, RandomDrop{Prob: 0.5})
+	Apply(b, 7, RandomDrop{Prob: 0.5})
+	oa, ob := a.Observations["target"], b.Observations["target"]
+	if len(oa) != len(ob) {
+		t.Fatalf("same seed, different survivor counts: %d vs %d", len(oa), len(ob))
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("survivor %d differs", i)
+		}
+	}
+	full := testTrace(t, 2).Observations["target"]
+	if len(oa) == len(full) {
+		t.Fatal("50% drop removed nothing")
+	}
+}
+
+func TestNonFiniteRSSIInjects(t *testing.T) {
+	tr := testTrace(t, 3)
+	Apply(tr, 3, NonFiniteRSSI{Prob: 0.3})
+	bad := 0
+	for _, o := range tr.Observations["target"] {
+		if math.IsNaN(o.RSSI) || math.IsInf(o.RSSI, 0) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("no non-finite RSSI injected")
+	}
+}
+
+func TestClipRSSIRails(t *testing.T) {
+	tr := testTrace(t, 4)
+	Apply(tr, 4, ClipRSSI{Floor: -90, Ceil: -55})
+	for _, o := range tr.Observations["target"] {
+		if o.RSSI > -55 || o.RSSI < -90 {
+			t.Fatalf("RSSI %.1f escaped the clip rails", o.RSSI)
+		}
+	}
+}
+
+func TestDuplicateAndReorderBreakMonotonicity(t *testing.T) {
+	tr := testTrace(t, 5)
+	Apply(tr, 5, DuplicateReports{Prob: 0.4}, ReorderReports{Window: 6})
+	obs := tr.Observations["target"]
+	inversions, dups := 0, 0
+	for i := 1; i < len(obs); i++ {
+		if obs[i].T < obs[i-1].T {
+			inversions++
+		}
+		if obs[i].T == obs[i-1].T && obs[i].RSSI == obs[i-1].RSSI {
+			dups++
+		}
+	}
+	if inversions == 0 {
+		t.Error("reorder produced a still-sorted stream")
+	}
+	if dups == 0 {
+		t.Error("duplication produced no adjacent duplicates (after reorder some should remain)")
+	}
+}
+
+func TestClockSkewShiftsTimes(t *testing.T) {
+	tr := testTrace(t, 6)
+	orig := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	Apply(tr, 6, ClockSkew{Offset: 4})
+	for i, o := range tr.Observations["target"] {
+		if math.Abs(o.T-(orig[i].T+4)) > 1e-12 {
+			t.Fatalf("obs %d: t=%.3f, want %.3f", i, o.T, orig[i].T+4)
+		}
+	}
+}
+
+func TestTruncateWindowCutsRSSAndIMU(t *testing.T) {
+	tr := testTrace(t, 7)
+	Apply(tr, 7, TruncateWindow{Keep: 2.5})
+	for _, o := range tr.Observations["target"] {
+		if o.T > 2.5 {
+			t.Fatalf("observation at t=%.2f survived truncation", o.T)
+		}
+	}
+	for _, s := range tr.IMU.Samples {
+		if s.T > 2.5 {
+			t.Fatalf("IMU sample at t=%.2f survived truncation", s.T)
+		}
+	}
+	if tr.Duration > 2.5 {
+		t.Errorf("duration %.2f not truncated", tr.Duration)
+	}
+}
+
+func TestIMUDropoutAndSaturate(t *testing.T) {
+	tr := testTrace(t, 8)
+	Apply(tr, 8, IMUDropout{Start: 4, Duration: 2}, IMUSaturate{MaxAccel: 10})
+	for _, s := range tr.IMU.Samples {
+		if s.T >= 4 && s.T < 6 {
+			t.Fatalf("IMU sample at t=%.2f inside dropout window", s.T)
+		}
+		for a := 0; a < 3; a++ {
+			if math.Abs(s.Acc[a]) > 10 {
+				t.Fatalf("accel %.2f above saturation rail", s.Acc[a])
+			}
+		}
+	}
+}
+
+func TestCorruptPDULosesFramesOnly(t *testing.T) {
+	tr := testTrace(t, 9)
+	before := len(tr.Observations["target"])
+	Apply(tr, 9, CorruptPDU{BitProb: 0.01})
+	after := tr.Observations["target"]
+	if len(after) == 0 || len(after) >= before {
+		t.Fatalf("PDU corruption: %d -> %d observations, want partial loss", before, len(after))
+	}
+	// Values of survivors are untouched.
+	for _, o := range after {
+		if math.IsNaN(o.RSSI) {
+			t.Fatal("corruption altered RSSI values")
+		}
+	}
+}
+
+func TestChainNameAndApplyRSS(t *testing.T) {
+	f := Chain(DropoutBurst{Start: 1, Duration: 1}, RandomDrop{Prob: 0.2})
+	if f.Name() == "" {
+		t.Fatal("empty chain name")
+	}
+	obs := []sim.BeaconObservation{{T: 0.5, RSSI: -60}, {T: 1.5, RSSI: -61}, {T: 2.5, RSSI: -62}}
+	out := ApplyRSS(obs, 1, f)
+	for _, o := range out {
+		if o.T >= 1 && o.T < 2 {
+			t.Fatalf("stream obs at t=%.2f survived burst", o.T)
+		}
+	}
+	if len(obs) != 3 {
+		t.Fatal("ApplyRSS mutated its input slice length")
+	}
+}

@@ -1,0 +1,369 @@
+package faults
+
+import (
+	"math"
+
+	"locble/internal/ble"
+	"locble/internal/imu"
+	"locble/internal/rng"
+	"locble/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// RSS loss
+// ---------------------------------------------------------------------
+
+// DropoutBurst removes every observation of every beacon inside
+// [Start, Start+Duration) — the sustained loss a blocked link or a
+// de-prioritised scan produces.
+type DropoutBurst struct {
+	Start, Duration float64
+}
+
+func (f DropoutBurst) Name() string { return fname("dropout-burst(%.1fs@%.1fs)", f.Duration, f.Start) }
+
+func (f DropoutBurst) Apply(tr *sim.Trace, _ *rng.Source) {
+	end := f.Start + f.Duration
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		out := obs[:0]
+		for _, o := range obs {
+			if o.T < f.Start || o.T >= end {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+}
+
+// ScannerStall models the OS suspending the BLE scanner (duty-cycled
+// background scanning, paper Sec. 2.2): a burst dropout plus a stretch of
+// IMU samples the phone kept recording — i.e. only the radio stalls.
+// It is DropoutBurst under a name that documents intent.
+type ScannerStall struct {
+	Start, Duration float64
+}
+
+func (f ScannerStall) Name() string { return fname("scanner-stall(%.1fs@%.1fs)", f.Duration, f.Start) }
+
+func (f ScannerStall) Apply(tr *sim.Trace, src *rng.Source) {
+	DropoutBurst(f).Apply(tr, src)
+}
+
+// RandomDrop discards each observation independently with probability
+// Prob — i.i.d. advertising-packet loss.
+type RandomDrop struct {
+	Prob float64
+}
+
+func (f RandomDrop) Name() string { return fname("random-drop(%.0f%%)", f.Prob*100) }
+
+func (f RandomDrop) Apply(tr *sim.Trace, src *rng.Source) {
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		out := obs[:0]
+		for _, o := range obs {
+			if !s.Bool(f.Prob) {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+}
+
+// ---------------------------------------------------------------------
+// RSS value corruption
+// ---------------------------------------------------------------------
+
+// NonFiniteRSSI replaces each RSSI independently with probability Prob by
+// NaN, +Inf or −Inf (a driver bug or a failed fixed-point conversion on
+// the HCI boundary).
+type NonFiniteRSSI struct {
+	Prob float64
+}
+
+func (f NonFiniteRSSI) Name() string { return fname("non-finite-rssi(%.0f%%)", f.Prob*100) }
+
+func (f NonFiniteRSSI) Apply(tr *sim.Trace, src *rng.Source) {
+	bad := [3]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			if s.Bool(f.Prob) {
+				obs[i].RSSI = bad[s.Intn(3)]
+			}
+		}
+		return obs
+	})
+}
+
+// ClipRSSI clips every RSSI into [Floor, Ceil] — receiver front-end
+// saturation near the beacon (rail at Ceil) or a reporting floor far from
+// it (rail at Floor).
+type ClipRSSI struct {
+	Floor, Ceil float64
+}
+
+func (f ClipRSSI) Name() string { return fname("clip-rssi[%.0f,%.0f]", f.Floor, f.Ceil) }
+
+func (f ClipRSSI) Apply(tr *sim.Trace, _ *rng.Source) {
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			if obs[i].RSSI > f.Ceil {
+				obs[i].RSSI = f.Ceil
+			}
+			if obs[i].RSSI < f.Floor {
+				obs[i].RSSI = f.Floor
+			}
+		}
+		return obs
+	})
+}
+
+// ---------------------------------------------------------------------
+// Report stream anomalies
+// ---------------------------------------------------------------------
+
+// DuplicateReports re-delivers each observation with probability Prob —
+// duplicated HCI advertising reports (seen on stacks that forward both
+// the ADV_IND and its SCAN_RSP sighting).
+type DuplicateReports struct {
+	Prob float64
+}
+
+func (f DuplicateReports) Name() string { return fname("duplicates(%.0f%%)", f.Prob*100) }
+
+func (f DuplicateReports) Apply(tr *sim.Trace, src *rng.Source) {
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		out := make([]sim.BeaconObservation, 0, len(obs))
+		for _, o := range obs {
+			out = append(out, o)
+			if s.Bool(f.Prob) {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+}
+
+// ReorderReports shuffles observations inside consecutive windows of
+// Window samples — out-of-order delivery through a buffered scan queue.
+type ReorderReports struct {
+	Window int
+}
+
+func (f ReorderReports) Name() string { return fname("reorder(win=%d)", f.Window) }
+
+func (f ReorderReports) Apply(tr *sim.Trace, src *rng.Source) {
+	w := f.Window
+	if w < 2 {
+		w = 4
+	}
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		for lo := 0; lo < len(obs); lo += w {
+			hi := lo + w
+			if hi > len(obs) {
+				hi = len(obs)
+			}
+			perm := s.Perm(hi - lo)
+			tmp := make([]sim.BeaconObservation, hi-lo)
+			for i, p := range perm {
+				tmp[i] = obs[lo+p]
+			}
+			copy(obs[lo:hi], tmp)
+		}
+		return obs
+	})
+}
+
+// ClockSkew shifts and stretches every observation timestamp:
+// t' = t + Offset + Drift·t. A skewed BLE clock desynchronises the RSS
+// series from the IMU timeline the motion track is built on.
+type ClockSkew struct {
+	Offset float64 // seconds
+	Drift  float64 // seconds of skew per second
+}
+
+func (f ClockSkew) Name() string { return fname("clock-skew(%+.1fs,%.3f)", f.Offset, f.Drift) }
+
+func (f ClockSkew) Apply(tr *sim.Trace, _ *rng.Source) {
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			obs[i].T += f.Offset + f.Drift*obs[i].T
+		}
+		return obs
+	})
+}
+
+// JitterTimestamps adds zero-mean Gaussian noise (σ = Sigma seconds) to
+// each observation timestamp, breaking monotonicity when Sigma exceeds
+// the inter-report interval.
+type JitterTimestamps struct {
+	Sigma float64
+}
+
+func (f JitterTimestamps) Name() string { return fname("time-jitter(%.2fs)", f.Sigma) }
+
+func (f JitterTimestamps) Apply(tr *sim.Trace, src *rng.Source) {
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			obs[i].T = math.Max(0, obs[i].T+s.Normal(0, f.Sigma))
+		}
+		return obs
+	})
+}
+
+// TruncateWindow keeps only the first Keep seconds of the measurement —
+// the user gave up mid-walk. Both the RSS streams and the IMU trace are
+// cut so the trace stays internally consistent.
+type TruncateWindow struct {
+	Keep float64
+}
+
+func (f TruncateWindow) Name() string { return fname("truncate(%.1fs)", f.Keep) }
+
+func (f TruncateWindow) Apply(tr *sim.Trace, _ *rng.Source) {
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		out := obs[:0]
+		for _, o := range obs {
+			if o.T <= f.Keep {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+	cutIMU := func(t *imu.Trace) {
+		if t == nil {
+			return
+		}
+		keep := t.Samples[:0]
+		for _, s := range t.Samples {
+			if s.T <= f.Keep {
+				keep = append(keep, s)
+			}
+		}
+		t.Samples = keep
+		if t.Duration > f.Keep {
+			t.Duration = f.Keep
+		}
+	}
+	cutIMU(tr.IMU)
+	cutIMU(tr.TargetIMU)
+	if tr.Duration > f.Keep {
+		tr.Duration = f.Keep
+	}
+}
+
+// ---------------------------------------------------------------------
+// IMU faults
+// ---------------------------------------------------------------------
+
+// IMUDropout removes every IMU sample inside [Start, Start+Duration) —
+// the OS throttling sensor delivery while the app is backgrounded.
+type IMUDropout struct {
+	Start, Duration float64
+}
+
+func (f IMUDropout) Name() string { return fname("imu-dropout(%.1fs@%.1fs)", f.Duration, f.Start) }
+
+func (f IMUDropout) Apply(tr *sim.Trace, _ *rng.Source) {
+	if tr.IMU == nil {
+		return
+	}
+	end := f.Start + f.Duration
+	keep := tr.IMU.Samples[:0]
+	for _, s := range tr.IMU.Samples {
+		if s.T < f.Start || s.T >= end {
+			keep = append(keep, s)
+		}
+	}
+	tr.IMU.Samples = keep
+}
+
+// IMUSaturate clips each accelerometer axis to ±MaxAccel m/s² and each
+// gyroscope axis to ±MaxGyro rad/s — a low-range MEMS part railing under
+// gait impacts. Zero limits leave that sensor untouched.
+type IMUSaturate struct {
+	MaxAccel, MaxGyro float64
+}
+
+func (f IMUSaturate) Name() string { return fname("imu-saturate(a=%.0f,g=%.0f)", f.MaxAccel, f.MaxGyro) }
+
+func (f IMUSaturate) Apply(tr *sim.Trace, _ *rng.Source) {
+	if tr.IMU == nil {
+		return
+	}
+	clip := func(v, lim float64) float64 {
+		if lim <= 0 {
+			return v
+		}
+		if v > lim {
+			return lim
+		}
+		if v < -lim {
+			return -lim
+		}
+		return v
+	}
+	for i := range tr.IMU.Samples {
+		s := &tr.IMU.Samples[i]
+		for a := 0; a < 3; a++ {
+			s.Acc[a] = clip(s.Acc[a], f.MaxAccel)
+			s.Gyro[a] = clip(s.Gyro[a], f.MaxGyro)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Byte-level PDU corruption
+// ---------------------------------------------------------------------
+
+// CorruptPDU replays each observation through the byte-level BLE codec
+// with random bit flips (per-bit probability BitProb): the advertising
+// frame is rebuilt, corrupted on the air, and fed to the de-whitening /
+// CRC / decode path. Observations whose corrupted frame the decoder
+// rejects are lost, exactly as a real CRC-protected link loses them; the
+// occasional frame whose corruption the CRC misses is kept, as it would
+// be in the field. The injector therefore exercises the ble decoder on
+// every application.
+type CorruptPDU struct {
+	BitProb float64
+}
+
+func (f CorruptPDU) Name() string { return fname("corrupt-pdu(%.2f%%/bit)", f.BitProb*100) }
+
+func (f CorruptPDU) Apply(tr *sim.Trace, src *rng.Source) {
+	pdu := ble.AdvPDU{
+		Type: ble.PDUAdvNonconnInd,
+		AdvA: ble.AddressFromUint64(0xC0FA017ED1),
+		Data: []byte{0x02, 0x01, 0x06},
+	}
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		out := obs[:0]
+		for _, o := range obs {
+			ch := o.Channel
+			if ch < 37 || ch > 39 {
+				ch = 37
+			}
+			frame, err := ble.Frame(&pdu, ch)
+			if err != nil {
+				out = append(out, o) // codec unavailable: pass through
+				continue
+			}
+			FlipBits(frame, f.BitProb, s)
+			if _, err := ble.Deframe(frame, ch); err == nil {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+}
+
+// FlipBits flips each bit of buf independently with probability p. It is
+// exported so fuzz and matrix tests can corrupt frames directly.
+func FlipBits(buf []byte, p float64, src *rng.Source) {
+	for i := range buf {
+		for b := 0; b < 8; b++ {
+			if src.Bool(p) {
+				buf[i] ^= 1 << b
+			}
+		}
+	}
+}

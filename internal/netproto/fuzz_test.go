@@ -1,0 +1,50 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: truncated
+// headers, oversized length prefixes, short bodies, malformed JSON. The
+// decoder must never panic, and anything it accepts must re-encode.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(body []byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		return append(hdr[:], body...)
+	}
+
+	// A valid bundle frame.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, testBundle()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})                             // empty input
+	f.Add([]byte{0x00, 0x00})                   // truncated header
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // oversized length prefix
+	f.Add(frame(nil))                           // zero-length body
+	f.Add(frame([]byte(`{"device":`)))          // malformed JSON
+	f.Add(frame([]byte(`{"rss":[{"t":"x"}]}`))) // wrong field type
+	f.Add(frame([]byte(`[1,2,3]`)))             // wrong top-level type
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3]) // truncated body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b TraceBundle
+		if err := ReadFrame(bytes.NewReader(data), &b); err != nil {
+			return
+		}
+		// Accepted frames must survive a round trip: JSON cannot have
+		// smuggled in anything WriteFrame refuses to encode.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &b); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		var again TraceBundle
+		if err := ReadFrame(&buf, &again); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+	})
+}

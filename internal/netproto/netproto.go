@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +30,11 @@ const (
 	// MaxFrameSize bounds a trace frame (guards against corrupt length
 	// prefixes).
 	MaxFrameSize = 16 << 20
+	// FrameTimeout is the per-frame read/write deadline. Deadlines are
+	// refreshed before every frame, not set once per connection, so a
+	// long multi-frame exchange never times out in the middle as long as
+	// each individual frame keeps moving.
+	FrameTimeout = 5 * time.Second
 )
 
 // Errors.
@@ -57,6 +63,64 @@ type TraceBundle struct {
 	Device string        `json:"device"`
 	RSS    []TimedRSS    `json:"rss"`
 	Motion []MotionPoint `json:"motion"`
+}
+
+// sanitizeRSS drops entries with non-finite fields: JSON cannot carry
+// NaN/Inf, and a degraded sensor feed must lose its poisoned readings at
+// the wire boundary rather than poison the whole frame.
+func sanitizeRSS(in []TimedRSS) []TimedRSS {
+	clean := true
+	for _, r := range in {
+		if !isFinite(r.T) || !isFinite(r.RSS) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return in
+	}
+	out := make([]TimedRSS, 0, len(in))
+	for _, r := range in {
+		if isFinite(r.T) && isFinite(r.RSS) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sanitizeMotion(in []MotionPoint) []MotionPoint {
+	clean := true
+	for _, m := range in {
+		if !isFinite(m.T) || !isFinite(m.X) || !isFinite(m.Y) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return in
+	}
+	out := make([]MotionPoint, 0, len(in))
+	for _, m := range in {
+		if isFinite(m.T) && isFinite(m.X) && isFinite(m.Y) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Sanitize returns the bundle with non-finite RSS and motion entries
+// removed (see sanitizeRSS). The server applies it on SetBundle and the
+// stream publisher per batch.
+func (b *TraceBundle) Sanitize() *TraceBundle {
+	if b == nil {
+		return nil
+	}
+	out := *b
+	out.RSS = sanitizeRSS(b.RSS)
+	out.Motion = sanitizeMotion(b.Motion)
+	return &out
 }
 
 // WriteFrame writes one length-prefixed JSON frame.
@@ -110,8 +174,10 @@ type Server struct {
 }
 
 // SetBundle publishes the bundle served to clients (replacing any prior
-// one). Safe for concurrent use.
+// one). Non-finite entries are dropped at this boundary (JSON cannot
+// carry them). Safe for concurrent use.
 func (s *Server) SetBundle(b *TraceBundle) {
+	b = b.Sanitize()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bundle = b
@@ -188,25 +254,33 @@ func (s *Server) serveTCP() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			// Deadlines are per frame, refreshed before each read and
+			// write: a connection-scoped deadline would expire in the
+			// middle of a long multi-frame exchange.
 			var req struct {
 				Op string `json:"op"`
 			}
 			br := bufio.NewReader(conn)
-			if err := ReadFrame(br, &req); err != nil {
-				return
+			for {
+				conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+				if err := ReadFrame(br, &req); err != nil {
+					return
+				}
+				conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
+				if req.Op != "fetch" {
+					WriteFrame(conn, map[string]string{"error": "unknown op"})
+					return
+				}
+				s.mu.Lock()
+				b := s.bundle
+				s.mu.Unlock()
+				if b == nil {
+					b = &TraceBundle{Device: s.DeviceName}
+				}
+				if err := WriteFrame(conn, b); err != nil {
+					return
+				}
 			}
-			if req.Op != "fetch" {
-				WriteFrame(conn, map[string]string{"error": "unknown op"})
-				return
-			}
-			s.mu.Lock()
-			b := s.bundle
-			s.mu.Unlock()
-			if b == nil {
-				b = &TraceBundle{Device: s.DeviceName}
-			}
-			WriteFrame(conn, b)
 		}()
 	}
 }
@@ -218,62 +292,112 @@ type ServiceInfo struct {
 }
 
 // Discover probes a list of UDP discovery addresses and returns the
-// devices that answered within the context deadline. (On a real phone
-// deployment this would be a broadcast; loopback simulations enumerate
-// candidate ports.)
+// devices that answered within the context deadline. Probes are re-sent
+// with growing intervals to unanswered addresses — UDP datagrams are
+// fire-and-forget, so a single lost probe must not hide a device for the
+// whole discovery window. (On a real phone deployment this would be a
+// broadcast; loopback simulations enumerate candidate ports.)
 func Discover(ctx context.Context, addrs []string) ([]ServiceInfo, error) {
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
 	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	} else {
-		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		deadline = dl
 	}
+
+	targets := make([]*net.UDPAddr, 0, len(addrs))
 	for _, a := range addrs {
-		ua, err := net.ResolveUDPAddr("udp", a)
-		if err != nil {
-			continue
+		if ua, err := net.ResolveUDPAddr("udp", a); err == nil {
+			targets = append(targets, ua)
 		}
-		conn.WriteTo([]byte(DiscoverMagic), ua)
 	}
+	probe := func() {
+		for _, ua := range targets {
+			conn.WriteTo([]byte(DiscoverMagic), ua)
+		}
+	}
+	probe()
+
+	policy := DefaultRetry()
 	var found []ServiceInfo
+	seen := make(map[string]bool)
 	buf := make([]byte, 512)
-	for len(found) < len(addrs) {
+	reprobe := 1
+	next := time.Now().Add(policy.Delay(reprobe))
+	for len(found) < len(targets) {
+		// Read in short slices so probes can be re-sent between reads.
+		slice := time.Now().Add(150 * time.Millisecond)
+		if slice.After(deadline) {
+			slice = deadline
+		}
+		conn.SetReadDeadline(slice)
 		n, _, err := conn.ReadFrom(buf)
 		if err != nil {
-			break // deadline
+			if time.Now().After(deadline) {
+				break
+			}
+			if time.Now().After(next) {
+				probe()
+				reprobe++
+				next = time.Now().Add(policy.Delay(reprobe))
+			}
+			continue
 		}
 		var magic, device, addr string
 		if _, err := fmt.Sscanf(string(buf[:n]), "%s %s %s", &magic, &device, &addr); err != nil {
 			continue
 		}
-		if magic != OfferMagic {
+		if magic != OfferMagic || seen[device+"|"+addr] {
 			continue
 		}
+		seen[device+"|"+addr] = true
 		found = append(found, ServiceInfo{Device: device, Addr: addr})
 	}
 	return found, nil
 }
 
-// Fetch retrieves the trace bundle from a device's TCP address.
+// Fetch retrieves the trace bundle from a device's TCP address, retrying
+// refused or mid-frame-dropped connections with the default backoff
+// policy until the context deadline.
 func Fetch(ctx context.Context, addr string) (*TraceBundle, error) {
+	return FetchWithRetry(ctx, addr, DefaultRetry())
+}
+
+// FetchWithRetry is Fetch under an explicit retry policy. A
+// Retry{MaxAttempts: 1} makes it single-shot.
+func FetchWithRetry(ctx context.Context, addr string, policy Retry) (*TraceBundle, error) {
+	var b *TraceBundle
+	err := policy.Do(ctx, func() error {
+		var ferr error
+		b, ferr = fetchOnce(ctx, addr)
+		return ferr
+	})
+	return b, err
+}
+
+// fetchOnce performs one fetch exchange with per-frame deadlines.
+func fetchOnce(ctx context.Context, addr string) (*TraceBundle, error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	} else {
-		conn.SetDeadline(time.Now().Add(5 * time.Second))
+	frameDeadline := func() time.Time {
+		dl := time.Now().Add(FrameTimeout)
+		if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+			dl = cdl
+		}
+		return dl
 	}
+	conn.SetWriteDeadline(frameDeadline())
 	if err := WriteFrame(conn, map[string]string{"op": "fetch"}); err != nil {
 		return nil, err
 	}
+	conn.SetReadDeadline(frameDeadline())
 	var b TraceBundle
 	if err := ReadFrame(bufio.NewReader(conn), &b); err != nil {
 		return nil, err

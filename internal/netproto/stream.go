@@ -15,6 +15,13 @@ import (
 // they are produced instead of one bundle at the end — what the
 // observer's sliding-window tracker consumes. The wire format reuses the
 // length-prefixed JSON frames.
+//
+// Every batch carries a sequence number and the server retains the
+// session's history, so the stream is resumable: a subscriber opens with
+// {"op":"subscribe","from":N} and the server replays everything after
+// batch N before going live. Subscribe reconnects automatically when the
+// TCP connection drops mid-session, resuming from the last batch it
+// delivered instead of losing the measurement.
 
 // StreamBatch is one live update from the target.
 type StreamBatch struct {
@@ -25,19 +32,32 @@ type StreamBatch struct {
 	Final bool `json:"final,omitempty"`
 }
 
+// subscribeReq is the hello frame a subscriber sends on connect. From is
+// the last sequence number it already holds (0 for a fresh session).
+type subscribeReq struct {
+	Op   string `json:"op"`
+	From int    `json:"from"`
+}
+
 // ErrStreamClosed is returned after the stream has been closed.
 var ErrStreamClosed = errors.New("netproto: stream closed")
 
-// StreamServer publishes live batches to any number of subscribers.
+// StreamIdleTimeout is how long a subscriber waits for the next batch
+// before treating the connection as dead (and reconnecting).
+var StreamIdleTimeout = 30 * time.Second
+
+// StreamServer publishes live batches to any number of subscribers and
+// retains the session history for resumption.
 type StreamServer struct {
 	DeviceName string
 
 	ln net.Listener
 
-	mu     sync.Mutex
-	subs   map[net.Conn]chan StreamBatch
-	seq    int
-	closed bool
+	mu      sync.Mutex
+	subs    map[net.Conn]chan StreamBatch
+	history []StreamBatch
+	seq     int
+	closed  bool // final published or Close called; history still served
 
 	wg sync.WaitGroup
 }
@@ -69,42 +89,80 @@ func (s *StreamServer) accept() {
 		if err != nil {
 			return
 		}
-		ch := make(chan StreamBatch, 64)
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.subs[conn] = ch
-		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serve(conn, ch)
+		go s.serve(conn)
 	}
 }
 
-func (s *StreamServer) serve(conn net.Conn, ch chan StreamBatch) {
+func (s *StreamServer) serve(conn net.Conn) {
 	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.subs, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	for b := range ch {
-		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	defer conn.Close()
+
+	// Hello frame: where to resume from.
+	conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+	var req subscribeReq
+	if err := ReadFrame(bufio.NewReader(conn), &req); err != nil || req.Op != "subscribe" {
+		return
+	}
+
+	// Snapshot the replay backlog and register for live batches under
+	// one lock acquisition, so no batch can fall between replay and live.
+	s.mu.Lock()
+	var replay []StreamBatch
+	for _, b := range s.history {
+		if b.Seq > req.From {
+			replay = append(replay, b)
+		}
+	}
+	var ch chan StreamBatch
+	if !s.closed {
+		ch = make(chan StreamBatch, 64)
+		s.subs[conn] = ch
+	}
+	s.mu.Unlock()
+	if ch != nil {
+		defer func() {
+			s.mu.Lock()
+			delete(s.subs, conn)
+			s.mu.Unlock()
+		}()
+	}
+
+	lastSent := req.From
+	send := func(b StreamBatch) bool {
+		if b.Seq <= lastSent {
+			return true // already delivered (replay/live overlap)
+		}
+		conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
 		if err := WriteFrame(conn, b); err != nil {
+			return false
+		}
+		lastSent = b.Seq
+		return !b.Final
+	}
+	for _, b := range replay {
+		if !send(b) {
 			return
 		}
-		if b.Final {
+	}
+	if ch == nil {
+		return // session over: replay-only subscriber
+	}
+	for b := range ch {
+		if !send(b) {
 			return
 		}
 	}
 }
 
-// Publish sends one batch to every current subscriber. Slow subscribers
-// whose buffers are full are skipped (live data has no value late).
+// Publish sends one batch to every current subscriber and appends it to
+// the session history for resumption. Non-finite RSS/motion values are
+// dropped at this boundary (JSON cannot carry them). Slow subscribers
+// whose buffers are full are skipped live — they recover the batch on
+// reconnect, since it stays in the history.
 func (s *StreamServer) Publish(rss []TimedRSS, motion []MotionPoint, final bool) error {
+	rss = sanitizeRSS(rss)
+	motion = sanitizeMotion(motion)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -112,10 +170,11 @@ func (s *StreamServer) Publish(rss []TimedRSS, motion []MotionPoint, final bool)
 	}
 	s.seq++
 	b := StreamBatch{Seq: s.seq, RSS: rss, Motion: motion, Final: final}
+	s.history = append(s.history, b)
 	for _, ch := range s.subs {
 		select {
 		case ch <- b:
-		default: // drop for this subscriber
+		default: // drop for this subscriber; history covers it
 		}
 	}
 	if final {
@@ -128,7 +187,8 @@ func (s *StreamServer) Publish(rss []TimedRSS, motion []MotionPoint, final bool)
 	return nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down. History replay stops too: Close is the
+// hard stop, Publish(…, final=true) the graceful end of session.
 func (s *StreamServer) Close() error {
 	s.mu.Lock()
 	if !s.closed {
@@ -144,39 +204,86 @@ func (s *StreamServer) Close() error {
 	return nil
 }
 
-// Subscribe dials a StreamServer and delivers batches to the returned
-// channel until the stream ends, the context is cancelled, or an error
-// occurs. The channel is closed when the subscription ends.
+// Subscribe dials a StreamServer and delivers batches in order on the
+// returned channel until the stream ends or the context is cancelled.
+// A dropped connection is re-dialled with backoff and the stream resumed
+// from the last delivered batch; duplicates are filtered by sequence
+// number, so the consumer sees each batch exactly once. The channel is
+// closed when the subscription ends.
 func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := dialSubscribe(ctx, addr, 0)
 	if err != nil {
 		return nil, err
 	}
 	out := make(chan StreamBatch, 16)
 	go func() {
 		defer close(out)
-		defer conn.Close()
-		br := bufio.NewReader(conn)
+		last := 0
+		policy := DefaultRetry()
 		for {
-			if dl, ok := ctx.Deadline(); ok {
-				conn.SetReadDeadline(dl)
-			} else {
-				conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+			last, err = pump(ctx, conn, last, out)
+			conn.Close()
+			if err == nil || ctx.Err() != nil {
+				return // clean end of stream, or caller gave up
 			}
-			var b StreamBatch
-			if err := ReadFrame(br, &b); err != nil {
-				return
-			}
-			select {
-			case out <- b:
-			case <-ctx.Done():
-				return
-			}
-			if b.Final {
+			// Connection died mid-session: reconnect and resume.
+			reErr := policy.Do(ctx, func() error {
+				var dErr error
+				conn, dErr = dialSubscribe(ctx, addr, last)
+				return dErr
+			})
+			if reErr != nil {
 				return
 			}
 		}
 	}()
 	return out, nil
+}
+
+// dialSubscribe opens a stream connection and sends the hello frame.
+func dialSubscribe(ctx context.Context, addr string, from int) (net.Conn, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
+	if err := WriteFrame(conn, subscribeReq{Op: "subscribe", From: from}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// pump reads batches from one connection into out until the stream ends
+// (nil error), the context is cancelled (nil), or the connection fails
+// (the read error). It returns the last sequence number delivered.
+func pump(ctx context.Context, conn net.Conn, last int, out chan<- StreamBatch) (int, error) {
+	br := bufio.NewReader(conn)
+	for {
+		dl := time.Now().Add(StreamIdleTimeout)
+		if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+			dl = cdl
+		}
+		conn.SetReadDeadline(dl)
+		var b StreamBatch
+		if err := ReadFrame(br, &b); err != nil {
+			if ctx.Err() != nil {
+				return last, nil
+			}
+			return last, err
+		}
+		if b.Seq <= last {
+			continue // duplicate from a replay overlap
+		}
+		select {
+		case out <- b:
+			last = b.Seq
+		case <-ctx.Done():
+			return last, nil
+		}
+		if b.Final {
+			return last, nil
+		}
+	}
 }

@@ -74,6 +74,34 @@ const (
 	NLOS = rf.NLOS
 )
 
+// Health reporting: every position carries a graded trust signal instead
+// of the usual estimate-or-error binary. HealthOK means clean input;
+// HealthDegraded means the input was impaired but recoverable (the
+// Reasons list says how); inputs too damaged to use never produce a
+// Position — Locate returns a *RejectedError carrying the diagnosis.
+type (
+	// Health grades how much a result should be trusted.
+	Health = core.Health
+	// HealthStatus is the overall grade (OK / degraded / rejected).
+	HealthStatus = core.HealthStatus
+	// HealthReason is a machine-readable degradation cause.
+	HealthReason = core.HealthReason
+	// RejectedError is returned when the input was unusable; it carries
+	// the Health diagnosis (errors.As to recover it).
+	RejectedError = core.RejectedError
+)
+
+// Health statuses.
+const (
+	HealthOK       = core.HealthOK
+	HealthDegraded = core.HealthDegraded
+	HealthRejected = core.HealthRejected
+)
+
+// HealthFromError recovers the Health diagnosis from a Locate/Track
+// error (a rejected Health if the error is a *RejectedError).
+func HealthFromError(err error) Health { return core.HealthFromError(err) }
+
 // Stock hardware profiles.
 var (
 	IPhone5s       = rf.IPhone5s
@@ -134,6 +162,9 @@ type Position struct {
 	// could not be ruled out; Mirror then holds the other candidate.
 	Ambiguous bool
 	Mirror    *Position
+	// Health grades how trustworthy this position is given the input
+	// quality (see the Health type).
+	Health Health
 }
 
 // Option configures a System.
@@ -207,9 +238,13 @@ func (s *System) LocateCalibrated(tr *Trace, beacon string) (*Position, *Cluster
 }
 
 // Navigator starts a navigation session toward a located position
-// (paper Sec. 7.3: measure, then dead-reckon toward the target).
+// (paper Sec. 7.3: measure, then dead-reckon toward the target). The
+// position's Health is carried into the session, so advice derived from
+// a degraded measurement is flagged (Advice.Degraded).
 func (s *System) Navigator(p *Position) *core.Navigator {
-	return core.NewNavigator(&estimate.Estimate{X: p.X, H: p.Y})
+	n := core.NewNavigator(&estimate.Estimate{X: p.X, H: p.Y})
+	n.SourceHealth = p.Health
+	return n
 }
 
 // Fix is one sliding-window tracking fix.
@@ -237,6 +272,7 @@ func (s *System) Track(tr *Trace, beacon string, window, step float64) ([]Fix, e
 			Confidence:       p.Est.Confidence,
 			PathLossExponent: p.Est.N,
 			Ambiguous:        p.Est.Ambiguous,
+			Health:           p.Health,
 		}}
 	}
 	return fixes, nil
@@ -252,6 +288,7 @@ func (s *System) TrackSmoothed(tr *Trace, beacon string, window, step, processAc
 		return nil, err
 	}
 	smoothed := core.SmoothFixes(pts, processAccel, 1.5)
+	health := pts[0].Health
 	fixes := make([]Fix, len(smoothed))
 	for i, p := range smoothed {
 		fixes[i] = Fix{T: p.T, Position: Position{
@@ -260,6 +297,7 @@ func (s *System) TrackSmoothed(tr *Trace, beacon string, window, step, processAc
 			Range: math.Hypot(p.X, p.Y),
 			// Map the filter's 1-σ uncertainty onto a [0,1] confidence.
 			Confidence: 1 / (1 + p.PosStdDev),
+			Health:     health,
 		}}
 	}
 	return fixes, nil
@@ -321,6 +359,7 @@ func positionFrom(m *core.Measurement) *Position {
 		Environment:      m.FinalEnv,
 		PathLossExponent: m.Est.N,
 		Ambiguous:        m.Est.Ambiguous,
+		Health:           m.Health,
 	}
 	if m.Est.Ambiguous && len(m.Est.Candidates) == 2 {
 		alt := m.Est.Candidates[1]
