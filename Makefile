@@ -5,7 +5,7 @@ GO ?= go
 # Per-target budget for `make fuzz` (Go fuzzing flag syntax, e.g. 30s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race fuzz cover bench repro examples clean help
+.PHONY: all build test race fuzz cover bench microbench repro examples clean help
 
 all: build test race
 
@@ -31,8 +31,13 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
 	$(GO) tool cover -func=cover.out | tail -1
 
-# One testing.B target per paper table/figure plus pipeline micro-benches.
+# Instrumented end-to-end pipeline benchmark: stage-level latencies and
+# estimate error from the metrics layer, as machine-readable JSON.
 bench:
+	$(GO) run ./cmd/locble-bench -json BENCH_pr2.json
+
+# One testing.B target per paper table/figure plus pipeline micro-benches.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the paper's full evaluation (Sec. 7 tables and figures,
@@ -51,7 +56,7 @@ examples:
 	$(GO) run ./examples/tracking
 
 clean:
-	rm -f cover.out
+	rm -f cover.out BENCH_pr2.json
 
 help:
 	@echo "make all      - build + vet + test + race detector (the full gate)"
@@ -60,6 +65,7 @@ help:
 	@echo "make race     - run the test suite under the race detector"
 	@echo "make fuzz     - short fuzz pass over all fuzz targets (FUZZTIME=$(FUZZTIME) each)"
 	@echo "make cover    - coverage summary"
-	@echo "make bench    - all benchmarks (one per paper table/figure)"
+	@echo "make bench    - instrumented pipeline benchmark -> BENCH_pr2.json"
+	@echo "make microbench - all go-test benchmarks (one per paper table/figure)"
 	@echo "make repro    - regenerate the paper's evaluation (repro-quick: reduced trials)"
 	@echo "make examples - run every example program"

@@ -10,27 +10,63 @@
 //	locble-bench -list        # list experiment IDs
 //	locble-bench -seed 7      # change the simulation seed
 //	locble-bench -outdir out  # also save per-experiment files
+//	locble-bench -json f.json # instrumented pipeline benchmark instead of
+//	                          # the experiments: stage latencies + estimate
+//	                          # error as machine-readable JSON
+//	locble-bench -pprof addr  # serve net/http/pprof and /metrics while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
+	"locble"
 	"locble/internal/experiments"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "reduced trial counts")
-		runID  = flag.String("run", "", "run a single experiment by ID")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		outdir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		quick    = flag.Bool("quick", false, "reduced trial counts")
+		runID    = flag.String("run", "", "run a single experiment by ID")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		outdir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		jsonOut  = flag.String("json", "", "run the instrumented pipeline benchmark and write JSON to this file")
+		trials   = flag.Int("trials", 25, "trial count for the -json pipeline benchmark")
+		metricsF = flag.Bool("metrics", false, "print the process metrics snapshot as JSON when done")
+		pprofF   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *pprofF != "" {
+		http.Handle("/metrics", locble.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*pprofF, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "locble-bench: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /metrics\n", *pprofF)
+	}
+	if *metricsF {
+		defer locble.ProcessMetrics().WriteJSON(os.Stdout)
+	}
+
+	if *jsonOut != "" {
+		if err := runPipelineBench(*seed, *trials, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "locble-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -80,5 +116,137 @@ func main() {
 	}
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// stageStats summarizes one pipeline stage's latency histogram.
+type stageStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MinUS  float64 `json:"min_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// errStats summarizes the localization error distribution.
+type errStats struct {
+	N      int     `json:"n"`
+	MeanM  float64 `json:"mean_m"`
+	P50M   float64 `json:"p50_m"`
+	P90M   float64 `json:"p90_m"`
+	WorstM float64 `json:"worst_m"`
+}
+
+// benchReport is the machine-readable output of the -json pipeline
+// benchmark: per-stage latencies plus estimate error, with the full
+// metric snapshots attached for downstream tooling.
+type benchReport struct {
+	Bench       string                `json:"bench"`
+	Seed        int64                 `json:"seed"`
+	Trials      int                   `json:"trials"`
+	Beacons     int                   `json:"beacons"`
+	Located     int                   `json:"located"`
+	WallSeconds float64               `json:"wall_seconds"`
+	Error       errStats              `json:"estimate_error_m"`
+	Stages      map[string]stageStats `json:"stage_latency"`
+	Engine      locble.Metrics        `json:"engine_metrics"`
+	Process     locble.Metrics        `json:"process_metrics"`
+}
+
+// runPipelineBench runs LocateAll over repeated default-scenario
+// simulations on one System and reports stage-level latency (from the
+// engine's metric registry) plus the true-position error distribution.
+func runPipelineBench(seed int64, trials int, path string) error {
+	sys, err := locble.New()
+	if err != nil {
+		return err
+	}
+	beacons := []locble.BeaconSpec{
+		{Name: "b0", X: 6, Y: 3},
+		{Name: "b1", X: 2, Y: 5},
+		{Name: "b2", X: 7, Y: 1},
+	}
+	truth := make(map[string][2]float64, len(beacons))
+	for _, b := range beacons {
+		truth[b.Name] = [2]float64{b.X, b.Y}
+	}
+
+	var errsM []float64
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		trace, err := locble.Simulate(locble.Scenario{
+			Beacons:      beacons,
+			ObserverPlan: locble.LShapeWalk(0, 4, 4),
+			Seed:         seed + int64(t)*101,
+		})
+		if err != nil {
+			return err
+		}
+		for name, p := range sys.LocateAll(trace) {
+			g := truth[name]
+			errsM = append(errsM, math.Hypot(p.X-g[0], p.Y-g[1]))
+		}
+	}
+	wall := time.Since(start)
+	sort.Float64s(errsM)
+
+	snap := sys.Metrics()
+	stages := make(map[string]stageStats)
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "core.stage.") || !strings.HasSuffix(name, ".seconds") || h.Count == 0 {
+			continue
+		}
+		st := strings.TrimSuffix(strings.TrimPrefix(name, "core.stage."), ".seconds")
+		stages[st] = stageStats{
+			Count:  h.Count,
+			MeanUS: h.Mean() * 1e6,
+			MinUS:  h.Min * 1e6,
+			MaxUS:  h.Max * 1e6,
+		}
+	}
+	rep := benchReport{
+		Bench:       "locateall-default",
+		Seed:        seed,
+		Trials:      trials,
+		Beacons:     len(beacons),
+		Located:     len(errsM),
+		WallSeconds: wall.Seconds(),
+		Error:       summarizeErrors(errsM),
+		Stages:      stages,
+		Engine:      snap,
+		Process:     locble.ProcessMetrics(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("pipeline bench: %d trials, %d/%d located, mean error %.2f m, wall %.2f s -> %s\n",
+		trials, rep.Located, trials*len(beacons), rep.Error.MeanM, rep.WallSeconds, path)
+	return nil
+}
+
+func summarizeErrors(sorted []float64) errStats {
+	if len(sorted) == 0 {
+		return errStats{}
+	}
+	sum := 0.0
+	for _, e := range sorted {
+		sum += e
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return errStats{
+		N:      len(sorted),
+		MeanM:  sum / float64(len(sorted)),
+		P50M:   q(0.5),
+		P90M:   q(0.9),
+		WorstM: sorted[len(sorted)-1],
 	}
 }

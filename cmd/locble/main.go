@@ -15,6 +15,8 @@
 //	-navigate     after measuring, walk to the estimate
 //	-cluster      add 3 co-located neighbour beacons and calibrate
 //	-faults       inject impairments before processing (see -faults help)
+//	-metrics      print the pipeline metrics snapshot as JSON after the run
+//	-pprof        serve net/http/pprof and /metrics on this address
 //	-v            verbose diagnostics
 package main
 
@@ -22,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -42,25 +46,51 @@ func main() {
 		navigate = flag.Bool("navigate", false, "navigate to the estimate after measuring")
 		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
 		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
+		metricsF = flag.Bool("metrics", false, "print the pipeline metrics snapshot as JSON after the run")
+		pprofF   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. 127.0.0.1:6060)")
 		verbose  = flag.Bool("v", false, "verbose diagnostics")
 	)
 	flag.Parse()
+
+	startDebugServer(*pprofF)
 
 	if *faultsF == "help" {
 		printFaultsHelp()
 		return
 	}
 	if *replay != "" {
-		if err := runReplay(*replay, *verbose); err != nil {
+		if err := runReplay(*replay, *metricsF, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "locble:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *faultsF, *navigate, *trackF, *clusterF, *verbose); err != nil {
+	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *faultsF, *navigate, *trackF, *clusterF, *metricsF, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "locble:", err)
 		os.Exit(1)
 	}
+}
+
+// startDebugServer serves net/http/pprof (on the default mux, via the
+// blank import) plus the process-wide metrics snapshot at /metrics.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	http.Handle("/metrics", locble.MetricsHandler())
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "locble: pprof server:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /metrics\n", addr)
+}
+
+// dumpMetrics prints the engine-scoped snapshot merged with the
+// process-wide one (sigproc / estimate / netproto instrumentation).
+func dumpMetrics(sys *locble.System) {
+	fmt.Println("\nmetrics:")
+	sys.Metrics().Merge("", locble.ProcessMetrics()).WriteJSON(os.Stdout)
 }
 
 // cannedFaults maps the -faults spellings to preconfigured injectors —
@@ -112,7 +142,7 @@ func parseFaults(spec string) ([]faults.Fault, error) {
 	return fs, nil
 }
 
-func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faultSpec string, navigate, trackOn, clusterOn, verbose bool) error {
+func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faultSpec string, navigate, trackOn, clusterOn, metricsOn, verbose bool) error {
 	envClass, err := parseEnv(envName)
 	if err != nil {
 		return err
@@ -146,6 +176,9 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faul
 	sys, err := locble.New()
 	if err != nil {
 		return err
+	}
+	if metricsOn {
+		defer dumpMetrics(sys)
 	}
 	plan := locble.LShapeWalk(0, 4, 4)
 	if trackOn {
@@ -251,7 +284,7 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faul
 }
 
 // runReplay analyzes every beacon of a saved trace.
-func runReplay(path string, verbose bool) error {
+func runReplay(path string, metricsOn, verbose bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -266,6 +299,9 @@ func runReplay(path string, verbose bool) error {
 	sys, err := locble.New()
 	if err != nil {
 		return err
+	}
+	if metricsOn {
+		defer dumpMetrics(sys)
 	}
 	for _, spec := range tr.Beacons {
 		pos, err := sys.Locate(tr, spec.Name)

@@ -9,51 +9,51 @@ import (
 )
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "", false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "", false, false, false, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithNavigation(t *testing.T) {
-	if err := run(5, 2, "plos", "nexus6p", "radbeacon", 2, "", true, false, false, true); err != nil {
+	if err := run(5, 2, "plos", "nexus6p", "radbeacon", 2, "", true, false, false, false, true); err != nil {
 		t.Fatalf("run -navigate: %v", err)
 	}
 }
 
 func TestRunTrackMode(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 3, "", false, true, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 3, "", false, true, false, false, false); err != nil {
 		t.Fatalf("run -track: %v", err)
 	}
 }
 
 func TestRunClusterMode(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 4, "", false, false, true, true); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 4, "", false, false, true, false, true); err != nil {
 		t.Fatalf("run -cluster: %v", err)
 	}
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run(6, 3, "vacuum", "iphone6s", "estimote", 1, "", false, false, false, false); err == nil {
+	if err := run(6, 3, "vacuum", "iphone6s", "estimote", 1, "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown environment")
 	}
-	if err := run(6, 3, "los", "rotaryphone", "estimote", 1, "", false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "rotaryphone", "estimote", 1, "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown phone")
 	}
-	if err := run(6, 3, "los", "iphone6s", "smoke-signal", 1, "", false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "iphone6s", "smoke-signal", 1, "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown beacon")
 	}
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "gremlins", false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "gremlins", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown fault injector")
 	}
 }
 
 func TestRunWithFaults(t *testing.T) {
 	// Degraded but recoverable input must still produce an estimate.
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "nan,dropout", false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "nan,dropout", false, false, false, false, false); err != nil {
 		t.Fatalf("run -faults nan,dropout: %v", err)
 	}
 	// An unusable input is reported as rejected, not a CLI failure.
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "truncate", false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "truncate", false, false, false, false, false); err != nil {
 		t.Fatalf("run -faults truncate: %v", err)
 	}
 }
@@ -76,10 +76,10 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := runReplay(path, true); err != nil {
+	if err := runReplay(path, true, true); err != nil {
 		t.Fatalf("runReplay: %v", err)
 	}
-	if err := runReplay(filepath.Join(t.TempDir(), "missing.trace"), false); err == nil {
+	if err := runReplay(filepath.Join(t.TempDir(), "missing.trace"), false, false); err == nil {
 		t.Error("want error for missing file")
 	}
 }

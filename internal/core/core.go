@@ -84,6 +84,7 @@ func DefaultConfig() Config {
 type Engine struct {
 	cfg Config
 	clf *env.Classifier
+	met *engineMetrics
 }
 
 var (
@@ -111,13 +112,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: training EnvAware: %w", err)
 	}
-	return &Engine{cfg: cfg, clf: clf}, nil
+	return &Engine{cfg: cfg, clf: clf, met: newEngineMetrics()}, nil
 }
 
 // NewEngineWithClassifier builds an engine around a caller-provided
 // EnvAware classifier.
 func NewEngineWithClassifier(cfg Config, clf *env.Classifier) *Engine {
-	return &Engine{cfg: cfg, clf: clf}
+	return &Engine{cfg: cfg, clf: clf, met: newEngineMetrics()}
 }
 
 // Measurement is the result of locating one beacon from one trace.
@@ -154,7 +155,26 @@ func (m *Measurement) Error(tx, ty float64) float64 {
 // In moving-target mode (trace has a TargetIMU and the beacon is the
 // target), the target's dead-reckoned movement is fused in, as if its
 // trace bundle had been transferred to the observer.
+//
+// Every call is recorded in the engine's metrics: whole-call and
+// per-stage latency, the resulting health class and its reasons (also
+// for rejections), and estimation quality.
 func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
+	sp := e.met.locateSpan.Start()
+	m, err := e.locate(tr, beaconName)
+	sp.End()
+	e.met.locates.Inc()
+	if err != nil {
+		e.met.recordHealth(HealthFromError(err))
+		return nil, err
+	}
+	e.met.recordHealth(m.Health)
+	e.met.recordEstimate(m.Segments, m.Est.ResidualDB)
+	return m, nil
+}
+
+// locate is the uninstrumented pipeline body behind Locate.
+func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
 	p, err := e.prepare(tr, beaconName)
 	if err != nil {
 		return nil, err
@@ -170,12 +190,14 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	estCfg := p.estCfg
 
 	// EnvAware segmentation: indexes where a new regression must start.
+	spClassify := e.met.stClassify.Start()
 	segStarts := []int{0}
 	if !e.cfg.DisableEnvAware {
 		mon := env.NewMonitor(e.clf, e.cfg.EnvWindow, e.cfg.EnvHysteresis)
 		for i, v := range p.raw {
 			_, _, changed, err := mon.Push(v)
 			if err != nil {
+				spClassify.End()
 				return nil, fmt.Errorf("core: EnvAware: %w", err)
 			}
 			if changed {
@@ -196,8 +218,11 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 			m.FinalEnv = cur
 		}
 	}
+	spClassify.End()
 
 	// --- Estimation layer (Sec. 5, Algorithm 1) -----------------------
+	spRegress := e.met.stRegress.Start()
+	defer spRegress.End()
 	// One joint regression: the target position is shared by all
 	// observations, while each EnvAware segment gets its own (Γ, n)
 	// channel parameters — the regression "restarts" its model on an
@@ -231,8 +256,12 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	// L-shape intersection when a turn exists (Sec. 5.1).
 	if est.Ambiguous {
 		if split := firstTurnEnd(p.track, p.times); !math.IsNaN(split) {
+			e.met.lshapeAttempts.Inc()
 			if res, lErr := estimate.RunLShape(allObs, split, estCfg); lErr == nil {
 				est = res.Final
+				if !est.Ambiguous {
+					e.met.lshapeResolved.Inc()
+				}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -22,19 +23,37 @@ type BeaconResult struct {
 // LocateAll locates every beacon visible in the trace concurrently (the
 // Engine is safe for concurrent Locate calls; the per-beacon pipelines
 // are independent). Results are returned in beacon-name order.
+//
+// The fan-out is bounded by GOMAXPROCS: the per-beacon pipelines are
+// CPU-bound, so a trace carrying thousands of beacons (a crowded-venue
+// scan) must not stampede the scheduler with one goroutine each. The
+// observed peak concurrency is recorded in the engine's
+// "core.locateall.concurrency" gauge (its Max is the high-water mark).
 func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
+	e.met.locateAlls.Inc()
 	names := make([]string, 0, len(tr.Observations))
 	for name := range tr.Observations {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
+	limit := runtime.GOMAXPROCS(0)
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
 	results := make([]BeaconResult, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
+			sem <- struct{}{}
+			e.met.concurrency.Add(1)
+			defer func() {
+				e.met.concurrency.Add(-1)
+				<-sem
+			}()
 			m, err := e.Locate(tr, name)
 			res := BeaconResult{Name: name, M: m, Err: err}
 			if err != nil {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"locble/internal/obs"
+	"locble/internal/sigproc"
+)
+
+// engineMetrics resolves every engine-scoped metric handle once, at
+// Engine construction, so the pipeline records with plain atomic
+// operations instead of name lookups. The registry is per-engine —
+// Engine.Metrics() snapshots exactly what this engine did, unpolluted
+// by other engines in the process (package-level instrumentation for
+// sigproc/estimate/netproto lives in obs.Default instead).
+type engineMetrics struct {
+	reg *obs.Registry
+
+	// Call and outcome counts.
+	locates    *obs.Counter
+	trackRuns  *obs.Counter
+	locateAlls *obs.Counter
+
+	// Health classes and sanitization tallies; per-reason counters are
+	// resolved on demand (once per distinct reason).
+	healthOK       *obs.Counter
+	healthDegraded *obs.Counter
+	healthRejected *obs.Counter
+	dropped        *obs.Counter
+	repaired       *obs.Counter
+
+	// Stage-span timers (seconds): the pipeline's front half
+	// (sanitize → motion → filter) plus the estimation half
+	// (classify → regress) and the whole-call latency.
+	stSanitize *obs.Timer
+	stMotion   *obs.Timer
+	stFilter   *obs.Timer
+	stClassify *obs.Timer
+	stRegress  *obs.Timer
+	locateSpan *obs.Timer
+	trackSpan  *obs.Timer
+
+	// Estimation quality.
+	segments   *obs.Histogram
+	residualDB *obs.Histogram
+
+	// Streaming-ANF (AKF) run statistics.
+	akfSamples  *obs.Counter
+	akfDiverged *obs.Counter
+	akfAlphaMax *obs.Histogram
+	akfInnovMax *obs.Histogram
+
+	// L-shape disambiguation outcomes.
+	lshapeAttempts *obs.Counter
+	lshapeResolved *obs.Counter
+
+	// LocateAll fan-out concurrency (Max is the observed high-water mark).
+	concurrency *obs.Gauge
+}
+
+func newEngineMetrics() *engineMetrics {
+	r := obs.NewRegistry()
+	return &engineMetrics{
+		reg:            r,
+		locates:        r.Counter("core.locate.calls"),
+		trackRuns:      r.Counter("core.track.calls"),
+		locateAlls:     r.Counter("core.locateall.calls"),
+		healthOK:       r.Counter("core.health.ok"),
+		healthDegraded: r.Counter("core.health.degraded"),
+		healthRejected: r.Counter("core.health.rejected"),
+		dropped:        r.Counter("core.sanitize.dropped"),
+		repaired:       r.Counter("core.sanitize.repaired"),
+		stSanitize:     r.Timer("core.stage.sanitize.seconds"),
+		stMotion:       r.Timer("core.stage.motion.seconds"),
+		stFilter:       r.Timer("core.stage.filter.seconds"),
+		stClassify:     r.Timer("core.stage.classify.seconds"),
+		stRegress:      r.Timer("core.stage.regress.seconds"),
+		locateSpan:     r.Timer("core.locate.seconds"),
+		trackSpan:      r.Timer("core.track.seconds"),
+		segments:       r.Histogram("core.segments", []float64{1, 2, 3, 5, 8, 13}),
+		residualDB:     r.Histogram("core.residual_db", []float64{0.5, 1, 2, 4, 8, 16}),
+		akfSamples:     r.Counter("core.akf.samples"),
+		akfDiverged:    r.Counter("core.akf.diverged"),
+		akfAlphaMax:    r.Histogram("core.akf.alpha_max", []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1}),
+		akfInnovMax:    r.Histogram("core.akf.innov_absmax", []float64{1, 2, 4, 8, 16, 32}),
+		lshapeAttempts: r.Counter("core.lshape.attempts"),
+		lshapeResolved: r.Counter("core.lshape.resolved"),
+		concurrency:    r.Gauge("core.locateall.concurrency"),
+	}
+}
+
+// recordHealth tallies one finished measurement attempt: its health
+// class, every machine-readable reason, and the sanitization counts.
+func (m *engineMetrics) recordHealth(h Health) {
+	switch h.Status {
+	case HealthOK:
+		m.healthOK.Inc()
+	case HealthDegraded:
+		m.healthDegraded.Inc()
+	case HealthRejected:
+		m.healthRejected.Inc()
+	}
+	for _, r := range h.Reasons {
+		m.reg.Counter("core.health.reason." + string(r)).Inc()
+	}
+	m.dropped.Add(int64(h.Dropped))
+	m.repaired.Add(int64(h.Repaired))
+}
+
+// recordAKF folds one streaming-ANF run's statistics in.
+func (m *engineMetrics) recordAKF(s sigproc.AKFStats) {
+	if s.Samples == 0 {
+		return
+	}
+	m.akfSamples.Add(int64(s.Samples))
+	m.akfDiverged.Add(int64(s.Diverged))
+	m.akfAlphaMax.Observe(s.AlphaMax)
+	m.akfInnovMax.Observe(s.InnovAbsMax)
+}
+
+// recordEstimate folds one successful estimate's quality stats in.
+func (m *engineMetrics) recordEstimate(segments int, residualDB float64) {
+	m.segments.Observe(float64(segments))
+	m.residualDB.Observe(residualDB)
+}
+
+// Metrics returns a consistent snapshot of the engine's metrics: stage
+// latencies, health-class and drop-reason tallies, estimation quality,
+// AKF behaviour and LocateAll concurrency. Safe to call concurrently
+// with pipeline work.
+func (e *Engine) Metrics() obs.Snapshot { return e.met.reg.Snapshot() }
+
+// MetricsRegistry exposes the engine's registry — to mount its Handler
+// on a debug listener, or to inject a deterministic clock in tests.
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.met.reg }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"locble/internal/imu"
+	"locble/internal/obs"
+	"locble/internal/rf"
+	"locble/internal/sim"
+)
+
+// multiBeaconScenario places three beacons around the canonical L-shape
+// walk so LocateAll has real fan-out.
+func multiBeaconScenario(seed int64) sim.Scenario {
+	return sim.Scenario{
+		Beacons: []sim.BeaconSpec{
+			{Name: "b0", X: 6, Y: 3},
+			{Name: "b1", X: 2, Y: 5},
+			{Name: "b2", X: 7, Y: 1},
+		},
+		ObserverPlan: imu.Plan{Segments: imu.LShape(0, 4, 4)},
+		EnvModel:     sim.StaticEnv(rf.LOS),
+		Seed:         seed,
+	}
+}
+
+// TestMetricsExactness pins the observability contract: after a
+// LocateAll over the default scenario, the engine snapshot must carry
+// non-zero stage latencies for filter/classify/regress and drop-reason
+// counts that exactly match the damage injected into the trace.
+func TestMetricsExactness(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	tr, err := sim.Run(multiBeaconScenario(1))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	// Poison exactly 5 of b0's readings with NaN RSSI: the sanitizer
+	// must drop each one (core.sanitize.dropped) and degrade that one
+	// measurement with reason non-finite-rss.
+	const poisoned = 5
+	b0 := tr.Observations["b0"]
+	if len(b0) < 3*poisoned {
+		t.Fatalf("trace too short to poison: %d obs", len(b0))
+	}
+	for i := 0; i < poisoned; i++ {
+		b0[10+2*i].RSSI = math.NaN()
+	}
+
+	results := eng.LocateAll(tr)
+	if len(results) != 3 {
+		t.Fatalf("LocateAll: %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("LocateAll %s: %v", r.Name, r.Err)
+		}
+	}
+
+	snap := eng.Metrics()
+
+	// Stage latencies: every per-measurement stage ran 3 times and took
+	// real time.
+	for _, stage := range []string{"filter", "classify", "regress"} {
+		h, ok := snap.Histograms["core.stage."+stage+".seconds"]
+		if !ok {
+			t.Fatalf("missing histogram core.stage.%s.seconds", stage)
+		}
+		if h.Count < 3 {
+			t.Errorf("stage %s: count %d, want >= 3", stage, h.Count)
+		}
+		if !(h.Sum > 0) {
+			t.Errorf("stage %s: zero total latency", stage)
+		}
+	}
+
+	// Exact outcome counts.
+	want := map[string]int64{
+		"core.locateall.calls":              1,
+		"core.locate.calls":                 3,
+		"core.health.ok":                    2,
+		"core.health.degraded":              1,
+		"core.health.rejected":              0,
+		"core.health.reason.non-finite-rss": 1,
+		"core.sanitize.dropped":             poisoned,
+	}
+	for name, w := range want {
+		if got := snap.Counters[name]; got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+
+	// The fan-out gauge: drained back to zero, high-water mark within
+	// the semaphore bound.
+	g, ok := snap.Gauges["core.locateall.concurrency"]
+	if !ok {
+		t.Fatal("missing gauge core.locateall.concurrency")
+	}
+	if g.Value != 0 {
+		t.Errorf("concurrency gauge did not drain: %d", g.Value)
+	}
+	if g.Max < 1 || g.Max > int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("concurrency max %d outside [1, %d]", g.Max, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestMetricsDeterministicLatency swaps in a stepping clock and checks
+// the whole-call latency histogram records exactly what the clock says.
+func TestMetricsDeterministicLatency(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	fc := obs.NewFakeClock()
+	eng.MetricsRegistry().SetClock(fc.Now)
+
+	tr, err := sim.Run(multiBeaconScenario(2))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	if _, err := eng.Locate(tr, "b0"); err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	h := eng.Metrics().Histograms["core.locate.seconds"]
+	if h.Count != 1 {
+		t.Fatalf("locate span count %d, want 1", h.Count)
+	}
+	if h.Sum <= 0 {
+		t.Fatalf("locate span recorded no fake time: %v", h.Sum)
+	}
+}
+
+// TestMetricsUnderConcurrency hammers one engine with concurrent
+// Locate / TrackBeacon / LocateAll work while snapshot readers verify
+// the consistency contract: counters never go backwards between
+// snapshots, and every histogram's count equals the sum of its bucket
+// counts. Run under -race this also proves the pipeline's metric paths
+// are data-race free.
+func TestMetricsUnderConcurrency(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	tr, err := sim.Run(multiBeaconScenario(3))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+
+	const iters = 4
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	work := []func(){
+		func() { eng.Locate(tr, "b0") },
+		func() { eng.Locate(tr, "b1") },
+		func() { eng.TrackBeacon(tr, "b2", 6, 2) },
+		func() { eng.LocateAll(tr) },
+	}
+	for _, w := range work {
+		wg.Add(1)
+		go func(w func()) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w()
+			}
+		}(w)
+	}
+
+	// Two snapshot readers race the writers.
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			prev := map[string]int64{}
+			for {
+				snap := eng.Metrics()
+				for name, v := range snap.Counters {
+					if v < prev[name] {
+						t.Errorf("counter %s went backwards: %d -> %d", name, prev[name], v)
+					}
+					prev[name] = v
+				}
+				for name, h := range snap.Histograms {
+					var sum uint64
+					for _, b := range h.Buckets {
+						sum += b.Count
+					}
+					if sum != h.Count {
+						t.Errorf("histogram %s: count %d != bucket sum %d", name, h.Count, sum)
+					}
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	// Final tallies line up with the work submitted: 2×iters Locate
+	// calls directly, plus 3 per LocateAll.
+	snap := eng.Metrics()
+	wantLocates := int64(2*iters + 3*iters)
+	if got := snap.Counters["core.locate.calls"]; got != wantLocates {
+		t.Errorf("core.locate.calls = %d, want %d", got, wantLocates)
+	}
+	if got := snap.Counters["core.track.calls"]; got != iters {
+		t.Errorf("core.track.calls = %d, want %d", got, iters)
+	}
+	if got := snap.Counters["core.locateall.calls"]; got != iters {
+		t.Errorf("core.locateall.calls = %d, want %d", got, iters)
+	}
+}

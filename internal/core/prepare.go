@@ -41,30 +41,37 @@ func (e *Engine) prepare(tr *sim.Trace, beaconName string) (*prepared, error) {
 	h := &p.health
 
 	// --- Input sanitization -------------------------------------------
+	spSanitize := e.met.stSanitize.Start()
 	imuDur := 0.0
 	if tr.IMU != nil && len(tr.IMU.Samples) > 0 {
 		imuDur = tr.IMU.Samples[len(tr.IMU.Samples)-1].T
 	}
 	clean := sanitizeObservations(obs, scfg, imuDur, h)
 	if len(clean) < scfg.MinSamples {
+		spSanitize.End()
 		return nil, rejectedErr(*h, ReasonFewSamples, fmt.Errorf("%d valid observations", len(clean)))
 	}
 	if span := clean[len(clean)-1].T - clean[0].T; span < scfg.MinSpan {
+		spSanitize.End()
 		return nil, rejectedErr(*h, ReasonShortWindow, fmt.Errorf("%.1fs observation span", span))
 	}
 	checkIMUHealth(tr.IMU, scfg, h)
+	spSanitize.End()
 
 	// --- Motion layer -------------------------------------------------
+	spMotion := e.met.stMotion.Start()
 	var rawIMU []imu.Sample
 	if tr.IMU != nil {
 		rawIMU = tr.IMU.Samples
 	}
 	_, alignedSamples, err := motion.Align(rawIMU)
 	if err != nil {
+		spMotion.End()
 		return nil, rejectedErr(*h, ReasonIMUDropout, fmt.Errorf("core: align: %w", err))
 	}
 	p.track, err = motion.BuildTrack(alignedSamples, e.cfg.Tracker)
 	if err != nil {
+		spMotion.End()
 		return nil, rejectedErr(*h, ReasonIMUDropout, fmt.Errorf("core: track: %w", err))
 	}
 
@@ -72,13 +79,16 @@ func (e *Engine) prepare(tr *sim.Trace, beaconName string) (*prepared, error) {
 	if tr.TargetIMU != nil && len(tr.Beacons) > 0 && beaconName == tr.Beacons[0].Name {
 		_, tgtAligned, err := motion.Align(tr.TargetIMU.Samples)
 		if err != nil {
+			spMotion.End()
 			return nil, rejectedErr(*h, ReasonIMUDropout, fmt.Errorf("core: align target: %w", err))
 		}
 		p.targetTrack, err = motion.BuildTrack(tgtAligned, e.cfg.Tracker)
 		if err != nil {
+			spMotion.End()
 			return nil, rejectedErr(*h, ReasonIMUDropout, fmt.Errorf("core: target track: %w", err))
 		}
 	}
+	spMotion.End()
 
 	// Anchor the estimator's Γ plausibility band to the beacon's
 	// advertised calibrated power (the paper's Γ(e) = P + X(e): P is the
@@ -104,12 +114,14 @@ func (e *Engine) prepare(tr *sim.Trace, beaconName string) (*prepared, error) {
 
 	p.filtered = p.raw
 	if !e.cfg.DisableANF {
+		spFilter := e.met.stFilter.Start()
 		fs := tr.Phone.SampleRateHz
 		if fs <= 0 {
 			fs = 9
 		}
 		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder, math.Min(e.cfg.CutoffHz, fs/2*0.8), fs)
 		if err != nil {
+			spFilter.End()
 			return nil, fmt.Errorf("core: ANF design: %w", err)
 		}
 		// Bridge recoverable dropout gaps with interpolated samples so
@@ -123,6 +135,7 @@ func (e *Engine) prepare(tr *sim.Trace, beaconName string) (*prepared, error) {
 				akf.MaxAlpha = e.cfg.AKFMaxAlpha
 			}
 			bFiltered = akf.Filter(brss)
+			e.met.recordAKF(akf.Stats())
 		} else {
 			bFiltered = sigproc.FiltFilt(bf, brss)
 		}
@@ -136,6 +149,7 @@ func (e *Engine) prepare(tr *sim.Trace, beaconName string) (*prepared, error) {
 				}
 			}
 		}
+		spFilter.End()
 	}
 
 	// --- Fusion with the motion track ---------------------------------

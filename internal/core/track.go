@@ -32,6 +32,20 @@ type TrackPoint struct {
 // stream of location fixes rather than one measurement — and also what
 // the navigation UI consumes while the user keeps moving.
 func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
+	sp := e.met.trackSpan.Start()
+	pts, err := e.trackBeacon(tr, beaconName, window, step)
+	sp.End()
+	e.met.trackRuns.Inc()
+	if err != nil {
+		e.met.recordHealth(HealthFromError(err))
+		return nil, err
+	}
+	e.met.recordHealth(pts[0].Health)
+	return pts, nil
+}
+
+// trackBeacon is the uninstrumented body behind TrackBeacon.
+func (e *Engine) trackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
 	if window <= 0 {
 		window = 6
 	}
@@ -57,7 +71,9 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 		}
 		if hi-lo >= estCfg.MinSamples {
 			winObs := fused[lo:hi]
+			spReg := e.met.stRegress.Start()
 			est, err := estimate.Run(winObs, estCfg)
+			spReg.End()
 			if err == nil && finiteEstimate(est) {
 				if est.Ambiguous {
 					// Resolve against the previous fix when available.

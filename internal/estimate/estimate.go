@@ -172,6 +172,21 @@ func Run(obs []Obs, cfg Config) (*Estimate, error) {
 // segment); segments too short to support their own channel parameters
 // are merged into their predecessor.
 func RunSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
+	est, err := runSegmented(obs, segStarts, cfg)
+	metRuns.Inc()
+	switch {
+	case err != nil:
+		metFailures.Inc()
+	case est.Ambiguous:
+		metAmbiguous.Inc()
+	}
+	if err == nil {
+		metResidualDB.Observe(est.ResidualDB)
+	}
+	return est, err
+}
+
+func runSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
 	if cfg.MinSamples < 5 {
 		cfg.MinSamples = 5
 	}

@@ -29,6 +29,7 @@ type LShapeResult struct {
 // (2-D-spread) data refines the position, with the matched candidates
 // selecting between mirror solutions if the full fit is itself ambiguous.
 func RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
+	metLShapeRuns.Inc()
 	var legA, legB []Obs
 	for _, o := range obs {
 		if o.T < splitT {
@@ -48,6 +49,7 @@ func RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
 
 	switch {
 	case errA == nil && errB == nil:
+		metLShapeResolved.Inc()
 		ca, cb, d := closestPair(estA.Candidates, estB.Candidates)
 		res.Overlap = d
 		resolved := Candidate{X: (ca.X + cb.X) / 2, H: (cb.H + ca.H) / 2}
@@ -73,16 +75,20 @@ func RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
 
 	case errFull == nil:
 		// Legs too short individually; the combined fit still works.
+		metLShapeFallback.Inc()
 		res.Final = full
 		return res, nil
 
 	case errA == nil:
+		metLShapeFallback.Inc()
 		res.Final = estA
 		return res, nil
 	case errB == nil:
+		metLShapeFallback.Inc()
 		res.Final = estB
 		return res, nil
 	default:
+		metLShapeFailed.Inc()
 		return nil, errFull
 	}
 }

@@ -1,0 +1,28 @@
+package estimate
+
+import "locble/internal/obs"
+
+// Package-level instrumentation, recorded into obs.Default: the
+// estimator is a pure library, so its metrics are process-wide rather
+// than engine-scoped. One or two atomic operations per regression — the
+// per-sample inner loops (dbFit, Nelder–Mead objective evaluations) are
+// deliberately untouched.
+var (
+	// metRuns / metFailures count RunSegmented outcomes.
+	metRuns     = obs.Default.Counter("estimate.runs")
+	metFailures = obs.Default.Counter("estimate.failures")
+	// metAmbiguous counts collinear fits that returned mirror candidates.
+	metAmbiguous = obs.Default.Counter("estimate.ambiguous")
+	// metNMCalls / metNMIters count Nelder–Mead searches and the total
+	// iterations they spent (iterations ÷ calls = mean search depth).
+	metNMCalls = obs.Default.Counter("estimate.nm.calls")
+	metNMIters = obs.Default.Counter("estimate.nm.iterations")
+	// metResidualDB is the distribution of fit RMS residuals (dB).
+	metResidualDB = obs.Default.Histogram("estimate.residual_db",
+		[]float64{0.5, 1, 2, 4, 8, 16})
+	// L-shape disambiguation outcomes: how the resolver concluded.
+	metLShapeRuns     = obs.Default.Counter("estimate.lshape.runs")
+	metLShapeResolved = obs.Default.Counter("estimate.lshape.resolved")
+	metLShapeFallback = obs.Default.Counter("estimate.lshape.fallback")
+	metLShapeFailed   = obs.Default.Counter("estimate.lshape.failed")
+)

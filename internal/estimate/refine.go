@@ -77,7 +77,9 @@ func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters in
 		}
 		return out
 	}
+	spent := 0
 	for it := 0; it < iters; it++ {
+		spent = it + 1
 		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
 		best, worst := simplex[0], simplex[dim]
 		// Centroid of all but the worst.
@@ -120,6 +122,8 @@ func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters in
 			break
 		}
 	}
+	metNMCalls.Inc()
+	metNMIters.Add(int64(spent))
 	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
 	return simplex[0].x, simplex[0].v
 }

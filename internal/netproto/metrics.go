@@ -1,0 +1,25 @@
+package netproto
+
+import "locble/internal/obs"
+
+// Wire-level instrumentation, recorded into obs.Default: the transport
+// is shared process infrastructure, so its metrics are process-wide.
+// One atomic operation per frame / retry / reconnect — nothing in the
+// byte-copy paths.
+var (
+	// metFramesIn / metFramesOut count decoded and encoded frames;
+	// the byte counters track payload volume (length prefix excluded).
+	metFramesIn  = obs.Default.Counter("netproto.frames.in")
+	metFramesOut = obs.Default.Counter("netproto.frames.out")
+	metBytesIn   = obs.Default.Counter("netproto.bytes.in")
+	metBytesOut  = obs.Default.Counter("netproto.bytes.out")
+	// metRetries counts backoff sleeps inside Retry.Do — i.e. failed
+	// attempts that were retried, not first attempts.
+	metRetries = obs.Default.Counter("netproto.retries")
+	// metReconnects counts successful mid-session stream re-dials.
+	metReconnects = obs.Default.Counter("netproto.stream.reconnects")
+	// metResumeDepth is the distribution of batches replayed when a
+	// subscriber resumes an interrupted session (from > 0).
+	metResumeDepth = obs.Default.Histogram("netproto.stream.resume_depth",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+)

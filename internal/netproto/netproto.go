@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"locble/internal/obs"
 )
 
 // Protocol constants.
@@ -137,8 +139,12 @@ func WriteFrame(w io.Writer, v any) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err = w.Write(body); err != nil {
+		return err
+	}
+	metFramesOut.Inc()
+	metBytesOut.Add(int64(len(body)))
+	return nil
 }
 
 // ReadFrame reads one length-prefixed JSON frame into v.
@@ -155,7 +161,12 @@ func ReadFrame(r io.Reader, v any) error {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
-	return json.Unmarshal(body, v)
+	if err := json.Unmarshal(body, v); err != nil {
+		return err
+	}
+	metFramesIn.Inc()
+	metBytesIn.Add(int64(len(body)))
+	return nil
 }
 
 // Server announces a device and serves its trace bundle. It listens for
@@ -267,17 +278,27 @@ func (s *Server) serveTCP() {
 					return
 				}
 				conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
-				if req.Op != "fetch" {
+				switch req.Op {
+				case "fetch":
+					s.mu.Lock()
+					b := s.bundle
+					s.mu.Unlock()
+					if b == nil {
+						b = &TraceBundle{Device: s.DeviceName}
+					}
+					if err := WriteFrame(conn, b); err != nil {
+						return
+					}
+				case "metrics":
+					// Expvar-style introspection: the process-wide metric
+					// snapshot as one JSON frame, so an operator (or test)
+					// can scrape transport and pipeline counters over the
+					// same trace-exchange port.
+					if err := WriteFrame(conn, obs.Default.Snapshot()); err != nil {
+						return
+					}
+				default:
 					WriteFrame(conn, map[string]string{"error": "unknown op"})
-					return
-				}
-				s.mu.Lock()
-				b := s.bundle
-				s.mu.Unlock()
-				if b == nil {
-					b = &TraceBundle{Device: s.DeviceName}
-				}
-				if err := WriteFrame(conn, b); err != nil {
 					return
 				}
 			}
@@ -376,6 +397,31 @@ func FetchWithRetry(ctx context.Context, addr string, policy Retry) (*TraceBundl
 		return ferr
 	})
 	return b, err
+}
+
+// FetchMetrics retrieves a server's process-wide metric snapshot (the
+// "metrics" op) from its TCP trace-exchange address.
+func FetchMetrics(ctx context.Context, addr string) (*obs.Snapshot, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	dl := time.Now().Add(FrameTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	conn.SetWriteDeadline(dl)
+	if err := WriteFrame(conn, map[string]string{"op": "metrics"}); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(dl)
+	var snap obs.Snapshot
+	if err := ReadFrame(bufio.NewReader(conn), &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 // fetchOnce performs one fetch exchange with per-frame deadlines.

@@ -158,3 +158,32 @@ func TestFetchConnectionRefused(t *testing.T) {
 		t.Error("want connection error")
 	}
 }
+
+func TestServerMetricsOp(t *testing.T) {
+	srv, err := NewServer("metrics-host", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetBundle(testBundle())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	// A fetch first, so the transport counters have something to show.
+	if _, err := Fetch(ctx, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FetchMetrics(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("FetchMetrics: %v", err)
+	}
+	if snap.Counters["netproto.frames.out"] < 2 {
+		t.Errorf("frames.out = %d, want >= 2", snap.Counters["netproto.frames.out"])
+	}
+	if snap.Counters["netproto.frames.in"] < 2 {
+		t.Errorf("frames.in = %d, want >= 2", snap.Counters["netproto.frames.in"])
+	}
+	if snap.Counters["netproto.bytes.out"] <= 0 {
+		t.Errorf("bytes.out = %d, want > 0", snap.Counters["netproto.bytes.out"])
+	}
+}

@@ -100,6 +100,7 @@ func (r Retry) Do(ctx context.Context, op func() error) error {
 		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
 			return fmt.Errorf("netproto: %d attempts: %w", attempt, last)
 		}
+		metRetries.Inc()
 		select {
 		case <-time.After(r.Delay(attempt)):
 		case <-ctx.Done():

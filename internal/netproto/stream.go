@@ -120,6 +120,10 @@ func (s *StreamServer) serve(conn net.Conn) {
 		s.subs[conn] = ch
 	}
 	s.mu.Unlock()
+	if req.From > 0 {
+		// A resuming subscriber: how much history it had to recover.
+		metResumeDepth.Observe(float64(len(replay)))
+	}
 	if ch != nil {
 		defer func() {
 			s.mu.Lock()
@@ -235,6 +239,7 @@ func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
 			if reErr != nil {
 				return
 			}
+			metReconnects.Inc()
 		}
 	}()
 	return out, nil

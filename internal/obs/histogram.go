@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution. Bucket bounds are upper
+// bounds (value ≤ bound lands in the bucket); values above the last
+// bound land in an implicit overflow bucket. All updates are lock-free;
+// Observe performs no allocation.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, immutable after creation
+	counts []atomic.Uint64 // len(bounds)+1: last is the overflow bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	min    atomic.Uint64   // float64 bits
+	max    atomic.Uint64   // float64 bits
+	seen   atomic.Int64    // 0 until the first observation (guards min/max)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets()
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// DefBuckets is the general-purpose default: decades from 0.001 to 1000.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+}
+
+// LatencyBuckets covers stage latencies from 1 µs to 10 s in roughly
+// half-decade steps — wide enough for both a per-sample filter pass and
+// a full clustered locate.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+		1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10,
+	}
+}
+
+// Observe folds one value into the distribution. NaN is dropped (a NaN
+// would poison sum/min/max and count nothing meaningful).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.seen.Store(1)
+}
+
+// Count returns the total number of observations (sum of bucket counts).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot copies the histogram into plain data. The reported Count is
+// derived from the bucket counts read, so Count == Σ Buckets[i].Count
+// holds in every snapshot even under concurrent Observe calls.
+func (h *Histogram) snapshot() HistogramValue {
+	v := HistogramValue{Buckets: make([]Bucket, len(h.counts))}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		v.Buckets[i] = Bucket{UpperBound: bound, Count: c}
+		v.Count += c
+	}
+	v.Sum = h.Sum()
+	if h.seen.Load() != 0 {
+		v.Min = math.Float64frombits(h.min.Load())
+		v.Max = math.Float64frombits(h.max.Load())
+	}
+	return v
+}

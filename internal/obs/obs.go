@@ -1,0 +1,292 @@
+// Package obs is LocBLE's zero-dependency observability layer: atomic
+// counters, gauges with a high-water mark, fixed-bucket histograms and
+// stage-span timers, collected in a Registry that can be snapshotted as
+// plain data (or JSON) at any time.
+//
+// Design constraints, in order:
+//
+//   - Allocation-light on the hot path. Instrumented code resolves its
+//     metric handles once (at engine construction or package init) and
+//     then records with one or two atomic operations per event. Observing
+//     a histogram value allocates nothing; starting and ending a span
+//     allocates nothing.
+//   - Safe for concurrent use. Every metric type may be updated from any
+//     number of goroutines; Snapshot may run concurrently with updates
+//     and always returns an internally consistent view (histogram counts
+//     are derived from the bucket counts it read).
+//   - Deterministic-friendly. Span timing goes through the Registry's
+//     clock, which tests replace with a seeded or stepping fake, so
+//     latency histograms are reproducible in simulation.
+//
+// The package deliberately mirrors the shape (not the wire format) of
+// expvar/Prometheus: named metrics, monotone counters, bucketed latency
+// distributions — enough to answer "which stage is slow, how often does
+// the AKF diverge, how many frames did netproto retry" without external
+// dependencies.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotone event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored: counters are
+// monotone by contract).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level that also tracks its high-water mark —
+// e.g. in-flight goroutines, where Max answers "how concurrent did this
+// actually get".
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by d and returns the new value, updating the
+// high-water mark.
+func (g *Gauge) Add(d int64) int64 {
+	n := g.v.Add(d)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Set forces the gauge to v, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; call NewRegistry. Metric lookups take a mutex (they happen
+// once per instrumentation site); metric updates are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	clock      func() time.Time
+}
+
+// NewRegistry returns an empty registry using the real clock.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		clock:      time.Now,
+	}
+}
+
+// Default is the process-wide registry. Package-level instrumentation
+// (sigproc, estimate, netproto) records here; engine-scoped metrics live
+// in per-engine registries.
+var Default = NewRegistry()
+
+// SetClock replaces the time source used by spans — tests inject a
+// deterministic stepping clock so latency histograms are reproducible.
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	r.clock = now
+}
+
+// FakeClock is a deterministic time source for tests: every Now call
+// advances it by Step, so each span measures exactly Step (or a
+// multiple, if other calls interleave).
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+	// Step is the advance per Now call.
+	Step time.Duration
+}
+
+// NewFakeClock returns a clock starting at the epoch, stepping 1 ms.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{t: time.Unix(0, 0), Step: time.Millisecond}
+}
+
+// Now advances the clock and returns the new time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.Step)
+	return c.t
+}
+
+func (r *Registry) now() time.Time {
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	return c()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil buckets select DefBuckets).
+// Bounds are sorted; an implicit overflow bucket catches the rest.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(buckets)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Timer returns a stage-span timer recording seconds into the named
+// histogram (created with LatencyBuckets on first use).
+func (r *Registry) Timer(name string) *Timer {
+	return &Timer{h: r.Histogram(name, LatencyBuckets()), reg: r}
+}
+
+// Timer measures stage spans into a latency histogram, reading time from
+// its registry's (injectable) clock.
+type Timer struct {
+	h   *Histogram
+	reg *Registry
+}
+
+// Start opens a span. End it to record its duration.
+func (t *Timer) Start() Span {
+	return Span{t: t, start: t.reg.now()}
+}
+
+// Observe records an already-measured duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Histogram returns the timer's underlying histogram.
+func (t *Timer) Histogram() *Histogram { return t.h }
+
+// Span is one in-flight stage measurement. The zero Span is inert: End
+// on it records nothing, so optional instrumentation can pass spans
+// around without nil checks.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// End closes the span and records its duration, returning it.
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := s.t.reg.now().Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.t.h.Observe(d.Seconds())
+	return d
+}
+
+// Snapshot returns a consistent copy of every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]GaugeValue, len(gauges)),
+		Histograms: make(map[string]HistogramValue, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted metric names currently registered (counters,
+// gauges, histograms interleaved) — mainly for documentation and tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

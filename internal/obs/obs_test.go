@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Fatal("same name must return the same counter")
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	if got := g.Max(); got != 5 {
+		t.Fatalf("gauge max = %d, want 5", got)
+	}
+	g.Set(2)
+	if got := g.Max(); got != 5 {
+		t.Fatalf("gauge max after Set(2) = %d, want 5", got)
+	}
+	g.Set(9)
+	if got := g.Max(); got != 9 {
+		t.Fatalf("gauge max after Set(9) = %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vals", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", s.Count)
+	}
+	wantCounts := []uint64{2, 1, 1, 1} // ≤1, ≤10, ≤100, overflow
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Errorf("min/max = %g/%g, want 0.5/500", s.Min, s.Max)
+	}
+	if got, want := s.Sum, 556.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if got, want := s.Mean(), 556.5/5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestSpanDeterministicClock(t *testing.T) {
+	r := NewRegistry()
+	// Stepping clock: every reading advances 10 ms.
+	now := time.Unix(0, 0)
+	r.SetClock(func() time.Time {
+		now = now.Add(10 * time.Millisecond)
+		return now
+	})
+	timer := r.Timer("stage.test")
+	for i := 0; i < 3; i++ {
+		sp := timer.Start()
+		if d := sp.End(); d != 10*time.Millisecond {
+			t.Fatalf("span %d duration = %v, want 10ms", i, d)
+		}
+	}
+	s := r.Snapshot().Histograms["stage.test"]
+	if s.Count != 3 {
+		t.Fatalf("span count = %d, want 3", s.Count)
+	}
+	if got, want := s.Sum, 0.030; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("span sum = %g s, want %g s", got, want)
+	}
+}
+
+func TestZeroSpanIsInert(t *testing.T) {
+	var sp Span
+	if d := sp.End(); d != 0 {
+		t.Fatalf("zero span End = %v, want 0", d)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	r.Histogram("empty", nil) // min/max non-finite until first Observe
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Counters["c"] != 7 || back.Gauges["g"].Value != 3 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	h := back.Histograms["h"]
+	if h.Count != 1 || len(h.Buckets) != 3 {
+		t.Fatalf("histogram round trip: %+v", h)
+	}
+	if !math.IsInf(h.Buckets[2].UpperBound, 1) {
+		t.Fatalf("overflow bucket bound = %g, want +Inf", h.Buckets[2].UpperBound)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Inc()
+	b.Counter("y").Add(2)
+	m := a.Snapshot().Merge("engine.", b.Snapshot())
+	if m.Counters["x"] != 1 || m.Counters["engine.y"] != 2 {
+		t.Fatalf("merge: %+v", m.Counters)
+	}
+}
+
+func TestConcurrentConsistency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	h := r.Histogram("lat", nil)
+	g := r.Gauge("inflight")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot continuously while updating.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			for name, hv := range s.Histograms {
+				var sum uint64
+				for _, b := range hv.Buckets {
+					sum += b.Count
+				}
+				if sum != hv.Count {
+					t.Errorf("%s: bucket sum %d != count %d", name, sum, hv.Count)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				c.Inc()
+				h.Observe(float64(i%7) * 0.01)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge settled at %d, want 0", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > workers {
+		t.Fatalf("gauge max = %d, want in [1, %d]", g.Max(), workers)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+)
+
+// Snapshot is a consistent point-in-time copy of a registry, safe to
+// marshal, diff, or ship over the wire.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]GaugeValue     `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// GaugeValue is a gauge's level and high-water mark.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramValue is a histogram's copied state. Count always equals the
+// sum of the bucket counts.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Mean returns the average observed value (0 for an empty histogram).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Bucket is one histogram bucket: the count of observations at or below
+// UpperBound but above the previous bound. The overflow bucket has
+// UpperBound = +Inf.
+type Bucket struct {
+	UpperBound float64 `json:"-"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the upper bound as a string ("+Inf" for the
+// overflow bucket) because JSON has no infinity literal.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = fmt.Sprintf("%g", b.UpperBound)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	_, err := fmt.Sscanf(raw.LE, "%g", &b.UpperBound)
+	return err
+}
+
+// scrub replaces non-finite float fields (empty-histogram min/max) so
+// the snapshot always marshals.
+func (h HistogramValue) scrub() HistogramValue {
+	if h.Count == 0 || math.IsInf(h.Min, 0) || math.IsNaN(h.Min) {
+		h.Min = 0
+	}
+	if h.Count == 0 || math.IsInf(h.Max, 0) || math.IsNaN(h.Max) {
+		h.Max = 0
+	}
+	return h
+}
+
+// MarshalJSON scrubs non-finite min/max before the default encoding.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // drop the method to avoid recursion
+	cp := alias{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for k, h := range s.Histograms {
+		cp.Histograms[k] = h.scrub()
+	}
+	return json.Marshal(cp)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Merge overlays other onto a copy of s under the given name prefix —
+// used to publish an engine-scoped registry next to the process-wide one
+// through a single endpoint.
+func (s Snapshot) Merge(prefix string, other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)+len(other.Counters)),
+		Gauges:     make(map[string]GaugeValue, len(s.Gauges)+len(other.Gauges)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)+len(other.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range other.Counters {
+		out.Counters[prefix+k] = v
+	}
+	for k, v := range other.Gauges {
+		out.Gauges[prefix+k] = v
+	}
+	for k, v := range other.Histograms {
+		out.Histograms[prefix+k] = v
+	}
+	return out
+}
+
+// Handler serves the registry as JSON — expvar-style, mountable next to
+// net/http/pprof on a debug listener.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+}

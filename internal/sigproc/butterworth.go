@@ -128,34 +128,76 @@ func (f *Butterworth) Reset() {
 	}
 }
 
+// Clone returns an independent copy of the filter: same design, own
+// delay lines. Batch helpers work on clones so they never disturb a
+// live streaming instance.
+func (f *Butterworth) Clone() *Butterworth {
+	cp := *f
+	cp.sections = append([]Biquad(nil), f.sections...)
+	return &cp
+}
+
 // Filter applies the filter to a whole series, starting from a reset,
-// primed state.
+// primed state. The receiver is never mutated — a filter instance
+// shared between a streaming pipeline (Process) and batch callers keeps
+// its live delay-line state untouched. The pass runs on a private copy
+// of the section cascade (stack-buffered up to order 16), so the only
+// allocation is the output slice.
 func (f *Butterworth) Filter(xs []float64) []float64 {
-	f.Reset()
 	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	var buf [8]Biquad
+	var secs []Biquad
+	if len(f.sections) <= len(buf) {
+		secs = buf[:len(f.sections)]
+	} else {
+		secs = make([]Biquad, len(f.sections))
+	}
+	copy(secs, f.sections)
+	// Reset and prime at the first sample's DC value, exactly as a
+	// fresh instance's first Process call would.
+	v := xs[0]
+	for i := range secs {
+		s := &secs[i]
+		dc := (s.B0 + s.B1 + s.B2) / (1 + s.A1 + s.A2)
+		y := v * dc
+		s.z1 = y - s.B0*v
+		s.z2 = s.B2*v - s.A2*y
+		v = y
+	}
 	for i, x := range xs {
-		out[i] = f.Process(x)
+		y := x
+		for j := range secs {
+			y = secs[j].Process(y)
+		}
+		out[i] = y
 	}
 	return out
 }
 
 // GroupDelaySamples estimates the filter's low-frequency group delay in
 // samples by measuring the lag of the step response's 50 % crossing. The
-// AKF uses this to quantify the responsiveness it must restore.
+// AKF uses this to quantify the responsiveness it must restore. Each
+// probe run is counted in obs.Default ("sigproc.groupdelay.probes") and
+// its result observed ("sigproc.groupdelay.samples").
 func (f *Butterworth) GroupDelaySamples() float64 {
-	probe := &Butterworth{}
-	*probe = *f
-	probe.sections = append([]Biquad(nil), f.sections...)
+	probe := f.Clone()
 	probe.Reset()
 	probe.prime(0)
 	const n = 4096
+	delay := float64(n)
 	for i := 0; i < n; i++ {
 		y := probe.Process(1)
 		if y >= 0.5 {
-			return float64(i)
+			delay = float64(i)
+			break
 		}
 	}
-	return n
+	groupDelayProbes.Inc()
+	groupDelaySamples.Observe(delay)
+	return delay
 }
 
 // MovingAverage is a simple sliding-window mean smoother, used by the step
@@ -193,6 +235,16 @@ func (m *MovingAverage) Process(x float64) float64 {
 		count = m.size
 	}
 	return m.sum / float64(count)
+}
+
+// Reset clears the window, restoring the exact fresh-smoother behaviour.
+func (m *MovingAverage) Reset() {
+	for i := range m.window {
+		m.window[i] = 0
+	}
+	m.idx = 0
+	m.full = false
+	m.sum = 0
 }
 
 // Smooth applies the moving average to a whole series.

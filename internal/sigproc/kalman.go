@@ -61,12 +61,53 @@ type AKF struct {
 	bias     float64 // EWMA of the signed innovation
 	alpha    float64 // current raw-vs-BF blend weight in [minAlpha, maxAlpha]
 
+	stats AKFStats // run statistics for observability (see Stats)
+
 	// Adaptation parameters.
 	MinAlpha   float64 // floor of raw weight (keeps smoothness)
 	MaxAlpha   float64 // ceiling of raw weight (keeps stability)
 	AdaptRate  float64 // EWMA rate for the innovation variance
 	DivergeSig float64 // innovation z-score at which alpha saturates
 }
+
+// AKFStats summarizes one filtering run for observability: how noisy the
+// raw-vs-smooth innovation was and how far the blend leaned toward the
+// raw stream. Accumulated with plain (non-atomic) field updates — an AKF
+// instance is single-goroutine, and the pipeline records the aggregate
+// into its metrics registry after the run.
+type AKFStats struct {
+	// Samples processed since construction or the last Reset.
+	Samples int
+	// InnovSum / InnovAbsMax describe the raw−smooth innovation.
+	InnovSum    float64
+	InnovAbsMax float64
+	// AlphaSum / AlphaMax describe the raw-stream blend weight.
+	AlphaSum float64
+	AlphaMax float64
+	// Diverged counts samples whose innovation z-score exceeded the ramp
+	// threshold — moments the filter judged the channel genuinely moving.
+	Diverged int
+}
+
+// InnovMean returns the mean signed innovation (0 for an empty run).
+func (s AKFStats) InnovMean() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return s.InnovSum / float64(s.Samples)
+}
+
+// AlphaMean returns the mean blend weight (0 for an empty run).
+func (s AKFStats) AlphaMean() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return s.AlphaSum / float64(s.Samples)
+}
+
+// Stats returns the run statistics accumulated since construction or the
+// last Reset.
+func (a *AKF) Stats() AKFStats { return a.stats }
 
 // NewAKF builds the paper's BF+AKF cascade: a Butterworth low-pass filter
 // (order, cutoff, sampling rate) fused by an adaptive Kalman filter.
@@ -117,6 +158,19 @@ func (a *AKF) Process(raw float64) float64 {
 	target := a.MinAlpha + (a.MaxAlpha-a.MinAlpha)*frac
 	a.alpha += 0.5 * (target - a.alpha)
 
+	a.stats.Samples++
+	a.stats.InnovSum += innov
+	if ai := math.Abs(innov); ai > a.stats.InnovAbsMax {
+		a.stats.InnovAbsMax = ai
+	}
+	a.stats.AlphaSum += a.alpha
+	if a.alpha > a.stats.AlphaMax {
+		a.stats.AlphaMax = a.alpha
+	}
+	if frac > 0 {
+		a.stats.Diverged++
+	}
+
 	blended := a.alpha*raw + (1-a.alpha)*smooth
 	// Adaptive process noise: when the blend leans toward the raw stream
 	// (the channel is genuinely moving), the tracker must also believe the
@@ -129,13 +183,19 @@ func (a *AKF) Process(raw float64) float64 {
 // Alpha returns the current raw-stream blend weight (for diagnostics).
 func (a *AKF) Alpha() float64 { return a.alpha }
 
-// Reset clears all filter state.
+// Reset clears all filter state, restoring the exact behaviour of a
+// freshly constructed cascade: the inner Kalman's adaptive process noise
+// (mutated every Process call) returns to its base value and the run
+// statistics restart, so reset-then-filter is sample-for-sample
+// identical to fresh-then-filter.
 func (a *AKF) Reset() {
 	a.kf.Reset()
+	a.kf.Q = a.baseQ
 	a.bf.Reset()
 	a.innovVar = 0
 	a.bias = 0
 	a.alpha = 0.2
+	a.stats = AKFStats{}
 }
 
 // Filter applies the AKF to a whole series from a reset state.

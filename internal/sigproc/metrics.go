@@ -1,0 +1,17 @@
+package sigproc
+
+import "locble/internal/obs"
+
+// Package-level instrumentation handles, resolved once so the hot paths
+// record with plain atomic operations. Everything here lands in
+// obs.Default; per-run AKF statistics are engine-scoped instead — the
+// pipeline pulls them from AKF.Stats() and records them in its own
+// registry.
+var (
+	// groupDelayProbes counts GroupDelaySamples probe runs.
+	groupDelayProbes = obs.Default.Counter("sigproc.groupdelay.probes")
+	// groupDelaySamples is the distribution of measured group delays
+	// (in samples).
+	groupDelaySamples = obs.Default.Histogram("sigproc.groupdelay.samples",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096})
+)

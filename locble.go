@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 
 	"locble/internal/cluster"
 	"locble/internal/core"
 	"locble/internal/estimate"
 	"locble/internal/imu"
+	"locble/internal/obs"
 	"locble/internal/rf"
 	"locble/internal/sim"
 )
@@ -349,6 +351,27 @@ func LoadTrace(r io.Reader) (*Trace, error) { return sim.LoadTrace(r) }
 // Engine exposes the underlying pipeline for advanced use (benchmarks,
 // custom experiments).
 func (s *System) Engine() *core.Engine { return s.engine }
+
+// Metrics is a point-in-time copy of a metric registry: monotone
+// counters, gauges with high-water marks, and fixed-bucket latency /
+// value histograms. It marshals to JSON (expvar-style).
+type Metrics = obs.Snapshot
+
+// Metrics returns this System's pipeline metrics — per-stage latency
+// histograms (sanitize / motion / filter / classify / regress), health
+// and drop-reason counts, AKF adaptation stats, and LocateAll
+// concurrency — scoped to this System only.
+func (s *System) Metrics() Metrics { return s.engine.Metrics() }
+
+// ProcessMetrics returns the process-wide metric snapshot shared by all
+// Systems: sigproc, estimate, and netproto library instrumentation
+// (Nelder–Mead iterations, L-shape outcomes, wire frame counts, …).
+func ProcessMetrics() Metrics { return obs.Default.Snapshot() }
+
+// MetricsHandler returns an http.Handler serving the process-wide
+// metric snapshot as JSON — mount it next to net/http/pprof for a
+// self-describing diagnostics endpoint.
+func MetricsHandler() http.Handler { return obs.Default.Handler() }
 
 func positionFrom(m *core.Measurement) *Position {
 	p := &Position{
