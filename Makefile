@@ -4,28 +4,40 @@
 GO ?= go
 # Per-target budget for `make fuzz` (Go fuzzing flag syntax, e.g. 30s).
 FUZZTIME ?= 10s
+# Chaos-soak duration for `make soak` (parsed by TestChaosSoak).
+SOAKTIME ?= 30s
 
-.PHONY: all build test race fuzz cover bench microbench repro examples clean help
+.PHONY: all build test race soak fuzz cover bench microbench repro examples clean help
 
-all: build test race
+all: build test race soak
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
 
+# Extended chaos soak of the serving path (race-enabled): fault-injected
+# publishers, connection churn, garbage frames, forced handler panics,
+# then a graceful drain — asserts zero goroutine leaks and consistent
+# lifecycle metrics. The same test runs for <1 s inside `make test`;
+# this target stretches it to $(SOAKTIME).
+soak:
+	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestChaosSoak$$' -v ./internal/netproto/
+
 # Short coverage-guided shake of every fuzz target (decoder robustness:
-# BLE deframing/AD parsing/beacon decoding, netproto frame reading).
+# BLE deframing/AD parsing/beacon decoding, netproto frame reading,
+# trace-file loading).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDeframe -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzParseADStructures -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBeacon -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/netproto/
+	$(GO) test -run='^$$' -fuzz=FuzzLoadTrace -fuzztime=$(FUZZTIME) ./internal/sim/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
@@ -59,10 +71,11 @@ clean:
 	rm -f cover.out BENCH_pr2.json
 
 help:
-	@echo "make all      - build + vet + test + race detector (the full gate)"
+	@echo "make all      - build + vet + test + race + chaos soak (the full gate)"
 	@echo "make build    - compile and vet every package"
-	@echo "make test     - run the test suite"
+	@echo "make test     - run the test suite (shuffled order)"
 	@echo "make race     - run the test suite under the race detector"
+	@echo "make soak     - $(SOAKTIME) race-enabled chaos soak of the serving path"
 	@echo "make fuzz     - short fuzz pass over all fuzz targets (FUZZTIME=$(FUZZTIME) each)"
 	@echo "make cover    - coverage summary"
 	@echo "make bench    - instrumented pipeline benchmark -> BENCH_pr2.json"

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"locble/internal/rf"
+	"locble/internal/sim"
+)
+
+// TestLocateContextCanceled: an already-canceled context stops the
+// pipeline, the error matches the context error under errors.Is, and
+// the call lands in the canceled tally rather than the health tallies.
+func TestLocateContextCanceled(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 1))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rejectedBefore := eng.Metrics().Counters["core.health.rejected"]
+	if _, err := eng.LocateContext(ctx, tr, "target"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LocateContext(canceled) = %v, want context.Canceled", err)
+	}
+	snap := eng.Metrics()
+	if snap.Counters["core.canceled"] != 1 {
+		t.Errorf("core.canceled = %d, want 1", snap.Counters["core.canceled"])
+	}
+	if got := snap.Counters["core.health.rejected"]; got != rejectedBefore {
+		t.Errorf("cancellation recorded as health rejection (%d -> %d)", rejectedBefore, got)
+	}
+
+	// The same engine still works without a deadline.
+	if _, err := eng.LocateContext(context.Background(), tr, "target"); err != nil {
+		t.Fatalf("LocateContext(Background) after cancel = %v", err)
+	}
+}
+
+func TestTrackBeaconContextDeadline(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 2))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := eng.TrackBeaconContext(ctx, tr, "target", 0, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TrackBeaconContext(expired) = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestLocateAllContextCanceled: a canceled fan-out neither hangs nor
+// drops beacons — every beacon reports the cancellation.
+func TestLocateAllContextCanceled(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	sc := lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 3)
+	sc.Beacons = append(sc.Beacons,
+		sim.BeaconSpec{Name: "b2", X: 2, Y: 5},
+		sim.BeaconSpec{Name: "b3", X: -3, Y: 1},
+	)
+	tr, err := sim.Run(sc)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := eng.LocateAllContext(ctx, tr)
+	if len(results) != len(tr.Observations) {
+		t.Fatalf("got %d results for %d beacons", len(results), len(tr.Observations))
+	}
+	for _, res := range results {
+		if res.Err == nil {
+			t.Errorf("beacon %s: no error under canceled context", res.Name)
+		} else if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("beacon %s: err = %v, want context.Canceled", res.Name, res.Err)
+		}
+	}
+}

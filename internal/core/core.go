@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,34 @@ var (
 	ErrUnknownBeacon = errors.New("core: beacon not present in trace")
 	ErrNoEstimate    = errors.New("core: no segment produced a usable estimate")
 )
+
+// cancelFromCtx converts a context into the estimator's poll-style
+// cancellation hook. A context that can never be canceled maps to nil so
+// the regression hot path skips the poll entirely.
+func cancelFromCtx(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// canceledErr wraps a cancellation so callers can match it with
+// errors.Is against both the context error (Canceled/DeadlineExceeded)
+// and estimate.ErrCanceled.
+func canceledErr(ctx context.Context, what string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s canceled: %w", what, err)
+	}
+	return fmt.Errorf("core: %s canceled: %w", what, estimate.ErrCanceled)
+}
+
+// isCanceled reports whether err is a cancellation rather than a
+// pipeline failure (the two are tallied separately in the metrics).
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, estimate.ErrCanceled)
+}
 
 // Config tunes the pipeline. The Disable* switches exist for the paper's
 // ablation study (Fig. 5).
@@ -160,12 +189,25 @@ func (m *Measurement) Error(tx, ty float64) float64 {
 // per-stage latency, the resulting health class and its reasons (also
 // for rejections), and estimation quality.
 func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
+	return e.LocateContext(context.Background(), tr, beaconName)
+}
+
+// LocateContext is Locate under a context: a deadline or cancellation
+// (a disconnected client, a draining server) stops the pipeline between
+// stages and interrupts the regression mid-Nelder-Mead. A canceled call
+// returns an error matching the context error under errors.Is and is
+// counted in "core.canceled" rather than as a health rejection.
+func (e *Engine) LocateContext(ctx context.Context, tr *sim.Trace, beaconName string) (*Measurement, error) {
 	sp := e.met.locateSpan.Start()
-	m, err := e.locate(tr, beaconName)
+	m, err := e.locate(ctx, tr, beaconName)
 	sp.End()
 	e.met.locates.Inc()
 	if err != nil {
-		e.met.recordHealth(HealthFromError(err))
+		if isCanceled(err) {
+			e.met.canceled.Inc()
+		} else {
+			e.met.recordHealth(HealthFromError(err))
+		}
 		return nil, err
 	}
 	e.met.recordHealth(m.Health)
@@ -174,10 +216,13 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 }
 
 // locate is the uninstrumented pipeline body behind Locate.
-func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) {
+func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string) (*Measurement, error) {
 	p, err := e.prepare(tr, beaconName)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, canceledErr(ctx, "locate")
 	}
 
 	m := &Measurement{
@@ -188,6 +233,7 @@ func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 		Health:   p.health,
 	}
 	estCfg := p.estCfg
+	estCfg.Cancel = cancelFromCtx(ctx)
 
 	// EnvAware segmentation: indexes where a new regression must start.
 	spClassify := e.met.stClassify.Start()
@@ -240,7 +286,11 @@ func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	if last := segStarts[len(segStarts)-1]; last > 0 {
 		lastObs := allObs[last:]
 		if len(lastObs) >= 2*e.cfg.MinSegmentSamples {
-			if lastEst, lastErr := estimate.Run(lastObs, estCfg); lastErr == nil && !lastEst.Ambiguous {
+			lastEst, lastErr := estimate.Run(lastObs, estCfg)
+			if errors.Is(lastErr, estimate.ErrCanceled) {
+				return nil, canceledErr(ctx, "locate")
+			}
+			if lastErr == nil && !lastEst.Ambiguous {
 				est = lastEst
 			}
 		}
@@ -248,6 +298,9 @@ func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	if est == nil {
 		joint, jointErr := estimate.RunSegmented(allObs, segStarts[1:], estCfg)
 		if jointErr != nil {
+			if errors.Is(jointErr, estimate.ErrCanceled) {
+				return nil, canceledErr(ctx, "locate")
+			}
 			return nil, rejectedErr(m.Health, ReasonNoEstimate, fmt.Errorf("%w: %v", ErrNoEstimate, jointErr))
 		}
 		est = joint
@@ -257,7 +310,11 @@ func (e *Engine) locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 	if est.Ambiguous {
 		if split := firstTurnEnd(p.track, p.times); !math.IsNaN(split) {
 			e.met.lshapeAttempts.Inc()
-			if res, lErr := estimate.RunLShape(allObs, split, estCfg); lErr == nil {
+			res, lErr := estimate.RunLShape(allObs, split, estCfg)
+			if errors.Is(lErr, estimate.ErrCanceled) {
+				return nil, canceledErr(ctx, "locate")
+			}
+			if lErr == nil {
 				est = res.Final
 				if !est.Ambiguous {
 					e.met.lshapeResolved.Inc()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
+	"locble/internal/resilience"
 	"locble/internal/sim"
 )
 
@@ -23,13 +25,22 @@ type BeaconResult struct {
 // LocateAll locates every beacon visible in the trace concurrently (the
 // Engine is safe for concurrent Locate calls; the per-beacon pipelines
 // are independent). Results are returned in beacon-name order.
-//
-// The fan-out is bounded by GOMAXPROCS: the per-beacon pipelines are
-// CPU-bound, so a trace carrying thousands of beacons (a crowded-venue
-// scan) must not stampede the scheduler with one goroutine each. The
-// observed peak concurrency is recorded in the engine's
-// "core.locateall.concurrency" gauge (its Max is the high-water mark).
 func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
+	return e.LocateAllContext(context.Background(), tr)
+}
+
+// LocateAllContext is LocateAll under a context. The fan-out runs on a
+// resilience.Queue whose worker pool is sized to GOMAXPROCS: the
+// per-beacon pipelines are CPU-bound, so a trace carrying thousands of
+// beacons (a crowded-venue scan) must not stampede the scheduler with
+// one goroutine each. The queue's depth covers the whole fan-out — an
+// internal fan-out prefers backpressure over shedding, so no beacon is
+// ever silently dropped. Cancellation drains fast: beacons not yet
+// started report the context error immediately, and in-flight pipelines
+// stop mid-regression. The observed peak concurrency is recorded in the
+// engine's "core.locateall.concurrency" gauge (its Max is the
+// high-water mark).
+func (e *Engine) LocateAllContext(ctx context.Context, tr *sim.Trace) []BeaconResult {
 	e.met.locateAlls.Inc()
 	names := make([]string, 0, len(tr.Observations))
 	for name := range tr.Observations {
@@ -37,24 +48,29 @@ func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
 	}
 	sort.Strings(names)
 
-	limit := runtime.GOMAXPROCS(0)
-	if limit < 1 {
-		limit = 1
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
 	}
-	sem := make(chan struct{}, limit)
+	q := resilience.NewQueue(workers, len(names)+1)
 	results := make([]BeaconResult, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
+		i, name := i, name
 		wg.Add(1)
-		go func(i int, name string) {
+		task := func() {
 			defer wg.Done()
-			sem <- struct{}{}
 			e.met.concurrency.Add(1)
-			defer func() {
-				e.met.concurrency.Add(-1)
-				<-sem
-			}()
-			m, err := e.Locate(tr, name)
+			defer e.met.concurrency.Add(-1)
+			var (
+				m   *Measurement
+				err error
+			)
+			if ctx.Err() != nil {
+				err = canceledErr(ctx, "locate "+name)
+			} else {
+				m, err = e.LocateContext(ctx, tr, name)
+			}
 			res := BeaconResult{Name: name, M: m, Err: err}
 			if err != nil {
 				res.Health = HealthFromError(err)
@@ -62,8 +78,15 @@ func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
 				res.Health = m.Health
 			}
 			results[i] = res
-		}(i, name)
+		}
+		// The depth covers every beacon, so Submit never blocks and the
+		// only error is a closed queue — impossible here. Guard anyway.
+		if err := q.Submit(ctx, task); err != nil {
+			results[i] = BeaconResult{Name: name, Err: err, Health: HealthFromError(err)}
+			wg.Done()
+		}
 	}
 	wg.Wait()
+	q.Close(context.Background())
 	return results
 }

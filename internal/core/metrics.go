@@ -14,10 +14,21 @@ import (
 type engineMetrics struct {
 	reg *obs.Registry
 
-	// Call and outcome counts.
+	// Call and outcome counts. canceled tallies Locate/Track calls cut
+	// short by their context (deadline, disconnect, drain) — not
+	// pipeline failures, so they bypass the health tallies.
 	locates    *obs.Counter
 	trackRuns  *obs.Counter
 	locateAlls *obs.Counter
+	canceled   *obs.Counter
+
+	// Streaming session lifecycle: fixes emitted, checkpoints taken,
+	// restores performed, and how much buffered state a restore carried
+	// (the "restore depth" — window samples resumed without re-filtering).
+	sessFixes        *obs.Counter
+	sessCheckpoints  *obs.Counter
+	sessRestores     *obs.Counter
+	sessRestoreDepth *obs.Histogram
 
 	// Health classes and sanitization tallies; per-reason counters are
 	// resolved on demand (once per distinct reason).
@@ -59,10 +70,16 @@ type engineMetrics struct {
 func newEngineMetrics() *engineMetrics {
 	r := obs.NewRegistry()
 	return &engineMetrics{
-		reg:            r,
-		locates:        r.Counter("core.locate.calls"),
-		trackRuns:      r.Counter("core.track.calls"),
-		locateAlls:     r.Counter("core.locateall.calls"),
+		reg:             r,
+		locates:         r.Counter("core.locate.calls"),
+		trackRuns:       r.Counter("core.track.calls"),
+		locateAlls:      r.Counter("core.locateall.calls"),
+		canceled:        r.Counter("core.canceled"),
+		sessFixes:       r.Counter("core.session.fixes"),
+		sessCheckpoints: r.Counter("core.session.checkpoints"),
+		sessRestores:    r.Counter("core.session.restores"),
+		sessRestoreDepth: r.Histogram("core.session.restore.depth",
+			[]float64{4, 16, 64, 256, 1024}),
 		healthOK:       r.Counter("core.health.ok"),
 		healthDegraded: r.Counter("core.health.degraded"),
 		healthRejected: r.Counter("core.health.rejected"),

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"locble/internal/env"
+	"locble/internal/estimate"
+	"locble/internal/rf"
+	"locble/internal/sigproc"
+)
+
+// SessionCheckpointVersion is the current checkpoint format version.
+// The version is bumped whenever the serialized state changes shape or
+// meaning; Restore rejects any other version rather than guessing (a
+// checkpoint is filter state — a misinterpreted field silently corrupts
+// every subsequent fix, which is worse than a cold start).
+const SessionCheckpointVersion = 1
+
+// Errors.
+var (
+	// ErrCheckpointVersion is returned when a checkpoint was written by
+	// an incompatible format version.
+	ErrCheckpointVersion = errors.New("core: unsupported session checkpoint version")
+	// ErrSessionConfig is returned for an invalid session configuration.
+	ErrSessionConfig = errors.New("core: invalid track-session config")
+)
+
+// TrackSessionConfig configures a streaming tracking session.
+type TrackSessionConfig struct {
+	// Beacon names the tracked beacon (for bookkeeping; the session
+	// consumes already-demultiplexed observations).
+	Beacon string
+	// Window and Step mirror TrackBeacon: a fix every Step seconds,
+	// fitted on the last Window seconds. Zero selects 6 s / 2 s.
+	Window, Step float64
+	// SampleRateHz is the RSS report rate the streaming ANF is designed
+	// for (zero selects the pipeline default of 9 Hz).
+	SampleRateHz float64
+	// Estimator overrides the engine's estimator configuration (nil
+	// keeps it). Callers anchoring Γ to a beacon's advertised power set
+	// GammaSoftMin/Max here, as Engine.prepare does for batch runs.
+	Estimator *estimate.Config
+}
+
+// TrackSession is the streaming counterpart of TrackBeacon: a
+// long-running server feeds fused observations in one at a time and
+// receives a location fix whenever a window completes. All filter state
+// is held incrementally — the streaming BF+AKF cascade, the EnvAware
+// change monitor, and the sliding observation window — so the session
+// can be checkpointed at any observation boundary and restored in a
+// fresh process, resuming sample-for-sample: every fix after the
+// restore is bit-identical to the uninterrupted run's.
+//
+// A session is owned by one goroutine (one per tracked beacon); it is
+// not safe for concurrent Push calls.
+type TrackSession struct {
+	eng    *Engine
+	beacon string
+	window float64
+	step   float64
+	fs     float64
+	estCfg estimate.Config
+
+	akf *sigproc.AKF // nil when the engine disables ANF
+	mon *env.Monitor // nil when the engine disables EnvAware
+
+	buf      []estimate.Obs // fused observations inside the window
+	hasFirst bool
+	firstT   float64
+	nextFix  float64
+	last     *TrackPoint
+
+	pushed       int64
+	droppedBad   int64 // non-finite fields
+	droppedOrder int64 // out-of-order timestamps
+	fixes        int64
+
+	curEnv rf.Environment
+	hasEnv bool
+}
+
+// NewTrackSession starts a streaming tracking session on this engine's
+// pipeline configuration (ANF design, EnvAware window/hysteresis,
+// estimator settings).
+func (e *Engine) NewTrackSession(cfg TrackSessionConfig) (*TrackSession, error) {
+	if cfg.Beacon == "" {
+		return nil, fmt.Errorf("%w: empty beacon name", ErrSessionConfig)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 6
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 2
+	}
+	if cfg.SampleRateHz == 0 {
+		cfg.SampleRateHz = 9
+	}
+	if cfg.Window < 0 || cfg.Step < 0 || cfg.SampleRateHz < 0 {
+		return nil, fmt.Errorf("%w: negative window/step/rate", ErrSessionConfig)
+	}
+	estCfg := e.cfg.Estimator
+	if cfg.Estimator != nil {
+		estCfg = *cfg.Estimator
+	}
+	estCfg.Cancel = nil // sessions are push-driven; nothing to cancel mid-fit
+
+	s := &TrackSession{
+		eng:    e,
+		beacon: cfg.Beacon,
+		window: cfg.Window,
+		step:   cfg.Step,
+		fs:     cfg.SampleRateHz,
+		estCfg: estCfg,
+	}
+	if !e.cfg.DisableANF {
+		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder,
+			math.Min(e.cfg.CutoffHz, cfg.SampleRateHz/2*0.8), cfg.SampleRateHz)
+		if err != nil {
+			return nil, fmt.Errorf("core: session ANF design: %w", err)
+		}
+		akf := sigproc.NewAKF(bf)
+		if e.cfg.AKFMaxAlpha > 0 {
+			akf.MaxAlpha = e.cfg.AKFMaxAlpha
+		}
+		s.akf = akf
+	}
+	if !e.cfg.DisableEnvAware {
+		s.mon = env.NewMonitor(e.clf, e.cfg.EnvWindow, e.cfg.EnvHysteresis)
+	}
+	return s, nil
+}
+
+// Push feeds one fused observation (time, raw RSS, relative
+// displacement) into the session. It returns a fix when this
+// observation completed a window, nil otherwise. Non-finite or
+// out-of-order observations are dropped (counted, and reflected in the
+// next fix's Health) — a live wire feed duplicates and mangles.
+func (s *TrackSession) Push(o estimate.Obs) (*TrackPoint, error) {
+	s.pushed++
+	if !finiteObs(o) {
+		s.droppedBad++
+		return nil, nil
+	}
+	if len(s.buf) > 0 && o.T <= s.buf[len(s.buf)-1].T {
+		s.droppedOrder++
+		return nil, nil
+	}
+
+	raw := o.RSS
+	if s.akf != nil {
+		o.RSS = s.akf.Process(raw)
+	}
+	if s.mon != nil {
+		_, _, changed, err := s.mon.Push(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: session EnvAware: %w", err)
+		}
+		if cur, ok := s.mon.Current(); ok {
+			s.curEnv, s.hasEnv = cur, true
+		}
+		if changed {
+			// Streaming analog of Algorithm 1's regression restart: the
+			// change was detected at the end of a hysteresis run of
+			// windows but happened inside it, so keep only those recent
+			// samples — they belong to the new environment — and let the
+			// old ones age out instead of mixing channel models.
+			keep := s.eng.cfg.EnvWindow * s.eng.cfg.EnvHysteresis
+			if keep < 1 {
+				keep = 1
+			}
+			if len(s.buf) > keep {
+				s.buf = append(s.buf[:0], s.buf[len(s.buf)-keep:]...)
+			}
+		}
+	}
+
+	if !s.hasFirst {
+		s.hasFirst = true
+		s.firstT = o.T
+		s.nextFix = o.T + s.window
+	}
+	s.buf = append(s.buf, o)
+	lo := 0
+	for lo < len(s.buf) && s.buf[lo].T < o.T-s.window {
+		lo++
+	}
+	if lo > 0 {
+		s.buf = append(s.buf[:0], s.buf[lo:]...)
+	}
+
+	if o.T < s.nextFix {
+		return nil, nil
+	}
+	tEnd := s.nextFix
+	for s.nextFix <= o.T {
+		s.nextFix += s.step
+	}
+	if len(s.buf) < s.estCfg.MinSamples {
+		return nil, nil
+	}
+
+	spReg := s.eng.met.stRegress.Start()
+	est, err := estimate.Run(s.buf, s.estCfg)
+	spReg.End()
+	if err != nil || !finiteEstimate(est) {
+		// A window that fits badly yields no fix; the session keeps
+		// streaming (same policy as TrackBeacon's window loop).
+		return nil, nil
+	}
+	if est.Ambiguous && s.last != nil {
+		prev := estimate.Candidate{X: s.last.Est.X, H: s.last.Est.H}
+		best := est.Candidates[0]
+		for _, c := range est.Candidates[1:] {
+			if c.Dist(prev) < best.Dist(prev) {
+				best = c
+			}
+		}
+		resolved := *est
+		resolved.X, resolved.H = best.X, best.H
+		est = &resolved
+	}
+	pt := TrackPoint{
+		T:           tEnd,
+		Est:         est,
+		WindowStart: s.buf[0].T,
+		Samples:     len(s.buf),
+		Health:      s.health(),
+	}
+	s.last = &pt
+	s.fixes++
+	s.eng.met.sessFixes.Inc()
+	return &pt, nil
+}
+
+// health summarizes the stream quality seen so far.
+func (s *TrackSession) health() Health {
+	h := Health{}
+	if s.droppedBad > 0 {
+		h.add(ReasonNonFiniteRSS)
+	}
+	if s.droppedOrder > 0 {
+		h.add(ReasonTimestampAnomaly)
+	}
+	h.Dropped = int(s.droppedBad + s.droppedOrder)
+	if len(h.Reasons) > 0 {
+		h.Status = HealthDegraded
+	}
+	return h
+}
+
+func finiteObs(o estimate.Obs) bool {
+	for _, v := range []float64{o.T, o.RSS, o.P, o.Q} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Beacon returns the tracked beacon's name.
+func (s *TrackSession) Beacon() string { return s.beacon }
+
+// Fixes returns how many fixes the session has emitted.
+func (s *TrackSession) Fixes() int64 { return s.fixes }
+
+// Pushed returns how many observations were fed in (including dropped).
+func (s *TrackSession) Pushed() int64 { return s.pushed }
+
+// LastFix returns the most recent fix, or nil before the first.
+func (s *TrackSession) LastFix() *TrackPoint { return s.last }
+
+// Environment returns EnvAware's current classification of the link.
+func (s *TrackSession) Environment() (rf.Environment, bool) { return s.curEnv, s.hasEnv }
+
+// SessionCheckpoint is the versioned serialized state of a TrackSession.
+// It captures everything the next Push depends on: the ANF cascade's
+// delay lines and adaptation, the EnvAware window and hysteresis, the
+// sliding observation window, the fix schedule, and the last fix (for
+// mirror-ambiguity resolution). It deliberately does NOT capture the
+// engine configuration or the trained classifier — those are
+// configuration, and a checkpoint must be restored into an engine
+// configured identically to the one that wrote it.
+type SessionCheckpoint struct {
+	Version int    `json:"version"`
+	Beacon  string `json:"beacon"`
+
+	Window       float64         `json:"window"`
+	Step         float64         `json:"step"`
+	SampleRateHz float64         `json:"sample_rate_hz"`
+	Estimator    estimate.Config `json:"estimator"`
+
+	AKF *sigproc.AKFState `json:"akf,omitempty"`
+	Env *env.MonitorState `json:"env,omitempty"`
+
+	WindowObs []estimate.Obs `json:"window_obs"`
+	HasFirst  bool           `json:"has_first"`
+	FirstT    float64        `json:"first_t"`
+	NextFix   float64        `json:"next_fix"`
+	LastFix   *TrackPoint    `json:"last_fix,omitempty"`
+
+	Pushed       int64 `json:"pushed"`
+	DroppedBad   int64 `json:"dropped_bad"`
+	DroppedOrder int64 `json:"dropped_order"`
+	Fixes        int64 `json:"fixes"`
+}
+
+// Checkpoint captures the session's complete streaming state. Take it
+// between Push calls (the session is single-goroutine, so any moment
+// the owner is not inside Push is a consistent boundary).
+func (s *TrackSession) Checkpoint() *SessionCheckpoint {
+	cp := &SessionCheckpoint{
+		Version:      SessionCheckpointVersion,
+		Beacon:       s.beacon,
+		Window:       s.window,
+		Step:         s.step,
+		SampleRateHz: s.fs,
+		Estimator:    s.estCfg,
+		WindowObs:    append([]estimate.Obs(nil), s.buf...),
+		HasFirst:     s.hasFirst,
+		FirstT:       s.firstT,
+		NextFix:      s.nextFix,
+		Pushed:       s.pushed,
+		DroppedBad:   s.droppedBad,
+		DroppedOrder: s.droppedOrder,
+		Fixes:        s.fixes,
+	}
+	if s.akf != nil {
+		st := s.akf.Snapshot()
+		cp.AKF = &st
+	}
+	if s.mon != nil {
+		st := s.mon.Snapshot()
+		cp.Env = &st
+	}
+	if s.last != nil {
+		last := *s.last
+		cp.LastFix = &last
+	}
+	s.eng.met.sessCheckpoints.Inc()
+	return cp
+}
+
+// WriteCheckpoint serializes a checkpoint as JSON.
+func (s *TrackSession) WriteCheckpoint(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(s.Checkpoint()); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreTrackSession rebuilds a session from a checkpoint taken in a
+// previous process. The engine must be configured identically to the
+// one that wrote the checkpoint (same ANF design, EnvAware settings and
+// classifier training); a detectable mismatch — wrong version, filter
+// design, or ablation switches — is an error rather than a divergent
+// resume. The restore depth (window samples resumed without
+// re-filtering) is recorded in "core.session.restore.depth".
+func (e *Engine) RestoreTrackSession(cp *SessionCheckpoint) (*TrackSession, error) {
+	if cp.Version != SessionCheckpointVersion {
+		return nil, fmt.Errorf("%w: %d (supported: %d)",
+			ErrCheckpointVersion, cp.Version, SessionCheckpointVersion)
+	}
+	estCfg := cp.Estimator
+	s, err := e.NewTrackSession(TrackSessionConfig{
+		Beacon:       cp.Beacon,
+		Window:       cp.Window,
+		Step:         cp.Step,
+		SampleRateHz: cp.SampleRateHz,
+		Estimator:    &estCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cp.AKF != nil && s.akf == nil:
+		return nil, fmt.Errorf("%w: checkpoint carries ANF state but the engine disables ANF",
+			sigproc.ErrStateMismatch)
+	case cp.AKF == nil && s.akf != nil:
+		return nil, fmt.Errorf("%w: checkpoint has no ANF state but the engine enables ANF",
+			sigproc.ErrStateMismatch)
+	case cp.AKF != nil:
+		if err := s.akf.Restore(*cp.AKF); err != nil {
+			return nil, fmt.Errorf("core: restore ANF: %w", err)
+		}
+	}
+	switch {
+	case cp.Env != nil && s.mon == nil:
+		return nil, fmt.Errorf("%w: checkpoint carries EnvAware state but the engine disables EnvAware",
+			sigproc.ErrStateMismatch)
+	case cp.Env == nil && s.mon != nil:
+		return nil, fmt.Errorf("%w: checkpoint has no EnvAware state but the engine enables EnvAware",
+			sigproc.ErrStateMismatch)
+	case cp.Env != nil:
+		s.mon.Restore(*cp.Env)
+		if cur, ok := s.mon.Current(); ok {
+			s.curEnv, s.hasEnv = cur, true
+		}
+	}
+	s.buf = append(s.buf[:0], cp.WindowObs...)
+	s.hasFirst = cp.HasFirst
+	s.firstT = cp.FirstT
+	s.nextFix = cp.NextFix
+	if cp.LastFix != nil {
+		last := *cp.LastFix
+		s.last = &last
+	}
+	s.pushed = cp.Pushed
+	s.droppedBad = cp.DroppedBad
+	s.droppedOrder = cp.DroppedOrder
+	s.fixes = cp.Fixes
+	e.met.sessRestores.Inc()
+	e.met.sessRestoreDepth.Observe(float64(len(cp.WindowObs)))
+	return s, nil
+}
+
+// RestoreTrackSessionFrom reads a JSON checkpoint (written by
+// WriteCheckpoint) and restores the session.
+func (e *Engine) RestoreTrackSessionFrom(r io.Reader) (*TrackSession, error) {
+	var cp SessionCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return e.RestoreTrackSession(&cp)
+}

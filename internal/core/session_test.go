@@ -1,0 +1,222 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"locble/internal/estimate"
+)
+
+// sessionObs synthesizes a deterministic fused observation stream: the
+// observer walks an L (9 m along x, then 9 m along y at 0.8 m/s — fast
+// enough that every 6 s window carries the estimator's minimum movement
+// spread), the beacon sits at world (4, 3), and the RSS follows a
+// log-distance model with seedless pseudo-noise (sinusoids —
+// reproducible across runs and processes, which the bit-exactness
+// assertions require).
+func sessionObs(n int) []estimate.Obs {
+	const (
+		fs     = 8.0
+		speed  = 0.8
+		bx, by = 4.0, 3.0
+		gamma  = -58.0
+		nExp   = 2.2
+	)
+	out := make([]estimate.Obs, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / fs
+		var ox, oy float64
+		switch walked := speed * t; {
+		case walked <= 9:
+			ox = walked
+		case walked <= 18:
+			ox, oy = 9, walked-9
+		default:
+			ox, oy = 9, 9
+		}
+		d := math.Hypot(bx-ox, by-oy)
+		if d < 0.1 {
+			d = 0.1
+		}
+		noise := 2.0*math.Sin(1.3*float64(i)) + 1.1*math.Cos(2.7*float64(i)+0.5)
+		out[i] = estimate.Obs{
+			T:   t,
+			RSS: gamma - 10*nExp*math.Log10(d) + noise,
+			P:   -ox,
+			Q:   -oy,
+		}
+	}
+	return out
+}
+
+func newSession(t *testing.T, eng *Engine) *TrackSession {
+	t.Helper()
+	s, err := eng.NewTrackSession(TrackSessionConfig{Beacon: "target", SampleRateHz: 8})
+	if err != nil {
+		t.Fatalf("NewTrackSession: %v", err)
+	}
+	return s
+}
+
+func pushAll(t *testing.T, s *TrackSession, obs []estimate.Obs) []TrackPoint {
+	t.Helper()
+	var fixes []TrackPoint
+	for _, o := range obs {
+		pt, err := s.Push(o)
+		if err != nil {
+			t.Fatalf("Push(t=%.2f): %v", o.T, err)
+		}
+		if pt != nil {
+			fixes = append(fixes, *pt)
+		}
+	}
+	return fixes
+}
+
+// TestTrackSessionCheckpointRestore is the kill-and-restart test: a
+// session checkpointed mid-stream (through a full JSON round trip, as a
+// fresh process would see it) and restored on a different Engine must
+// produce fixes sample-for-sample identical to an uninterrupted run.
+func TestTrackSessionCheckpointRestore(t *testing.T) {
+	obs := sessionObs(240)
+	engA, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	ref := pushAll(t, newSession(t, engA), obs)
+	if len(ref) < 5 {
+		t.Fatalf("uninterrupted run produced %d fixes, want ≥ 5", len(ref))
+	}
+
+	// Interrupted run: kill after 120 observations...
+	sessA := newSession(t, engA)
+	before := pushAll(t, sessA, obs[:120])
+	var ckpt bytes.Buffer
+	if err := sessA.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+
+	// ...and restart on a fresh engine (same configuration), as a
+	// restarted server process would.
+	engB, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine (restart): %v", err)
+	}
+	sessB, err := engB.RestoreTrackSessionFrom(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatalf("RestoreTrackSessionFrom: %v", err)
+	}
+	after := pushAll(t, sessB, obs[120:])
+
+	got := append(append([]TrackPoint(nil), before...), after...)
+	if len(got) != len(ref) {
+		t.Fatalf("restored run produced %d fixes, uninterrupted produced %d", len(got), len(ref))
+	}
+	for i := range ref {
+		w, g := ref[i], got[i]
+		if g.T != w.T || g.WindowStart != w.WindowStart || g.Samples != w.Samples {
+			t.Fatalf("fix %d window mismatch: got (T=%v start=%v n=%d), want (T=%v start=%v n=%d)",
+				i, g.T, g.WindowStart, g.Samples, w.T, w.WindowStart, w.Samples)
+		}
+		if g.Est.X != w.Est.X || g.Est.H != w.Est.H ||
+			g.Est.N != w.Est.N || g.Est.Gamma != w.Est.Gamma ||
+			g.Est.ResidualDB != w.Est.ResidualDB || g.Est.Confidence != w.Est.Confidence {
+			t.Fatalf("fix %d not bit-identical after restore:\n got  (%.17g, %.17g) n=%.17g Γ=%.17g\n want (%.17g, %.17g) n=%.17g Γ=%.17g",
+				i, g.Est.X, g.Est.H, g.Est.N, g.Est.Gamma,
+				w.Est.X, w.Est.H, w.Est.N, w.Est.Gamma)
+		}
+	}
+	if sessB.Fixes() != int64(len(ref)) {
+		t.Errorf("restored session Fixes() = %d, want %d (counters must survive restarts)",
+			sessB.Fixes(), len(ref))
+	}
+	if sessB.Pushed() != int64(len(obs)) {
+		t.Errorf("restored session Pushed() = %d, want %d", sessB.Pushed(), len(obs))
+	}
+
+	// Restore observability: the restore and its depth were recorded.
+	snap := engB.Metrics()
+	if snap.Counters["core.session.restores"] != 1 {
+		t.Errorf("core.session.restores = %d, want 1", snap.Counters["core.session.restores"])
+	}
+}
+
+// TestTrackSessionDegradedInput: mangled observations are dropped, not
+// fatal, and the next fix reports the degradation.
+func TestTrackSessionDegradedInput(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s := newSession(t, eng)
+	obs := sessionObs(80)
+	var fixes []TrackPoint
+	for i, o := range obs {
+		if i%10 == 3 {
+			bad := o
+			bad.RSS = math.NaN()
+			if pt, err := s.Push(bad); err != nil || pt != nil {
+				t.Fatalf("Push(NaN) = (%v, %v), want dropped", pt, err)
+			}
+			dup := o
+			dup.T = o.T - 0.5 // out of order
+			if pt, err := s.Push(dup); err != nil || pt != nil {
+				t.Fatalf("Push(out-of-order) = (%v, %v), want dropped", pt, err)
+			}
+		}
+		pt, err := s.Push(o)
+		if err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+		if pt != nil {
+			fixes = append(fixes, *pt)
+		}
+	}
+	if len(fixes) == 0 {
+		t.Fatal("no fixes despite mostly clean input")
+	}
+	h := fixes[len(fixes)-1].Health
+	if h.Status != HealthDegraded {
+		t.Fatalf("fix health = %v, want degraded", h.Status)
+	}
+	if !h.Has(ReasonNonFiniteRSS) || !h.Has(ReasonTimestampAnomaly) {
+		t.Errorf("fix health reasons = %v, want non-finite-rss and timestamp-anomaly", h.Reasons)
+	}
+}
+
+func TestRestoreRejectsWrongVersion(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s := newSession(t, eng)
+	pushAll(t, s, sessionObs(60))
+	cp := s.Checkpoint()
+	cp.Version = 99
+	if _, err := eng.RestoreTrackSession(cp); !errors.Is(err, ErrCheckpointVersion) {
+		t.Fatalf("restore of version 99 = %v, want ErrCheckpointVersion", err)
+	}
+}
+
+func TestRestoreRejectsAblationMismatch(t *testing.T) {
+	engFull, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s := newSession(t, engFull)
+	pushAll(t, s, sessionObs(60))
+	cp := s.Checkpoint()
+
+	noANF := DefaultConfig()
+	noANF.DisableANF = true
+	engNoANF, err := NewEngine(noANF)
+	if err != nil {
+		t.Fatalf("NewEngine(no ANF): %v", err)
+	}
+	if _, err := engNoANF.RestoreTrackSession(cp); err == nil {
+		t.Fatal("restoring an ANF checkpoint into a no-ANF engine succeeded, want error")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 
 	"locble/internal/estimate"
@@ -32,12 +34,24 @@ type TrackPoint struct {
 // stream of location fixes rather than one measurement — and also what
 // the navigation UI consumes while the user keeps moving.
 func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
+	return e.TrackBeaconContext(context.Background(), tr, beaconName, window, step)
+}
+
+// TrackBeaconContext is TrackBeacon under a context: a deadline or
+// cancellation stops the run between windows and interrupts the
+// per-window regression mid-search. A canceled run returns an error
+// matching the context error under errors.Is (no partial fixes).
+func (e *Engine) TrackBeaconContext(ctx context.Context, tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
 	sp := e.met.trackSpan.Start()
-	pts, err := e.trackBeacon(tr, beaconName, window, step)
+	pts, err := e.trackBeacon(ctx, tr, beaconName, window, step)
 	sp.End()
 	e.met.trackRuns.Inc()
 	if err != nil {
-		e.met.recordHealth(HealthFromError(err))
+		if isCanceled(err) {
+			e.met.canceled.Inc()
+		} else {
+			e.met.recordHealth(HealthFromError(err))
+		}
 		return nil, err
 	}
 	e.met.recordHealth(pts[0].Health)
@@ -45,7 +59,7 @@ func (e *Engine) TrackBeacon(tr *sim.Trace, beaconName string, window, step floa
 }
 
 // trackBeacon is the uninstrumented body behind TrackBeacon.
-func (e *Engine) trackBeacon(tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
+func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName string, window, step float64) ([]TrackPoint, error) {
 	if window <= 0 {
 		window = 6
 	}
@@ -58,10 +72,14 @@ func (e *Engine) trackBeacon(tr *sim.Trace, beaconName string, window, step floa
 		return nil, err
 	}
 	fused, estCfg := p.fused, p.estCfg
+	estCfg.Cancel = cancelFromCtx(ctx)
 
 	var points []TrackPoint
 	end := p.times[len(p.times)-1]
 	for tEnd := math.Min(p.times[0]+window, end); ; tEnd += step {
+		if ctx.Err() != nil {
+			return nil, canceledErr(ctx, "track")
+		}
 		lo, hi := 0, len(fused)
 		for lo < len(fused) && fused[lo].T < tEnd-window {
 			lo++
@@ -74,6 +92,9 @@ func (e *Engine) trackBeacon(tr *sim.Trace, beaconName string, window, step floa
 			spReg := e.met.stRegress.Start()
 			est, err := estimate.Run(winObs, estCfg)
 			spReg.End()
+			if errors.Is(err, estimate.ErrCanceled) {
+				return nil, canceledErr(ctx, "track")
+			}
 			if err == nil && finiteEstimate(est) {
 				if est.Ambiguous {
 					// Resolve against the previous fix when available.

@@ -1,0 +1,39 @@
+package env
+
+import "locble/internal/rf"
+
+// MonitorState is the serializable streaming state of a Monitor: the
+// partially filled classification window plus the change-detection
+// hysteresis. The classifier itself is not part of the state — it is
+// configuration (retrained deterministically or persisted separately via
+// Classifier.Save), and a restored monitor must be built around an
+// identically trained model for its classifications to continue
+// sample-for-sample.
+type MonitorState struct {
+	Window    []float64      `json:"window"`
+	Current   rf.Environment `json:"current"`
+	HasCur    bool           `json:"has_current"`
+	Streak    rf.Environment `json:"streak"`
+	StreakLen int            `json:"streak_len"`
+}
+
+// Snapshot captures the monitor's streaming state.
+func (m *Monitor) Snapshot() MonitorState {
+	return MonitorState{
+		Window:    append([]float64(nil), m.buf...),
+		Current:   m.current,
+		HasCur:    m.hasCur,
+		Streak:    m.streak,
+		StreakLen: m.streakLen,
+	}
+}
+
+// Restore puts the monitor back into a snapshotted state. Pushes after
+// Restore behave exactly as they would have on the uninterrupted stream.
+func (m *Monitor) Restore(st MonitorState) {
+	m.buf = append(m.buf[:0], st.Window...)
+	m.current = st.Current
+	m.hasCur = st.HasCur
+	m.streak = st.Streak
+	m.streakLen = st.StreakLen
+}

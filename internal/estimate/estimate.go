@@ -39,6 +39,10 @@ var (
 	ErrTooFewSamples      = errors.New("estimate: too few samples")
 	ErrInsufficientMotion = errors.New("estimate: observer movement too small to estimate")
 	ErrNoSolution         = errors.New("estimate: regression produced no physical solution")
+	// ErrCanceled is returned when Config.Cancel reported cancellation
+	// mid-search (e.g. the caller's context ended); the partial result
+	// is discarded.
+	ErrCanceled = errors.New("estimate: canceled")
 )
 
 // Obs is one fused observation: a (filtered) RSS reading matched to the
@@ -114,7 +118,15 @@ type Config struct {
 	NSoftMin, NSoftMax         float64 // plausible exponent band (1.7–4.2)
 	GammaSoftMin, GammaSoftMax float64 // plausible Γ band (−82…−48 dBm)
 	PenaltyWeight              float64 // prior strength (dB² per sample)
+	// Cancel, if non-nil, is polled between refinement seeds and inside
+	// the Nelder–Mead iterations; once it reports true the search stops
+	// and the run returns ErrCanceled. Wire a context in with
+	// func() bool { return ctx.Err() != nil }.
+	Cancel func() bool `json:"-"`
 }
+
+// canceled reports whether the caller asked the search to stop.
+func (c Config) canceled() bool { return c.Cancel != nil && c.Cancel() }
 
 // DefaultConfig returns the estimator settings used by the pipeline.
 func DefaultConfig() Config {
@@ -175,6 +187,8 @@ func RunSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
 	est, err := runSegmented(obs, segStarts, cfg)
 	metRuns.Inc()
 	switch {
+	case errors.Is(err, ErrCanceled):
+		metCanceled.Inc()
 	case err != nil:
 		metFailures.Inc()
 	case est.Ambiguous:
@@ -195,6 +209,9 @@ func runSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
 	}
 	if len(obs) < cfg.MinSamples {
 		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewSamples, len(obs), cfg.MinSamples)
+	}
+	if cfg.canceled() {
+		return nil, ErrCanceled
 	}
 	cfg.softDefaults()
 	segs := normalizeSegments(len(obs), segStarts)
@@ -302,10 +319,16 @@ func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
 		return segmentedScore(obs, segs, cfg, distPlanar(v[0], v[1]))
 	}
 	for _, s := range seeds {
-		x, v := nelderMead(f, []float64{s.x, s.h}, 1.0, 200)
+		if cfg.canceled() {
+			return nil, ErrCanceled
+		}
+		x, v := nelderMead(f, []float64{s.x, s.h}, 1.0, 200, cfg.Cancel)
 		if v < bv {
 			bv, bx, bh = v, x[0], x[1]
 		}
+	}
+	if cfg.canceled() {
+		return nil, ErrCanceled
 	}
 	if math.IsInf(bv, 1) {
 		return nil, ErrNoSolution
@@ -336,6 +359,9 @@ func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estima
 	var bs, bw float64
 	bv := math.Inf(1)
 	for _, sd := range seeds {
+		if cfg.canceled() {
+			return nil, ErrCanceled
+		}
 		f := func(v []float64) float64 {
 			x, h := pos(v[0], math.Abs(v[1]))
 			if math.Hypot(x, h) > cfg.MaxRange {
@@ -343,10 +369,13 @@ func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estima
 			}
 			return segmentedScore(obs, segs, cfg, distPlanar(x, h))
 		}
-		x, v := nelderMead(f, []float64{sd.s, math.Max(sd.w, 0.3)}, 1.0, 200)
+		x, v := nelderMead(f, []float64{sd.s, math.Max(sd.w, 0.3)}, 1.0, 200, cfg.Cancel)
 		if v < bv {
 			bv, bs, bw = v, x[0], math.Abs(x[1])
 		}
+	}
+	if cfg.canceled() {
+		return nil, ErrCanceled
 	}
 	if math.IsInf(bv, 1) {
 		return nil, ErrNoSolution

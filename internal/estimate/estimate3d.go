@@ -98,6 +98,9 @@ func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 	var bx, bh, bz float64
 	bv := math.Inf(1)
 	for _, s := range seeds {
+		if cfg.canceled() {
+			return nil, ErrCanceled
+		}
 		f := func(v []float64) float64 {
 			if math.Sqrt(v[0]*v[0]+v[1]*v[1]+v[2]*v[2]) > cfg.MaxRange {
 				return math.Inf(1)
@@ -105,10 +108,13 @@ func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 			_, _, ss := eval(v[0], v[1], v[2])
 			return ss
 		}
-		x, v := nelderMead(f, []float64{s.x, s.h, s.z}, 1.0, 250)
+		x, v := nelderMead(f, []float64{s.x, s.h, s.z}, 1.0, 250, cfg.Cancel)
 		if v < bv {
 			bv, bx, bh, bz = v, x[0], x[1], x[2]
 		}
+	}
+	if cfg.canceled() {
+		return nil, ErrCanceled
 	}
 	if math.IsInf(bv, 1) {
 		return nil, ErrNoSolution

@@ -8,9 +8,12 @@ import "locble/internal/obs"
 // per-sample inner loops (dbFit, Nelder–Mead objective evaluations) are
 // deliberately untouched.
 var (
-	// metRuns / metFailures count RunSegmented outcomes.
+	// metRuns / metFailures count RunSegmented outcomes; metCanceled
+	// counts runs cut short by Config.Cancel (caller deadline or
+	// disconnect), which are not estimator failures.
 	metRuns     = obs.Default.Counter("estimate.runs")
 	metFailures = obs.Default.Counter("estimate.failures")
+	metCanceled = obs.Default.Counter("estimate.canceled")
 	// metAmbiguous counts collinear fits that returned mirror candidates.
 	metAmbiguous = obs.Default.Counter("estimate.ambiguous")
 	// metNMCalls / metNMIters count Nelder–Mead searches and the total

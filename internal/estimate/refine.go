@@ -52,8 +52,10 @@ func distPlanar(x, h float64) func(Obs) float64 {
 
 // nelderMead minimizes f over len(x0) parameters starting from x0 with
 // the given initial simplex scale. Compact implementation: the objective
-// is cheap and smooth almost everywhere.
-func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters int) ([]float64, float64) {
+// is cheap and smooth almost everywhere. A non-nil cancel is polled
+// every few iterations; cancellation stops the search early and returns
+// the best vertex so far (the caller decides whether to discard it).
+func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters int, cancel func() bool) ([]float64, float64) {
 	dim := len(x0)
 	type pt struct {
 		x []float64
@@ -80,6 +82,9 @@ func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters in
 	spent := 0
 	for it := 0; it < iters; it++ {
 		spent = it + 1
+		if it%8 == 0 && cancel != nil && cancel() {
+			break
+		}
 		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
 		best, worst := simplex[0], simplex[dim]
 		// Centroid of all but the worst.

@@ -22,4 +22,28 @@ var (
 	// subscriber resumes an interrupted session (from > 0).
 	metResumeDepth = obs.Default.Histogram("netproto.stream.resume_depth",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
+	// Lifecycle and overload instrumentation.
+	//
+	// metConnsActive gauges connections currently being served (its Max
+	// is the concurrency high-water mark); metConnsShed counts
+	// connections rejected by admission control (cap or token bucket),
+	// metConnsEvicted connections cut by the server for lack of
+	// progress (watchdog expiry or a write deadline hit by a slow
+	// reader).
+	metConnsActive  = obs.Default.Gauge("netproto.conns.active")
+	metConnsShed    = obs.Default.Counter("netproto.conns.shed")
+	metConnsEvicted = obs.Default.Counter("netproto.conns.evicted")
+	// metPanicsRecovered counts per-connection handler panics that were
+	// isolated to their connection instead of crashing the server.
+	metPanicsRecovered = obs.Default.Counter("netproto.panics.recovered")
+	// metDrainSeconds is the distribution of graceful-shutdown drain
+	// times (listener close → all handlers done).
+	metDrainSeconds = obs.Default.Histogram("netproto.drain.seconds",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10})
+	// metSubSkips counts live batches skipped because a subscriber's
+	// buffer was full (recovered later via resume); metSubsActive
+	// gauges live stream subscribers.
+	metSubSkips   = obs.Default.Counter("netproto.stream.sub_skips")
+	metSubsActive = obs.Default.Gauge("netproto.stream.subs.active")
 )

@@ -5,6 +5,14 @@
 // semantics with a small, self-contained protocol: UDP discovery
 // (request/offer, like SSDP's M-SEARCH) plus a length-prefixed JSON
 // exchange over TCP for the trace payload.
+//
+// The servers are built for long-running serving: accept loops run under
+// a restarting supervisor, per-connection handlers are panic-isolated
+// (a poisoned frame closes one connection, not the process), admission
+// is controlled by a connection cap and an optional token bucket (excess
+// connections are shed with an "overloaded" frame), stalled connections
+// are evicted by a watchdog, and Shutdown drains in-flight exchanges
+// before closing.
 package netproto
 
 import (
@@ -15,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net"
 	"sync"
 	"time"
 
 	"locble/internal/obs"
+	"locble/internal/resilience"
 )
 
 // Protocol constants.
@@ -169,10 +179,137 @@ func ReadFrame(r io.Reader, v any) error {
 	return nil
 }
 
+// ServerConfig tunes the lifecycle and overload behaviour shared by
+// Server and StreamServer. The zero value takes the defaults.
+type ServerConfig struct {
+	// MaxConns caps concurrently served connections (default 64,
+	// negative for unlimited). Connections over the cap are shed with an
+	// "overloaded" error frame and closed.
+	MaxConns int
+	// Admit, if non-nil, is a token-bucket admission limiter consulted
+	// before the connection cap; denied connections are shed the same
+	// way.
+	Admit *resilience.TokenBucket
+	// IdleTimeout is the per-connection progress watchdog: a connection
+	// whose exchange makes no frame progress for this long is evicted
+	// (default 6×FrameTimeout, negative disables). It backstops the
+	// per-frame deadlines against handlers stalled outside conn I/O.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default
+	// FrameTimeout). Lower it to evict slow-reading clients faster.
+	WriteTimeout time.Duration
+	// SubBuffer is a StreamServer's per-subscriber live buffer in
+	// batches (default 64). A subscriber whose buffer is full has
+	// batches skipped live; it recovers them from the history on resume.
+	SubBuffer int
+	// Logf receives supervision and panic-recovery reports (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConns == 0 {
+		c.MaxConns = 64
+	}
+	switch {
+	case c.IdleTimeout == 0:
+		c.IdleTimeout = 6 * FrameTimeout
+	case c.IdleTimeout < 0:
+		c.IdleTimeout = 0 // inert watchdog
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = FrameTimeout
+	}
+	if c.SubBuffer <= 0 {
+		c.SubBuffer = 64
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// connTable tracks a server's live connections so lifecycle control can
+// reach them: admission capping, drain wake-ups, and force-close.
+type connTable struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnTable() *connTable {
+	return &connTable{conns: make(map[net.Conn]struct{})}
+}
+
+// tryAdd registers conn unless the cap (when positive) is reached.
+func (t *connTable) tryAdd(conn net.Conn, max int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max > 0 && len(t.conns) >= max {
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *connTable) drop(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+func (t *connTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+// expireReads wakes handlers parked in a blocking read so they can
+// observe a drain in progress.
+func (t *connTable) expireReads() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for c := range t.conns {
+		c.SetReadDeadline(time.Now())
+	}
+}
+
+func (t *connTable) closeAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for c := range t.conns {
+		c.Close()
+	}
+}
+
+// shedConn rejects a connection under overload in a short-lived
+// goroutine tracked in wg (so drain waits for it): it first reads the
+// client's request — closing with unread data would turn into a TCP
+// reset that destroys the reply — then answers with one "overloaded"
+// frame and closes. Both deadlines are bounded by timeout, so a shed
+// lives at most ~2×timeout. The client's fetch surfaces the frame as
+// resilience.ErrOverloaded, which its retry policy backs off on.
+func shedConn(conn net.Conn, timeout time.Duration, wg *sync.WaitGroup) {
+	metConnsShed.Inc()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		var req struct {
+			Op string `json:"op"`
+		}
+		ReadFrame(bufio.NewReader(conn), &req)
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		WriteFrame(conn, map[string]string{"error": "overloaded"})
+	}()
+}
+
 // Server announces a device and serves its trace bundle. It listens for
 // discovery datagrams on UDP and serves trace fetches on TCP.
 type Server struct {
 	DeviceName string
+
+	cfg ServerConfig
 
 	mu     sync.Mutex
 	bundle *TraceBundle
@@ -180,8 +317,16 @@ type Server struct {
 	tcp net.Listener
 	udp net.PacketConn
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	conns *connTable
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	closed   chan struct{}
+
+	// handlerHook, if set, observes every decoded op before dispatch.
+	// Tests inject panics and stalls through it; it must be set before
+	// the first connection arrives.
+	handlerHook func(op string)
 }
 
 // SetBundle publishes the bundle served to clients (replacing any prior
@@ -194,10 +339,16 @@ func (s *Server) SetBundle(b *TraceBundle) {
 	s.bundle = b
 }
 
-// NewServer starts a server for the named device on loopback. Pass port 0
-// for an ephemeral port; the chosen addresses are available via Addr and
-// DiscoveryAddr.
+// NewServer starts a server for the named device on loopback with the
+// default lifecycle config. Pass port 0 for an ephemeral port; the
+// chosen addresses are available via Addr and DiscoveryAddr.
 func NewServer(device string, port int) (*Server, error) {
+	return NewServerWithConfig(device, port, ServerConfig{})
+}
+
+// NewServerWithConfig is NewServer with explicit lifecycle and overload
+// controls.
+func NewServerWithConfig(device string, port int, cfg ServerConfig) (*Server, error) {
 	tcp, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
 	if err != nil {
 		return nil, fmt.Errorf("netproto: listen tcp: %w", err)
@@ -211,7 +362,14 @@ func NewServer(device string, port int) (*Server, error) {
 			return nil, fmt.Errorf("netproto: listen udp: %w", err)
 		}
 	}
-	s := &Server{DeviceName: device, tcp: tcp, udp: udp, closed: make(chan struct{})}
+	s := &Server{
+		DeviceName: device,
+		cfg:        cfg.withDefaults(),
+		tcp:        tcp,
+		udp:        udp,
+		conns:      newConnTable(),
+		closed:     make(chan struct{}),
+	}
 	s.wg.Add(2)
 	go s.serveTCP()
 	go s.serveUDP()
@@ -224,85 +382,173 @@ func (s *Server) Addr() string { return s.tcp.Addr().String() }
 // DiscoveryAddr returns the UDP discovery address.
 func (s *Server) DiscoveryAddr() string { return s.udp.LocalAddr().String() }
 
-// Close shuts the server down and waits for its goroutines.
+// Close force-stops the server: listeners close, live connections are
+// closed immediately, and all goroutines are waited for. Use Shutdown
+// to drain in-flight exchanges instead.
 func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting, lets each
+// in-flight frame exchange complete, and waits for the per-connection
+// handlers to drain. If ctx ends first, the remaining connections are
+// force-closed and the context's error is returned; a clean drain
+// returns nil. Safe to call multiple times and concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	first := false
+	s.stopOnce.Do(func() { close(s.closed); first = true })
 	s.tcp.Close()
 	s.udp.Close()
-	s.wg.Wait()
-	return nil
+	start := time.Now()
+	// Handlers parked between frames wake via an expired read and then
+	// observe the drain; handlers mid-exchange finish their frame.
+	s.conns.expireReads()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.conns.closeAll()
+		<-done
+	}
+	if first {
+		metDrainSeconds.Observe(time.Since(start).Seconds())
+	}
+	return forced
 }
 
 func (s *Server) serveUDP() {
 	defer s.wg.Done()
-	buf := make([]byte, 512)
-	for {
-		n, addr, err := s.udp.ReadFrom(buf)
-		if err != nil {
-			return // closed
+	sup := &resilience.Supervisor{Name: "netproto.discovery", Logf: s.cfg.Logf}
+	sup.Run(context.Background(), func(context.Context) error {
+		buf := make([]byte, 512)
+		for {
+			n, addr, err := s.udp.ReadFrom(buf)
+			if err != nil {
+				select {
+				case <-s.closed:
+					return nil
+				default:
+					return err
+				}
+			}
+			if string(buf[:n]) != DiscoverMagic {
+				continue
+			}
+			offer := fmt.Sprintf("%s %s %s", OfferMagic, s.DeviceName, s.Addr())
+			s.udp.WriteTo([]byte(offer), addr)
 		}
-		if string(buf[:n]) != DiscoverMagic {
-			continue
-		}
-		offer := fmt.Sprintf("%s %s %s", OfferMagic, s.DeviceName, s.Addr())
-		s.udp.WriteTo([]byte(offer), addr)
-	}
+	})
 }
 
 func (s *Server) serveTCP() {
 	defer s.wg.Done()
+	sup := &resilience.Supervisor{Name: "netproto.accept", Logf: s.cfg.Logf}
+	sup.Run(context.Background(), func(context.Context) error {
+		return s.acceptLoop()
+	})
+}
+
+func (s *Server) acceptLoop() error {
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
-			return // closed
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err // supervisor restarts the loop
+			}
+		}
+		if !s.admit(conn) {
+			continue
 		}
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			// Deadlines are per frame, refreshed before each read and
-			// write: a connection-scoped deadline would expire in the
-			// middle of a long multi-frame exchange.
-			var req struct {
-				Op string `json:"op"`
+		go s.handleConn(conn)
+	}
+}
+
+// admit applies the token-bucket limiter and the connection cap,
+// shedding the connection when either denies.
+func (s *Server) admit(conn net.Conn) bool {
+	if !s.cfg.Admit.Allow() || !s.conns.tryAdd(conn, s.cfg.MaxConns) {
+		shedConn(conn, s.cfg.WriteTimeout, &s.wg)
+		return false
+	}
+	metConnsActive.Add(1)
+	return true
+}
+
+// handleConn serves one trace-exchange connection. It is panic-isolated
+// (a handler panic closes this connection only), watchdog-guarded (a
+// stalled exchange is evicted), and drain-aware (between frames it
+// observes shutdown and exits).
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.conns.drop(conn)
+		metConnsActive.Add(-1)
+	}()
+	defer resilience.CatchPanic("netproto.conn", s.cfg.Logf, func(any) {
+		metPanicsRecovered.Inc()
+	})()
+	wd := resilience.NewWatchdog(s.cfg.IdleTimeout, func() {
+		metConnsEvicted.Inc()
+		conn.Close() // unblocks any pending I/O; the handler then exits
+	})
+	defer wd.Stop()
+
+	// Deadlines are per frame, refreshed before each read and write: a
+	// connection-scoped deadline would expire in the middle of a long
+	// multi-frame exchange.
+	var req struct {
+		Op string `json:"op"`
+	}
+	br := bufio.NewReader(conn)
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+		if err := ReadFrame(br, &req); err != nil {
+			return
+		}
+		wd.Kick()
+		if hook := s.handlerHook; hook != nil {
+			hook(req.Op)
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		switch req.Op {
+		case "fetch":
+			s.mu.Lock()
+			b := s.bundle
+			s.mu.Unlock()
+			if b == nil {
+				b = &TraceBundle{Device: s.DeviceName}
 			}
-			br := bufio.NewReader(conn)
-			for {
-				conn.SetReadDeadline(time.Now().Add(FrameTimeout))
-				if err := ReadFrame(br, &req); err != nil {
-					return
-				}
-				conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
-				switch req.Op {
-				case "fetch":
-					s.mu.Lock()
-					b := s.bundle
-					s.mu.Unlock()
-					if b == nil {
-						b = &TraceBundle{Device: s.DeviceName}
-					}
-					if err := WriteFrame(conn, b); err != nil {
-						return
-					}
-				case "metrics":
-					// Expvar-style introspection: the process-wide metric
-					// snapshot as one JSON frame, so an operator (or test)
-					// can scrape transport and pipeline counters over the
-					// same trace-exchange port.
-					if err := WriteFrame(conn, obs.Default.Snapshot()); err != nil {
-						return
-					}
-				default:
-					WriteFrame(conn, map[string]string{"error": "unknown op"})
-					return
-				}
+			if err := WriteFrame(conn, b); err != nil {
+				return
 			}
-		}()
+		case "metrics":
+			// Expvar-style introspection: the process-wide metric
+			// snapshot as one JSON frame, so an operator (or test)
+			// can scrape transport and pipeline counters over the
+			// same trace-exchange port.
+			if err := WriteFrame(conn, obs.Default.Snapshot()); err != nil {
+				return
+			}
+		default:
+			WriteFrame(conn, map[string]string{"error": "unknown op"})
+			return
+		}
 	}
 }
 
@@ -444,9 +690,21 @@ func fetchOnce(ctx context.Context, addr string) (*TraceBundle, error) {
 		return nil, err
 	}
 	conn.SetReadDeadline(frameDeadline())
-	var b TraceBundle
-	if err := ReadFrame(bufio.NewReader(conn), &b); err != nil {
+	var resp struct {
+		TraceBundle
+		Err string `json:"error"`
+	}
+	if err := ReadFrame(bufio.NewReader(conn), &resp); err != nil {
 		return nil, err
 	}
-	return &b, nil
+	switch resp.Err {
+	case "":
+		return &resp.TraceBundle, nil
+	case "overloaded":
+		// A shed connection: typed so the retry policy (or the caller's
+		// breaker) can back off and try again once load clears.
+		return nil, fmt.Errorf("netproto: fetch %s: %w", addr, resilience.ErrOverloaded)
+	default:
+		return nil, fmt.Errorf("netproto: fetch %s: server error: %s", addr, resp.Err)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"locble/internal/resilience"
 )
 
 // Retry is an exponential-backoff policy with randomized jitter, used by
@@ -27,6 +29,13 @@ type Retry struct {
 	Jitter float64
 	// Rand overrides the jitter source (tests); nil uses math/rand.
 	Rand func() float64
+	// Breaker, if non-nil, is consulted before every attempt: while the
+	// circuit is open, attempts fail fast with ErrCircuitOpen without
+	// touching the peer (still consuming retry budget, so the policy
+	// rides through the open window and probes once it goes half-open).
+	// The outcome of each real attempt is recorded into the breaker.
+	// Share one breaker across callers targeting the same peer.
+	Breaker *resilience.Breaker
 }
 
 // DefaultRetry returns the policy the package-level helpers use: six
@@ -93,7 +102,16 @@ func (r Retry) Do(ctx context.Context, op func() error) error {
 			}
 			return err
 		}
-		last = op()
+		if r.Breaker != nil {
+			if berr := r.Breaker.Allow(); berr != nil {
+				last = berr // fail fast; never ran, so don't record
+			} else {
+				last = op()
+				r.Breaker.Record(last)
+			}
+		} else {
+			last = op()
+		}
 		if last == nil {
 			return nil
 		}

@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"locble/internal/resilience"
 )
 
 // Streaming extends the bundle exchange with a live mode: during a
@@ -30,6 +33,11 @@ type StreamBatch struct {
 	Motion []MotionPoint `json:"motion,omitempty"`
 	// Final marks the last batch of the session.
 	Final bool `json:"final,omitempty"`
+	// Draining marks a terminal batch emitted because the server is
+	// shutting down rather than because the measurement ended. A
+	// consumer that sees it can checkpoint and re-subscribe to the
+	// restarted server with its last sequence number.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // subscribeReq is the hello frame a subscriber sends on connect. From is
@@ -51,7 +59,8 @@ var StreamIdleTimeout = 30 * time.Second
 type StreamServer struct {
 	DeviceName string
 
-	ln net.Listener
+	cfg ServerConfig
+	ln  net.Listener
 
 	mu      sync.Mutex
 	subs    map[net.Conn]chan StreamBatch
@@ -59,20 +68,40 @@ type StreamServer struct {
 	seq     int
 	closed  bool // final published or Close called; history still served
 
-	wg sync.WaitGroup
+	conns *connTable
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	skips atomic.Int64
+
+	// subscribeHook, if set, observes every accepted subscribe request.
+	// Tests inject panics through it; it must be set before the first
+	// subscriber arrives.
+	subscribeHook func(req subscribeReq)
 }
 
 // NewStreamServer starts a live-stream publisher on loopback (port 0 for
-// ephemeral).
+// ephemeral) with the default lifecycle config.
 func NewStreamServer(device string, port int) (*StreamServer, error) {
+	return NewStreamServerWithConfig(device, port, ServerConfig{})
+}
+
+// NewStreamServerWithConfig is NewStreamServer with explicit lifecycle
+// and overload controls.
+func NewStreamServerWithConfig(device string, port int, cfg ServerConfig) (*StreamServer, error) {
 	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
 	if err != nil {
 		return nil, fmt.Errorf("netproto: stream listen: %w", err)
 	}
 	s := &StreamServer{
 		DeviceName: device,
+		cfg:        cfg.withDefaults(),
 		ln:         ln,
 		subs:       make(map[net.Conn]chan StreamBatch),
+		conns:      newConnTable(),
+		stopped:    make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -82,27 +111,65 @@ func NewStreamServer(device string, port int) (*StreamServer, error) {
 // Addr returns the TCP address subscribers dial.
 func (s *StreamServer) Addr() string { return s.ln.Addr().String() }
 
+// SubscriberSkips returns how many live batches were skipped because a
+// subscriber's buffer was full. Skipped batches stay in the history, so
+// the subscriber recovers them on resume.
+func (s *StreamServer) SubscriberSkips() int64 { return s.skips.Load() }
+
+// Subscribers returns how many subscribers are currently registered for
+// live batches. A subscriber counts from the moment its subscribe frame
+// has been accepted, so a publisher can wait for listeners before
+// pushing data it does not want replayed from history.
+func (s *StreamServer) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
 func (s *StreamServer) accept() {
 	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
+	sup := &resilience.Supervisor{Name: "netproto.stream.accept", Logf: s.cfg.Logf}
+	sup.Run(context.Background(), func(context.Context) error {
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				select {
+				case <-s.stopped:
+					return nil
+				default:
+					return err // supervisor restarts the loop
+				}
+			}
+			if !s.cfg.Admit.Allow() || !s.conns.tryAdd(conn, s.cfg.MaxConns) {
+				shedConn(conn, s.cfg.WriteTimeout, &s.wg)
+				continue
+			}
+			metConnsActive.Add(1)
+			s.wg.Add(1)
+			go s.serve(conn)
 		}
-		s.wg.Add(1)
-		go s.serve(conn)
-	}
+	})
 }
 
 func (s *StreamServer) serve(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.conns.drop(conn)
+		metConnsActive.Add(-1)
+	}()
+	defer resilience.CatchPanic("netproto.stream.conn", s.cfg.Logf, func(any) {
+		metPanicsRecovered.Inc()
+	})()
 
 	// Hello frame: where to resume from.
 	conn.SetReadDeadline(time.Now().Add(FrameTimeout))
 	var req subscribeReq
 	if err := ReadFrame(bufio.NewReader(conn), &req); err != nil || req.Op != "subscribe" {
 		return
+	}
+	if hook := s.subscribeHook; hook != nil {
+		hook(req)
 	}
 
 	// Snapshot the replay backlog and register for live batches under
@@ -116,7 +183,7 @@ func (s *StreamServer) serve(conn net.Conn) {
 	}
 	var ch chan StreamBatch
 	if !s.closed {
-		ch = make(chan StreamBatch, 64)
+		ch = make(chan StreamBatch, s.cfg.SubBuffer)
 		s.subs[conn] = ch
 	}
 	s.mu.Unlock()
@@ -125,10 +192,12 @@ func (s *StreamServer) serve(conn net.Conn) {
 		metResumeDepth.Observe(float64(len(replay)))
 	}
 	if ch != nil {
+		metSubsActive.Add(1)
 		defer func() {
 			s.mu.Lock()
 			delete(s.subs, conn)
 			s.mu.Unlock()
+			metSubsActive.Add(-1)
 		}()
 	}
 
@@ -137,8 +206,13 @@ func (s *StreamServer) serve(conn net.Conn) {
 		if b.Seq <= lastSent {
 			return true // already delivered (replay/live overlap)
 		}
-		conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if err := WriteFrame(conn, b); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// A slow reader stalled the write past its deadline:
+				// evicted, not merely disconnected.
+				metConnsEvicted.Inc()
+			}
 			return false
 		}
 		lastSent = b.Seq
@@ -175,36 +249,84 @@ func (s *StreamServer) Publish(rss []TimedRSS, motion []MotionPoint, final bool)
 	s.seq++
 	b := StreamBatch{Seq: s.seq, RSS: rss, Motion: motion, Final: final}
 	s.history = append(s.history, b)
-	for _, ch := range s.subs {
-		select {
-		case ch <- b:
-		default: // drop for this subscriber; history covers it
-		}
-	}
+	s.broadcastLocked(b)
 	if final {
-		s.closed = true
-		for _, ch := range s.subs {
-			close(ch)
-		}
-		s.subs = map[net.Conn]chan StreamBatch{}
+		s.endSessionLocked()
 	}
 	return nil
 }
 
-// Close shuts the server down. History replay stops too: Close is the
-// hard stop, Publish(…, final=true) the graceful end of session.
-func (s *StreamServer) Close() error {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		for _, ch := range s.subs {
-			close(ch)
+// broadcastLocked offers b to every live subscriber, skipping (and
+// counting) those whose buffers are full.
+func (s *StreamServer) broadcastLocked(b StreamBatch) {
+	for _, ch := range s.subs {
+		select {
+		case ch <- b:
+		default: // drop for this subscriber; history covers it
+			s.skips.Add(1)
+			metSubSkips.Inc()
 		}
-		s.subs = map[net.Conn]chan StreamBatch{}
 	}
-	s.mu.Unlock()
+}
+
+// endSessionLocked closes every live subscriber channel and stops
+// accepting new live registrations.
+func (s *StreamServer) endSessionLocked() {
+	s.closed = true
+	for _, ch := range s.subs {
+		close(ch)
+	}
+	s.subs = map[net.Conn]chan StreamBatch{}
+}
+
+// Shutdown gracefully stops the server. If the session is still live, a
+// terminal batch with Final and Draining set is published so subscribers
+// learn the stream ended because of shutdown, not measurement end; then
+// the listener closes and in-flight sends drain. If ctx ends first, the
+// remaining connections are force-closed and the context's error
+// returned. Safe to call multiple times and concurrently.
+func (s *StreamServer) Shutdown(ctx context.Context) error {
+	first := false
+	s.stopOnce.Do(func() { close(s.stopped); first = true })
 	s.ln.Close()
-	s.wg.Wait()
+	start := time.Now()
+	if first {
+		s.mu.Lock()
+		if !s.closed {
+			s.seq++
+			b := StreamBatch{Seq: s.seq, Final: true, Draining: true}
+			s.history = append(s.history, b)
+			s.broadcastLocked(b)
+			s.endSessionLocked()
+		}
+		s.mu.Unlock()
+	}
+	// Wake handshake waiters parked in their hello-frame read.
+	s.conns.expireReads()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.conns.closeAll()
+		<-done
+	}
+	if first {
+		metDrainSeconds.Observe(time.Since(start).Seconds())
+	}
+	return forced
+}
+
+// Close is the hard stop: subscribers are cut immediately (after the
+// terminal draining batch, if the session was still live) and all
+// goroutines are waited for. Publish(…, final=true) is the graceful end
+// of session; Shutdown the graceful end of serving.
+func (s *StreamServer) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
 	return nil
 }
 

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a bounded work queue with load shedding: a fixed worker pool
+// drains a fixed-depth task buffer, and TrySubmit rejects with
+// ErrOverloaded — immediately, never blocking — when the buffer is
+// full. Close drains what was admitted and stops the workers.
+//
+// The queue is the backlog half of overload control: the TokenBucket
+// bounds how fast work arrives, the Queue bounds how much admitted work
+// may be outstanding. Everything past either bound is shed with a typed
+// error the caller can convert into backpressure (an "overloaded" frame,
+// a 503, a dropped batch).
+type Queue struct {
+	tasks chan func()
+	quit  chan struct{} // closed by Close: stop accepting, drain, exit
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	done      chan struct{} // closed when every worker has exited
+
+	shed      atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+}
+
+// NewQueue starts a pool of workers draining a task buffer of the given
+// depth. workers and depth are floored at 1.
+func NewQueue(workers, depth int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &Queue{
+		tasks: make(chan func(), depth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	go func() {
+		q.wg.Wait()
+		close(q.done)
+	}()
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case fn := <-q.tasks:
+			q.run(fn)
+		case <-q.quit:
+			// Drain the admitted backlog, then exit.
+			for {
+				select {
+				case fn := <-q.tasks:
+					q.run(fn)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one task under panic isolation: a panicking task must
+// not kill its worker (the pool would silently shrink).
+func (q *Queue) run(fn func()) {
+	defer q.completed.Add(1)
+	defer CatchPanic("resilience.queue task", nil, nil)()
+	fn()
+}
+
+// TrySubmit enqueues fn without blocking. It returns ErrOverloaded when
+// the buffer is full (counted in "resilience.queue.shed") and
+// ErrQueueClosed after Close.
+func (q *Queue) TrySubmit(fn func()) error {
+	select {
+	case <-q.quit:
+		return ErrQueueClosed
+	default:
+	}
+	select {
+	case q.tasks <- fn:
+		q.submitted.Add(1)
+		return nil
+	default:
+		q.shed.Add(1)
+		metQueueShed.Inc()
+		return ErrOverloaded
+	}
+}
+
+// Submit enqueues fn, blocking until buffer space frees up, the context
+// ends, or the queue closes. Use for callers that prefer backpressure
+// over shedding (e.g. an internal fan-out that must not drop work).
+func (q *Queue) Submit(ctx context.Context, fn func()) error {
+	select {
+	case <-q.quit:
+		return ErrQueueClosed
+	default:
+	}
+	select {
+	case q.tasks <- fn:
+		q.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-q.quit:
+		return ErrQueueClosed
+	}
+}
+
+// Close stops admission, lets the workers drain the admitted backlog,
+// and waits for them up to the context deadline. On expiry it returns
+// ctx.Err(); the workers keep draining in the background.
+func (q *Queue) Close(ctx context.Context) error {
+	q.closeOnce.Do(func() { close(q.quit) })
+	select {
+	case <-q.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shed returns how many submissions were rejected with ErrOverloaded.
+func (q *Queue) Shed() int64 { return q.shed.Load() }
+
+// Completed returns how many admitted tasks have finished.
+func (q *Queue) Completed() int64 { return q.completed.Load() }
+
+// Submitted returns how many tasks were admitted.
+func (q *Queue) Submitted() int64 { return q.submitted.Load() }

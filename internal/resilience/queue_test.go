@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locble/internal/testutil"
+)
+
+func TestQueueRunsSubmittedWork(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	q := NewQueue(4, 16)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		if err := q.TrySubmit(func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("TrySubmit: %v", err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != 16 {
+		t.Fatalf("ran = %d, want 16", ran.Load())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if q.Completed() != 16 {
+		t.Fatalf("Completed = %d, want 16", q.Completed())
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	if err := q.TrySubmit(func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the single buffer slot...
+	if err := q.TrySubmit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission must shed.
+	err := q.TrySubmit(func() {})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("TrySubmit on full queue = %v, want ErrOverloaded", err)
+	}
+	if q.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", q.Shed())
+	}
+	close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueCloseDrainsBacklog(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	q := NewQueue(1, 8)
+	var ran atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-block; ran.Add(1) })
+	<-started
+	for i := 0; i < 8; i++ {
+		if err := q.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("backlog submit %d: %v", i, err)
+		}
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != 9 {
+		t.Fatalf("ran = %d, want 9 (backlog must drain)", ran.Load())
+	}
+	if err := q.TrySubmit(func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueCloseTimeout(t *testing.T) {
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-block })
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close with stuck worker = %v, want deadline exceeded", err)
+	}
+	close(block) // let the worker finish so it does not leak
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := q.Close(ctx2); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestQueueTaskPanicDoesNotKillWorker(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	q := NewQueue(1, 4)
+	if err := q.TrySubmit(func() { panic("task boom") }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if err := q.TrySubmit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker died after task panic")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueSubmitBlocksThenHonorsContext(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	q := NewQueue(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-block })
+	<-started
+	q.TrySubmit(func() {}) // fill the buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Submit(ctx, func() {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit on full queue = %v, want deadline exceeded", err)
+	}
+	close(block)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := q.Close(ctx2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Supervisor runs a long-lived function under panic isolation,
+// restarting it with exponential backoff when it panics or returns an
+// error. A serving loop wrapped in a supervisor survives a poisoned
+// input: the broken iteration is logged and counted, the loop restarts
+// after a backoff, and the process keeps serving.
+//
+// Restarts are counted in "resilience.supervisor.restarts" and
+// recovered panics in "resilience.supervisor.panics".
+type Supervisor struct {
+	// Name identifies the supervised loop in logs.
+	Name string
+	// Backoff is the first restart delay (default 10 ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling delay (default 2 s).
+	MaxBackoff time.Duration
+	// MaxRestarts stops supervision after this many restarts
+	// (0 = unlimited); Run then returns the last failure.
+	MaxRestarts int
+	// Logf, if set, receives restart and panic reports.
+	Logf func(format string, args ...any)
+
+	restarts atomic.Int64
+}
+
+// Restarts returns how many times the supervised function has been
+// restarted.
+func (s *Supervisor) Restarts() int64 { return s.restarts.Load() }
+
+// Run executes fn until it returns nil (done), the context ends, or the
+// restart budget is exhausted. A panic inside fn is recovered and
+// treated as a failure. The backoff doubles per consecutive failure and
+// resets after a run that survived 10× the current backoff.
+func (s *Supervisor) Run(ctx context.Context, fn func(ctx context.Context) error) error {
+	base := s.Backoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxB := s.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	backoff := base
+	var last error
+	for {
+		started := time.Now()
+		err := s.runOnce(ctx, fn)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Since(started) > 10*backoff {
+			backoff = base // the run was healthy for a while; forgive
+		}
+		n := s.restarts.Add(1)
+		metSupervisorRestart.Inc()
+		if s.Logf != nil {
+			s.Logf("resilience: %s failed (%v), restart %d in %v", s.Name, err, n, backoff)
+		}
+		if s.MaxRestarts > 0 && n >= int64(s.MaxRestarts) {
+			return last
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > maxB {
+			backoff = maxB
+		}
+	}
+}
+
+// runOnce invokes fn, converting a panic into an error.
+func (s *Supervisor) runOnce(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			metSupervisorPanics.Inc()
+			if s.Logf != nil {
+				s.Logf("resilience: recovered panic in %s: %v", s.Name, v)
+			}
+			err = &PanicError{Name: s.Name, Value: v}
+		}
+	}()
+	return fn(ctx)
+}
+
+// PanicError wraps a recovered panic value as an error.
+type PanicError struct {
+	Name  string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return "resilience: panic in " + e.Name
+}

@@ -1,0 +1,199 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locble/internal/testutil"
+)
+
+func TestSupervisorRestartsOnPanic(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var runs atomic.Int64
+	s := &Supervisor{Name: "panicky", Backoff: time.Millisecond}
+	err := s.Run(context.Background(), func(ctx context.Context) error {
+		if runs.Add(1) < 3 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run = %v, want nil after recovery", err)
+	}
+	if runs.Load() != 3 {
+		t.Fatalf("runs = %d, want 3", runs.Load())
+	}
+	if s.Restarts() != 2 {
+		t.Fatalf("Restarts = %d, want 2", s.Restarts())
+	}
+}
+
+func TestSupervisorRestartsOnError(t *testing.T) {
+	var runs atomic.Int64
+	s := &Supervisor{Name: "flaky", Backoff: time.Millisecond}
+	err := s.Run(context.Background(), func(ctx context.Context) error {
+		if runs.Add(1) < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || runs.Load() != 2 {
+		t.Fatalf("Run = %v after %d runs", err, runs.Load())
+	}
+}
+
+func TestSupervisorMaxRestarts(t *testing.T) {
+	boom := errors.New("persistent")
+	s := &Supervisor{Name: "doomed", Backoff: time.Millisecond, MaxRestarts: 3}
+	err := s.Run(context.Background(), func(ctx context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want the persistent failure", err)
+	}
+	if s.Restarts() != 3 {
+		t.Fatalf("Restarts = %d, want 3", s.Restarts())
+	}
+}
+
+func TestSupervisorStopsOnContextCancel(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	s := &Supervisor{Name: "looper", Backoff: time.Hour} // huge backoff: cancel must cut it
+	go func() {
+		done <- s.Run(ctx, func(ctx context.Context) error {
+			return errors.New("always fails")
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not stop on cancel")
+	}
+}
+
+func TestSupervisorPanicError(t *testing.T) {
+	s := &Supervisor{Name: "once", Backoff: time.Millisecond, MaxRestarts: 1}
+	err := s.Run(context.Background(), func(ctx context.Context) error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("Run = %v, want *PanicError{Value: 42}", err)
+	}
+}
+
+func TestCatchPanic(t *testing.T) {
+	var got any
+	func() {
+		defer CatchPanic("test-goroutine", nil, func(v any) { got = v })()
+		panic("isolated")
+	}()
+	if got != "isolated" {
+		t.Fatalf("recovered value = %v", got)
+	}
+	// No panic: the hook must not fire.
+	fired := false
+	func() {
+		defer CatchPanic("clean", nil, func(v any) { fired = true })()
+	}()
+	if fired {
+		t.Fatal("onPanic fired without a panic")
+	}
+}
+
+func TestWatchdogFiresAndRearms(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	fired := make(chan struct{}, 4)
+	w := NewWatchdog(30*time.Millisecond, func() { fired <- struct{}{} })
+	defer w.Stop()
+	// Kept alive: no expiry while kicked.
+	for i := 0; i < 5; i++ {
+		time.Sleep(10 * time.Millisecond)
+		w.Kick()
+	}
+	select {
+	case <-fired:
+		t.Fatal("watchdog fired while being kicked")
+	default:
+	}
+	// Starved: it must fire.
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if !w.Expired() {
+		t.Fatal("Expired() = false after firing")
+	}
+	// A kick re-arms it.
+	w.Kick()
+	if w.Expired() {
+		t.Fatal("Expired() = true after re-arm")
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed watchdog never fired")
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	w := NewWatchdog(10*time.Millisecond, func() { t.Error("stopped watchdog fired") })
+	w.Stop()
+	time.Sleep(30 * time.Millisecond)
+	// Inert watchdog (timeout <= 0) is safe to use.
+	inert := NewWatchdog(0, func() { t.Error("inert watchdog fired") })
+	inert.Kick()
+	inert.Stop()
+}
+
+func TestTokenBucketAdmitsAndRefills(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	tb := NewTokenBucket(10, 3) // 10/s, burst 3
+	tb.SetClock(clk.Now)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow() {
+			t.Fatalf("burst admission %d denied", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.Advance(100 * time.Millisecond) // refills exactly 1 token
+	if !tb.Allow() {
+		t.Fatal("refilled token denied")
+	}
+	if tb.Allow() {
+		t.Fatal("second token admitted after one refill interval")
+	}
+	// Refill never exceeds burst.
+	clk.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow() {
+			t.Fatalf("post-idle admission %d denied", i)
+		}
+	}
+	if tb.Allow() {
+		t.Fatal("bucket exceeded burst after idle")
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := NewTokenBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !tb.Allow() {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+	var nilBucket *TokenBucket
+	if !nilBucket.Allow() {
+		t.Fatal("nil bucket must admit")
+	}
+}

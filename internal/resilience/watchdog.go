@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog is a progress timer: arm it with a timeout and Kick it on
+// every unit of progress (a frame served, a batch published). If no
+// kick arrives within the timeout the expire callback fires — once —
+// and the watchdog stays expired until Kick re-arms it. Expiries are
+// counted in "resilience.watchdog.expired".
+//
+// netproto uses one per connection: a client that stops making frame
+// progress (without tripping a single write deadline, e.g. trickling
+// bytes) is evicted by its watchdog instead of holding a connection
+// slot forever.
+type Watchdog struct {
+	timeout  time.Duration
+	onExpire func()
+
+	mu      sync.Mutex
+	timer   *time.Timer
+	stopped bool
+	expired bool
+}
+
+// NewWatchdog arms a watchdog that calls onExpire if Kick is not called
+// within timeout. timeout <= 0 returns an inert watchdog (never fires).
+func NewWatchdog(timeout time.Duration, onExpire func()) *Watchdog {
+	w := &Watchdog{timeout: timeout, onExpire: onExpire}
+	if timeout <= 0 {
+		w.stopped = true
+		return w
+	}
+	w.timer = time.AfterFunc(timeout, w.expire)
+	return w
+}
+
+func (w *Watchdog) expire() {
+	w.mu.Lock()
+	if w.stopped || w.expired {
+		w.mu.Unlock()
+		return
+	}
+	w.expired = true
+	fn := w.onExpire
+	w.mu.Unlock()
+	metWatchdogExpired.Inc()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Kick reports progress, re-arming the timer (also from the expired
+// state — progress after an expiry restarts the watch).
+func (w *Watchdog) Kick() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped || w.timer == nil {
+		return
+	}
+	w.expired = false
+	w.timer.Reset(w.timeout)
+}
+
+// Stop disarms the watchdog permanently.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}
+
+// Expired reports whether the watchdog has fired and not been re-armed.
+func (w *Watchdog) Expired() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.expired
+}

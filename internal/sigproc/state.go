@@ -1,0 +1,140 @@
+package sigproc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Filter-state export/restore, the sigproc half of session
+// checkpointing: a long-running tracking session must survive a process
+// restart without cold-starting its filters (a freshly primed cascade
+// would re-converge over seconds of samples and shift every fix in the
+// meantime). Each stateful block exposes a Snapshot that captures its
+// dynamic state — delay lines, Kalman covariance, AKF adaptation — as a
+// plain exported struct that marshals to JSON, and a Restore that puts
+// an identically *designed* instance back into that state. Restoring is
+// sample-for-sample exact: Process after Restore returns bit-identical
+// outputs to the uninterrupted run.
+//
+// Design parameters (filter order, cutoff, noise variances) are NOT
+// part of a snapshot: they belong to configuration, and restoring into
+// a differently designed filter is an error, not a silent blend.
+
+// ErrStateMismatch is returned when a snapshot does not fit the filter
+// it is being restored into (e.g. different Butterworth order).
+var ErrStateMismatch = errors.New("sigproc: snapshot does not match filter design")
+
+// BiquadState is the delay line of one second-order section.
+type BiquadState struct {
+	Z1 float64 `json:"z1"`
+	Z2 float64 `json:"z2"`
+}
+
+// ButterworthState is the dynamic state of a Butterworth cascade.
+type ButterworthState struct {
+	Primed   bool          `json:"primed"`
+	Sections []BiquadState `json:"sections"`
+}
+
+// Snapshot captures the cascade's delay lines and priming flag.
+func (f *Butterworth) Snapshot() ButterworthState {
+	st := ButterworthState{Primed: f.primed, Sections: make([]BiquadState, len(f.sections))}
+	for i := range f.sections {
+		st.Sections[i] = BiquadState{Z1: f.sections[i].z1, Z2: f.sections[i].z2}
+	}
+	return st
+}
+
+// Restore puts an identically designed filter back into a snapshotted
+// state. The section count must match the receiver's design.
+func (f *Butterworth) Restore(st ButterworthState) error {
+	if len(st.Sections) != len(f.sections) {
+		return fmt.Errorf("%w: snapshot has %d sections, filter has %d",
+			ErrStateMismatch, len(st.Sections), len(f.sections))
+	}
+	f.primed = st.Primed
+	for i := range f.sections {
+		f.sections[i].z1 = st.Sections[i].Z1
+		f.sections[i].z2 = st.Sections[i].Z2
+	}
+	return nil
+}
+
+// KalmanState is the full state of a scalar Kalman filter. Q is included
+// even though it is nominally a design parameter because the AKF adapts
+// it every sample — it is dynamic state there.
+type KalmanState struct {
+	Q      float64 `json:"q"`
+	R      float64 `json:"r"`
+	X      float64 `json:"x"`
+	P      float64 `json:"p"`
+	Primed bool    `json:"primed"`
+}
+
+// Snapshot captures the filter's state and noise parameters.
+func (k *Kalman) Snapshot() KalmanState {
+	return KalmanState{Q: k.Q, R: k.R, X: k.x, P: k.p, Primed: k.primed}
+}
+
+// Restore puts the filter back into a snapshotted state.
+func (k *Kalman) Restore(st KalmanState) {
+	k.Q, k.R = st.Q, st.R
+	k.x, k.p = st.X, st.P
+	k.primed = st.Primed
+}
+
+// AKFState is the dynamic state of the BF+AKF cascade: the inner Kalman
+// filter (including its adapted Q), the Butterworth delay lines, the
+// innovation statistics driving adaptation, and the run statistics, so
+// a restored session reports continuous observability numbers.
+type AKFState struct {
+	KF       KalmanState      `json:"kf"`
+	BF       ButterworthState `json:"bf"`
+	BaseQ    float64          `json:"base_q"`
+	InnovVar float64          `json:"innov_var"`
+	Bias     float64          `json:"bias"`
+	Alpha    float64          `json:"alpha"`
+	Stats    AKFStats         `json:"stats"`
+
+	MinAlpha   float64 `json:"min_alpha"`
+	MaxAlpha   float64 `json:"max_alpha"`
+	AdaptRate  float64 `json:"adapt_rate"`
+	DivergeSig float64 `json:"diverge_sig"`
+}
+
+// Snapshot captures the cascade's complete dynamic state.
+func (a *AKF) Snapshot() AKFState {
+	return AKFState{
+		KF:       a.kf.Snapshot(),
+		BF:       a.bf.Snapshot(),
+		BaseQ:    a.baseQ,
+		InnovVar: a.innovVar,
+		Bias:     a.bias,
+		Alpha:    a.alpha,
+		Stats:    a.stats,
+
+		MinAlpha:   a.MinAlpha,
+		MaxAlpha:   a.MaxAlpha,
+		AdaptRate:  a.AdaptRate,
+		DivergeSig: a.DivergeSig,
+	}
+}
+
+// Restore puts an identically designed cascade back into a snapshotted
+// state. The wrapped Butterworth's design must match.
+func (a *AKF) Restore(st AKFState) error {
+	if err := a.bf.Restore(st.BF); err != nil {
+		return err
+	}
+	a.kf.Restore(st.KF)
+	a.baseQ = st.BaseQ
+	a.innovVar = st.InnovVar
+	a.bias = st.Bias
+	a.alpha = st.Alpha
+	a.stats = st.Stats
+	a.MinAlpha = st.MinAlpha
+	a.MaxAlpha = st.MaxAlpha
+	a.AdaptRate = st.AdaptRate
+	a.DivergeSig = st.DivergeSig
+	return nil
+}

@@ -1,0 +1,136 @@
+package sigproc
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// shiftSeries is a deterministic RSS-like series with a level shift and
+// oscillation, enough to drive the AKF's adaptation machinery.
+func shiftSeries(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		level := -62.0
+		if i > n/2 {
+			level = -54.0 // mid-series level change exercises divergence
+		}
+		xs[i] = level + 3*math.Sin(float64(i)*0.7) + 1.5*math.Cos(float64(i)*2.3)
+	}
+	return xs
+}
+
+// TestButterworthSnapshotRestore: filter half a series, snapshot, restore
+// into a fresh instance, and finish on both — outputs must be
+// bit-identical to the uninterrupted run.
+func TestButterworthSnapshotRestore(t *testing.T) {
+	xs := shiftSeries(200)
+	mk := func() *Butterworth {
+		f, err := NewButterworth(6, 0.9, 9)
+		if err != nil {
+			t.Fatalf("NewButterworth: %v", err)
+		}
+		return f
+	}
+	ref := mk()
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = ref.Process(x)
+	}
+
+	a := mk()
+	for _, x := range xs[:100] {
+		a.Process(x)
+	}
+	st := a.Snapshot()
+	// Round-trip through JSON, as a checkpoint file would.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var st2 ButterworthState
+	if err := json.Unmarshal(raw, &st2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b := mk()
+	if err := b.Restore(st2); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, x := range xs[100:] {
+		if got := b.Process(x); got != want[100+i] {
+			t.Fatalf("sample %d after restore = %v, want %v", 100+i, got, want[100+i])
+		}
+	}
+}
+
+func TestButterworthRestoreDesignMismatch(t *testing.T) {
+	a, _ := NewButterworth(6, 0.9, 9)
+	b, _ := NewButterworth(4, 0.9, 9)
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("restoring a 6th-order snapshot into a 4th-order filter succeeded, want error")
+	}
+}
+
+func TestKalmanSnapshotRestore(t *testing.T) {
+	xs := shiftSeries(120)
+	ref := NewKalman(0.05, 2.0)
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = ref.Process(x)
+	}
+	a := NewKalman(0.05, 2.0)
+	for _, x := range xs[:60] {
+		a.Process(x)
+	}
+	b := NewKalman(0.05, 2.0)
+	b.Restore(a.Snapshot())
+	for i, x := range xs[60:] {
+		if got := b.Process(x); got != want[60+i] {
+			t.Fatalf("sample %d after restore = %v, want %v", 60+i, got, want[60+i])
+		}
+	}
+}
+
+// TestAKFSnapshotRestore covers the full cascade, including the adapted
+// process noise and the run statistics.
+func TestAKFSnapshotRestore(t *testing.T) {
+	xs := shiftSeries(300)
+	mk := func() *AKF {
+		bf, err := NewButterworth(6, 0.9, 9)
+		if err != nil {
+			t.Fatalf("NewButterworth: %v", err)
+		}
+		return NewAKF(bf)
+	}
+	ref := mk()
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = ref.Process(x)
+	}
+
+	a := mk()
+	for _, x := range xs[:170] { // past the level change: alpha is adapted
+		a.Process(x)
+	}
+	raw, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var st AKFState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	b := mk()
+	if err := b.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, x := range xs[170:] {
+		if got := b.Process(x); got != want[170+i] {
+			t.Fatalf("sample %d after restore = %v, want %v", 170+i, got, want[170+i])
+		}
+	}
+	// Run statistics continue, not restart.
+	if got, wantN := b.Stats().Samples, ref.Stats().Samples; got != wantN {
+		t.Fatalf("restored stats samples = %d, want %d", got, wantN)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"locble/internal/imu"
+	"locble/internal/rf"
+)
+
+// fuzzSeedTrace builds a minimal structurally valid trace for the seed
+// corpus without running the simulator (fuzz seeds must be cheap).
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		IMU: &imu.Trace{
+			Samples: []imu.Sample{{T: 0}, {T: 0.01}, {T: 0.02}},
+			Truth:   []imu.Pose{{T: 0}, {T: 0.01}, {T: 0.02}},
+		},
+		Observations: map[string][]BeaconObservation{
+			"b": {{T: 0.1, RSSI: -60}, {T: 0.2, RSSI: -61}},
+		},
+		Beacons:  []BeaconSpec{{Name: "b", X: 1, Y: 2}},
+		Phone:    rf.IPhone6s,
+		Duration: 1,
+	}
+}
+
+// gzipped compresses raw bytes the way SaveTrace's envelope would.
+func gzipped(raw []byte) []byte {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write(raw)
+	gz.Close()
+	return buf.Bytes()
+}
+
+// FuzzLoadTrace shakes the trace decoder with corrupted inputs: any
+// byte stream must produce either a valid trace or an error — never a
+// panic, and never a nil trace with a nil error (a truncated or
+// hand-edited file must fail fast, not crash deep inside estimation).
+func FuzzLoadTrace(f *testing.F) {
+	var valid bytes.Buffer
+	if err := SaveTrace(&valid, fuzzSeedTrace()); err != nil {
+		f.Fatalf("SaveTrace seed: %v", err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated gzip stream
+	f.Add([]byte{})
+	f.Add([]byte("not gzip at all"))
+	f.Add([]byte{0x1f, 0x8b}) // gzip magic, nothing else
+	f.Add(gzipped([]byte(`{`)))
+	f.Add(gzipped([]byte(`{"version":99,"trace":{}}`)))
+	f.Add(gzipped([]byte(`{"version":1}`)))
+	f.Add(gzipped([]byte(`{"version":1,"trace":{}}`)))
+	f.Add(gzipped([]byte(`{"version":1,"trace":{"IMU":{"Samples":[{"T":0}],"Truth":[]},"Observations":{"b":[{"T":2},{"T":1}]}}}`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadTrace(bytes.NewReader(data))
+		if err == nil && tr == nil {
+			t.Fatal("LoadTrace returned nil trace and nil error")
+		}
+		if err == nil {
+			// A trace the loader accepted must satisfy its own validator.
+			if verr := validateTrace(tr); verr != nil {
+				t.Fatalf("LoadTrace accepted a trace its validator rejects: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+// Package testutil holds small test-only helpers shared across
+// packages. Nothing here is imported by production code.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutines alive when called and, at test
+// cleanup, fails the test if goroutines created since are still alive
+// after a grace period. Call it first thing in a test:
+//
+//	func TestServer(t *testing.T) {
+//	    testutil.VerifyNoLeaks(t)
+//	    ...
+//	}
+//
+// The grace period (default 2 s, polled every 10 ms) absorbs goroutines
+// that are legitimately winding down — a closed connection's reader
+// observing the error, a drained worker exiting — so only goroutines
+// that never terminate are reported. Runtime-internal and testing
+// goroutines are ignored.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := goroutineSet()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("testutil: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// goroutineSet returns the IDs of all live goroutines.
+func goroutineSet() map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range stacks() {
+		set[goroutineID(g)] = true
+	}
+	return set
+}
+
+// leakedSince returns the stacks of interesting goroutines not present
+// in the baseline.
+func leakedSince(baseline map[string]bool) []string {
+	var leaked []string
+	for _, g := range stacks() {
+		if baseline[goroutineID(g)] || ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, strings.TrimSpace(g))
+	}
+	return leaked
+}
+
+// stacks captures every goroutine's stack as separate records.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(string(buf), "\n\n")
+}
+
+// goroutineID extracts the "goroutine N" header token as the identity.
+func goroutineID(stack string) string {
+	var id int
+	var state string
+	if _, err := fmt.Sscanf(stack, "goroutine %d [%s", &id, &state); err != nil {
+		return stack[:min(32, len(stack))]
+	}
+	return fmt.Sprintf("g%d", id)
+}
+
+// ignorable filters goroutines the checker must not flag: the runtime's
+// own helpers and the testing framework.
+func ignorable(stack string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		"testing.(*M).startAlarm",
+		"runtime.gc",
+		"runtime.goexit",
+		"created by runtime",
+		"signal.signal_recv",
+		"runtime/pprof",
+		"testutil.stacks",
+		"testutil.VerifyNoLeaks",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

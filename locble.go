@@ -23,6 +23,7 @@
 package locble
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -208,7 +209,15 @@ func New(opts ...Option) (*System, error) {
 
 // Locate runs the full pipeline for one beacon of a trace.
 func (s *System) Locate(tr *Trace, beacon string) (*Position, error) {
-	m, err := s.engine.Locate(tr, beacon)
+	return s.LocateCtx(context.Background(), tr, beacon)
+}
+
+// LocateCtx is Locate under a context: a deadline or cancellation (a
+// disconnected client, a draining server) stops the pipeline between
+// stages and interrupts the regression mid-search. The returned error
+// matches the context error under errors.Is.
+func (s *System) LocateCtx(ctx context.Context, tr *Trace, beacon string) (*Position, error) {
+	m, err := s.engine.LocateContext(ctx, tr, beacon)
 	if err != nil {
 		return nil, err
 	}
@@ -219,8 +228,16 @@ func (s *System) Locate(tr *Trace, beacon string) (*Position, error) {
 // returning positions keyed by beacon name (beacons whose estimation
 // failed are omitted).
 func (s *System) LocateAll(tr *Trace) map[string]*Position {
+	return s.LocateAllCtx(context.Background(), tr)
+}
+
+// LocateAllCtx is LocateAll under a context. The fan-out is bounded by
+// a work queue sized to the CPU count; cancellation drains it fast
+// (beacons not yet started are skipped, in-flight ones stop
+// mid-regression and are omitted like any failed beacon).
+func (s *System) LocateAllCtx(ctx context.Context, tr *Trace) map[string]*Position {
 	out := make(map[string]*Position)
-	for _, res := range s.engine.LocateAll(tr) {
+	for _, res := range s.engine.LocateAllContext(ctx, tr) {
 		if res.Err == nil {
 			out[res.Name] = positionFrom(res.M)
 		}
@@ -261,7 +278,13 @@ type Fix struct {
 // step seconds, each fitted on the last window seconds (the "tracking"
 // of the paper's title). Zero values select window = 6 s, step = 2 s.
 func (s *System) Track(tr *Trace, beacon string, window, step float64) ([]Fix, error) {
-	pts, err := s.engine.TrackBeacon(tr, beacon, window, step)
+	return s.TrackCtx(context.Background(), tr, beacon, window, step)
+}
+
+// TrackCtx is Track under a context: a deadline or cancellation stops
+// the run between windows (no partial fixes are returned).
+func (s *System) TrackCtx(ctx context.Context, tr *Trace, beacon string, window, step float64) ([]Fix, error) {
+	pts, err := s.engine.TrackBeaconContext(ctx, tr, beacon, window, step)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +363,36 @@ func (s *System) Locate3D(tr *Trace, beacon string) (*Position3D, error) {
 		Range:      est.Range(),
 		Confidence: est.Confidence,
 	}, nil
+}
+
+// Streaming sessions: the facade's window on the long-running serving
+// path. A TrackSession consumes fused observations one at a time,
+// emits a fix per completed window, and can be checkpointed to a
+// versioned JSON snapshot and restored in a fresh process,
+// resuming sample-for-sample (see DESIGN.md, "Checkpoint / restore").
+type (
+	// TrackSession is a streaming per-beacon tracking session.
+	TrackSession = core.TrackSession
+	// TrackSessionConfig configures a TrackSession.
+	TrackSessionConfig = core.TrackSessionConfig
+	// SessionCheckpoint is a session's versioned serialized state.
+	SessionCheckpoint = core.SessionCheckpoint
+	// Obs is one fused observation (time, RSS, relative displacement)
+	// — the input unit of a TrackSession.
+	Obs = estimate.Obs
+)
+
+// NewTrackSession starts a streaming tracking session on this System's
+// pipeline configuration.
+func (s *System) NewTrackSession(cfg TrackSessionConfig) (*TrackSession, error) {
+	return s.engine.NewTrackSession(cfg)
+}
+
+// RestoreTrackSession reads a JSON checkpoint written by
+// TrackSession.WriteCheckpoint and resumes the session. The System must
+// be configured identically to the one that wrote the checkpoint.
+func (s *System) RestoreTrackSession(r io.Reader) (*TrackSession, error) {
+	return s.engine.RestoreTrackSessionFrom(r)
 }
 
 // SaveTrace writes a trace as gzip-compressed JSON for offline analysis.
