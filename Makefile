@@ -7,13 +7,20 @@ FUZZTIME ?= 10s
 # Chaos-soak duration for `make soak` (parsed by TestChaosSoak).
 SOAKTIME ?= 30s
 
-.PHONY: all build test race soak fuzz cover bench microbench repro examples clean help
+.PHONY: all build test race soak fuzz cover bench benchgate ci fmtcheck microbench repro examples clean help
 
 all: build test race soak
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Fail on any file gofmt would rewrite (CI runs this before building).
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test -shuffle=on ./...
@@ -43,10 +50,29 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Instrumented end-to-end pipeline benchmark: stage-level latencies and
-# estimate error from the metrics layer, as machine-readable JSON.
+# Instrumented end-to-end pipeline benchmark: stage-level latencies,
+# estimate error and allocation deltas from the metrics layer, as
+# machine-readable JSON. BENCH_pr2.json is the committed historical
+# baseline — never regenerated, only compared against.
 bench:
-	$(GO) run ./cmd/locble-bench -json BENCH_pr2.json
+	$(GO) run ./cmd/locble-bench -json BENCH_pr4.json
+
+# Allowed fractional wall-clock regression for `make benchgate`. CI
+# overrides this (hosted runners are slower and noisier than the
+# machine that recorded the baseline); allocation and accuracy gates
+# always run at the benchgate defaults.
+BENCH_WALL_TOL ?= 0.10
+
+# Run the benchmark and gate it against the committed baseline: exits
+# nonzero on a wall regression beyond $(BENCH_WALL_TOL), >10% allocs/op
+# regression, or >5% accuracy regression. Writes the fresh report to
+# BENCH_pr4.json.
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_pr2.json -out BENCH_pr4.json -wall-tol $(BENCH_WALL_TOL)
+
+# The full CI pipeline, byte-identical to what .github/workflows/ci.yml
+# runs — so "it passed make ci" means it passes CI.
+ci: fmtcheck build test race fuzz soak cover benchgate
 
 # One testing.B target per paper table/figure plus pipeline micro-benches.
 microbench:
@@ -67,18 +93,23 @@ examples:
 	$(GO) run ./examples/retailshelf
 	$(GO) run ./examples/tracking
 
+# Committed BENCH_*.json baselines are history, not build products —
+# clean only removes derived files.
 clean:
-	rm -f cover.out BENCH_pr2.json
+	rm -f cover.out BENCH_gate.json
 
 help:
 	@echo "make all      - build + vet + test + race + chaos soak (the full gate)"
+	@echo "make ci       - the full CI pipeline (fmtcheck .. benchgate), same as GitHub Actions"
 	@echo "make build    - compile and vet every package"
+	@echo "make fmtcheck - fail if gofmt would rewrite any file"
 	@echo "make test     - run the test suite (shuffled order)"
 	@echo "make race     - run the test suite under the race detector"
 	@echo "make soak     - $(SOAKTIME) race-enabled chaos soak of the serving path"
 	@echo "make fuzz     - short fuzz pass over all fuzz targets (FUZZTIME=$(FUZZTIME) each)"
 	@echo "make cover    - coverage summary"
-	@echo "make bench    - instrumented pipeline benchmark -> BENCH_pr2.json"
+	@echo "make bench    - instrumented pipeline benchmark -> BENCH_pr4.json"
+	@echo "make benchgate - bench + regression gate against BENCH_pr2.json"
 	@echo "make microbench - all go-test benchmarks (one per paper table/figure)"
 	@echo "make repro    - regenerate the paper's evaluation (repro-quick: reduced trials)"
 	@echo "make examples - run every example program"

@@ -1,0 +1,88 @@
+// Command benchgate is the performance-regression gate: it runs the
+// instrumented end-to-end pipeline benchmark (the same one behind
+// locble-bench -json), writes the report, and compares wall time,
+// allocations per LocateAll and the deterministic localization-error
+// statistics against a committed baseline JSON. It exits nonzero on a
+// regression beyond tolerance, so CI (and `make ci`) fail the build.
+//
+// Usage:
+//
+//	benchgate                         # run, write BENCH_pr4.json, gate
+//	                                  # against BENCH_pr2.json
+//	benchgate -baseline B.json        # choose the committed baseline
+//	benchgate -out OUT.json           # where to write the fresh report
+//	benchgate -compare RUN.json       # gate an existing report instead
+//	                                  # of running the benchmark
+//	benchgate -wall-tol 0.2           # loosen the wall-clock tolerance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"locble/internal/pipebench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main behind testable plumbing: it returns the process exit
+// code (0 pass, 1 gate violation or error, 2 flag error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline = fs.String("baseline", "BENCH_pr2.json", "committed baseline benchmark JSON")
+		out      = fs.String("out", "BENCH_pr4.json", "path for the fresh benchmark report")
+		compare  = fs.String("compare", "", "gate this existing report file instead of running the benchmark")
+		trials   = fs.Int("trials", 25, "benchmark trial count")
+		seed     = fs.Int64("seed", 1, "base simulation seed")
+		wallTol  = fs.Float64("wall-tol", 0.10, "allowed fractional wall-clock regression")
+		allocTol = fs.Float64("alloc-tol", 0.10, "allowed fractional allocs-per-op regression")
+		errTol   = fs.Float64("err-tol", 0.05, "allowed fractional accuracy regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	base, err := pipebench.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 1
+	}
+
+	var rep *pipebench.Report
+	if *compare != "" {
+		rep, err = pipebench.LoadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+	} else {
+		rep, err = pipebench.Run(pipebench.Config{Seed: *seed, Trials: *trials, PerTrial: true})
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchgate: %s -> %s\n", rep.Summary(), *out)
+	}
+
+	tol := pipebench.Tolerances{Wall: *wallTol, Alloc: *allocTol, Err: *errTol}
+	violations := pipebench.Gate(rep, base, tol)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: PASS against %s (wall %.3fs ≤ %.3fs·%.0f%%, mean err %.3fm, p90 %.3fm)\n",
+		*baseline, rep.WallSeconds, base.WallSeconds, (1+tol.Wall)*100, rep.Error.MeanM, rep.Error.P90M)
+	return 0
+}

@@ -17,20 +17,17 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"time"
 
 	"locble"
 	"locble/internal/experiments"
+	"locble/internal/pipebench"
 )
 
 func main() {
@@ -119,134 +116,19 @@ func main() {
 	}
 }
 
-// stageStats summarizes one pipeline stage's latency histogram.
-type stageStats struct {
-	Count  uint64  `json:"count"`
-	MeanUS float64 `json:"mean_us"`
-	MinUS  float64 `json:"min_us"`
-	MaxUS  float64 `json:"max_us"`
-}
-
-// errStats summarizes the localization error distribution.
-type errStats struct {
-	N      int     `json:"n"`
-	MeanM  float64 `json:"mean_m"`
-	P50M   float64 `json:"p50_m"`
-	P90M   float64 `json:"p90_m"`
-	WorstM float64 `json:"worst_m"`
-}
-
-// benchReport is the machine-readable output of the -json pipeline
-// benchmark: per-stage latencies plus estimate error, with the full
-// metric snapshots attached for downstream tooling.
-type benchReport struct {
-	Bench       string                `json:"bench"`
-	Seed        int64                 `json:"seed"`
-	Trials      int                   `json:"trials"`
-	Beacons     int                   `json:"beacons"`
-	Located     int                   `json:"located"`
-	WallSeconds float64               `json:"wall_seconds"`
-	Error       errStats              `json:"estimate_error_m"`
-	Stages      map[string]stageStats `json:"stage_latency"`
-	Engine      locble.Metrics        `json:"engine_metrics"`
-	Process     locble.Metrics        `json:"process_metrics"`
-}
-
-// runPipelineBench runs LocateAll over repeated default-scenario
-// simulations on one System and reports stage-level latency (from the
-// engine's metric registry) plus the true-position error distribution.
+// runPipelineBench runs the shared instrumented pipeline benchmark
+// (internal/pipebench, also behind cmd/benchgate): LocateAll over
+// repeated default-scenario simulations, reporting stage-level latency,
+// the true-position error distribution, and per-trial MemStats-derived
+// allocation deltas.
 func runPipelineBench(seed int64, trials int, path string) error {
-	sys, err := locble.New()
+	rep, err := pipebench.Run(pipebench.Config{Seed: seed, Trials: trials, PerTrial: true})
 	if err != nil {
 		return err
 	}
-	beacons := []locble.BeaconSpec{
-		{Name: "b0", X: 6, Y: 3},
-		{Name: "b1", X: 2, Y: 5},
-		{Name: "b2", X: 7, Y: 1},
-	}
-	truth := make(map[string][2]float64, len(beacons))
-	for _, b := range beacons {
-		truth[b.Name] = [2]float64{b.X, b.Y}
-	}
-
-	var errsM []float64
-	start := time.Now()
-	for t := 0; t < trials; t++ {
-		trace, err := locble.Simulate(locble.Scenario{
-			Beacons:      beacons,
-			ObserverPlan: locble.LShapeWalk(0, 4, 4),
-			Seed:         seed + int64(t)*101,
-		})
-		if err != nil {
-			return err
-		}
-		for name, p := range sys.LocateAll(trace) {
-			g := truth[name]
-			errsM = append(errsM, math.Hypot(p.X-g[0], p.Y-g[1]))
-		}
-	}
-	wall := time.Since(start)
-	sort.Float64s(errsM)
-
-	snap := sys.Metrics()
-	stages := make(map[string]stageStats)
-	for name, h := range snap.Histograms {
-		if !strings.HasPrefix(name, "core.stage.") || !strings.HasSuffix(name, ".seconds") || h.Count == 0 {
-			continue
-		}
-		st := strings.TrimSuffix(strings.TrimPrefix(name, "core.stage."), ".seconds")
-		stages[st] = stageStats{
-			Count:  h.Count,
-			MeanUS: h.Mean() * 1e6,
-			MinUS:  h.Min * 1e6,
-			MaxUS:  h.Max * 1e6,
-		}
-	}
-	rep := benchReport{
-		Bench:       "locateall-default",
-		Seed:        seed,
-		Trials:      trials,
-		Beacons:     len(beacons),
-		Located:     len(errsM),
-		WallSeconds: wall.Seconds(),
-		Error:       summarizeErrors(errsM),
-		Stages:      stages,
-		Engine:      snap,
-		Process:     locble.ProcessMetrics(),
-	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := rep.WriteFile(path); err != nil {
 		return err
 	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
-	}
-	fmt.Printf("pipeline bench: %d trials, %d/%d located, mean error %.2f m, wall %.2f s -> %s\n",
-		trials, rep.Located, trials*len(beacons), rep.Error.MeanM, rep.WallSeconds, path)
+	fmt.Printf("pipeline bench: %s -> %s\n", rep.Summary(), path)
 	return nil
-}
-
-func summarizeErrors(sorted []float64) errStats {
-	if len(sorted) == 0 {
-		return errStats{}
-	}
-	sum := 0.0
-	for _, e := range sorted {
-		sum += e
-	}
-	q := func(p float64) float64 {
-		i := int(p * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return errStats{
-		N:      len(sorted),
-		MeanM:  sum / float64(len(sorted)),
-		P50M:   q(0.5),
-		P90M:   q(0.9),
-		WorstM: sorted[len(sorted)-1],
-	}
 }

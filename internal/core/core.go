@@ -109,11 +109,17 @@ func DefaultConfig() Config {
 
 // Engine is a ready-to-use LocBLE pipeline. The EnvAware classifier is
 // trained once (on the synthetic labelled dataset) and reused; an Engine
-// is safe for concurrent Locate calls.
+// is safe for concurrent Locate calls. LocateAll fan-outs run on a
+// persistent sharded worker pool started lazily on first use; Close
+// releases it (see pool.go).
 type Engine struct {
 	cfg Config
 	clf *env.Classifier
 	met *engineMetrics
+
+	poolMu     sync.Mutex
+	locPool    *shardPool
+	poolClosed bool
 }
 
 var (
@@ -198,8 +204,17 @@ func (e *Engine) Locate(tr *sim.Trace, beaconName string) (*Measurement, error) 
 // returns an error matching the context error under errors.Is and is
 // counted in "core.canceled" rather than as a health rejection.
 func (e *Engine) LocateContext(ctx context.Context, tr *sim.Trace, beaconName string) (*Measurement, error) {
+	sc := getLocateScratch()
+	defer putLocateScratch(sc)
+	return e.locateContextWith(ctx, tr, beaconName, sc)
+}
+
+// locateContextWith is LocateContext on caller-provided scratch — the
+// entry point for LocateAll's pool workers, which own a scratch for
+// their whole life instead of borrowing one per call.
+func (e *Engine) locateContextWith(ctx context.Context, tr *sim.Trace, beaconName string, sc *locateScratch) (*Measurement, error) {
 	sp := e.met.locateSpan.Start()
-	m, err := e.locate(ctx, tr, beaconName)
+	m, err := e.locate(ctx, tr, beaconName, sc)
 	sp.End()
 	e.met.locates.Inc()
 	if err != nil {
@@ -215,9 +230,11 @@ func (e *Engine) LocateContext(ctx context.Context, tr *sim.Trace, beaconName st
 	return m, nil
 }
 
-// locate is the uninstrumented pipeline body behind Locate.
-func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string) (*Measurement, error) {
-	p, err := e.prepare(tr, beaconName)
+// locate is the uninstrumented pipeline body behind Locate. All the
+// heavy lifting — the ANF batch filter and the regression — runs on
+// sc's arenas.
+func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string, sc *locateScratch) (*Measurement, error) {
+	p, err := e.prepare(tr, beaconName, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +303,7 @@ func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string) (
 	if last := segStarts[len(segStarts)-1]; last > 0 {
 		lastObs := allObs[last:]
 		if len(lastObs) >= 2*e.cfg.MinSegmentSamples {
-			lastEst, lastErr := estimate.Run(lastObs, estCfg)
+			lastEst, lastErr := sc.solver.Run(lastObs, estCfg)
 			if errors.Is(lastErr, estimate.ErrCanceled) {
 				return nil, canceledErr(ctx, "locate")
 			}
@@ -296,7 +313,7 @@ func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string) (
 		}
 	}
 	if est == nil {
-		joint, jointErr := estimate.RunSegmented(allObs, segStarts[1:], estCfg)
+		joint, jointErr := sc.solver.RunSegmented(allObs, segStarts[1:], estCfg)
 		if jointErr != nil {
 			if errors.Is(jointErr, estimate.ErrCanceled) {
 				return nil, canceledErr(ctx, "locate")
@@ -310,7 +327,7 @@ func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string) (
 	if est.Ambiguous {
 		if split := firstTurnEnd(p.track, p.times); !math.IsNaN(split) {
 			e.met.lshapeAttempts.Inc()
-			res, lErr := estimate.RunLShape(allObs, split, estCfg)
+			res, lErr := sc.solver.RunLShape(allObs, split, estCfg)
 			if errors.Is(lErr, estimate.ErrCanceled) {
 				return nil, canceledErr(ctx, "locate")
 			}

@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sort"
 	"sync"
 
-	"locble/internal/resilience"
 	"locble/internal/sim"
 )
 
@@ -29,17 +27,21 @@ func (e *Engine) LocateAll(tr *sim.Trace) []BeaconResult {
 	return e.LocateAllContext(context.Background(), tr)
 }
 
-// LocateAllContext is LocateAll under a context. The fan-out runs on a
-// resilience.Queue whose worker pool is sized to GOMAXPROCS: the
-// per-beacon pipelines are CPU-bound, so a trace carrying thousands of
-// beacons (a crowded-venue scan) must not stampede the scheduler with
-// one goroutine each. The queue's depth covers the whole fan-out — an
-// internal fan-out prefers backpressure over shedding, so no beacon is
-// ever silently dropped. Cancellation drains fast: beacons not yet
-// started report the context error immediately, and in-flight pipelines
-// stop mid-regression. The observed peak concurrency is recorded in the
-// engine's "core.locateall.concurrency" gauge (its Max is the
-// high-water mark).
+// LocateAllContext is LocateAll under a context. The fan-out runs on
+// the engine's persistent sharded worker pool: GOMAXPROCS workers, each
+// owning a shard channel and a reusable pipeline scratch (estimator
+// arenas + filter buffer), with beacons hashed to shards by name — so
+// repeated batches reuse warm buffers instead of respawning goroutines
+// and reallocating arenas per call. The per-beacon pipelines are
+// CPU-bound, so a trace carrying thousands of beacons (a crowded-venue
+// scan) must not stampede the scheduler with one goroutine each; a full
+// shard applies backpressure to the submitter rather than shedding, so
+// no beacon is ever silently dropped. Cancellation drains fast: beacons
+// not yet started report the context error immediately, and in-flight
+// pipelines stop mid-regression. The observed peak concurrency is
+// recorded in the engine's "core.locateall.concurrency" gauge (its Max
+// is the high-water mark). After Engine.Close the fan-out runs inline
+// on the calling goroutine with identical results and bookkeeping.
 func (e *Engine) LocateAllContext(ctx context.Context, tr *sim.Trace) []BeaconResult {
 	e.met.locateAlls.Inc()
 	names := make([]string, 0, len(tr.Observations))
@@ -48,45 +50,27 @@ func (e *Engine) LocateAllContext(ctx context.Context, tr *sim.Trace) []BeaconRe
 	}
 	sort.Strings(names)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	q := resilience.NewQueue(workers, len(names)+1)
 	results := make([]BeaconResult, len(names))
 	var wg sync.WaitGroup
+	wg.Add(len(names))
+
+	p := e.acquirePool()
+	if p == nil {
+		// Engine closed: run the same jobs inline, sequentially, on one
+		// borrowed scratch.
+		sc := getLocateScratch()
+		defer putLocateScratch(sc)
+		for i, name := range names {
+			e.runLocateJob(locateJob{ctx: ctx, tr: tr, name: name, res: &results[i], wg: &wg}, sc)
+		}
+		wg.Wait()
+		return results
+	}
+	defer p.flight.Done()
 	for i, name := range names {
-		i, name := i, name
-		wg.Add(1)
-		task := func() {
-			defer wg.Done()
-			e.met.concurrency.Add(1)
-			defer e.met.concurrency.Add(-1)
-			var (
-				m   *Measurement
-				err error
-			)
-			if ctx.Err() != nil {
-				err = canceledErr(ctx, "locate "+name)
-			} else {
-				m, err = e.LocateContext(ctx, tr, name)
-			}
-			res := BeaconResult{Name: name, M: m, Err: err}
-			if err != nil {
-				res.Health = HealthFromError(err)
-			} else {
-				res.Health = m.Health
-			}
-			results[i] = res
-		}
-		// The depth covers every beacon, so Submit never blocks and the
-		// only error is a closed queue — impossible here. Guard anyway.
-		if err := q.Submit(ctx, task); err != nil {
-			results[i] = BeaconResult{Name: name, Err: err, Health: HealthFromError(err)}
-			wg.Done()
-		}
+		job := locateJob{ctx: ctx, tr: tr, name: name, res: &results[i], wg: &wg}
+		p.shards[shardIndex(name, len(p.shards))] <- job
 	}
 	wg.Wait()
-	q.Close(context.Background())
 	return results
 }

@@ -67,7 +67,9 @@ func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName stri
 		step = 2
 	}
 
-	p, err := e.prepare(tr, beaconName)
+	sc := getLocateScratch()
+	defer putLocateScratch(sc)
+	p, err := e.prepare(tr, beaconName, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +92,7 @@ func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName stri
 		if hi-lo >= estCfg.MinSamples {
 			winObs := fused[lo:hi]
 			spReg := e.met.stRegress.Start()
-			est, err := estimate.Run(winObs, estCfg)
+			est, err := sc.solver.Run(winObs, estCfg)
 			spReg.End()
 			if errors.Is(err, estimate.ErrCanceled) {
 				return nil, canceledErr(ctx, "track")

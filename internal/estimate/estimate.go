@@ -159,48 +159,17 @@ func (c *Config) softDefaults() {
 	}
 }
 
-// penalizedScore is the position-search objective: dB-domain residual sum
-// of squares plus the soft plausibility prior on the implied (n, Γ).
-func penalizedScore(obs []Obs, cfg Config, dist func(Obs) float64) float64 {
-	n, gamma, ss := dbFit(obs, dist, cfg.NMin, cfg.NMax)
+// penalizedScoreAt is the position-search objective at candidate
+// position (x, h): dB-domain residual sum of squares plus the soft
+// plausibility prior on the implied (n, Γ).
+func (s *Solver) penalizedScoreAt(obs []Obs, cfg *Config, x, h float64) float64 {
+	n, gamma, ss := s.dbFitAt(obs, x, h, cfg.NMin, cfg.NMax)
 	penN := math.Max(0, n-cfg.NSoftMax) + math.Max(0, cfg.NSoftMin-n)
 	penG := math.Max(0, gamma-cfg.GammaSoftMax) + math.Max(0, cfg.GammaSoftMin-gamma)
 	return ss + cfg.PenaltyWeight*float64(len(obs))*(penN*penN*4+penG*penG*0.25)
 }
 
-// Run fits the model to the observations and returns the estimate with
-// the ambiguity (if any) unresolved.
-func Run(obs []Obs, cfg Config) (*Estimate, error) {
-	return RunSegmented(obs, nil, cfg)
-}
-
-// RunSegmented fits one target position across environment segments:
-// the geometry (x, h) is shared by all observations, while each segment
-// gets its own (Γⱼ, nⱼ) — the paper's "start a new regression when the
-// environment changes" (Algorithm 1), strengthened so the segments still
-// constrain a single position jointly instead of producing independent
-// (and individually ambiguous) per-segment answers. segStarts lists the
-// first observation index of each segment ([0] or nil for a single
-// segment); segments too short to support their own channel parameters
-// are merged into their predecessor.
-func RunSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
-	est, err := runSegmented(obs, segStarts, cfg)
-	metRuns.Inc()
-	switch {
-	case errors.Is(err, ErrCanceled):
-		metCanceled.Inc()
-	case err != nil:
-		metFailures.Inc()
-	case est.Ambiguous:
-		metAmbiguous.Inc()
-	}
-	if err == nil {
-		metResidualDB.Observe(est.ResidualDB)
-	}
-	return est, err
-}
-
-func runSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
+func (s *Solver) runSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
 	if cfg.MinSamples < 5 {
 		cfg.MinSamples = 5
 	}
@@ -220,9 +189,9 @@ func runSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate, error) {
 		return nil, fmt.Errorf("%w: spread %.2f m < %.2f m", ErrInsufficientMotion, major, cfg.MinSpread)
 	}
 	if minor < cfg.CollinearRatio*major {
-		return runCollinear(obs, segs, cfg, dir)
+		return s.runCollinear(obs, segs, cfg, dir)
 	}
-	return runPlanar(obs, segs, cfg)
+	return s.runPlanar(obs, segs, cfg)
 }
 
 // normalizeSegments converts segment start indexes into [lo, hi) pairs,
@@ -258,12 +227,12 @@ func normalizeSegments(n int, segStarts []int) [][2]int {
 	return segs
 }
 
-// segmentedScore sums the per-segment penalized inner-fit scores for a
-// candidate position.
-func segmentedScore(obs []Obs, segs [][2]int, cfg Config, dist func(Obs) float64) float64 {
+// scoreAt sums the per-segment penalized inner-fit scores for a
+// candidate position (x, h).
+func (s *Solver) scoreAt(obs []Obs, segs [][2]int, cfg *Config, x, h float64) float64 {
 	total := 0.0
 	for _, sg := range segs {
-		total += penalizedScore(obs[sg[0]:sg[1]], cfg, dist)
+		total += s.penalizedScoreAt(obs[sg[0]:sg[1]], cfg, x, h)
 	}
 	return total
 }
@@ -271,30 +240,23 @@ func segmentedScore(obs []Obs, segs [][2]int, cfg Config, dist func(Obs) float64
 // runPlanar handles well-spread 2-D movement: elliptical-LS and ring
 // initializers, then Nelder–Mead refinement of the position in the dB
 // domain.
-func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
-	type seed struct {
-		x, h float64
-	}
+func (s *Solver) runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
 	// All elliptical seeds are refined: the objective's global basin
 	// around the true position is narrow (a distant position with an
 	// inflated exponent often *scores* better than a near-miss), so seed
 	// score alone cannot rank basins — every linearized-fit hypothesis
 	// gets a local search.
-	var seeds []seed
+	seeds := s.seeds[:0]
 	for n := cfg.NMin; n <= cfg.NMax+1e-9; n += math.Max(cfg.NGridStep, 0.25) {
-		if c, ok := ellipticalLS(obs, n); ok {
-			seeds = append(seeds, seed{c.X, c.H})
+		if c, ok := s.ellipticalLS(obs, n); ok {
+			seeds = append(seeds, seedXY{c.X, c.H})
 		}
 	}
 	// Ring seeds are screened by score; the best few join the refinement.
-	type scored struct {
-		s seed
-		v float64
-	}
-	var rings []scored
-	for _, r := range ringInits(obs) {
-		ss := segmentedScore(obs, segs, cfg, distPlanar(r[0], r[1]))
-		rings = append(rings, scored{seed{r[0], r[1]}, ss})
+	rings := s.rings[:0]
+	for _, r := range s.ringInits(obs) {
+		ss := s.scoreAt(obs, segs, &cfg, r[0], r[1])
+		rings = append(rings, scoredSeed{seedXY{r[0], r[1]}, ss})
 	}
 	const ringPick = 6
 	for i := 0; i < len(rings) && i < ringPick; i++ {
@@ -309,6 +271,7 @@ func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
 	for i := 0; i < len(rings) && i < ringPick; i++ {
 		seeds = append(seeds, rings[i].s)
 	}
+	s.seeds, s.rings = seeds, rings
 
 	var bx, bh float64
 	bv := math.Inf(1)
@@ -316,13 +279,15 @@ func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
 		if math.Hypot(v[0], v[1]) > cfg.MaxRange {
 			return math.Inf(1)
 		}
-		return segmentedScore(obs, segs, cfg, distPlanar(v[0], v[1]))
+		return s.scoreAt(obs, segs, &cfg, v[0], v[1])
 	}
-	for _, s := range seeds {
+	for _, sd := range seeds {
 		if cfg.canceled() {
 			return nil, ErrCanceled
 		}
-		x, v := nelderMead(f, []float64{s.x, s.h}, 1.0, 200, cfg.Cancel)
+		x0 := s.nm.x0[:2]
+		x0[0], x0[1] = sd.x, sd.h
+		x, v := s.minimize(f, x0, 1.0, 200, cfg.Cancel)
 		if v < bv {
 			bv, bx, bh = v, x[0], x[1]
 		}
@@ -333,28 +298,35 @@ func runPlanar(obs []Obs, segs [][2]int, cfg Config) (*Estimate, error) {
 	if math.IsInf(bv, 1) {
 		return nil, ErrNoSolution
 	}
-	return finish(obs, segs, cfg, []Candidate{{X: bx, H: bh}}, false)
+	return s.finish(obs, segs, cfg, []Candidate{{X: bx, H: bh}}, false)
 }
 
 // runCollinear handles (near-)collinear movement along unit vector dir:
 // the position is parameterized as s·dir + w·perp; the sign of w is
 // unobservable (the paper's symmetry ambiguity, Sec. 5.1), so two mirror
 // candidates are returned.
-func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estimate, error) {
+func (s *Solver) runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estimate, error) {
 	perp := [2]float64{-dir[1], dir[0]}
-	pos := func(s, w float64) (float64, float64) {
-		return s*dir[0] + w*perp[0], s*dir[1] + w*perp[1]
+	pos := func(sc, w float64) (float64, float64) {
+		return sc*dir[0] + w*perp[0], sc*dir[1] + w*perp[1]
 	}
-	type seed struct{ s, w float64 }
-	var seeds []seed
-	if s0, w0, ok := ellipticalLSLine(obs, dir, 2.0); ok {
-		seeds = append(seeds, seed{s0, w0})
+	seeds := s.seeds[:0]
+	if s0, w0, ok := s.ellipticalLSLine(obs, dir, 2.0); ok {
+		seeds = append(seeds, seedXY{s0, w0})
 	}
-	for _, r := range ringInits(obs) {
+	for _, r := range s.ringInits(obs) {
 		// Project ring candidates onto the (s, w) frame, w ≥ 0.
-		s := r[0]*dir[0] + r[1]*dir[1]
+		sc := r[0]*dir[0] + r[1]*dir[1]
 		w := math.Abs(r[0]*perp[0] + r[1]*perp[1])
-		seeds = append(seeds, seed{s, w})
+		seeds = append(seeds, seedXY{sc, w})
+	}
+	s.seeds = seeds
+	f := func(v []float64) float64 {
+		x, h := pos(v[0], math.Abs(v[1]))
+		if math.Hypot(x, h) > cfg.MaxRange {
+			return math.Inf(1)
+		}
+		return s.scoreAt(obs, segs, &cfg, x, h)
 	}
 	var bs, bw float64
 	bv := math.Inf(1)
@@ -362,14 +334,9 @@ func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estima
 		if cfg.canceled() {
 			return nil, ErrCanceled
 		}
-		f := func(v []float64) float64 {
-			x, h := pos(v[0], math.Abs(v[1]))
-			if math.Hypot(x, h) > cfg.MaxRange {
-				return math.Inf(1)
-			}
-			return segmentedScore(obs, segs, cfg, distPlanar(x, h))
-		}
-		x, v := nelderMead(f, []float64{sd.s, math.Max(sd.w, 0.3)}, 1.0, 200, cfg.Cancel)
+		x0 := s.nm.x0[:2]
+		x0[0], x0[1] = sd.x, math.Max(sd.h, 0.3)
+		x, v := s.minimize(f, x0, 1.0, 200, cfg.Cancel)
 		if v < bv {
 			bv, bs, bw = v, x[0], math.Abs(x[1])
 		}
@@ -382,20 +349,20 @@ func runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float64) (*Estima
 	}
 	x1, h1 := pos(bs, bw)
 	x2, h2 := pos(bs, -bw)
-	return finish(obs, segs, cfg, []Candidate{{X: x1, H: h1}, {X: x2, H: h2}}, true)
+	return s.finish(obs, segs, cfg, []Candidate{{X: x1, H: h1}, {X: x2, H: h2}}, true)
 }
 
 // finish computes per-segment (n, Γ), residual statistics and confidence
 // for the chosen candidate set. The reported N/Gamma come from the
 // longest segment (the dominant environment).
-func finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate, ambiguous bool) (*Estimate, error) {
+func (s *Solver) finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate, ambiguous bool) (*Estimate, error) {
 	best := cands[0]
 	var n, gamma float64
 	longest := -1
-	resid := make([]float64, 0, len(obs))
+	resid := growFloats(s.resid, len(obs))[:0]
 	for _, sg := range segs {
 		segObs := obs[sg[0]:sg[1]]
-		nj, gj, _ := dbFit(segObs, distPlanar(best.X, best.H), cfg.NMin, cfg.NMax)
+		nj, gj, _ := s.dbFitAt(segObs, best.X, best.H, cfg.NMin, cfg.NMax)
 		if sz := sg[1] - sg[0]; sz > longest {
 			longest, n, gamma = sz, nj, gj
 		}
@@ -407,6 +374,7 @@ func finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate, ambiguous b
 			resid = append(resid, o.RSS-(gj-10*nj*math.Log10(l)))
 		}
 	}
+	s.resid = resid
 	mu := mathx.Mean(resid)
 	sigma := mathx.StdDev(resid)
 	rms := 0.0
@@ -470,14 +438,16 @@ func movementPCA(obs []Obs) (major, minor float64, dir [2]float64) {
 	return major, minor, dir
 }
 
-// rhoValues computes ρᵢ = η^{RSᵢ−RSmean} (mean-shifted for conditioning).
-func rhoValues(obs []Obs, n float64) ([]float64, float64) {
+// rhoValues computes ρᵢ = η^{RSᵢ−RSmean} (mean-shifted for conditioning)
+// into the solver's ρ arena; the result is valid until the next call.
+func (s *Solver) rhoValues(obs []Obs, n float64) ([]float64, float64) {
 	rsm := 0.0
 	for _, o := range obs {
 		rsm += o.RSS
 	}
 	rsm /= float64(len(obs))
-	rho := make([]float64, len(obs))
+	s.rho = growFloats(s.rho, len(obs))
+	rho := s.rho
 	for i, o := range obs {
 		rho[i] = math.Pow(10, -(o.RSS-rsm)/(5*n))
 	}
@@ -488,8 +458,8 @@ func rhoValues(obs []Obs, n float64) ([]float64, float64) {
 // (Eqs. 3–4): A·(p²+q²) + C·p + D·q + G = ρ. It returns the implied
 // position when the fit is physical (A > 0); it serves as the initializer
 // for the dB-domain refinement.
-func ellipticalLS(obs []Obs, n float64) (Candidate, bool) {
-	rho, _ := rhoValues(obs, n)
+func (s *Solver) ellipticalLS(obs []Obs, n float64) (Candidate, bool) {
+	rho, _ := s.rhoValues(obs, n)
 	x := mathx.NewMatrix(len(obs), 4)
 	for i, o := range obs {
 		x.Set(i, 0, o.P*o.P+o.Q*o.Q)
@@ -508,8 +478,8 @@ func ellipticalLS(obs []Obs, n float64) (Candidate, bool) {
 // movement along dir: A·u² + C·u + G = ρ with u the along-track
 // coordinate, yielding the along-track coordinate s = C/(2A) and the
 // cross-track magnitude |w| = sqrt(G/A − s²).
-func ellipticalLSLine(obs []Obs, dir [2]float64, n float64) (s, w float64, ok bool) {
-	rho, _ := rhoValues(obs, n)
+func (s *Solver) ellipticalLSLine(obs []Obs, dir [2]float64, n float64) (along, w float64, ok bool) {
+	rho, _ := s.rhoValues(obs, n)
 	x := mathx.NewMatrix(len(obs), 3)
 	for i, o := range obs {
 		u := o.P*dir[0] + o.Q*dir[1]
@@ -521,10 +491,10 @@ func ellipticalLSLine(obs []Obs, dir [2]float64, n float64) (s, w float64, ok bo
 	if err != nil || p[0] <= 0 {
 		return 0, 0, false
 	}
-	s = p[1] / (2 * p[0])
-	w2 := p[2]/p[0] - s*s
+	along = p[1] / (2 * p[0])
+	w2 := p[2]/p[0] - along*along
 	if w2 < 0 {
 		w2 = 0
 	}
-	return s, math.Sqrt(w2), true
+	return along, math.Sqrt(w2), true
 }

@@ -34,8 +34,9 @@ func (e *Estimate3D) Range() float64 {
 // a 3-parameter Nelder–Mead over position with the closed-form (n, Γ)
 // inner fit refines it. The movement must span all three dimensions for
 // the fit to be well conditioned; the practical phone gesture is an
-// L-shaped walk plus raising the phone.
-func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
+// L-shaped walk plus raising the phone. Like the 2-D search, the inner
+// loop runs on the solver's arenas and allocates nothing.
+func (s *Solver) Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 	if cfg.MinSamples < 6 {
 		cfg.MinSamples = 6
 	}
@@ -46,41 +47,14 @@ func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 		return nil, ErrTooFewSamples
 	}
 
-	// Flatten to 2-D Obs for the shared helpers (dbFit needs only RSS and
-	// a distance function).
+	// Flatten to 2-D Obs for the shared ring initializer (it needs only
+	// RSS).
 	flat := make([]Obs, len(obs))
 	for i, o := range obs {
 		flat[i] = Obs{T: o.T, RSS: o.RSS, P: o.P, Q: o.Q}
 	}
 	eval := func(x, h, z float64) (n, gamma, ss float64) {
-		var sg, sr, sgg, sgr float64
-		nn := float64(len(obs))
-		gs := make([]float64, len(obs))
-		for i, o := range obs {
-			l := math.Sqrt((x+o.P)*(x+o.P) + (h+o.Q)*(h+o.Q) + (z+o.R)*(z+o.R))
-			if l < 0.05 {
-				l = 0.05
-			}
-			g := math.Log10(l)
-			gs[i] = g
-			sg += g
-			sr += o.RSS
-			sgg += g * g
-			sgr += g * o.RSS
-		}
-		den := nn*sgg - sg*sg
-		if den < 1e-12 {
-			n = (cfg.NMin + cfg.NMax) / 2
-		} else {
-			n = -((nn*sgr - sg*sr) / den) / 10
-		}
-		n = math.Min(math.Max(n, cfg.NMin), cfg.NMax)
-		gamma = (sr + 10*n*sg) / nn
-		for i, o := range obs {
-			r := o.RSS - (gamma - 10*n*gs[i])
-			ss += r * r
-		}
-		return n, gamma, ss
+		return s.dbFit3At(obs, x, h, z, cfg.NMin, cfg.NMax)
 	}
 
 	// Seeds: elliptical LS plus rings in the z = 0 plane.
@@ -91,24 +65,26 @@ func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 			seeds = append(seeds, seed{c[0], c[1], c[2]})
 		}
 	}
-	for _, r := range ringInits(flat) {
+	for _, r := range s.ringInits(flat) {
 		seeds = append(seeds, seed{r[0], r[1], 0})
 	}
 
+	f := func(v []float64) float64 {
+		if math.Sqrt(v[0]*v[0]+v[1]*v[1]+v[2]*v[2]) > cfg.MaxRange {
+			return math.Inf(1)
+		}
+		_, _, ss := eval(v[0], v[1], v[2])
+		return ss
+	}
 	var bx, bh, bz float64
 	bv := math.Inf(1)
-	for _, s := range seeds {
+	for _, sd := range seeds {
 		if cfg.canceled() {
 			return nil, ErrCanceled
 		}
-		f := func(v []float64) float64 {
-			if math.Sqrt(v[0]*v[0]+v[1]*v[1]+v[2]*v[2]) > cfg.MaxRange {
-				return math.Inf(1)
-			}
-			_, _, ss := eval(v[0], v[1], v[2])
-			return ss
-		}
-		x, v := nelderMead(f, []float64{s.x, s.h, s.z}, 1.0, 250, cfg.Cancel)
+		x0 := s.nm.x0[:3]
+		x0[0], x0[1], x0[2] = sd.x, sd.h, sd.z
+		x, v := s.minimize(f, x0, 1.0, 250, cfg.Cancel)
 		if v < bv {
 			bv, bx, bh, bz = v, x[0], x[1], x[2]
 		}
@@ -142,6 +118,40 @@ func Run3D(obs []Obs3D, cfg Config) (*Estimate3D, error) {
 		Confidence: mathx.TwoSidedTailProb(mu, 0, math.Max(sigma, 0.25)),
 		Samples:    len(obs),
 	}, nil
+}
+
+// dbFit3At is dbFitAt with the 3-D distance lᵢ = |(x+pᵢ, h+qᵢ, z+rᵢ)|;
+// the log-distance buffer is the solver's gs arena.
+func (s *Solver) dbFit3At(obs []Obs3D, x, h, z, nMin, nMax float64) (n, gamma, ss float64) {
+	var sg, sr, sgg, sgr float64
+	nn := float64(len(obs))
+	s.gs = growFloats(s.gs, len(obs))
+	gs := s.gs
+	for i, o := range obs {
+		l := math.Sqrt((x+o.P)*(x+o.P) + (h+o.Q)*(h+o.Q) + (z+o.R)*(z+o.R))
+		if l < 0.05 {
+			l = 0.05
+		}
+		g := math.Log10(l)
+		gs[i] = g
+		sg += g
+		sr += o.RSS
+		sgg += g * g
+		sgr += g * o.RSS
+	}
+	den := nn*sgg - sg*sg
+	if den < 1e-12 {
+		n = (nMin + nMax) / 2
+	} else {
+		n = -((nn*sgr - sg*sr) / den) / 10
+	}
+	n = math.Min(math.Max(n, nMin), nMax)
+	gamma = (sr + 10*n*sg) / nn
+	for i, o := range obs {
+		r := o.RSS - (gamma - 10*n*gs[i])
+		ss += r * r
+	}
+	return n, gamma, ss
 }
 
 // elliptical3DLS is the 3-D linearized initializer.

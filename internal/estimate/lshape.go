@@ -28,9 +28,9 @@ type LShapeResult struct {
 // identifies the true side; and a final regression over the full
 // (2-D-spread) data refines the position, with the matched candidates
 // selecting between mirror solutions if the full fit is itself ambiguous.
-func RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
+func (s *Solver) RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
 	metLShapeRuns.Inc()
-	var legA, legB []Obs
+	legA, legB := s.legA[:0], s.legB[:0]
 	for _, o := range obs {
 		if o.T < splitT {
 			legA = append(legA, o)
@@ -38,12 +38,13 @@ func RunLShape(obs []Obs, splitT float64, cfg Config) (*LShapeResult, error) {
 			legB = append(legB, o)
 		}
 	}
-	estA, errA := Run(legA, cfg)
-	estB, errB := Run(legB, cfg)
+	s.legA, s.legB = legA, legB
+	estA, errA := s.Run(legA, cfg)
+	estB, errB := s.Run(legB, cfg)
 
 	// Full-data fit: the combined movement spans two directions, so the
 	// planar regression is usually well conditioned and unambiguous.
-	full, errFull := Run(obs, cfg)
+	full, errFull := s.Run(obs, cfg)
 
 	res := &LShapeResult{LegA: estA, LegB: estB}
 

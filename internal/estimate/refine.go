@@ -1,27 +1,32 @@
 package estimate
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
-// dbFit is the closed-form inner fit behind the paper's Eq. (5): for a
-// fixed candidate position, the path-loss model RSᵢ = Γ − 10·n·gᵢ with
-// gᵢ = log10(lᵢ) is *linear* in (Γ, n), so the fading coefficient and
-// power offset come from a linear regression of RSS on gᵢ, and the fit
-// quality is the residual sum of squares. The paper's numeric search for
-// n̂*(e) is thereby collapsed into a closed form; the numeric search
-// happens only over position.
-func dbFit(obs []Obs, dist func(Obs) float64, nMin, nMax float64) (n, gamma, ss float64) {
+// dbFitAt is the closed-form inner fit behind the paper's Eq. (5): for a
+// fixed candidate position (x, h), the path-loss model RSᵢ = Γ − 10·n·gᵢ
+// with gᵢ = log10(lᵢ), lᵢ = hypot(x+pᵢ, h+qᵢ), is *linear* in (Γ, n), so
+// the fading coefficient and power offset come from a linear regression
+// of RSS on gᵢ, and the fit quality is the residual sum of squares. The
+// paper's numeric search for n̂*(e) is thereby collapsed into a closed
+// form; the numeric search happens only over position. The per-sample
+// log-distances live in the solver's gs arena, so the fit — the single
+// hottest function in the pipeline, called for every objective
+// evaluation of every Nelder–Mead iteration — allocates nothing.
+func (s *Solver) dbFitAt(obs []Obs, x, h, nMin, nMax float64) (n, gamma, ss float64) {
 	var sg, sr, sgg, sgr float64
 	nn := float64(len(obs))
-	gs := make([]float64, len(obs))
+	s.gs = growFloats(s.gs, len(obs))
+	gs := s.gs
 	for i, o := range obs {
-		l := dist(o)
-		if l < 0.05 {
-			l = 0.05
+		// log10(dist) via ½·log10(dist²): the distance itself is never
+		// needed, so the per-observation sqrt inside Hypot is skipped.
+		// The 0.05 m near-field clamp becomes 0.0025 on the square.
+		dp, dq := x+o.P, h+o.Q
+		l2 := dp*dp + dq*dq
+		if l2 < 0.0025 {
+			l2 = 0.0025
 		}
-		g := math.Log10(l)
+		g := 0.5 * math.Log10(l2)
 		gs[i] = g
 		sg += g
 		sr += o.RSS
@@ -46,117 +51,32 @@ func dbFit(obs []Obs, dist func(Obs) float64, nMin, nMax float64) (n, gamma, ss 
 	return n, gamma, ss
 }
 
-func distPlanar(x, h float64) func(Obs) float64 {
-	return func(o Obs) float64 { return math.Hypot(x+o.P, h+o.Q) }
-}
-
-// nelderMead minimizes f over len(x0) parameters starting from x0 with
-// the given initial simplex scale. Compact implementation: the objective
-// is cheap and smooth almost everywhere. A non-nil cancel is polled
-// every few iterations; cancellation stops the search early and returns
-// the best vertex so far (the caller decides whether to discard it).
-func nelderMead(f func([]float64) float64, x0 []float64, scale float64, iters int, cancel func() bool) ([]float64, float64) {
-	dim := len(x0)
-	type pt struct {
-		x []float64
-		v float64
-	}
-	mk := func(x []float64) pt {
-		cp := append([]float64(nil), x...)
-		return pt{x: cp, v: f(cp)}
-	}
-	simplex := make([]pt, 0, dim+1)
-	simplex = append(simplex, mk(x0))
-	for d := 0; d < dim; d++ {
-		v := append([]float64(nil), x0...)
-		v[d] += scale
-		simplex = append(simplex, mk(v))
-	}
-	lin := func(a, b []float64, t float64) []float64 {
-		out := make([]float64, dim)
-		for i := range out {
-			out[i] = a[i] + t*(b[i]-a[i])
-		}
-		return out
-	}
-	spent := 0
-	for it := 0; it < iters; it++ {
-		spent = it + 1
-		if it%8 == 0 && cancel != nil && cancel() {
-			break
-		}
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
-		best, worst := simplex[0], simplex[dim]
-		// Centroid of all but the worst.
-		cent := make([]float64, dim)
-		for _, p := range simplex[:dim] {
-			for i := range cent {
-				cent[i] += p.x[i]
-			}
-		}
-		for i := range cent {
-			cent[i] /= float64(dim)
-		}
-		refl := mk(lin(worst.x, cent, 2)) // c + (c − w)
-		switch {
-		case refl.v < best.v:
-			exp := mk(lin(worst.x, cent, 3)) // c + 2(c − w)
-			if exp.v < refl.v {
-				simplex[dim] = exp
-			} else {
-				simplex[dim] = refl
-			}
-		case refl.v < simplex[dim-1].v:
-			simplex[dim] = refl
-		default:
-			contr := mk(lin(worst.x, cent, 0.5))
-			if contr.v < worst.v {
-				simplex[dim] = contr
-			} else {
-				for k := 1; k <= dim; k++ {
-					simplex[k] = mk(lin(best.x, simplex[k].x, 0.5))
-				}
-			}
-		}
-		// Convergence: simplex collapsed in value and extent.
-		spread := 0.0
-		for i := range simplex[0].x {
-			spread += math.Abs(simplex[0].x[i] - simplex[dim].x[i])
-		}
-		if math.Abs(simplex[0].v-simplex[dim].v) < 1e-10 && spread < 1e-6 {
-			break
-		}
-	}
-	metNMCalls.Inc()
-	metNMIters.Add(int64(spent))
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
-	return simplex[0].x, simplex[0].v
-}
-
 // ringInits proposes starting positions for the position search: the
 // strongest filtered RSS implies a rough distance ring (assuming nominal
 // Γ ≈ −60 dBm and a plausible exponent); candidates are spread around
-// rings at a few radii in all directions.
-func ringInits(obs []Obs) [][2]float64 {
+// rings at a few radii in all directions. Results are appended to the
+// solver's ring arena and valid until the next ringInits call.
+func (s *Solver) ringInits(obs []Obs) [][2]float64 {
 	maxRSS := math.Inf(-1)
 	for _, o := range obs {
 		if o.RSS > maxRSS {
 			maxRSS = o.RSS
 		}
 	}
-	var radii []float64
-	for _, n := range []float64{2.0, 3.0} {
+	var radii [4]float64
+	for i, n := range [2]float64{2.0, 3.0} {
 		d := math.Pow(10, (-60-maxRSS)/(10*n))
-		radii = append(radii, clampF(d, 0.5, 20))
+		radii[i] = clampF(d, 0.5, 20)
 	}
-	radii = append(radii, 3, 7)
-	var out [][2]float64
+	radii[2], radii[3] = 3, 7
+	out := s.ringP[:0]
 	for _, r := range radii {
 		for k := 0; k < 8; k++ {
 			th := 2 * math.Pi * float64(k) / 8
 			out = append(out, [2]float64{r * math.Cos(th), r * math.Sin(th)})
 		}
 	}
+	s.ringP = out
 	return out
 }
 

@@ -1,0 +1,131 @@
+package estimate
+
+import (
+	"testing"
+
+	"locble/internal/rng"
+)
+
+// TestSolverMatchesPackageRun pins the wrapper contract: a dedicated
+// Solver and the pooled package entry points produce identical
+// estimates for the same input.
+func TestSolverMatchesPackageRun(t *testing.T) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+
+	want, err := Run(obs, cfg)
+	if err != nil {
+		t.Fatalf("package Run: %v", err)
+	}
+	s := NewSolver()
+	got, err := s.Run(obs, cfg)
+	if err != nil {
+		t.Fatalf("Solver.Run: %v", err)
+	}
+	if got.X != want.X || got.H != want.H || got.N != want.N ||
+		got.Gamma != want.Gamma || got.ResidualDB != want.ResidualDB {
+		t.Fatalf("Solver.Run = (%v,%v n=%v Γ=%v r=%v), package Run = (%v,%v n=%v Γ=%v r=%v)",
+			got.X, got.H, got.N, got.Gamma, got.ResidualDB,
+			want.X, want.H, want.N, want.Gamma, want.ResidualDB)
+	}
+}
+
+// TestSolverReuseIsStateless pins the arena hygiene: interleaving runs
+// over different inputs on one Solver must not change any run's result
+// (a stale arena value leaking across runs would).
+func TestSolverReuseIsStateless(t *testing.T) {
+	obsA := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	obsB := synthObs(2.0, 6, -58, 2.8, lPath(3, 5, 0.2), 2.5, rng.New(9))
+	cfg := DefaultConfig()
+
+	s := NewSolver()
+	first, err := s.Run(obsA, cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := s.Run(obsB, cfg); err != nil {
+		t.Fatalf("interleaved run: %v", err)
+	}
+	again, err := s.Run(obsA, cfg)
+	if err != nil {
+		t.Fatalf("repeat run: %v", err)
+	}
+	if first.X != again.X || first.H != again.H || first.N != again.N ||
+		first.Gamma != again.Gamma || first.ResidualDB != again.ResidualDB {
+		t.Fatalf("solver reuse drifted: first (%v,%v n=%v Γ=%v r=%v), repeat (%v,%v n=%v Γ=%v r=%v)",
+			first.X, first.H, first.N, first.Gamma, first.ResidualDB,
+			again.X, again.H, again.N, again.Gamma, again.ResidualDB)
+	}
+}
+
+// TestSolverInnerLoopZeroAlloc pins the PR's headline property: once
+// the arenas are warm, the search's inner loop — the closed-form
+// (n, Γ) fit called per objective evaluation, and a whole Nelder–Mead
+// minimization — performs zero heap allocations.
+func TestSolverInnerLoopZeroAlloc(t *testing.T) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+	s := NewSolver()
+	if _, err := s.Run(obs, cfg); err != nil { // warm every arena
+		t.Fatalf("warm-up run: %v", err)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		s.dbFitAt(obs, 3, 1, cfg.NMin, cfg.NMax)
+	}); n != 0 {
+		t.Errorf("dbFitAt allocates %v per call, want 0", n)
+	}
+
+	// The objective closure is created once per seed loop in the real
+	// search; it is the per-minimize-call cost that must be zero.
+	f := func(v []float64) float64 {
+		_, _, ss := s.dbFitAt(obs, v[0], v[1], cfg.NMin, cfg.NMax)
+		return ss
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		x0 := s.nm.x0[:2]
+		x0[0], x0[1] = 3, 1
+		s.minimize(f, x0, 1.0, 200, nil)
+	}); n != 0 {
+		t.Errorf("minimize allocates %v per call, want 0", n)
+	}
+}
+
+// BenchmarkSolverRun measures a dedicated Solver's full planar fit
+// (allocations here are only the returned Estimate and the elliptical
+// initializer's matrices — the search loop itself is allocation-free).
+func BenchmarkSolverRun(b *testing.B) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+	s := NewSolver()
+	if _, err := s.Run(obs, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(obs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverMinimize isolates one Nelder–Mead minimization on warm
+// arenas (must report 0 allocs/op).
+func BenchmarkSolverMinimize(b *testing.B) {
+	obs := synthObs(5.5, 2, -60, 2.2, lPath(4, 4, 0.15), 2.0, rng.New(1))
+	cfg := DefaultConfig()
+	s := NewSolver()
+	s.dbFitAt(obs, 3, 1, cfg.NMin, cfg.NMax)
+	f := func(v []float64) float64 {
+		_, _, ss := s.dbFitAt(obs, v[0], v[1], cfg.NMin, cfg.NMax)
+		return ss
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x0 := s.nm.x0[:2]
+		x0[0], x0[1] = 3, 1
+		s.minimize(f, x0, 1.0, 200, nil)
+	}
+}

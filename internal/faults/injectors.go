@@ -284,7 +284,9 @@ type IMUSaturate struct {
 	MaxAccel, MaxGyro float64
 }
 
-func (f IMUSaturate) Name() string { return fname("imu-saturate(a=%.0f,g=%.0f)", f.MaxAccel, f.MaxGyro) }
+func (f IMUSaturate) Name() string {
+	return fname("imu-saturate(a=%.0f,g=%.0f)", f.MaxAccel, f.MaxGyro)
+}
 
 func (f IMUSaturate) Apply(tr *sim.Trace, _ *rng.Source) {
 	if tr.IMU == nil {

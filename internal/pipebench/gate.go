@@ -1,0 +1,89 @@
+package pipebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the subset of a committed benchmark report a regression
+// gate compares against. Absent fields decode to zero and disable
+// their check — BENCH_pr2.json predates allocs_per_op, so the alloc
+// gate only arms once a baseline carrying it is committed.
+type Baseline struct {
+	Bench       string   `json:"bench"`
+	WallSeconds float64  `json:"wall_seconds"`
+	AllocsPerOp uint64   `json:"allocs_per_op"`
+	Error       ErrStats `json:"estimate_error_m"`
+}
+
+// Tolerances are the allowed fractional regressions per axis.
+type Tolerances struct {
+	// Wall bounds wall-clock growth (machine-dependent, so loose).
+	Wall float64
+	// Alloc bounds allocations-per-op growth.
+	Alloc float64
+	// Err bounds mean/p90 error growth. The error statistics are
+	// deterministic for a fixed seed, so this can be tight; it is
+	// nonzero only to absorb legitimate algorithm changes reflected in
+	// a refreshed baseline late.
+	Err float64
+}
+
+// DefaultTolerances returns the CI gate settings: 10 % wall, 10 %
+// allocs, 5 % accuracy.
+func DefaultTolerances() Tolerances {
+	return Tolerances{Wall: 0.10, Alloc: 0.10, Err: 0.05}
+}
+
+// Gate compares a fresh report against a committed baseline and
+// returns the violations (empty means the gate passes). Checks whose
+// baseline field is zero/absent are skipped.
+func Gate(got *Report, base *Baseline, tol Tolerances) []string {
+	var v []string
+	exceed := func(name string, g, b, t float64, unit string) {
+		if b > 0 && g > b*(1+t) {
+			v = append(v, fmt.Sprintf("%s regressed: %.4g %s vs baseline %.4g %s (tolerance %.0f%%)",
+				name, g, unit, b, unit, t*100))
+		}
+	}
+	exceed("wall_seconds", got.WallSeconds, base.WallSeconds, tol.Wall, "s")
+	exceed("allocs_per_op", float64(got.AllocsPerOp), float64(base.AllocsPerOp), tol.Alloc, "allocs")
+	exceed("estimate_error_m.mean_m", got.Error.MeanM, base.Error.MeanM, tol.Err, "m")
+	exceed("estimate_error_m.p90_m", got.Error.P90M, base.Error.P90M, tol.Err, "m")
+	if base.Error.N > 0 && got.Located < base.Error.N {
+		v = append(v, fmt.Sprintf("located %d beacons vs baseline %d — fixes were lost",
+			got.Located, base.Error.N))
+	}
+	return v
+}
+
+// LoadBaseline reads a committed benchmark JSON as a gate baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.WallSeconds <= 0 {
+		return nil, fmt.Errorf("baseline %s: missing wall_seconds", path)
+	}
+	return &b, nil
+}
+
+// LoadReport reads a full benchmark report (for gate-only comparisons
+// of an already-written run).
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parse report %s: %w", path, err)
+	}
+	return &r, nil
+}

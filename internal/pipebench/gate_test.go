@@ -1,0 +1,64 @@
+package pipebench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseReport() *Report {
+	return &Report{
+		Located:     75,
+		WallSeconds: 0.30,
+		AllocsPerOp: 100_000,
+		Error:       ErrStats{N: 75, MeanM: 2.0, P50M: 1.5, P90M: 4.3, WorstM: 9.2},
+	}
+}
+
+func baseBaseline() *Baseline {
+	return &Baseline{
+		WallSeconds: 0.354,
+		AllocsPerOp: 100_000,
+		Error:       ErrStats{N: 75, MeanM: 2.0, P50M: 1.5, P90M: 4.3, WorstM: 9.2},
+	}
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	if v := Gate(baseReport(), baseBaseline(), DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations for a matching run: %v", v)
+	}
+}
+
+func TestGateCatchesEachAxis(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		axis   string
+	}{
+		{"wall", func(r *Report) { r.WallSeconds = 0.5 }, "wall_seconds"},
+		{"allocs", func(r *Report) { r.AllocsPerOp = 200_000 }, "allocs_per_op"},
+		{"mean", func(r *Report) { r.Error.MeanM = 2.5 }, "mean_m"},
+		{"p90", func(r *Report) { r.Error.P90M = 5.5 }, "p90_m"},
+		{"lost fixes", func(r *Report) { r.Located = 70 }, "fixes were lost"},
+	}
+	for _, tc := range cases {
+		r := baseReport()
+		tc.mutate(r)
+		v := Gate(r, baseBaseline(), DefaultTolerances())
+		if len(v) != 1 || !strings.Contains(v[0], tc.axis) {
+			t.Errorf("%s: violations = %v, want one mentioning %q", tc.name, v, tc.axis)
+		}
+	}
+}
+
+// TestGateSkipsAbsentBaselineFields pins the compatibility contract
+// with BENCH_pr2.json, which predates allocs_per_op: a zero baseline
+// field disarms its check instead of failing every run.
+func TestGateSkipsAbsentBaselineFields(t *testing.T) {
+	b := baseBaseline()
+	b.AllocsPerOp = 0
+	r := baseReport()
+	r.AllocsPerOp = 10_000_000
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations with alloc gate disarmed: %v", v)
+	}
+}

@@ -1,0 +1,225 @@
+// Package pipebench runs the instrumented end-to-end pipeline benchmark
+// shared by cmd/locble-bench (-json) and cmd/benchgate: repeated
+// LocateAll batches over the default three-beacon scenario on one
+// System, reported as machine-readable JSON — wall time, per-stage
+// latency from the engine's metric registry, the deterministic
+// localization-error distribution, and runtime.MemStats-derived
+// allocation deltas per LocateAll call.
+//
+// The error statistics are fully deterministic for a given seed (the
+// simulation and the regression are seeded and allocation-order
+// independent), so regression gates can compare them tightly across
+// machines; wall time and allocation counts are the hardware- and
+// runtime-dependent part.
+package pipebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"locble"
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Seed is the base simulation seed (trial t uses Seed + t*101).
+	Seed int64
+	// Trials is how many simulate+LocateAll rounds to run.
+	Trials int
+	// PerTrial includes the per-trial breakdown in the report.
+	PerTrial bool
+}
+
+// StageStats summarizes one pipeline stage's latency histogram.
+type StageStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MinUS  float64 `json:"min_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// ErrStats summarizes the localization error distribution.
+type ErrStats struct {
+	N      int     `json:"n"`
+	MeanM  float64 `json:"mean_m"`
+	P50M   float64 `json:"p50_m"`
+	P90M   float64 `json:"p90_m"`
+	WorstM float64 `json:"worst_m"`
+}
+
+// TrialStats is one trial's cost: the wall time and heap activity of
+// its LocateAll call (simulation excluded), from MemStats deltas.
+type TrialStats struct {
+	Trial       int     `json:"trial"`
+	Seed        int64   `json:"seed"`
+	Located     int     `json:"located"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+// Report is the benchmark's machine-readable output. AllocsPerOp and
+// BytesPerOp average the MemStats (Mallocs, TotalAlloc) deltas over the
+// LocateAll calls only — the number a scratch-arena regression moves.
+type Report struct {
+	Bench       string                `json:"bench"`
+	Seed        int64                 `json:"seed"`
+	Trials      int                   `json:"trials"`
+	Beacons     int                   `json:"beacons"`
+	Located     int                   `json:"located"`
+	WallSeconds float64               `json:"wall_seconds"`
+	AllocsPerOp uint64                `json:"allocs_per_op"`
+	BytesPerOp  uint64                `json:"bytes_per_op"`
+	Error       ErrStats              `json:"estimate_error_m"`
+	Stages      map[string]StageStats `json:"stage_latency"`
+	PerTrial    []TrialStats          `json:"per_trial,omitempty"`
+	Engine      locble.Metrics        `json:"engine_metrics"`
+	Process     locble.Metrics        `json:"process_metrics"`
+}
+
+// Run executes the benchmark: Trials rounds of simulate + LocateAll on
+// one System. WallSeconds spans the whole loop (simulation included),
+// matching the historical BENCH_pr2.json measurement, so the series
+// stays comparable across PRs.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 25
+	}
+	sys, err := locble.New()
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	beacons := []locble.BeaconSpec{
+		{Name: "b0", X: 6, Y: 3},
+		{Name: "b1", X: 2, Y: 5},
+		{Name: "b2", X: 7, Y: 1},
+	}
+	truth := make(map[string][2]float64, len(beacons))
+	for _, b := range beacons {
+		truth[b.Name] = [2]float64{b.X, b.Y}
+	}
+
+	var (
+		errsM     []float64
+		perTrial  []TrialStats
+		sumAllocs uint64
+		sumBytes  uint64
+		ms0, ms1  runtime.MemStats
+	)
+	start := time.Now()
+	for t := 0; t < cfg.Trials; t++ {
+		seed := cfg.Seed + int64(t)*101
+		trace, err := locble.Simulate(locble.Scenario{
+			Beacons:      beacons,
+			ObserverPlan: locble.LShapeWalk(0, 4, 4),
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opStart := time.Now()
+		runtime.ReadMemStats(&ms0)
+		fixes := sys.LocateAll(trace)
+		runtime.ReadMemStats(&ms1)
+		allocs := ms1.Mallocs - ms0.Mallocs
+		bytes := ms1.TotalAlloc - ms0.TotalAlloc
+		sumAllocs += allocs
+		sumBytes += bytes
+		for name, p := range fixes {
+			g := truth[name]
+			errsM = append(errsM, math.Hypot(p.X-g[0], p.Y-g[1]))
+		}
+		if cfg.PerTrial {
+			perTrial = append(perTrial, TrialStats{
+				Trial:       t,
+				Seed:        seed,
+				Located:     len(fixes),
+				WallSeconds: time.Since(opStart).Seconds(),
+				Allocs:      allocs,
+				AllocBytes:  bytes,
+			})
+		}
+	}
+	wall := time.Since(start)
+	sort.Float64s(errsM)
+
+	snap := sys.Metrics()
+	stages := make(map[string]StageStats)
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "core.stage.") || !strings.HasSuffix(name, ".seconds") || h.Count == 0 {
+			continue
+		}
+		st := strings.TrimSuffix(strings.TrimPrefix(name, "core.stage."), ".seconds")
+		stages[st] = StageStats{
+			Count:  h.Count,
+			MeanUS: h.Mean() * 1e6,
+			MinUS:  h.Min * 1e6,
+			MaxUS:  h.Max * 1e6,
+		}
+	}
+	return &Report{
+		Bench:       "locateall-default",
+		Seed:        cfg.Seed,
+		Trials:      cfg.Trials,
+		Beacons:     len(beacons),
+		Located:     len(errsM),
+		WallSeconds: wall.Seconds(),
+		AllocsPerOp: sumAllocs / uint64(cfg.Trials),
+		BytesPerOp:  sumBytes / uint64(cfg.Trials),
+		Error:       summarizeErrors(errsM),
+		Stages:      stages,
+		PerTrial:    perTrial,
+		Engine:      snap,
+		Process:     locble.ProcessMetrics(),
+	}, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary is the one-line human summary printed after a run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d trials, %d/%d located, mean error %.2f m, wall %.2f s, %d allocs/op (%.1f MB/op)",
+		r.Trials, r.Located, r.Trials*r.Beacons, r.Error.MeanM, r.WallSeconds,
+		r.AllocsPerOp, float64(r.BytesPerOp)/1e6)
+}
+
+func summarizeErrors(sorted []float64) ErrStats {
+	if len(sorted) == 0 {
+		return ErrStats{}
+	}
+	sum := 0.0
+	for _, e := range sorted {
+		sum += e
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return ErrStats{
+		N:      len(sorted),
+		MeanM:  sum / float64(len(sorted)),
+		P50M:   q(0.5),
+		P90M:   q(0.9),
+		WorstM: sorted[len(sorted)-1],
+	}
+}

@@ -144,7 +144,21 @@ func (f *Butterworth) Clone() *Butterworth {
 // of the section cascade (stack-buffered up to order 16), so the only
 // allocation is the output slice.
 func (f *Butterworth) Filter(xs []float64) []float64 {
-	out := make([]float64, len(xs))
+	return f.FilterInto(make([]float64, len(xs)), xs)
+}
+
+// FilterInto is Filter writing into dst: the batch path for hot loops
+// that reuse an output buffer across calls. dst's backing array is
+// reused when cap(dst) ≥ len(xs) (making the pass allocation-free) and
+// reallocated otherwise; the filtered series is returned as
+// dst[:len(xs)]. The in-place call f.FilterInto(xs, xs) is safe: each
+// output sample is written only after the input sample at the same
+// index has been read.
+func (f *Butterworth) FilterInto(dst, xs []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	out := dst[:len(xs)]
 	if len(xs) == 0 {
 		return out
 	}

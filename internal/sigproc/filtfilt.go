@@ -10,16 +10,25 @@ func FiltFilt(bf *Butterworth, xs []float64) []float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	fwd := bf.Filter(xs)
-	// Reverse, filter, reverse back.
-	rev := make([]float64, len(fwd))
-	for i, v := range fwd {
-		rev[len(fwd)-1-i] = v
+	return FiltFiltInto(bf, xs, nil)
+}
+
+// FiltFiltInto is FiltFilt writing into dst, for batch callers that
+// reuse a scratch buffer across series. The forward pass, the two
+// reversals, and the backward pass all run inside dst, so once dst's
+// backing array has grown to the series length the whole zero-phase
+// pass is allocation-free. The smoothed series is returned as
+// dst[:len(xs)]; a nil or undersized dst is reallocated.
+func FiltFiltInto(bf *Butterworth, xs, dst []float64) []float64 {
+	dst = bf.FilterInto(dst, xs)
+	reverseFloats(dst)
+	dst = bf.FilterInto(dst, dst)
+	reverseFloats(dst)
+	return dst
+}
+
+func reverseFloats(xs []float64) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
 	}
-	back := bf.Filter(rev)
-	out := make([]float64, len(back))
-	for i, v := range back {
-		out[len(back)-1-i] = v
-	}
-	return out
 }

@@ -109,6 +109,20 @@ func (tr *Trace) TargetPosition(b int, t float64) (x, y float64) {
 // ErrNoBeacons is returned for a scenario without beacons.
 var ErrNoBeacons = errors.New("sim: scenario has no beacons")
 
+// scheduled is one advertising event in the global simulation schedule.
+type scheduled struct {
+	ble.Transmission
+	beacon  int
+	collide bool
+}
+
+// scheduleByAt sorts the global schedule by transmission time.
+type scheduleByAt []scheduled
+
+func (s scheduleByAt) Len() int           { return len(s) }
+func (s scheduleByAt) Less(i, j int) bool { return s[i].At < s[j].At }
+func (s scheduleByAt) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // Run executes the scenario.
 func Run(sc Scenario) (*Trace, error) {
 	if len(sc.Beacons) == 0 {
@@ -168,11 +182,6 @@ func Run(sc Scenario) (*Trace, error) {
 
 	// Phase 1: build every beacon's advertiser and collect all
 	// transmissions into one global, time-sorted schedule.
-	type scheduled struct {
-		ble.Transmission
-		beacon  int
-		collide bool
-	}
 	advertisers := make([]*ble.Advertiser, len(sc.Beacons))
 	channels := make([]*rf.Channel, len(sc.Beacons))
 	var schedule []scheduled
@@ -221,7 +230,10 @@ func Run(sc Scenario) (*Trace, error) {
 			schedule = append(schedule, scheduled{Transmission: tx, beacon: bi})
 		}
 	}
-	sort.Slice(schedule, func(i, j int) bool { return schedule[i].At < schedule[j].At })
+	// Typed sort: this slice holds one entry per advertising event across
+	// every beacon (thousands for long scenarios), and the reflection
+	// swapper behind sort.Slice showed up in pipeline profiles.
+	sort.Sort(scheduleByAt(schedule))
 
 	// Wi-Fi interference: per-channel busy intervals. Bursts arrive
 	// Poisson at a rate matching the configured load with ~1.5 ms mean

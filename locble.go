@@ -207,6 +207,12 @@ func New(opts ...Option) (*System, error) {
 	return &System{engine: eng}, nil
 }
 
+// Close releases the System's background resources — the persistent
+// LocateAll worker pool, if one was started. A closed System remains
+// fully usable (LocateAll simply runs inline); Close matters for hosts
+// that create Systems dynamically and must not leak goroutines.
+func (s *System) Close() error { return s.engine.Close() }
+
 // Locate runs the full pipeline for one beacon of a trace.
 func (s *System) Locate(tr *Trace, beacon string) (*Position, error) {
 	return s.LocateCtx(context.Background(), tr, beacon)
@@ -231,10 +237,11 @@ func (s *System) LocateAll(tr *Trace) map[string]*Position {
 	return s.LocateAllCtx(context.Background(), tr)
 }
 
-// LocateAllCtx is LocateAll under a context. The fan-out is bounded by
-// a work queue sized to the CPU count; cancellation drains it fast
-// (beacons not yet started are skipped, in-flight ones stop
-// mid-regression and are omitted like any failed beacon).
+// LocateAllCtx is LocateAll under a context. The fan-out runs on a
+// persistent worker pool sized to the CPU count (one shard per worker,
+// beacons hashed to shards); cancellation drains it fast (beacons not
+// yet started are skipped, in-flight ones stop mid-regression and are
+// omitted like any failed beacon).
 func (s *System) LocateAllCtx(ctx context.Context, tr *Trace) map[string]*Position {
 	out := make(map[string]*Position)
 	for _, res := range s.engine.LocateAllContext(ctx, tr) {
