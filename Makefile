@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 # Chaos-soak duration for `make soak` (parsed by TestChaosSoak).
 SOAKTIME ?= 30s
 
-.PHONY: all build test race soak fuzz cover bench benchgate ci fmtcheck microbench repro examples clean help
+.PHONY: all build test race soak fuzz cover bench benchgate ci fmtcheck lint microbench repro examples clean help
 
 all: build test race soak
 
@@ -20,6 +20,17 @@ fmtcheck:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Static analysis: go vet always; staticcheck when it is on PATH (the
+# CI lint job installs it — offline dev environments may not have it,
+# and the target must not fail on its absence).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
 	fi
 
 test:
@@ -72,7 +83,7 @@ benchgate:
 
 # The full CI pipeline, byte-identical to what .github/workflows/ci.yml
 # runs — so "it passed make ci" means it passes CI.
-ci: fmtcheck build test race fuzz soak cover benchgate
+ci: fmtcheck build lint test race fuzz soak cover benchgate
 
 # One testing.B target per paper table/figure plus pipeline micro-benches.
 microbench:
@@ -103,6 +114,7 @@ help:
 	@echo "make ci       - the full CI pipeline (fmtcheck .. benchgate), same as GitHub Actions"
 	@echo "make build    - compile and vet every package"
 	@echo "make fmtcheck - fail if gofmt would rewrite any file"
+	@echo "make lint     - go vet + staticcheck (skipped when not installed)"
 	@echo "make test     - run the test suite (shuffled order)"
 	@echo "make race     - run the test suite under the race detector"
 	@echo "make soak     - $(SOAKTIME) race-enabled chaos soak of the serving path"

@@ -12,6 +12,7 @@
 //	-phone        iphone5s | iphone6s | nexus5x | nexus6p (default iphone6s)
 //	-beacon       estimote | radbeacon | ios (default estimote)
 //	-seed         simulation seed
+//	-loss         regression loss: squared | huber | tukey (default squared)
 //	-navigate     after measuring, walk to the estimate
 //	-cluster      add 3 co-located neighbour beacons and calibrate
 //	-faults       inject impairments before processing (see -faults help)
@@ -41,6 +42,7 @@ func main() {
 		phone    = flag.String("phone", "iphone6s", "phone profile")
 		beacon   = flag.String("beacon", "estimote", "beacon hardware")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		lossF    = flag.String("loss", "squared", "regression loss: squared|huber|tukey")
 		replay   = flag.String("replay", "", "analyze a saved trace file (see locble-trace -save)")
 		faultsF  = flag.String("faults", "", "comma-separated fault injectors (\"-faults help\" lists them)")
 		navigate = flag.Bool("navigate", false, "navigate to the estimate after measuring")
@@ -65,7 +67,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *faultsF, *navigate, *trackF, *clusterF, *metricsF, *verbose); err != nil {
+	if err := run(*bx, *by, *envName, *phone, *beacon, *seed, *lossF, *faultsF, *navigate, *trackF, *clusterF, *metricsF, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "locble:", err)
 		os.Exit(1)
 	}
@@ -112,12 +114,17 @@ var cannedFaults = map[string]struct {
 	"imudrop":  {faults.IMUDropout{Start: 4, Duration: 2}, "2 s IMU dropout at t=4 s"},
 	"imusat":   {faults.IMUSaturate{MaxAccel: 9}, "accelerometer railing at ±9 m/s²"},
 	"corrupt":  {faults.CorruptPDU{BitProb: 0.01}, "1%/bit PDU corruption on the air"},
+	"impulse":  {faults.ImpulseBurst{Start: 2, Duration: 4, Prob: 0.2, DeltaDB: 20}, "impulsive interference: 20% of readings +20 dB in t=[2,6) s"},
+	"clone":    {faults.BeaconClone{OffsetDB: -25}, "adversarial clone advertising the target's identity at -25 dB"},
+	"decay":    {faults.TxPowerDecay{Start: 1, RatePerS: 1.5}, "TX power decaying 1.5 dB/s from t=1 s (dying battery)"},
+	"outliers": {faults.OutlierRun{Start: 3, Duration: 1.5, DeltaDB: 18}, "coordinated +18 dB outlier run in t=[3,4.5) s"},
 }
 
 func printFaultsHelp() {
 	fmt.Println("fault injectors (-faults a,b,...):")
 	for _, name := range []string{"dropout", "stall", "drop", "nan", "clip", "dupes",
-		"reorder", "skew", "jitter", "truncate", "imudrop", "imusat", "corrupt"} {
+		"reorder", "skew", "jitter", "truncate", "imudrop", "imusat", "corrupt",
+		"impulse", "clone", "decay", "outliers"} {
 		fmt.Printf("  %-9s %s\n", name, cannedFaults[name].desc)
 	}
 }
@@ -142,8 +149,12 @@ func parseFaults(spec string) ([]faults.Fault, error) {
 	return fs, nil
 }
 
-func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faultSpec string, navigate, trackOn, clusterOn, metricsOn, verbose bool) error {
+func run(bx, by float64, envName, phoneName, beaconName string, seed int64, lossName, faultSpec string, navigate, trackOn, clusterOn, metricsOn, verbose bool) error {
 	envClass, err := parseEnv(envName)
+	if err != nil {
+		return err
+	}
+	loss, err := locble.ParseLoss(lossName)
 	if err != nil {
 		return err
 	}
@@ -173,7 +184,7 @@ func run(bx, by float64, envName, phoneName, beaconName string, seed int64, faul
 		"target", bx, by, envClass, phone.Name, tx.Name)
 	fmt.Println("observer: L-shaped walk, 4 m + 4 m")
 
-	sys, err := locble.New()
+	sys, err := locble.New(locble.WithLoss(loss))
 	if err != nil {
 		return err
 	}

@@ -9,52 +9,70 @@ import (
 )
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "", false, false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "squared", "", false, false, false, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithNavigation(t *testing.T) {
-	if err := run(5, 2, "plos", "nexus6p", "radbeacon", 2, "", true, false, false, false, true); err != nil {
+	if err := run(5, 2, "plos", "nexus6p", "radbeacon", 2, "squared", "", true, false, false, false, true); err != nil {
 		t.Fatalf("run -navigate: %v", err)
 	}
 }
 
 func TestRunTrackMode(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 3, "", false, true, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 3, "squared", "", false, true, false, false, false); err != nil {
 		t.Fatalf("run -track: %v", err)
 	}
 }
 
 func TestRunClusterMode(t *testing.T) {
-	if err := run(6, 3, "los", "iphone6s", "estimote", 4, "", false, false, true, false, true); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 4, "squared", "", false, false, true, false, true); err != nil {
 		t.Fatalf("run -cluster: %v", err)
 	}
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run(6, 3, "vacuum", "iphone6s", "estimote", 1, "", false, false, false, false, false); err == nil {
+	if err := run(6, 3, "vacuum", "iphone6s", "estimote", 1, "squared", "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown environment")
 	}
-	if err := run(6, 3, "los", "rotaryphone", "estimote", 1, "", false, false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "rotaryphone", "estimote", 1, "squared", "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown phone")
 	}
-	if err := run(6, 3, "los", "iphone6s", "smoke-signal", 1, "", false, false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "iphone6s", "smoke-signal", 1, "squared", "", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown beacon")
 	}
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "gremlins", false, false, false, false, false); err == nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "hinge", "", false, false, false, false, false); err == nil {
+		t.Error("want error for unknown loss")
+	}
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "squared", "gremlins", false, false, false, false, false); err == nil {
 		t.Error("want error for unknown fault injector")
 	}
 }
 
 func TestRunWithFaults(t *testing.T) {
 	// Degraded but recoverable input must still produce an estimate.
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "nan,dropout", false, false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "squared", "nan,dropout", false, false, false, false, false); err != nil {
 		t.Fatalf("run -faults nan,dropout: %v", err)
 	}
 	// An unusable input is reported as rejected, not a CLI failure.
-	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "truncate", false, false, false, false, false); err != nil {
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "squared", "truncate", false, false, false, false, false); err != nil {
 		t.Fatalf("run -faults truncate: %v", err)
+	}
+}
+
+func TestRunRobustLossUnderHostileFaults(t *testing.T) {
+	// The headline robustness demo: impulsive interference plus a
+	// coordinated outlier run, survived by Huber IRLS.
+	if err := run(6, 3, "los", "iphone6s", "estimote", 1, "huber", "impulse,outliers", false, false, false, false, true); err != nil {
+		t.Fatalf("run -loss huber -faults impulse,outliers: %v", err)
+	}
+	// A cloned beacon identity must be reported, not crash the CLI.
+	if err := run(6, 3, "los", "iphone6s", "estimote", 2, "tukey", "clone", false, false, false, false, false); err != nil {
+		t.Fatalf("run -loss tukey -faults clone: %v", err)
+	}
+	if err := run(6, 3, "los", "iphone6s", "estimote", 3, "huber", "decay", false, false, false, false, false); err != nil {
+		t.Fatalf("run -loss huber -faults decay: %v", err)
 	}
 }
 

@@ -89,6 +89,9 @@ type Config struct {
 	// Sanitize tunes the defensive input pass (zero fields take the
 	// calibrated defaults).
 	Sanitize SanitizeConfig
+	// Ladder tunes the graceful degradation ladder (zero value enables
+	// every rung with the calibrated defaults).
+	Ladder LadderConfig
 }
 
 // DefaultConfig returns the paper's pipeline settings.
@@ -176,6 +179,9 @@ type Measurement struct {
 	// impaired but recoverable. Rejected inputs never produce a
 	// Measurement — Locate returns a *RejectedError instead.
 	Health Health
+	// Mode identifies which degradation-ladder rung produced the fix
+	// (ModeFull for the normal fusion pipeline).
+	Mode FixMode
 }
 
 // Error returns the distance between the estimate and the true target
@@ -236,6 +242,11 @@ func (e *Engine) locateContextWith(ctx context.Context, tr *sim.Trace, beaconNam
 func (e *Engine) locate(ctx context.Context, tr *sim.Trace, beaconName string, sc *locateScratch) (*Measurement, error) {
 	p, err := e.prepare(tr, beaconName, sc)
 	if err != nil {
+		// Degradation ladder, rung 2: an unusable inertial stream drops
+		// the pipeline to RSS-only path-loss proximity instead of failing.
+		if m, ok := e.tryRSSOnly(tr, beaconName, err); ok {
+			return m, nil
+		}
 		return nil, err
 	}
 	if ctx.Err() != nil {

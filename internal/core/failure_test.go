@@ -11,7 +11,9 @@ import (
 // Failure injection: malformed or degenerate traces must produce errors,
 // never panics or silent garbage.
 
-func TestLocateRejectsEmptyIMU(t *testing.T) {
+func TestLocateEmptyIMUFallsBackToRSSOnly(t *testing.T) {
+	// The degradation ladder turns the historical hard rejection of a
+	// trace without IMU samples into an honest RSS-only proximity fix.
 	eng, err := NewEngine(DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -22,8 +24,43 @@ func TestLocateRejectsEmptyIMU(t *testing.T) {
 	}
 	broken := *tr
 	broken.IMU = &imu.Trace{}
+	m, err := eng.Locate(&broken, "target")
+	if err != nil {
+		t.Fatalf("want RSS-only fallback fix, got error: %v", err)
+	}
+	if m.Mode != ModeRSSOnly {
+		t.Errorf("Mode = %v, want ModeRSSOnly", m.Mode)
+	}
+	if m.Health.Status != HealthDegraded {
+		t.Errorf("Health = %v, want degraded", m.Health)
+	}
+	if !m.Health.Has(ReasonRSSOnlyFallback) || !m.Health.Has(ReasonIMUDropout) {
+		t.Errorf("Health reasons = %v, want rss-only-fallback + imu-dropout", m.Health.Reasons)
+	}
+	if !m.Est.Ambiguous {
+		t.Errorf("RSS-only fix must flag its unknown bearing as Ambiguous")
+	}
+	if r := m.Est.Range(); r <= 0 || r > eng.cfg.Estimator.MaxRange {
+		t.Errorf("RSS-only range = %v, want within (0, %v]", r, eng.cfg.Estimator.MaxRange)
+	}
+}
+
+func TestLocateEmptyIMURejectsWhenLadderDisabled(t *testing.T) {
+	// Disabling the RSS-only rung restores the historical contract.
+	cfg := DefaultConfig()
+	cfg.Ladder.DisableRSSOnly = true
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(lshapeScenario(6, 3, sim.StaticEnv(rf.LOS), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := *tr
+	broken.IMU = &imu.Trace{}
 	if _, err := eng.Locate(&broken, "target"); err == nil {
-		t.Error("want error for a trace without IMU samples")
+		t.Error("want error for a trace without IMU samples when the ladder is disabled")
 	}
 }
 

@@ -71,6 +71,24 @@ const (
 	// ReasonNoEstimate: sanitized data reached the estimator but no
 	// segment produced a usable fit.
 	ReasonNoEstimate HealthReason = "no-estimate"
+	// ReasonRSSOnlyFallback: the inertial stream was unusable, so the fix
+	// came from the degradation ladder's RSS-only path-loss proximity
+	// rung (range only, bearing unknown).
+	ReasonRSSOnlyFallback HealthReason = "rss-only-fallback"
+	// ReasonStaleFix: no usable observation window, so the previous fix
+	// was re-emitted within the staleness bound (ladder's bottom rung).
+	ReasonStaleFix HealthReason = "stale-fix"
+	// ReasonBeaconAnomaly: the beacon identity shows physically
+	// impossible interleaved RSSI deltas — the signature of a cloned or
+	// spoofed beacon transmitting alongside the real one.
+	ReasonBeaconAnomaly HealthReason = "beacon-anomaly"
+	// ReasonTxPowerDrift: the running residual median showed the
+	// beacon's transmit power drifting off its advertised calibration
+	// (a dying battery); Γ(e) was re-anchored.
+	ReasonTxPowerDrift HealthReason = "txpower-drift"
+	// ReasonBeaconEvicted: the tracked beacon's last-known state
+	// exceeded the staleness bound and was evicted.
+	ReasonBeaconEvicted HealthReason = "stale-beacon"
 	// ReasonNonFiniteEstimate: the estimator returned NaN/Inf (never
 	// exposed to callers; the measurement is rejected instead).
 	ReasonNonFiniteEstimate HealthReason = "non-finite-estimate"
@@ -107,6 +125,14 @@ func (h Health) String() string {
 		rs[i] = string(r)
 	}
 	return h.Status.String() + " (" + strings.Join(rs, ", ") + ")"
+}
+
+// clone returns a deep copy whose Reasons slice is independent —
+// required before degrading a health that another fix still references.
+func (h Health) clone() Health {
+	out := h
+	out.Reasons = append([]HealthReason(nil), h.Reasons...)
+	return out
 }
 
 // add records a reason once.

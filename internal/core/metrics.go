@@ -59,6 +59,14 @@ type engineMetrics struct {
 	akfAlphaMax *obs.Histogram
 	akfInnovMax *obs.Histogram
 
+	// Degradation-ladder rung usage and adversarial-beacon defenses:
+	// fixes produced by the RSS-only and last-known rungs, last-known
+	// states evicted for staleness, and Γ-drift recalibrations.
+	modeRSSOnly   *obs.Counter
+	modeLastKnown *obs.Counter
+	sessEvicted   *obs.Counter
+	sessRecals    *obs.Counter
+
 	// L-shape disambiguation outcomes.
 	lshapeAttempts *obs.Counter
 	lshapeResolved *obs.Counter
@@ -98,6 +106,10 @@ func newEngineMetrics() *engineMetrics {
 		akfDiverged:    r.Counter("core.akf.diverged"),
 		akfAlphaMax:    r.Histogram("core.akf.alpha_max", []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1}),
 		akfInnovMax:    r.Histogram("core.akf.innov_absmax", []float64{1, 2, 4, 8, 16, 32}),
+		modeRSSOnly:    r.Counter("core.mode.rss_only"),
+		modeLastKnown:  r.Counter("core.mode.last_known"),
+		sessEvicted:    r.Counter("core.session.evicted"),
+		sessRecals:     r.Counter("core.session.recalibrations"),
 		lshapeAttempts: r.Counter("core.lshape.attempts"),
 		lshapeResolved: r.Counter("core.lshape.resolved"),
 		concurrency:    r.Gauge("core.locateall.concurrency"),

@@ -5,6 +5,7 @@ import (
 
 	"locble/internal/estimate"
 	"locble/internal/rf"
+	"locble/internal/robust"
 )
 
 // ProximityFusionConfig tunes the last-metre refinement (paper Sec. 9.2:
@@ -42,15 +43,17 @@ func (e *Engine) RefineWithProximity(m *Measurement, cfg ProximityFusionConfig) 
 	if cfg.EngageRange <= 0 {
 		cfg = DefaultProximityFusionConfig()
 	}
-	if len(m.Filtered) == 0 || m.Est == nil {
+	if len(m.Filtered) == 0 || m.Est == nil || m.Track == nil {
+		// RSS-only ladder fixes carry no motion track to anchor on.
 		return m.Est
 	}
-	// Robust strongest reading and when it occurred.
-	idxMax, vMax := 0, math.Inf(-1)
-	for i, v := range m.Filtered {
-		if v > vMax {
-			idxMax, vMax = i, v
-		}
+	// Robust strongest reading and when it occurred: the MAD-gated
+	// maximum from the shared robust package, so an interference impulse
+	// the bulk of the series does not corroborate cannot fake a close
+	// approach (the same outlier scale the IRLS estimator uses).
+	idxMax, vMax, _ := robust.RobustMax(m.Filtered, cfg.TopQuantile, 3, nil)
+	if idxMax < 0 {
+		return m.Est
 	}
 	// Proximity-implied distance from the calibrated model at the
 	// estimate's own (Γ, n).

@@ -43,6 +43,15 @@ type SanitizeConfig struct {
 	// IMURailFrac is the fraction of accelerometer samples pinned at the
 	// absolute maximum that flags ReasonIMUSaturation.
 	IMURailFrac float64
+	// Beacon-identity anomaly detection (clone/spoof): two transmitters
+	// sharing one identity at different ranges produce interleaved
+	// readings whose adjacent deltas alternate sign with a magnitude no
+	// honest channel produces at report rate. A run of CloneMinFlips
+	// consecutive sign-alternating jumps of at least CloneDeltaDB dB,
+	// each within CloneWindowS seconds, flags ReasonBeaconAnomaly.
+	CloneDeltaDB  float64
+	CloneWindowS  float64
+	CloneMinFlips int
 }
 
 // DefaultSanitizeConfig returns the calibrated thresholds.
@@ -57,6 +66,9 @@ func DefaultSanitizeConfig() SanitizeConfig {
 		SkewTolerance: 0.75,
 		IMUMaxGap:     0.30,
 		IMURailFrac:   0.02,
+		CloneDeltaDB:  15,
+		CloneWindowS:  0.4,
+		CloneMinFlips: 6,
 	}
 }
 
@@ -90,6 +102,15 @@ func (c SanitizeConfig) withDefaults() SanitizeConfig {
 	}
 	if c.IMURailFrac <= 0 {
 		c.IMURailFrac = d.IMURailFrac
+	}
+	if c.CloneDeltaDB <= 0 {
+		c.CloneDeltaDB = d.CloneDeltaDB
+	}
+	if c.CloneWindowS <= 0 {
+		c.CloneWindowS = d.CloneWindowS
+	}
+	if c.CloneMinFlips <= 0 {
+		c.CloneMinFlips = d.CloneMinFlips
 	}
 	return c
 }
@@ -173,7 +194,40 @@ func sanitizeObservations(obs []sim.BeaconObservation, cfg SanitizeConfig, imuDu
 
 	detectRSSRails(clean, cfg, h)
 	detectRSSGaps(clean, cfg, h)
+	detectCloneAnomaly(clean, cfg, h)
 	return clean
+}
+
+// detectCloneAnomaly flags a beacon identity whose readings interleave
+// two physically separate transmitters: adjacent samples alternating by
+// ≥ CloneDeltaDB in opposite directions, each jump inside CloneWindowS.
+// Honest channels jitter a few dB between reports and an honest step
+// change (environment transition, TX decay) moves in one direction —
+// only two sources at different ranges produce a sustained alternating
+// run. The detector degrades (never rejects): the robust loss can still
+// fit the honest subset, and callers get the machine-readable flag.
+func detectCloneAnomaly(obs []sim.BeaconObservation, cfg SanitizeConfig, h *Health) {
+	flips, lastSign := 0, 0
+	for i := 1; i < len(obs); i++ {
+		dt := obs[i].T - obs[i-1].T
+		dv := obs[i].RSSI - obs[i-1].RSSI
+		if dt <= 0 || dt > cfg.CloneWindowS || math.Abs(dv) < cfg.CloneDeltaDB {
+			flips, lastSign = 0, 0
+			continue
+		}
+		sign := 1
+		if dv < 0 {
+			sign = -1
+		}
+		if lastSign != 0 && sign != lastSign {
+			flips++
+			if flips >= cfg.CloneMinFlips {
+				h.degrade(ReasonBeaconAnomaly)
+				return
+			}
+		}
+		lastSign = sign
+	}
 }
 
 // detectRSSRails flags a series where a large fraction of samples sits

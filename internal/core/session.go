@@ -10,6 +10,7 @@ import (
 	"locble/internal/env"
 	"locble/internal/estimate"
 	"locble/internal/rf"
+	"locble/internal/robust"
 	"locble/internal/sigproc"
 )
 
@@ -18,7 +19,15 @@ import (
 // meaning; Restore rejects any other version rather than guessing (a
 // checkpoint is filter state — a misinterpreted field silently corrupts
 // every subsequent fix, which is worse than a cold start).
-const SessionCheckpointVersion = 1
+//
+// Version history:
+//
+//	1 — initial format (filters, window, fix schedule, last fix).
+//	2 — degradation-ladder state: the last fix carries its FixMode, and
+//	    the checkpoint adds the Γ-drift history, recalibration and
+//	    eviction counters. A v1 restore would silently land on the
+//	    wrong ladder rung, so v1 checkpoints are rejected.
+const SessionCheckpointVersion = 2
 
 // Errors.
 var (
@@ -78,6 +87,14 @@ type TrackSession struct {
 	droppedBad   int64 // non-finite fields
 	droppedOrder int64 // out-of-order timestamps
 	fixes        int64
+
+	// Degradation-ladder state: gammaHist is the running window of
+	// fitted Γ values the TX-power-drift detector takes its median over;
+	// recals counts Γ-band re-anchorings; evicted counts last-known
+	// fixes dropped for exceeding the staleness bound.
+	gammaHist []float64
+	recals    int64
+	evicted   int64
 
 	curEnv rf.Environment
 	hasEnv bool
@@ -200,16 +217,16 @@ func (s *TrackSession) Push(o estimate.Obs) (*TrackPoint, error) {
 		s.nextFix += s.step
 	}
 	if len(s.buf) < s.estCfg.MinSamples {
-		return nil, nil
+		return s.staleFix(tEnd), nil
 	}
 
 	spReg := s.eng.met.stRegress.Start()
 	est, err := estimate.Run(s.buf, s.estCfg)
 	spReg.End()
 	if err != nil || !finiteEstimate(est) {
-		// A window that fits badly yields no fix; the session keeps
-		// streaming (same policy as TrackBeacon's window loop).
-		return nil, nil
+		// A window that fits badly yields no full fix; the ladder's
+		// bottom rung re-emits the last real fix while it is fresh.
+		return s.staleFix(tEnd), nil
 	}
 	if est.Ambiguous && s.last != nil {
 		prev := estimate.Candidate{X: s.last.Est.X, H: s.last.Est.H}
@@ -223,17 +240,83 @@ func (s *TrackSession) Push(o estimate.Obs) (*TrackPoint, error) {
 		resolved.X, resolved.H = best.X, best.H
 		est = &resolved
 	}
+	s.noteGamma(est.Gamma)
 	pt := TrackPoint{
 		T:           tEnd,
 		Est:         est,
 		WindowStart: s.buf[0].T,
 		Samples:     len(s.buf),
 		Health:      s.health(),
+		Mode:        ModeFull,
 	}
 	s.last = &pt
 	s.fixes++
 	s.eng.met.sessFixes.Inc()
 	return &pt, nil
+}
+
+// staleFix is the streaming last-known rung: when a due window produced
+// no full fix, re-emit the previous real fix while it is within the
+// staleness bound. Beyond the bound the tracking state is evicted — an
+// ancient fix must neither be shown nor steer later mirror-ambiguity
+// resolution.
+func (s *TrackSession) staleFix(tEnd float64) *TrackPoint {
+	lad := s.eng.cfg.Ladder.withDefaults()
+	if lad.DisableLastKnown || s.last == nil {
+		return nil
+	}
+	if tEnd-s.last.T > lad.StaleMaxAge {
+		s.last = nil
+		s.evicted++
+		s.eng.met.sessEvicted.Inc()
+		return nil
+	}
+	pt := staleFixFrom(s.last, tEnd, s.health())
+	s.fixes++
+	s.eng.met.sessFixes.Inc()
+	s.eng.met.modeLastKnown.Inc()
+	return &pt
+}
+
+// TX-power-drift detection: a dying battery shifts the beacon's real
+// transmit power — and with it every fitted Γ — downward over minutes.
+// The detector keeps a short running window of fitted Γ values; when
+// their median leaves the plausibility band's center by more than the
+// threshold, the band is re-anchored around the drifted value so the
+// estimator's prior stops fighting the data. The threshold exceeds the
+// normal fitted-Γ-to-band-center offset of a healthy beacon, so clean
+// sessions never recalibrate.
+const (
+	driftHistLen     = 8
+	driftMinFixes    = 5
+	driftThresholdDB = 8.0
+)
+
+// noteGamma folds one full fix's fitted Γ into the drift detector,
+// re-anchoring the estimator's Γ plausibility band when the running
+// median has drifted beyond the threshold.
+func (s *TrackSession) noteGamma(gamma float64) {
+	if s.estCfg.GammaSoftMin == 0 && s.estCfg.GammaSoftMax == 0 {
+		return // no band to anchor
+	}
+	s.gammaHist = append(s.gammaHist, gamma)
+	if len(s.gammaHist) > driftHistLen {
+		s.gammaHist = s.gammaHist[1:]
+	}
+	if len(s.gammaHist) < driftMinFixes {
+		return
+	}
+	buf := append([]float64(nil), s.gammaHist...)
+	med := robust.MedianInPlace(buf)
+	center := (s.estCfg.GammaSoftMin + s.estCfg.GammaSoftMax) / 2
+	if math.Abs(med-center) > driftThresholdDB {
+		shift := med - center
+		s.estCfg.GammaSoftMin += shift
+		s.estCfg.GammaSoftMax += shift
+		s.gammaHist = s.gammaHist[:0] // re-measure against the new anchor
+		s.recals++
+		s.eng.met.sessRecals.Inc()
+	}
 }
 
 // health summarizes the stream quality seen so far.
@@ -244,6 +327,12 @@ func (s *TrackSession) health() Health {
 	}
 	if s.droppedOrder > 0 {
 		h.add(ReasonTimestampAnomaly)
+	}
+	if s.recals > 0 {
+		h.add(ReasonTxPowerDrift)
+	}
+	if s.evicted > 0 {
+		h.add(ReasonBeaconEvicted)
 	}
 	h.Dropped = int(s.droppedBad + s.droppedOrder)
 	if len(h.Reasons) > 0 {
@@ -306,6 +395,12 @@ type SessionCheckpoint struct {
 	DroppedBad   int64 `json:"dropped_bad"`
 	DroppedOrder int64 `json:"dropped_order"`
 	Fixes        int64 `json:"fixes"`
+
+	// Degradation-ladder state (v2): the Γ-drift median window and the
+	// recalibration/eviction counters. LastFix carries its FixMode.
+	GammaHist      []float64 `json:"gamma_hist,omitempty"`
+	Recalibrations int64     `json:"recalibrations"`
+	Evicted        int64     `json:"evicted"`
 }
 
 // Checkpoint captures the session's complete streaming state. Take it
@@ -327,6 +422,10 @@ func (s *TrackSession) Checkpoint() *SessionCheckpoint {
 		DroppedBad:   s.droppedBad,
 		DroppedOrder: s.droppedOrder,
 		Fixes:        s.fixes,
+
+		GammaHist:      append([]float64(nil), s.gammaHist...),
+		Recalibrations: s.recals,
+		Evicted:        s.evicted,
 	}
 	if s.akf != nil {
 		st := s.akf.Snapshot()
@@ -412,6 +511,9 @@ func (e *Engine) RestoreTrackSession(cp *SessionCheckpoint) (*TrackSession, erro
 	s.droppedBad = cp.DroppedBad
 	s.droppedOrder = cp.DroppedOrder
 	s.fixes = cp.Fixes
+	s.gammaHist = append([]float64(nil), cp.GammaHist...)
+	s.recals = cp.Recalibrations
+	s.evicted = cp.Evicted
 	e.met.sessRestores.Inc()
 	e.met.sessRestoreDepth.Observe(float64(len(cp.WindowObs)))
 	return s, nil

@@ -23,9 +23,12 @@ type TrackPoint struct {
 	// Samples used in the window.
 	Samples int
 	// Health is the trace-level degradation report (shared by every fix
-	// of the run); windows whose fit returned non-finite values are
-	// dropped rather than flagged.
+	// of the run); stale re-emitted fixes carry their own degraded copy.
 	Health Health
+	// Mode identifies which degradation-ladder rung produced this fix:
+	// ModeFull for a window that fitted, ModeLastKnown for a re-emitted
+	// previous fix within the staleness bound.
+	Mode FixMode
 }
 
 // TrackBeacon runs sliding-window estimation over a trace: a fix every
@@ -76,7 +79,9 @@ func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName stri
 	fused, estCfg := p.fused, p.estCfg
 	estCfg.Cancel = cancelFromCtx(ctx)
 
+	lad := e.cfg.Ladder.withDefaults()
 	var points []TrackPoint
+	lastReal := -1 // index of the last full-fusion fix in points
 	end := p.times[len(p.times)-1]
 	for tEnd := math.Min(p.times[0]+window, end); ; tEnd += step {
 		if ctx.Err() != nil {
@@ -89,6 +94,7 @@ func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName stri
 		for hi > 0 && fused[hi-1].T > tEnd {
 			hi--
 		}
+		fitted := false
 		if hi-lo >= estCfg.MinSamples {
 			winObs := fused[lo:hi]
 			spReg := e.met.stRegress.Start()
@@ -119,8 +125,19 @@ func (e *Engine) trackBeacon(ctx context.Context, tr *sim.Trace, beaconName stri
 					WindowStart: winObs[0].T,
 					Samples:     len(winObs),
 					Health:      p.health,
+					Mode:        ModeFull,
 				})
+				lastReal = len(points) - 1
+				fitted = true
 			}
+		}
+		// Degradation ladder, bottom rung: a window with no usable fit
+		// re-emits the last real fix while it is still fresh, so the fix
+		// stream does not silently gap during a dropout burst.
+		if !fitted && !lad.DisableLastKnown && lastReal >= 0 &&
+			tEnd-points[lastReal].T <= lad.StaleMaxAge {
+			points = append(points, staleFixFrom(&points[lastReal], tEnd, p.health))
+			e.met.modeLastKnown.Inc()
 		}
 		if tEnd >= end {
 			break

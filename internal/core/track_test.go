@@ -37,10 +37,20 @@ func TestTrackBeaconStationary(t *testing.T) {
 	if len(pts) < 3 {
 		t.Fatalf("only %d fixes over a %.1f s trace", len(pts), tr.Duration)
 	}
-	// Fix times strictly increase and windows carry samples.
+	// Fix times strictly increase; full-fusion windows carry samples,
+	// and any ladder re-emission is honestly labelled.
 	for i, p := range pts {
-		if p.Samples < 8 {
-			t.Errorf("fix %d has %d samples", i, p.Samples)
+		switch p.Mode {
+		case ModeFull:
+			if p.Samples < 8 {
+				t.Errorf("fix %d has %d samples", i, p.Samples)
+			}
+		case ModeLastKnown:
+			if !p.Health.Has(ReasonStaleFix) || p.Health.Status != HealthDegraded {
+				t.Errorf("stale fix %d health = %v, want degraded stale-fix", i, p.Health)
+			}
+		default:
+			t.Errorf("fix %d has unexpected mode %v", i, p.Mode)
 		}
 		if i > 0 && p.T <= pts[i-1].T {
 			t.Fatal("fix times not increasing")

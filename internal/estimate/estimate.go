@@ -84,6 +84,11 @@ type Estimate struct {
 	Ambiguous bool
 	// Samples is the number of observations used.
 	Samples int
+	// Downweighted is the number of observations the robust loss pushed
+	// below the down-weight threshold at the final fit (0 under
+	// LossSquared) — a direct census of how much hostile data the IRLS
+	// layer had to suppress.
+	Downweighted int
 }
 
 // Range returns the estimated distance from the observer's origin.
@@ -118,6 +123,19 @@ type Config struct {
 	NSoftMin, NSoftMax         float64 // plausible exponent band (1.7–4.2)
 	GammaSoftMin, GammaSoftMax float64 // plausible Γ band (−82…−48 dBm)
 	PenaltyWeight              float64 // prior strength (dB² per sample)
+	// Loss selects the regression loss of the position search. The zero
+	// value (LossSquared) keeps the historical squared-loss behaviour
+	// bit-identical; LossHuber/LossTukey run the inner fit as IRLS with
+	// MAD-scaled per-observation weights, so outlier RSS samples are
+	// down-weighted instead of dragging the fix.
+	Loss Loss
+	// HuberDelta / TukeyC are the robust tuning constants in σ units
+	// (zero selects 1.345 / 4.685, the 95%-Gaussian-efficiency values).
+	HuberDelta float64
+	TukeyC     float64
+	// IRLSIterations is the number of reweighting passes per inner fit
+	// (zero selects 3; the weighted closed form converges fast).
+	IRLSIterations int
 	// Cancel, if non-nil, is polled between refinement seeds and inside
 	// the Nelder–Mead iterations; once it reports true the search stops
 	// and the run returns ErrCanceled. Wire a context in with
@@ -160,10 +178,10 @@ func (c *Config) softDefaults() {
 }
 
 // penalizedScoreAt is the position-search objective at candidate
-// position (x, h): dB-domain residual sum of squares plus the soft
-// plausibility prior on the implied (n, Γ).
+// position (x, h): dB-domain residual loss (squared or robust, per
+// cfg.Loss) plus the soft plausibility prior on the implied (n, Γ).
 func (s *Solver) penalizedScoreAt(obs []Obs, cfg *Config, x, h float64) float64 {
-	n, gamma, ss := s.dbFitAt(obs, x, h, cfg.NMin, cfg.NMax)
+	n, gamma, ss, _ := s.fitAt(obs, cfg, x, h)
 	penN := math.Max(0, n-cfg.NSoftMax) + math.Max(0, cfg.NSoftMin-n)
 	penG := math.Max(0, gamma-cfg.GammaSoftMax) + math.Max(0, cfg.GammaSoftMin-gamma)
 	return ss + cfg.PenaltyWeight*float64(len(obs))*(penN*penN*4+penG*penG*0.25)
@@ -358,11 +376,13 @@ func (s *Solver) runCollinear(obs []Obs, segs [][2]int, cfg Config, dir [2]float
 func (s *Solver) finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate, ambiguous bool) (*Estimate, error) {
 	best := cands[0]
 	var n, gamma float64
+	down := 0
 	longest := -1
 	resid := growFloats(s.resid, len(obs))[:0]
 	for _, sg := range segs {
 		segObs := obs[sg[0]:sg[1]]
-		nj, gj, _ := s.dbFitAt(segObs, best.X, best.H, cfg.NMin, cfg.NMax)
+		nj, gj, _, dj := s.fitAt(segObs, &cfg, best.X, best.H)
+		down += dj
 		if sz := sg[1] - sg[0]; sz > longest {
 			longest, n, gamma = sz, nj, gj
 		}
@@ -386,15 +406,16 @@ func (s *Solver) finish(obs []Obs, segs [][2]int, cfg Config, cands []Candidate,
 	// keeps the confidence well defined for near-perfect synthetic fits.
 	conf := mathx.TwoSidedTailProb(mu, 0, math.Max(sigma, 0.25))
 	return &Estimate{
-		X:          best.X,
-		H:          best.H,
-		Candidates: cands,
-		N:          n,
-		Gamma:      gamma,
-		ResidualDB: rms,
-		Confidence: conf,
-		Ambiguous:  ambiguous,
-		Samples:    len(obs),
+		X:            best.X,
+		H:            best.H,
+		Candidates:   cands,
+		N:            n,
+		Gamma:        gamma,
+		ResidualDB:   rms,
+		Confidence:   conf,
+		Ambiguous:    ambiguous,
+		Samples:      len(obs),
+		Downweighted: down,
 	}, nil
 }
 

@@ -23,6 +23,12 @@ var (
 	// metResidualDB is the distribution of fit RMS residuals (dB).
 	metResidualDB = obs.Default.Histogram("estimate.residual_db",
 		[]float64{0.5, 1, 2, 4, 8, 16})
+	// metIRLSRuns counts regressions run under a robust loss;
+	// metIRLSDownweighted totals the observations those runs pushed below
+	// the down-weight threshold (down-weighted ÷ runs = mean hostile
+	// samples per fix).
+	metIRLSRuns         = obs.Default.Counter("estimate.irls.runs")
+	metIRLSDownweighted = obs.Default.Counter("estimate.irls.downweighted")
 	// L-shape disambiguation outcomes: how the resolver concluded.
 	metLShapeRuns     = obs.Default.Counter("estimate.lshape.runs")
 	metLShapeResolved = obs.Default.Counter("estimate.lshape.resolved")

@@ -28,6 +28,9 @@ type Solver struct {
 	resid []float64
 	// rho holds ρᵢ values for the elliptical-LS initializer.
 	rho []float64
+	// rr / w / madScratch are the IRLS residual, weight and MAD working
+	// buffers of the robust inner fit (robustFitAt).
+	rr, w, madScratch []float64
 	// nm is the Nelder–Mead simplex arena (fixed-size, up to 3 params).
 	nm nmArena
 	// seeds / rings are the position-search candidate lists.
@@ -113,6 +116,12 @@ func (s *Solver) RunSegmented(obs []Obs, segStarts []int, cfg Config) (*Estimate
 	}
 	if err == nil {
 		metResidualDB.Observe(est.ResidualDB)
+	}
+	if cfg.Loss != LossSquared {
+		metIRLSRuns.Inc()
+		if err == nil && est.Downweighted > 0 {
+			metIRLSDownweighted.Add(int64(est.Downweighted))
+		}
 	}
 	return est, err
 }

@@ -1,0 +1,386 @@
+package faults_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"locble/internal/core"
+	"locble/internal/estimate"
+	"locble/internal/faults"
+	"locble/internal/imu"
+	"locble/internal/rf"
+	"locble/internal/sim"
+)
+
+// The degradation matrix: every adversarial injector runs against every
+// rung of the degradation ladder, under the robust (Huber) estimator.
+// The contract for each cell is "bounded or honest": either the mean
+// localization error stays within 2x the clean baseline for that rung,
+// or the pipeline reports Degraded/Rejected with a reason that names the
+// impairment — never a confident-looking fix that is silently wrong.
+//
+// One documented exception: a slow coherent TX-power decay is
+// unidentifiable on a single walk — the downward ramp is collinear with
+// walking away from the beacon, so the one-shot fit absorbs it into the
+// path-loss exponent with an in-band Γ and clean residuals. Its defense
+// is longitudinal: the session-level Γ-drift detector, which that cell
+// asserts instead of the one-shot bound.
+
+type hostileCase struct {
+	name  string
+	fault faults.Fault
+	// reason, when set, must accompany any degraded/rejected outcome.
+	reason core.HealthReason
+	// alwaysFlagged: the defense is expected to fire on every seed, so a
+	// clean bill of health is itself a failure. Flagged cells are exempt
+	// from the accuracy bound (a flagged fix is honest by definition;
+	// the clone's 50% contamination is past any M-estimator's breakdown
+	// point, which is exactly why it must be flagged).
+	alwaysFlagged bool
+	// drift: the impairment is only detectable longitudinally; the cell
+	// asserts the session-level Γ-drift recalibration instead of the
+	// one-shot accuracy bound.
+	drift bool
+}
+
+func hostileCases() []hostileCase {
+	return []hostileCase{
+		{name: "impulse-burst",
+			fault: faults.ImpulseBurst{Start: 2, Duration: 4, Prob: 0.2, DeltaDB: 20}},
+		{name: "beacon-clone",
+			fault:  faults.BeaconClone{OffsetDB: -25},
+			reason: core.ReasonBeaconAnomaly, alwaysFlagged: true},
+		{name: "txpower-decay",
+			fault: faults.TxPowerDecay{Start: 1, RatePerS: 1.5}, drift: true},
+		{name: "outlier-run",
+			fault: faults.OutlierRun{Start: 3, Duration: 1.5, DeltaDB: 18}},
+	}
+}
+
+// robustEngine builds the pipeline with the IRLS Huber loss — hostile
+// data is exactly what the robust mode exists for.
+func robustEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Estimator.Loss = estimate.LossHuber
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// candErr is the fix error against the true beacon at (6,3), taking the
+// best mirror candidate: hostile data may flip the side-ambiguity
+// resolution, which is an ambiguity outcome, not a range error.
+func candErr(est *estimate.Estimate) float64 {
+	best := math.Hypot(est.X-6, est.H-3)
+	for _, c := range est.Candidates {
+		if d := math.Hypot(c.X-6, c.H-3); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// honestOutcome reports whether (h, err) is an honest degraded/rejected
+// verdict, failing the test if a required reason is missing.
+func honestOutcome(t *testing.T, tc hostileCase, h core.Health, err error) bool {
+	t.Helper()
+	if err != nil {
+		var re *core.RejectedError
+		if !errors.As(err, &re) {
+			t.Fatalf("non-rejection error escaped the pipeline: %v", err)
+		}
+		h = re.Health
+	}
+	if h.Status == core.HealthOK {
+		return false
+	}
+	if tc.reason != "" && !h.Has(tc.reason) {
+		t.Errorf("degraded/rejected health %s is missing reason %s", h, tc.reason)
+	}
+	return true
+}
+
+// healthOf tolerates the nil measurement a rejection returns.
+func healthOf(m *core.Measurement) core.Health {
+	if m == nil {
+		return core.Health{}
+	}
+	return m.Health
+}
+
+// TestDegradationMatrixFullRung: the top rung (full RSS+IMU fusion).
+// Here health is usually OK, so the accuracy bound carries the weight:
+// the robust estimator must keep the mean error within 2x the clean
+// baseline, unless the pipeline honestly degrades instead.
+func TestDegradationMatrixFullRung(t *testing.T) {
+	eng := robustEngine(t)
+
+	var cleanErrs []float64
+	for seed := int64(1); seed <= 3; seed++ {
+		tr, err := sim.Run(matrixScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.Locate(tr, "target")
+		if err != nil {
+			t.Fatalf("clean seed %d rejected: %v", seed, err)
+		}
+		cleanErrs = append(cleanErrs, candErr(m.Est))
+	}
+	clean := mean(cleanErrs)
+	t.Logf("clean baseline: %.2f m", clean)
+
+	for _, tc := range hostileCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var okErrs []float64
+			honest, downweighted := 0, 0
+			for seed := int64(1); seed <= 3; seed++ {
+				tr, err := sim.Run(matrixScenario(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				faults.Apply(tr, 300+seed, tc.fault)
+				m, err := eng.Locate(tr, "target")
+				if honestOutcome(t, tc, healthOf(m), err) {
+					honest++
+					continue
+				}
+				if !finite(m.Est.X, m.Est.H, m.Est.N, m.Est.Gamma) {
+					t.Fatalf("seed %d: non-finite estimate under %s", seed, tc.fault.Name())
+				}
+				if m.Est.Downweighted > 0 {
+					downweighted++
+				}
+				okErrs = append(okErrs, candErr(m.Est))
+			}
+			if tc.alwaysFlagged && honest < 3 {
+				t.Errorf("defense fired on %d/3 seeds, want every seed", honest)
+			}
+			if tc.drift {
+				// One-shot bound unavailable (see package comment); the
+				// longitudinal defense must catch it instead.
+				t.Logf("one-shot mean error %.2f m over %d OK seeds (drift absorbed into the exponent)",
+					mean(okErrs), len(okErrs))
+				assertSessionFlagsDrift(t, eng)
+				return
+			}
+			if len(okErrs) > 0 {
+				got := mean(okErrs)
+				t.Logf("mean error %.2f m over %d OK seeds (%d honest, %d downweighted)",
+					got, len(okErrs), honest, downweighted)
+				if got > 2*clean+0.5 {
+					t.Errorf("mean error %.2f m exceeds 2x clean baseline %.2f m without a degraded verdict",
+						got, clean)
+				}
+			}
+		})
+	}
+}
+
+// assertSessionFlagsDrift feeds a decaying drive-by stream (injected with
+// the same TxPowerDecay fault) into a streaming session and requires the
+// Γ-drift detector to recalibrate and label fixes with txpower-drift —
+// the honest verdict for the impairment the one-shot fit cannot see.
+func assertSessionFlagsDrift(t *testing.T, eng *core.Engine) {
+	t.Helper()
+	s, err := eng.NewTrackSession(core.TrackSessionConfig{Beacon: "target", SampleRateHz: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 40 s patrol past a beacon at the origin: the observer paces a
+	// 4 m segment (repeating geometry, so the windows are comparable and
+	// the decay cannot hide in the exponent); true Γ=-60, n=2.
+	pos := func(tt float64) (float64, float64) { return -6 + 4*math.Sin(2*math.Pi*tt/12), 2 }
+	var raw []sim.BeaconObservation
+	for i := 0; i < 200; i++ {
+		tt := float64(i) * 0.2
+		px, py := pos(tt)
+		raw = append(raw, sim.BeaconObservation{T: tt, RSSI: -60 - 20*math.Log10(math.Hypot(px, py))})
+	}
+	decayed := faults.ApplyRSS(raw, 42, faults.TxPowerDecay{Start: 5, RatePerS: 0.8})
+	flagged := false
+	for _, o := range decayed {
+		px, py := pos(o.T)
+		pt, err := s.Push(estimate.Obs{T: o.T, RSS: o.RSSI, P: px, Q: py})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt != nil && pt.Health.Has(core.ReasonTxPowerDrift) {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("session never flagged txpower-drift on a 28 dB decay ramp")
+	}
+}
+
+// TestDegradationMatrixRSSOnlyRung: the middle rung. Stripping the IMU
+// forces the RSS-only path-loss proximity fallback; whatever the
+// adversary does on top, every fix must be honestly labelled (degraded,
+// rss-only-fallback + imu-dropout, Ambiguous) with a sane range — or be
+// rejected outright.
+func TestDegradationMatrixRSSOnlyRung(t *testing.T) {
+	eng := robustEngine(t)
+	maxRange := estimate.DefaultConfig().MaxRange
+	cases := append([]hostileCase{{name: "clean"}}, hostileCases()...)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fixes := 0
+			for seed := int64(1); seed <= 3; seed++ {
+				tr, err := sim.Run(matrixScenario(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.fault != nil {
+					faults.Apply(tr, 400+seed, tc.fault)
+				}
+				tr.IMU = &imu.Trace{}
+				m, err := eng.Locate(tr, "target")
+				if err != nil {
+					var re *core.RejectedError
+					if !errors.As(err, &re) {
+						t.Fatalf("non-rejection error escaped the pipeline: %v", err)
+					}
+					continue // honest rejection
+				}
+				fixes++
+				if m.Mode != core.ModeRSSOnly {
+					t.Errorf("seed %d: Mode = %v, want ModeRSSOnly", seed, m.Mode)
+				}
+				if m.Health.Status != core.HealthDegraded ||
+					!m.Health.Has(core.ReasonRSSOnlyFallback) || !m.Health.Has(core.ReasonIMUDropout) {
+					t.Errorf("seed %d: health %s, want degraded rss-only-fallback + imu-dropout", seed, m.Health)
+				}
+				if !m.Est.Ambiguous {
+					t.Errorf("seed %d: RSS-only fix must be Ambiguous", seed)
+				}
+				if r := m.Est.Range(); !finite(r) || r <= 0 || r > maxRange {
+					t.Errorf("seed %d: RSS-only range %v outside (0, %v]", seed, r, maxRange)
+				}
+			}
+			if tc.fault == nil && fixes != 3 {
+				t.Errorf("clean IMU-less traces produced %d/3 fallback fixes", fixes)
+			}
+			if fixes == 0 && tc.fault != nil {
+				t.Logf("every seed honestly rejected under %s", tc.fault.Name())
+			}
+		})
+	}
+}
+
+// trackScenario is a longer three-leg walk, so a mid-trace starvation
+// burst leaves room for full fixes before it and last-known bridging
+// after it.
+func trackScenario(seed int64) sim.Scenario {
+	return sim.Scenario{
+		Beacons: []sim.BeaconSpec{{Name: "target", X: 6, Y: 3}},
+		ObserverPlan: imu.Plan{Segments: []imu.Segment{
+			{Heading: 0, Distance: 4},
+			{Heading: math.Pi / 2, Distance: 4},
+			{Heading: math.Pi, Distance: 4},
+		}},
+		EnvModel: sim.StaticEnv(rf.LOS),
+		Seed:     seed,
+	}
+}
+
+// TestDegradationMatrixLastKnownRung: the bottom rung. A mid-trace RSS
+// starvation burst empties the windows due after it; the ladder must
+// bridge them with honestly-labelled last-known fixes, and the
+// full-fusion fixes from before the gap must stay within 2x the
+// clean-starved baseline (unless the trace is honestly flagged).
+func TestDegradationMatrixLastKnownRung(t *testing.T) {
+	eng := robustEngine(t)
+	starve := faults.DropoutBurst{Start: 6.5, Duration: 6}
+
+	run := func(tc hostileCase, seedBase int64) (fullErrs []float64, stale, runs int) {
+		t.Helper()
+		for seed := int64(1); seed <= 3; seed++ {
+			tr, err := sim.Run(trackScenario(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := []faults.Fault{starve}
+			if tc.fault != nil {
+				fs = []faults.Fault{tc.fault, starve}
+			}
+			faults.Apply(tr, seedBase+seed, fs...)
+			pts, err := eng.TrackBeacon(tr, "target", 6, 2)
+			if err != nil {
+				var re *core.RejectedError
+				if !errors.As(err, &re) {
+					t.Fatalf("non-rejection error escaped the pipeline: %v", err)
+				}
+				continue // honest rejection of the whole run
+			}
+			runs++
+			for _, p := range pts {
+				if !finite(p.Est.X, p.Est.H) {
+					t.Fatalf("seed %d: non-finite fix at t=%.1f", seed, p.T)
+				}
+				switch p.Mode {
+				case core.ModeFull:
+					fullErrs = append(fullErrs, candErr(p.Est))
+				case core.ModeLastKnown:
+					stale++
+					if p.Health.Status != core.HealthDegraded || !p.Health.Has(core.ReasonStaleFix) {
+						t.Errorf("seed %d: last-known fix health %s, want degraded stale-fix", seed, p.Health)
+					}
+					if p.Samples != 0 {
+						t.Errorf("seed %d: last-known fix claims %d window samples", seed, p.Samples)
+					}
+				default:
+					t.Errorf("seed %d: unexpected fix mode %v", seed, p.Mode)
+				}
+			}
+		}
+		return fullErrs, stale, runs
+	}
+
+	cleanErrs, cleanStale, cleanRuns := run(hostileCase{name: "clean"}, 500)
+	if cleanRuns != 3 || cleanStale == 0 || len(cleanErrs) == 0 {
+		t.Fatalf("clean starved runs: %d accepted, %d full, %d stale — want all three rungs exercised",
+			cleanRuns, len(cleanErrs), cleanStale)
+	}
+	clean := mean(cleanErrs)
+	t.Logf("clean starved baseline: %.2f m over %d full fixes, %d stale fixes",
+		clean, len(cleanErrs), cleanStale)
+
+	for _, tc := range hostileCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fullErrs, stale, runs := run(tc, 600)
+			if runs == 0 {
+				t.Log("every run honestly rejected")
+				return
+			}
+			if len(fullErrs) > 0 && stale == 0 {
+				t.Errorf("full fixes but no last-known bridging under %s", tc.fault.Name())
+			}
+			if len(fullErrs) == 0 {
+				return // no full fix to bound; stale bridging already checked
+			}
+			got := mean(fullErrs)
+			t.Logf("mean full-fix error %.2f m (%d full, %d stale, %d/3 runs accepted)",
+				got, len(fullErrs), stale, runs)
+			// The clone is exempt (flagged, past the breakdown point), and
+			// so is the drift ramp (unidentifiable in-window, detected
+			// longitudinally — asserted in the full-rung cell); their
+			// stale bridging and honest labelling are still checked above.
+			if !tc.alwaysFlagged && !tc.drift && got > 2*clean+0.5 {
+				t.Errorf("mean full-fix error %.2f m exceeds 2x clean starved baseline %.2f m", got, clean)
+			}
+		})
+	}
+}

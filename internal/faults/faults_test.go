@@ -162,6 +162,92 @@ func TestCorruptPDULosesFramesOnly(t *testing.T) {
 	}
 }
 
+func TestImpulseBurstSpikesInsideWindow(t *testing.T) {
+	tr := testTrace(t, 10)
+	orig := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	Apply(tr, 10, ImpulseBurst{Start: 2, Duration: 3, Prob: 0.3, DeltaDB: 20})
+	spiked := 0
+	for i, o := range tr.Observations["target"] {
+		d := o.RSSI - orig[i].RSSI
+		switch {
+		case d == 0:
+		case d == 20:
+			if o.T < 2 || o.T >= 5 {
+				t.Fatalf("spike at t=%.2f outside [2,5)", o.T)
+			}
+			spiked++
+		default:
+			t.Fatalf("obs %d shifted by %.1f dB, want 0 or +20", i, d)
+		}
+	}
+	if spiked == 0 {
+		t.Fatal("no impulses injected")
+	}
+	if spiked == len(orig) {
+		t.Fatal("every reading spiked — impulses must be sparse")
+	}
+}
+
+func TestBeaconCloneInterleaves(t *testing.T) {
+	tr := testTrace(t, 11)
+	before := len(tr.Observations["target"])
+	Apply(tr, 11, BeaconClone{OffsetDB: -25})
+	obs := tr.Observations["target"]
+	if len(obs) < 2*before-2 {
+		t.Fatalf("clone interleaved %d -> %d observations, want ~2x", before, len(obs))
+	}
+	// Times stay sorted and adjacent deltas alternate sign with large
+	// magnitude — the physically impossible signature.
+	bigFlips := 0
+	for i := 1; i < len(obs); i++ {
+		if obs[i].T < obs[i-1].T {
+			t.Fatalf("clone broke time ordering at %d", i)
+		}
+		if d := obs[i].RSSI - obs[i-1].RSSI; math.Abs(d) > 15 {
+			bigFlips++
+		}
+	}
+	if bigFlips < 10 {
+		t.Fatalf("only %d large adjacent deltas — interleave too sparse", bigFlips)
+	}
+}
+
+func TestTxPowerDecayRamps(t *testing.T) {
+	tr := testTrace(t, 12)
+	orig := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	Apply(tr, 12, TxPowerDecay{Start: 1, RatePerS: 1.5})
+	for i, o := range tr.Observations["target"] {
+		want := orig[i].RSSI
+		if dt := orig[i].T - 1; dt > 0 {
+			want -= 1.5 * dt
+		}
+		if math.Abs(o.RSSI-want) > 1e-12 {
+			t.Fatalf("obs %d: RSSI %.3f, want %.3f", i, o.RSSI, want)
+		}
+	}
+}
+
+func TestOutlierRunShiftsWindowOnly(t *testing.T) {
+	tr := testTrace(t, 13)
+	orig := append([]sim.BeaconObservation(nil), tr.Observations["target"]...)
+	Apply(tr, 13, OutlierRun{Start: 3, Duration: 1.5, DeltaDB: 18})
+	inRun := 0
+	for i, o := range tr.Observations["target"] {
+		d := o.RSSI - orig[i].RSSI
+		if o.T >= 3 && o.T < 4.5 {
+			if d != 18 {
+				t.Fatalf("obs inside run shifted by %.1f, want +18", d)
+			}
+			inRun++
+		} else if d != 0 {
+			t.Fatalf("obs at t=%.2f outside the run shifted by %.1f", o.T, d)
+		}
+	}
+	if inRun == 0 {
+		t.Fatal("run window contained no observations")
+	}
+}
+
 func TestChainNameAndApplyRSS(t *testing.T) {
 	f := Chain(DropoutBurst{Start: 1, Duration: 1}, RandomDrop{Prob: 0.2})
 	if f.Name() == "" {

@@ -117,6 +117,150 @@ func (f ClipRSSI) Apply(tr *sim.Trace, _ *rng.Source) {
 	})
 }
 
+// ImpulseBurst spikes individual readings inside [Start, Start+Duration)
+// by +DeltaDB with probability Prob each — impulsive interference from a
+// co-channel burst source (Wi-Fi beacon frames, a microwave oven). Unlike
+// a coherent environment change, the spikes are isolated: the series
+// bulk stays honest, which is exactly the regime M-estimators are for.
+// Duration <= 0 means the whole trace; zero Prob and DeltaDB take
+// defaults (20%, +20 dB).
+type ImpulseBurst struct {
+	Start, Duration float64
+	Prob            float64
+	DeltaDB         float64
+}
+
+func (f ImpulseBurst) Name() string {
+	prob, delta := f.params()
+	return fname("impulse-burst(%.0f%%,%+.0fdB)", prob*100, delta)
+}
+
+func (f ImpulseBurst) params() (float64, float64) {
+	prob, delta := f.Prob, f.DeltaDB
+	if prob <= 0 {
+		prob = 0.2
+	}
+	if delta == 0 {
+		delta = 20
+	}
+	return prob, delta
+}
+
+func (f ImpulseBurst) Apply(tr *sim.Trace, src *rng.Source) {
+	prob, delta := f.params()
+	end := f.Start + f.Duration
+	if f.Duration <= 0 {
+		end = math.Inf(1)
+	}
+	eachBeacon(tr, src, func(obs []sim.BeaconObservation, s *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			if obs[i].T >= f.Start && obs[i].T < end && s.Bool(prob) {
+				obs[i].RSSI += delta
+			}
+		}
+		return obs
+	})
+}
+
+// BeaconClone models an adversarial (or misconfigured) second transmitter
+// squatting a beacon's identity from a different position: inside
+// [Start, Start+Duration) a cloned reading OffsetDB away is interleaved
+// between each pair of genuine reports. The resulting rapid sign-
+// alternating RSSI deltas are physically impossible for a single source —
+// the signature the clone detector keys on. Duration <= 0 means the whole
+// trace; zero OffsetDB defaults to −25 dB (a clone further away).
+type BeaconClone struct {
+	Start, Duration float64
+	OffsetDB        float64
+}
+
+func (f BeaconClone) Name() string { return fname("beacon-clone(%+.0fdB)", f.offset()) }
+
+func (f BeaconClone) offset() float64 {
+	if f.OffsetDB == 0 {
+		return -25
+	}
+	return f.OffsetDB
+}
+
+func (f BeaconClone) Apply(tr *sim.Trace, _ *rng.Source) {
+	off := f.offset()
+	end := f.Start + f.Duration
+	if f.Duration <= 0 {
+		end = math.Inf(1)
+	}
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		out := make([]sim.BeaconObservation, 0, 2*len(obs))
+		for i, o := range obs {
+			out = append(out, o)
+			if i+1 >= len(obs) {
+				continue
+			}
+			mid := (o.T + obs[i+1].T) / 2
+			if mid < f.Start || mid >= end {
+				continue
+			}
+			c := o
+			c.T = mid
+			c.RSSI = o.RSSI + off
+			out = append(out, c)
+		}
+		return out
+	})
+}
+
+// TxPowerDecay ramps every reading down by RatePerS dB per second past
+// Start — a beacon's coin cell dying, so its advertised TX power drifts
+// away from the calibration anchor. One-shot fits absorb the skew into
+// Γ; long-running sessions are expected to notice the drift and
+// re-anchor their Γ band.
+type TxPowerDecay struct {
+	Start    float64
+	RatePerS float64
+}
+
+func (f TxPowerDecay) Name() string {
+	return fname("txpower-decay(%.1fdB/s@%.1fs)", f.RatePerS, f.Start)
+}
+
+func (f TxPowerDecay) Apply(tr *sim.Trace, _ *rng.Source) {
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			if dt := obs[i].T - f.Start; dt > 0 {
+				obs[i].RSSI -= f.RatePerS * dt
+			}
+		}
+		return obs
+	})
+}
+
+// OutlierRun shifts every reading inside [Start, Start+Duration) by
+// DeltaDB — a coordinated, contiguous outlier run (a body blocking the
+// path, or deliberate jamming) rather than isolated impulses. Coordinated
+// runs are the hard case for squared-loss regression: the corrupted
+// stretch is self-consistent, so only its disagreement with the rest of
+// the walk gives it away.
+type OutlierRun struct {
+	Start, Duration float64
+	DeltaDB         float64
+}
+
+func (f OutlierRun) Name() string {
+	return fname("outlier-run(%+.0fdB,%.1fs@%.1fs)", f.DeltaDB, f.Duration, f.Start)
+}
+
+func (f OutlierRun) Apply(tr *sim.Trace, _ *rng.Source) {
+	end := f.Start + f.Duration
+	eachBeacon(tr, rng.New(0), func(obs []sim.BeaconObservation, _ *rng.Source) []sim.BeaconObservation {
+		for i := range obs {
+			if obs[i].T >= f.Start && obs[i].T < end {
+				obs[i].RSSI += f.DeltaDB
+			}
+		}
+		return obs
+	})
+}
+
 // ---------------------------------------------------------------------
 // Report stream anomalies
 // ---------------------------------------------------------------------

@@ -74,6 +74,13 @@ func matrixCases() []matrixCase {
 		{name: "time-jitter", fault: faults.JitterTimestamps{Sigma: 0.05}, allowed: okOrDeg},
 		{name: "truncate", fault: faults.TruncateWindow{Keep: 2.5},
 			allowed: rej, reason: core.ReasonShortWindow},
+		{name: "impulse-burst", fault: faults.ImpulseBurst{Start: 2, Duration: 4, Prob: 0.2, DeltaDB: 20},
+			allowed: okOrDeg},
+		{name: "beacon-clone", fault: faults.BeaconClone{OffsetDB: -25},
+			allowed: deg, reason: core.ReasonBeaconAnomaly},
+		{name: "txpower-decay", fault: faults.TxPowerDecay{Start: 1, RatePerS: 1.5}, allowed: okOrDeg},
+		{name: "outlier-run", fault: faults.OutlierRun{Start: 3, Duration: 1.5, DeltaDB: 18},
+			allowed: okOrDeg},
 		{name: "imu-dropout", fault: faults.IMUDropout{Start: 4, Duration: 2},
 			allowed: degOrRej, reason: core.ReasonIMUDropout},
 		{name: "imu-saturate", fault: faults.IMUSaturate{MaxAccel: 9}, allowed: degOrRej},
@@ -195,6 +202,7 @@ func TestFaultMatrixStream(t *testing.T) {
 		faults.NonFiniteRSSI{Prob: 0.3},
 		faults.DuplicateReports{Prob: 0.2},
 		faults.JitterTimestamps{Sigma: 0.1},
+		faults.ImpulseBurst{Prob: 0.15, DeltaDB: 25},
 	)
 	if len(obs) == 0 {
 		t.Fatal("injectors consumed the whole stream")

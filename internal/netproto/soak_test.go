@@ -140,8 +140,9 @@ func TestChaosSoak(t *testing.T) {
 	}()
 
 	// Publisher: fault-injected RSS batches (drops, duplicates,
-	// non-finite values) through the faults chain — the sanitizer and
-	// the wire must hold.
+	// non-finite values, interference impulses and coordinated outlier
+	// runs) through the faults chain — the sanitizer and the wire must
+	// hold.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -149,6 +150,8 @@ func TestChaosSoak(t *testing.T) {
 			faults.RandomDrop{Prob: 0.2},
 			faults.DuplicateReports{Prob: 0.2},
 			faults.NonFiniteRSSI{Prob: 0.2},
+			faults.ImpulseBurst{Prob: 0.1, DeltaDB: 25},
+			faults.OutlierRun{Start: 4, Duration: 4, DeltaDB: 15},
 		)
 		seed := int64(1)
 		for tick := 0; ctx.Err() == nil; tick++ {

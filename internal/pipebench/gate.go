@@ -15,6 +15,11 @@ type Baseline struct {
 	WallSeconds float64  `json:"wall_seconds"`
 	AllocsPerOp uint64   `json:"allocs_per_op"`
 	Error       ErrStats `json:"estimate_error_m"`
+	// IRLS is the robust-path baseline. Reports committed before the
+	// IRLS measurement existed decode it as nil, which disarms the
+	// relative IRLS checks (the absolute warm-fit-allocs contract is
+	// checked against the fresh report regardless).
+	IRLS *IRLSStats `json:"irls"`
 }
 
 // Tolerances are the allowed fractional regressions per axis.
@@ -54,6 +59,22 @@ func Gate(got *Report, base *Baseline, tol Tolerances) []string {
 	if base.Error.N > 0 && got.Located < base.Error.N {
 		v = append(v, fmt.Sprintf("located %d beacons vs baseline %d — fixes were lost",
 			got.Located, base.Error.N))
+	}
+	if got.IRLS != nil {
+		// Absolute contract, not a relative one: the warmed robust
+		// inner fit allocates nothing, full stop.
+		if got.IRLS.WarmFitAllocsPerOp != 0 {
+			v = append(v, fmt.Sprintf("irls.warm_fit_allocs_per_op = %g, want 0 — the robust path lost its pooled arenas",
+				got.IRLS.WarmFitAllocsPerOp))
+		}
+		if base.IRLS != nil {
+			exceed("irls.wall_seconds", got.IRLS.WallSeconds, base.IRLS.WallSeconds, tol.Wall, "s")
+			exceed("irls.allocs_per_op", float64(got.IRLS.AllocsPerOp), float64(base.IRLS.AllocsPerOp), tol.Alloc, "allocs")
+			exceed("irls.estimate_error_m.mean_m", got.IRLS.Error.MeanM, base.IRLS.Error.MeanM, tol.Err, "m")
+			exceed("irls.estimate_error_m.p90_m", got.IRLS.Error.P90M, base.IRLS.Error.P90M, tol.Err, "m")
+		}
+	} else if base.IRLS != nil {
+		v = append(v, "baseline carries an irls measurement but the report has none — the robust bench was dropped")
 	}
 	return v
 }

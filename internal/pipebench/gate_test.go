@@ -11,6 +11,12 @@ func baseReport() *Report {
 		WallSeconds: 0.30,
 		AllocsPerOp: 100_000,
 		Error:       ErrStats{N: 75, MeanM: 2.0, P50M: 1.5, P90M: 4.3, WorstM: 9.2},
+		IRLS: &IRLSStats{
+			Loss:        "huber",
+			WallSeconds: 0.35,
+			AllocsPerOp: 110_000,
+			Error:       ErrStats{N: 75, MeanM: 2.1, P50M: 1.6, P90M: 4.5, WorstM: 9.4},
+		},
 	}
 }
 
@@ -19,6 +25,12 @@ func baseBaseline() *Baseline {
 		WallSeconds: 0.354,
 		AllocsPerOp: 100_000,
 		Error:       ErrStats{N: 75, MeanM: 2.0, P50M: 1.5, P90M: 4.3, WorstM: 9.2},
+		IRLS: &IRLSStats{
+			Loss:        "huber",
+			WallSeconds: 0.40,
+			AllocsPerOp: 110_000,
+			Error:       ErrStats{N: 75, MeanM: 2.1, P50M: 1.6, P90M: 4.5, WorstM: 9.4},
+		},
 	}
 }
 
@@ -39,6 +51,11 @@ func TestGateCatchesEachAxis(t *testing.T) {
 		{"mean", func(r *Report) { r.Error.MeanM = 2.5 }, "mean_m"},
 		{"p90", func(r *Report) { r.Error.P90M = 5.5 }, "p90_m"},
 		{"lost fixes", func(r *Report) { r.Located = 70 }, "fixes were lost"},
+		{"irls warm allocs", func(r *Report) { r.IRLS.WarmFitAllocsPerOp = 3 }, "irls.warm_fit_allocs_per_op"},
+		{"irls wall", func(r *Report) { r.IRLS.WallSeconds = 0.6 }, "irls.wall_seconds"},
+		{"irls allocs", func(r *Report) { r.IRLS.AllocsPerOp = 200_000 }, "irls.allocs_per_op"},
+		{"irls mean", func(r *Report) { r.IRLS.Error.MeanM = 2.6 }, "irls.estimate_error_m.mean_m"},
+		{"irls dropped", func(r *Report) { r.IRLS = nil }, "robust bench was dropped"},
 	}
 	for _, tc := range cases {
 		r := baseReport()
@@ -60,5 +77,25 @@ func TestGateSkipsAbsentBaselineFields(t *testing.T) {
 	r.AllocsPerOp = 10_000_000
 	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
 		t.Fatalf("violations with alloc gate disarmed: %v", v)
+	}
+}
+
+// TestGateIRLSAgainstLegacyBaseline pins the other compatibility edge:
+// baselines committed before the IRLS measurement (BENCH_pr2.json,
+// BENCH_pr4.json) decode IRLS as nil, disarming the relative robust
+// checks — but the absolute warm-fit-allocs contract still applies to
+// the fresh report.
+func TestGateIRLSAgainstLegacyBaseline(t *testing.T) {
+	b := baseBaseline()
+	b.IRLS = nil
+	r := baseReport()
+	r.IRLS.WallSeconds = 99 // relative checks must be disarmed
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations against a pre-IRLS baseline: %v", v)
+	}
+	r.IRLS.WarmFitAllocsPerOp = 1
+	v := Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "warm_fit_allocs_per_op") {
+		t.Fatalf("warm-fit contract not enforced without a baseline: %v", v)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"locble"
+	"locble/internal/estimate"
 )
 
 // Config parameterizes a benchmark run.
@@ -64,6 +65,29 @@ type TrialStats struct {
 	AllocBytes  uint64  `json:"alloc_bytes"`
 }
 
+// IRLSStats is the robust-path measurement: the same trials rerun
+// through a Huber-loss System, plus a direct allocation probe of the
+// warmed IRLS inner fit. WarmFitAllocsPerOp is the robust-estimation
+// contract — the pooled Solver arenas keep it at exactly 0 — and the
+// gate fails any run where it drifts upward.
+type IRLSStats struct {
+	Loss        string  `json:"loss"`
+	Trials      int     `json:"trials"`
+	Located     int     `json:"located"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocsPerOp / BytesPerOp average the LocateAll MemStats deltas
+	// over the warm trials (trial 0 fills the pools and is excluded).
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// WarmFitAllocsPerOp is the measured allocation count of one warmed
+	// robust inner-fit minimization (Solver.FitProbe). Must be 0.
+	WarmFitAllocsPerOp float64 `json:"warm_fit_allocs_per_op"`
+	// Downweighted totals the observations the robust loss suppressed
+	// across all trials (the estimate.irls.downweighted counter delta).
+	Downweighted int64    `json:"downweighted"`
+	Error        ErrStats `json:"estimate_error_m"`
+}
+
 // Report is the benchmark's machine-readable output. AllocsPerOp and
 // BytesPerOp average the MemStats (Mallocs, TotalAlloc) deltas over the
 // LocateAll calls only — the number a scratch-arena regression moves.
@@ -77,6 +101,7 @@ type Report struct {
 	AllocsPerOp uint64                `json:"allocs_per_op"`
 	BytesPerOp  uint64                `json:"bytes_per_op"`
 	Error       ErrStats              `json:"estimate_error_m"`
+	IRLS        *IRLSStats            `json:"irls,omitempty"`
 	Stages      map[string]StageStats `json:"stage_latency"`
 	PerTrial    []TrialStats          `json:"per_trial,omitempty"`
 	Engine      locble.Metrics        `json:"engine_metrics"`
@@ -150,6 +175,11 @@ func Run(cfg Config) (*Report, error) {
 	wall := time.Since(start)
 	sort.Float64s(errsM)
 
+	irls, err := runIRLS(cfg, beacons, truth)
+	if err != nil {
+		return nil, err
+	}
+
 	snap := sys.Metrics()
 	stages := make(map[string]StageStats)
 	for name, h := range snap.Histograms {
@@ -174,11 +204,127 @@ func Run(cfg Config) (*Report, error) {
 		AllocsPerOp: sumAllocs / uint64(cfg.Trials),
 		BytesPerOp:  sumBytes / uint64(cfg.Trials),
 		Error:       summarizeErrors(errsM),
+		IRLS:        irls,
 		Stages:      stages,
 		PerTrial:    perTrial,
 		Engine:      snap,
 		Process:     locble.ProcessMetrics(),
 	}, nil
+}
+
+// runIRLS reruns the benchmark scenarios through a Huber-loss System
+// and probes the warmed robust inner fit for allocations. Trial 0
+// warms the solver pools and is excluded from the per-op averages.
+func runIRLS(cfg Config, beacons []locble.BeaconSpec, truth map[string][2]float64) (*IRLSStats, error) {
+	sys, err := locble.New(locble.WithLoss(locble.LossHuber))
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	downBefore := locble.ProcessMetrics().Counters["estimate.irls.downweighted"]
+	var (
+		errsM     []float64
+		located   int
+		sumAllocs uint64
+		sumBytes  uint64
+		warmOps   uint64
+		ms0, ms1  runtime.MemStats
+	)
+	start := time.Now()
+	for t := 0; t < cfg.Trials; t++ {
+		seed := cfg.Seed + int64(t)*101
+		trace, err := locble.Simulate(locble.Scenario{
+			Beacons:      beacons,
+			ObserverPlan: locble.LShapeWalk(0, 4, 4),
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runtime.ReadMemStats(&ms0)
+		fixes := sys.LocateAll(trace)
+		runtime.ReadMemStats(&ms1)
+		if t > 0 { // trial 0 is the pool-warming op
+			sumAllocs += ms1.Mallocs - ms0.Mallocs
+			sumBytes += ms1.TotalAlloc - ms0.TotalAlloc
+			warmOps++
+		}
+		located += len(fixes)
+		for name, p := range fixes {
+			g := truth[name]
+			errsM = append(errsM, math.Hypot(p.X-g[0], p.Y-g[1]))
+		}
+	}
+	wall := time.Since(start)
+	sort.Float64s(errsM)
+
+	st := &IRLSStats{
+		Loss:               locble.LossHuber.String(),
+		Trials:             cfg.Trials,
+		Located:            located,
+		WallSeconds:        wall.Seconds(),
+		WarmFitAllocsPerOp: warmFitAllocs(),
+		Downweighted:       locble.ProcessMetrics().Counters["estimate.irls.downweighted"] - downBefore,
+		Error:              summarizeErrors(errsM),
+	}
+	if warmOps > 0 {
+		st.AllocsPerOp = sumAllocs / warmOps
+		st.BytesPerOp = sumBytes / warmOps
+	}
+	return st, nil
+}
+
+// warmFitAllocs measures heap allocations per warmed robust inner-fit
+// minimization (estimate.Solver.FitProbe under Huber loss) — the
+// pooled-arena contract says exactly 0. Measured with MemStats deltas
+// on a single P to keep concurrent runtime noise out of the count.
+func warmFitAllocs() float64 {
+	obs := synthIRLSObs()
+	ecfg := estimate.DefaultConfig()
+	ecfg.Loss = estimate.LossHuber
+	s := estimate.NewSolver()
+	s.FitProbe(obs, ecfg, 3, 1) // size every arena
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	const rounds = 100
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < rounds; i++ {
+		s.FitProbe(obs, ecfg, 3, 1)
+	}
+	runtime.ReadMemStats(&ms1)
+	return float64(ms1.Mallocs-ms0.Mallocs) / rounds
+}
+
+// synthIRLSObs builds a deterministic L-walk observation set for the
+// allocation probe: a beacon at (5.5, 2) seen from a 4 m + 4 m walk
+// with ideal log-distance RSS plus a handful of gross outliers so the
+// Huber reweighting loop actually exercises its down-weight branch.
+func synthIRLSObs() []estimate.Obs {
+	const (
+		bx, by   = 5.5, 2.0
+		gamma, n = -60.0, 2.2
+		stepM    = 0.15
+		legSteps = 27 // ≈ 4 m per leg
+	)
+	obs := make([]estimate.Obs, 0, 2*legSteps)
+	add := func(i int, px, py float64) {
+		d := math.Hypot(px-bx, py-by)
+		rss := gamma - 10*n*math.Log10(math.Max(d, 0.1))
+		if i%9 == 4 { // periodic gross outlier, +18 dB
+			rss += 18
+		}
+		obs = append(obs, estimate.Obs{T: float64(i) * 0.1, RSS: rss, P: px, Q: py})
+	}
+	for i := 0; i < legSteps; i++ {
+		add(i, float64(i)*stepM, 0)
+	}
+	for i := 0; i < legSteps; i++ {
+		add(legSteps+i, float64(legSteps-1)*stepM, float64(i+1)*stepM)
+	}
+	return obs
 }
 
 // WriteFile writes the report as indented JSON.
@@ -198,9 +344,14 @@ func (r *Report) WriteFile(path string) error {
 
 // Summary is the one-line human summary printed after a run.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%d trials, %d/%d located, mean error %.2f m, wall %.2f s, %d allocs/op (%.1f MB/op)",
+	s := fmt.Sprintf("%d trials, %d/%d located, mean error %.2f m, wall %.2f s, %d allocs/op (%.1f MB/op)",
 		r.Trials, r.Located, r.Trials*r.Beacons, r.Error.MeanM, r.WallSeconds,
 		r.AllocsPerOp, float64(r.BytesPerOp)/1e6)
+	if r.IRLS != nil {
+		s += fmt.Sprintf("; %s IRLS: mean error %.2f m, %d downweighted, warm fit %.0f allocs/op",
+			r.IRLS.Loss, r.IRLS.Error.MeanM, r.IRLS.Downweighted, r.IRLS.WarmFitAllocsPerOp)
+	}
+	return s
 }
 
 func summarizeErrors(sorted []float64) ErrStats {

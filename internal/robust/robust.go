@@ -1,0 +1,174 @@
+// Package robust provides the shared robust-statistics primitives the
+// pipeline's hostile-data defences are built on: the MAD (median
+// absolute deviation) scale estimator, Huber and Tukey-bisquare
+// M-estimator weight/loss functions, and an impulse-resistant maximum.
+//
+// Every function is allocation-free on warm buffers: callers that run
+// on the estimator's hot path pass their own scratch slices (the
+// estimate.Solver owns arenas for exactly this), so an IRLS iteration
+// costs arithmetic only. The same helpers back the proximity fusion's
+// "robust maximum" and the clone-detector's deviation scale, so every
+// consumer agrees on what "an outlier" means.
+package robust
+
+import (
+	"math"
+	"sort"
+)
+
+// MADScaleFactor converts a median absolute deviation into a
+// consistent estimate of the Gaussian standard deviation:
+// σ ≈ 1.4826·MAD (the reciprocal of Φ⁻¹(3/4)).
+const MADScaleFactor = 1.4826
+
+// MedianInPlace sorts xs in place and returns its median (the mean of
+// the two central order statistics for even lengths). It returns NaN
+// for an empty slice. No allocation: the caller donates the slice.
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// MADInto computes the median and the median absolute deviation of xs
+// using scratch as working storage. scratch is resized (reallocating
+// only when its capacity is insufficient) and returned so callers can
+// retain the grown buffer; xs itself is not modified.
+func MADInto(xs, scratch []float64) (median, mad float64, grown []float64) {
+	n := len(xs)
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
+	if n == 0 {
+		return math.NaN(), math.NaN(), scratch
+	}
+	copy(scratch, xs)
+	median = MedianInPlace(scratch)
+	for i, x := range xs {
+		scratch[i] = math.Abs(x - median)
+	}
+	mad = MedianInPlace(scratch)
+	return median, mad, scratch
+}
+
+// Scale converts a MAD into the consistent σ estimate, flooring the
+// result at floor so a degenerate sample (all residuals identical)
+// never yields a zero scale. Real BLE RSS noise never drops below a
+// fraction of a dB, so estimator callers floor at ~0.5 dB.
+func Scale(mad, floor float64) float64 {
+	s := MADScaleFactor * mad
+	if s < floor || math.IsNaN(s) {
+		return floor
+	}
+	return s
+}
+
+// HuberWeight is the Huber M-estimator's IRLS weight for a residual r
+// at scale σ with tuning constant delta (in σ units): 1 inside the
+// quadratic zone, delta·σ/|r| outside. delta = 1.345 gives 95%
+// efficiency at the Gaussian model.
+func HuberWeight(r, sigma, delta float64) float64 {
+	a := math.Abs(r)
+	k := delta * sigma
+	if a <= k {
+		return 1
+	}
+	return k / a
+}
+
+// HuberRho is the Huber loss evaluated so that the quadratic zone is
+// exactly r² — bit-identical to the squared loss when |r| ≤ delta·σ,
+// which makes "Huber with a huge delta" reproduce least squares
+// bit-exactly. Outside the zone the loss continues linearly:
+// k·(2|r| − k) with k = delta·σ.
+func HuberRho(r, sigma, delta float64) float64 {
+	a := math.Abs(r)
+	k := delta * sigma
+	if a <= k {
+		return r * r
+	}
+	return k * (2*a - k)
+}
+
+// TukeyWeight is the Tukey-bisquare IRLS weight: (1 − (r/(c·σ))²)²
+// inside the support, 0 beyond it — gross outliers are rejected
+// entirely rather than merely down-weighted. c = 4.685 gives 95%
+// efficiency at the Gaussian model.
+func TukeyWeight(r, sigma, c float64) float64 {
+	k := c * sigma
+	if k <= 0 {
+		return 0
+	}
+	u := r / k
+	if u <= -1 || u >= 1 {
+		return 0
+	}
+	v := 1 - u*u
+	return v * v
+}
+
+// TukeyRho is the Tukey-bisquare loss, normalized so its quadratic
+// behaviour near zero matches r² (ρ(r) ≈ r² for |r| ≪ c·σ) and it
+// saturates at k²/3 beyond the support — a gross outlier contributes a
+// bounded amount however far it sits.
+func TukeyRho(r, sigma, c float64) float64 {
+	k := c * sigma
+	if k <= 0 {
+		return 0
+	}
+	u := r / k
+	if u <= -1 || u >= 1 {
+		return k * k / 3
+	}
+	v := 1 - u*u
+	return k * k / 3 * (1 - v*v*v)
+}
+
+// RobustMax returns the index and value of the largest sample in xs
+// that is corroborated by the bulk of the series: the strongest reading
+// no more than guard·σ above the topQ quantile, where σ is the
+// MAD-derived scale of the series. An isolated impulse (one spiked
+// sample far above everything else) is skipped; the honest maximum of
+// a close approach — which the surrounding samples track — is kept.
+// scratch is working storage (grown as needed) and is returned; the
+// chosen index refers to xs. Empty input returns (-1, NaN, scratch).
+func RobustMax(xs []float64, topQ, guard float64, scratch []float64) (idx int, v float64, grown []float64) {
+	n := len(xs)
+	if n == 0 {
+		return -1, math.NaN(), scratch
+	}
+	_, mad, scratch := MADInto(xs, scratch)
+	sigma := Scale(mad, 0.25)
+	// scratch currently holds |x − median| values; reuse it sorted by
+	// value to read the top quantile.
+	copy(scratch, xs)
+	sort.Float64s(scratch)
+	if topQ <= 0 || topQ >= 1 {
+		topQ = 0.95
+	}
+	qi := int(topQ * float64(n-1))
+	cap_ := scratch[qi] + guard*sigma
+	idx, v = -1, math.Inf(-1)
+	for i, x := range xs {
+		if x > v && x <= cap_ {
+			idx, v = i, x
+		}
+	}
+	if idx < 0 {
+		// Every sample above the cap (degenerate tiny series): fall back
+		// to the plain maximum.
+		for i, x := range xs {
+			if x > v {
+				idx, v = i, x
+			}
+		}
+	}
+	return idx, v, scratch
+}

@@ -1,0 +1,147 @@
+package robust
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedianInPlace(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5}, 5},
+		{nil, math.NaN()},
+	}
+	for _, c := range cases {
+		got := MedianInPlace(append([]float64(nil), c.in...))
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("MedianInPlace(%v) = %v, want NaN", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("MedianInPlace(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMADIntoDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	orig := append([]float64(nil), xs...)
+	med, mad, _ := MADInto(xs, nil)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("MADInto mutated input at %d", i)
+		}
+	}
+	if med != 5 {
+		t.Errorf("median = %v, want 5", med)
+	}
+	if mad != 2 { // deviations {0,4,4,2,2} → median 2
+		t.Errorf("mad = %v, want 2", mad)
+	}
+}
+
+func TestMADIntoReusesScratch(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, _, scratch := MADInto(xs, nil)
+	if n := testing.AllocsPerRun(100, func() {
+		_, _, scratch = MADInto(xs, scratch)
+	}); n != 0 {
+		t.Errorf("MADInto allocates %v per call on a warm scratch, want 0", n)
+	}
+}
+
+func TestScaleFloors(t *testing.T) {
+	if s := Scale(0, 0.5); s != 0.5 {
+		t.Errorf("Scale(0) = %v, want floor 0.5", s)
+	}
+	if s := Scale(2, 0.5); math.Abs(s-2*MADScaleFactor) > 1e-12 {
+		t.Errorf("Scale(2) = %v, want %v", s, 2*MADScaleFactor)
+	}
+	if s := Scale(math.NaN(), 0.5); s != 0.5 {
+		t.Errorf("Scale(NaN) = %v, want floor", s)
+	}
+}
+
+func TestHuberLimits(t *testing.T) {
+	// Inside the quadratic zone: weight 1, rho = r² exactly.
+	if w := HuberWeight(1, 2, 1.345); w != 1 {
+		t.Errorf("inside-zone weight = %v, want 1", w)
+	}
+	r := 1.7
+	if rho := HuberRho(r, 2, 1.345); rho != r*r {
+		t.Errorf("inside-zone rho = %v, want %v bit-exact", rho, r*r)
+	}
+	// Far outside: weight → kσ/|r|, rho grows linearly.
+	w := HuberWeight(100, 1, 1.345)
+	if math.Abs(w-1.345/100) > 1e-12 {
+		t.Errorf("outside weight = %v", w)
+	}
+	if rho1, rho2 := HuberRho(100, 1, 1.345), HuberRho(101, 1, 1.345); rho2-rho1 > 3 {
+		t.Errorf("huber tail not linear: Δ=%v", rho2-rho1)
+	}
+}
+
+func TestTukeyRejectsGross(t *testing.T) {
+	if w := TukeyWeight(100, 1, 4.685); w != 0 {
+		t.Errorf("gross outlier weight = %v, want 0", w)
+	}
+	if w := TukeyWeight(0, 1, 4.685); w != 1 {
+		t.Errorf("zero-residual weight = %v, want 1", w)
+	}
+	// Bounded loss: a 10× farther outlier adds nothing.
+	k := 4.685 * 1.0
+	if rho := TukeyRho(100, 1, 4.685); rho != k*k/3 {
+		t.Errorf("saturated rho = %v, want %v", rho, k*k/3)
+	}
+	// Weights decrease monotonically in |r|.
+	prev := 1.0
+	for r := 0.0; r < 6; r += 0.25 {
+		w := TukeyWeight(r, 1, 4.685)
+		if w > prev+1e-12 {
+			t.Fatalf("Tukey weight not monotone at r=%v", r)
+		}
+		prev = w
+	}
+}
+
+func TestRobustMaxSkipsImpulse(t *testing.T) {
+	// A gently varying series with one wild spike: the robust maximum
+	// must pick the honest crest, not the impulse.
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = -70 + 8*math.Sin(float64(i)/10) // crest ≈ −62
+	}
+	xs[30] = -20 // impulse
+	idx, v, _ := RobustMax(xs, 0.95, 3, nil)
+	if idx == 30 {
+		t.Fatalf("robust max picked the impulse")
+	}
+	if v > -55 || v < -66 {
+		t.Errorf("robust max = %v, want near the honest crest", v)
+	}
+	// Without the impulse the result is the plain maximum.
+	xs[30] = -70
+	idx2, v2, _ := RobustMax(xs, 0.95, 3, nil)
+	max, maxi := math.Inf(-1), -1
+	for i, x := range xs {
+		if x > max {
+			max, maxi = x, i
+		}
+	}
+	if idx2 != maxi || v2 != max {
+		t.Errorf("clean robust max = (%d, %v), want plain max (%d, %v)", idx2, v2, maxi, max)
+	}
+}
+
+func TestRobustMaxEmpty(t *testing.T) {
+	idx, v, _ := RobustMax(nil, 0.95, 3, nil)
+	if idx != -1 || !math.IsNaN(v) {
+		t.Errorf("empty RobustMax = (%d, %v)", idx, v)
+	}
+}

@@ -101,9 +101,58 @@ const (
 	HealthRejected = core.HealthRejected
 )
 
+// Degradation-ladder and beacon-anomaly reasons, re-exported for
+// callers that branch on them (the full taxonomy is documented in
+// DESIGN.md § "Health taxonomy").
+const (
+	// ReasonRSSOnlyFallback: the fix came from the RSS-only proximity
+	// rung (range known, bearing not).
+	ReasonRSSOnlyFallback = core.ReasonRSSOnlyFallback
+	// ReasonStaleFix: a last-known fix re-emitted within the staleness
+	// bound.
+	ReasonStaleFix = core.ReasonStaleFix
+	// ReasonBeaconAnomaly: cloned/spoofed beacon identity detected.
+	ReasonBeaconAnomaly = core.ReasonBeaconAnomaly
+	// ReasonTxPowerDrift: the beacon's TX power drifted off calibration
+	// and Γ was re-anchored.
+	ReasonTxPowerDrift = core.ReasonTxPowerDrift
+	// ReasonBeaconEvicted: tracking state aged past the staleness bound
+	// and was dropped.
+	ReasonBeaconEvicted = core.ReasonBeaconEvicted
+)
+
 // HealthFromError recovers the Health diagnosis from a Locate/Track
 // error (a rejected Health if the error is a *RejectedError).
 func HealthFromError(err error) Health { return core.HealthFromError(err) }
+
+// FixMode identifies which rung of the degradation ladder produced a
+// position: full RSS+IMU fusion, RSS-only path-loss proximity (IMU
+// dropout), or a re-emitted last-known fix within the staleness bound.
+type FixMode = core.FixMode
+
+// Degradation-ladder rungs.
+const (
+	ModeFull      = core.ModeFull
+	ModeRSSOnly   = core.ModeRSSOnly
+	ModeLastKnown = core.ModeLastKnown
+)
+
+// Loss selects the regression loss: classic least squares, or an IRLS
+// M-estimator (Huber / Tukey bisquare) that down-weights RSS outliers —
+// interference impulses, passing bodies — instead of letting them drag
+// the fit (see DESIGN.md, "Robust estimation").
+type Loss = estimate.Loss
+
+// Regression losses.
+const (
+	LossSquared = estimate.LossSquared
+	LossHuber   = estimate.LossHuber
+	LossTukey   = estimate.LossTukey
+)
+
+// ParseLoss parses a loss name ("squared", "huber", "tukey") as the
+// CLI's -loss flag does.
+func ParseLoss(s string) (Loss, error) { return estimate.ParseLoss(s) }
 
 // Stock hardware profiles.
 var (
@@ -168,6 +217,9 @@ type Position struct {
 	// Health grades how trustworthy this position is given the input
 	// quality (see the Health type).
 	Health Health
+	// Mode identifies the degradation-ladder rung that produced this
+	// position (ModeFull for a healthy fusion fix; see FixMode).
+	Mode FixMode
 }
 
 // Option configures a System.
@@ -186,6 +238,19 @@ func WithStreamingANF() Option { return func(c *core.Config) { c.StreamingANF = 
 // WithButterworthOrder overrides the ANF low-pass order (paper: 6).
 func WithButterworthOrder(order int) Option {
 	return func(c *core.Config) { c.ButterworthOrder = order }
+}
+
+// WithLoss selects the regression loss (LossHuber or LossTukey for
+// outlier-resistant IRLS estimation; the default is LossSquared).
+func WithLoss(l Loss) Option { return func(c *core.Config) { c.Estimator.Loss = l } }
+
+// WithoutDegradationLadder disables both fallback rungs (RSS-only and
+// last-known), restoring the strict reject-on-impairment contract.
+func WithoutDegradationLadder() Option {
+	return func(c *core.Config) {
+		c.Ladder.DisableRSSOnly = true
+		c.Ladder.DisableLastKnown = true
+	}
 }
 
 // System is a ready-to-use LocBLE pipeline. Safe for concurrent use.
@@ -305,6 +370,7 @@ func (s *System) TrackCtx(ctx context.Context, tr *Trace, beacon string, window,
 			PathLossExponent: p.Est.N,
 			Ambiguous:        p.Est.Ambiguous,
 			Health:           p.Health,
+			Mode:             p.Mode,
 		}}
 	}
 	return fixes, nil
@@ -443,6 +509,7 @@ func positionFrom(m *core.Measurement) *Position {
 		PathLossExponent: m.Est.N,
 		Ambiguous:        m.Est.Ambiguous,
 		Health:           m.Health,
+		Mode:             m.Mode,
 	}
 	if m.Est.Ambiguous && len(m.Est.Candidates) == 2 {
 		alt := m.Est.Candidates[1]

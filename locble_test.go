@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"locble"
+	"locble/internal/faults"
+	"locble/internal/imu"
 )
 
 func TestPublicAPIQuickstart(t *testing.T) {
@@ -101,10 +103,75 @@ func TestPublicAPIOptions(t *testing.T) {
 		locble.WithoutEnvAware(),
 		locble.WithStreamingANF(),
 		locble.WithButterworthOrder(4),
+		locble.WithLoss(locble.LossHuber),
+		locble.WithoutDegradationLadder(),
 	} {
 		if _, err := locble.New(opt); err != nil {
 			t.Errorf("New with option: %v", err)
 		}
+	}
+}
+
+// TestPublicAPIHostileData exercises the README's hostile-data story
+// through the facade alone: a Huber-loss System flags a cloned beacon
+// identity (ReasonBeaconAnomaly) while still producing a usable fix,
+// an unusable IMU degrades to the RSS-only rung with Position.Mode
+// saying so, and WithoutDegradationLadder restores the hard rejection.
+func TestPublicAPIHostileData(t *testing.T) {
+	simulate := func(seed int64) *locble.Trace {
+		tr, err := locble.Simulate(locble.Scenario{
+			Beacons:      []locble.BeaconSpec{{Name: "keys", X: 6, Y: 3}},
+			ObserverPlan: locble.LShapeWalk(0, 4, 4),
+			EnvModel:     locble.StaticEnv(locble.LOS),
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	sys, err := locble.New(locble.WithLoss(locble.LossHuber))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := simulate(2)
+	faults.Apply(tr, 2, faults.BeaconClone{OffsetDB: -25})
+	pos, err := sys.Locate(tr, "keys")
+	if err != nil {
+		t.Fatalf("cloned beacon should degrade, not reject: %v", err)
+	}
+	if !pos.Health.Has(locble.ReasonBeaconAnomaly) {
+		t.Errorf("cloned beacon not flagged: health %s", pos.Health)
+	}
+	if pos.Mode != locble.ModeFull {
+		t.Errorf("clone case Mode = %s, want %s", pos.Mode, locble.ModeFull)
+	}
+	if e := math.Hypot(pos.X-6, pos.Y-3); e > 4 {
+		t.Errorf("flagged clone fix error %.2f m — not survived", e)
+	}
+
+	tr = simulate(3)
+	tr.IMU = &imu.Trace{} // inertial stream gone entirely
+	pos, err = sys.Locate(tr, "keys")
+	if err != nil {
+		t.Fatalf("IMU loss should fall to the RSS-only rung: %v", err)
+	}
+	if pos.Mode != locble.ModeRSSOnly || !pos.Health.Has(locble.ReasonRSSOnlyFallback) {
+		t.Errorf("RSS-only rung not reported: mode %s, health %s", pos.Mode, pos.Health)
+	}
+
+	strict, err := locble.New(locble.WithoutDegradationLadder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = simulate(3)
+	tr.IMU = &imu.Trace{}
+	if _, err := strict.Locate(tr, "keys"); err == nil {
+		t.Error("ladder disabled: IMU loss must reject")
+	} else if locble.HealthFromError(err).Status != locble.HealthRejected {
+		t.Errorf("ladder disabled: want a rejection diagnosis, got %v", err)
 	}
 }
 
