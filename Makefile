@@ -42,10 +42,13 @@ race:
 # Extended chaos soak of the serving path (race-enabled): fault-injected
 # publishers, connection churn, garbage frames, forced handler panics,
 # then a graceful drain — asserts zero goroutine leaks and consistent
-# lifecycle metrics. The same test runs for <1 s inside `make test`;
-# this target stretches it to $(SOAKTIME).
+# lifecycle metrics. The fleet soak hammers the sharded session manager
+# the same way: fault-injected batched ingest, silence-driven
+# evict/restore churn, canceled pushes. Both tests run for <1 s inside
+# `make test`; this target stretches them to $(SOAKTIME) each.
 soak:
 	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestChaosSoak$$' -v ./internal/netproto/
+	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestFleetChaosSoak$$' -v ./internal/fleet/
 
 # Short coverage-guided shake of every fuzz target (decoder robustness:
 # BLE deframing/AD parsing/beacon decoding, netproto frame reading,
@@ -62,9 +65,11 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Instrumented end-to-end pipeline benchmark: stage-level latencies,
-# estimate error and allocation deltas from the metrics layer, as
-# machine-readable JSON. BENCH_pr2.json is the committed historical
-# baseline — never regenerated, only compared against.
+# estimate error and allocation deltas from the metrics layer, plus the
+# IRLS and fleet-serving sections, as machine-readable JSON.
+# BENCH_pr2.json and BENCH_pr4.json are committed historical baselines —
+# BENCH_pr4.json is what the gate compares against; regenerate it (and
+# commit the result) only when a deliberate change moves the numbers.
 bench:
 	$(GO) run ./cmd/locble-bench -json BENCH_pr4.json
 
@@ -76,10 +81,11 @@ BENCH_WALL_TOL ?= 0.10
 
 # Run the benchmark and gate it against the committed baseline: exits
 # nonzero on a wall regression beyond $(BENCH_WALL_TOL), >10% allocs/op
-# regression, or >5% accuracy regression. Writes the fresh report to
-# BENCH_pr4.json.
+# regression, or >5% accuracy regression. BENCH_pr4.json carries the
+# IRLS and fleet sections, so those gates are armed; the fresh report
+# goes to BENCH_gate.json (a derived file, removed by `make clean`).
 benchgate:
-	$(GO) run ./cmd/benchgate -baseline BENCH_pr2.json -out BENCH_pr4.json -wall-tol $(BENCH_WALL_TOL)
+	$(GO) run ./cmd/benchgate -baseline BENCH_pr4.json -out BENCH_gate.json -wall-tol $(BENCH_WALL_TOL)
 
 # The full CI pipeline, byte-identical to what .github/workflows/ci.yml
 # runs — so "it passed make ci" means it passes CI.
@@ -117,11 +123,11 @@ help:
 	@echo "make lint     - go vet + staticcheck (skipped when not installed)"
 	@echo "make test     - run the test suite (shuffled order)"
 	@echo "make race     - run the test suite under the race detector"
-	@echo "make soak     - $(SOAKTIME) race-enabled chaos soak of the serving path"
+	@echo "make soak     - $(SOAKTIME) race-enabled chaos soaks of the serving path and the fleet"
 	@echo "make fuzz     - short fuzz pass over all fuzz targets (FUZZTIME=$(FUZZTIME) each)"
 	@echo "make cover    - coverage summary"
 	@echo "make bench    - instrumented pipeline benchmark -> BENCH_pr4.json"
-	@echo "make benchgate - bench + regression gate against BENCH_pr2.json"
+	@echo "make benchgate - bench + regression gate against BENCH_pr4.json"
 	@echo "make microbench - all go-test benchmarks (one per paper table/figure)"
 	@echo "make repro    - regenerate the paper's evaluation (repro-quick: reduced trials)"
 	@echo "make examples - run every example program"

@@ -47,6 +47,8 @@ func main() {
 		faultsF  = flag.String("faults", "", "comma-separated fault injectors (\"-faults help\" lists them)")
 		navigate = flag.Bool("navigate", false, "navigate to the estimate after measuring")
 		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
+		fleetF   = flag.Bool("fleet", false, "fleet serving demo: batched multi-beacon ingest over the loopback push op")
+		fleetN   = flag.Int("fleet-beacons", 12, "beacons to track in the fleet demo")
 		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
 		metricsF = flag.Bool("metrics", false, "print the pipeline metrics snapshot as JSON after the run")
 		pprofF   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. 127.0.0.1:6060)")
@@ -58,6 +60,13 @@ func main() {
 
 	if *faultsF == "help" {
 		printFaultsHelp()
+		return
+	}
+	if *fleetF {
+		if err := runFleet(*fleetN, *metricsF, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "locble:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *replay != "" {

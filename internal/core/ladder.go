@@ -43,6 +43,13 @@ func (m FixMode) String() string {
 	return fmt.Sprintf("FixMode(%d)", int(m))
 }
 
+// DefaultStaleMaxAge is the default staleness bound, in seconds of
+// observation time: how long last-known fixes are re-emitted before a
+// beacon's tracking state is given up on. The fleet manager reuses it
+// as the default idle age before a silent session is evicted — "too
+// stale to show" and "too idle to keep resident" are the same horizon.
+const DefaultStaleMaxAge = 10
+
 // LadderConfig tunes the degradation ladder. The zero value enables
 // every rung with calibrated defaults; the Disable switches restore the
 // historical fail-hard contract per rung.
@@ -66,7 +73,7 @@ type LadderConfig struct {
 // ladderDefaults fills zero fields.
 func (c LadderConfig) withDefaults() LadderConfig {
 	if c.StaleMaxAge <= 0 {
-		c.StaleMaxAge = 10
+		c.StaleMaxAge = DefaultStaleMaxAge
 	}
 	if c.RSSOnlyExponent <= 0 {
 		c.RSSOnlyExponent = 2.5

@@ -221,8 +221,15 @@ func TestSessionCheckpointCarriesLadderState(t *testing.T) {
 	s.last = &TrackPoint{T: 9, Est: &estimate.Estimate{X: 1, H: 2}, Mode: ModeLastKnown}
 
 	cp := s.Checkpoint()
-	if cp.Version != 2 {
-		t.Fatalf("checkpoint version = %d, want 2", cp.Version)
+	if cp.Version != 3 {
+		t.Fatalf("checkpoint version = %d, want 3", cp.Version)
+	}
+	if cp.GammaShift == 0 {
+		t.Fatalf("recalibrated session checkpointed gamma_shift = 0")
+	}
+	if cp.Estimator.GammaSoftMin != s.baseEstCfg.GammaSoftMin ||
+		cp.Estimator.GammaSoftMax != s.baseEstCfg.GammaSoftMax {
+		t.Errorf("checkpoint estimator config is not the creation-time base band")
 	}
 	r, err := eng.RestoreTrackSession(cp)
 	if err != nil {
@@ -232,8 +239,11 @@ func TestSessionCheckpointCarriesLadderState(t *testing.T) {
 		t.Errorf("restore lost counters: recals %d/%d evicted %d/%d",
 			r.recals, s.recals, r.evicted, s.evicted)
 	}
-	if len(r.gammaHist) != len(s.gammaHist) {
-		t.Errorf("restore lost Γ history: %d/%d", len(r.gammaHist), len(s.gammaHist))
+	if lh, rh := s.gammaHistOldestFirst(nil), r.gammaHistOldestFirst(nil); len(rh) != len(lh) {
+		t.Errorf("restore lost Γ history: %d/%d entries", len(rh), len(lh))
+	}
+	if r.gammaShift != s.gammaShift {
+		t.Errorf("restore lost the cumulative Γ shift: %v vs %v", r.gammaShift, s.gammaShift)
 	}
 	if r.estCfg.GammaSoftMin != s.estCfg.GammaSoftMin || r.estCfg.GammaSoftMax != s.estCfg.GammaSoftMax {
 		t.Errorf("restore lost the recalibrated Γ band")

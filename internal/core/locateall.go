@@ -69,7 +69,24 @@ func (e *Engine) LocateAllContext(ctx context.Context, tr *sim.Trace) []BeaconRe
 	defer p.flight.Done()
 	for i, name := range names {
 		job := locateJob{ctx: ctx, tr: tr, name: name, res: &results[i], wg: &wg}
-		p.shards[shardIndex(name, len(p.shards))] <- job
+		select {
+		case p.shards[shardIndex(name, len(p.shards))] <- job:
+		case <-ctx.Done():
+			// Canceled while a full shard held the submitter in
+			// backpressure: the batch is dead, so waiting for a slot would
+			// hang forever. Complete this job and every unsubmitted one
+			// inline through the same runLocateJob path — each observes
+			// the canceled context and reports it, keeping the result
+			// shape, metrics, and health bookkeeping identical to a
+			// cancellation that lands after submission.
+			sc := getLocateScratch()
+			for j := i; j < len(names); j++ {
+				e.runLocateJob(locateJob{ctx: ctx, tr: tr, name: names[j], res: &results[j], wg: &wg}, sc)
+			}
+			putLocateScratch(sc)
+			wg.Wait()
+			return results
+		}
 	}
 	wg.Wait()
 	return results

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"locble/internal/imu"
 	"locble/internal/rf"
@@ -173,6 +174,100 @@ func TestLocateAllCancelUnderPool(t *testing.T) {
 	for _, res := range eng.LocateAll(tr) {
 		if res.Err != nil {
 			t.Fatalf("after cancel %s: %v", res.Name, res.Err)
+		}
+	}
+}
+
+// blockGateCtx parks any goroutine that probes Err until gate closes.
+// runLocateJob's first act is a ctx.Err() check, so stuffing a shard
+// with gated jobs deterministically pins its worker mid-job — the only
+// way to saturate the pool without sleeping and hoping.
+type blockGateCtx struct {
+	context.Context
+	gate <-chan struct{}
+}
+
+func (c blockGateCtx) Err() error {
+	<-c.gate
+	return c.Context.Err()
+}
+
+// TestLocateAllCanceledUnderShardBackpressure is the regression test for
+// the submit-loop hang: with every shard worker parked and every shard
+// buffer full, LocateAllContext's submitter blocks in backpressure; a
+// cancellation must unblock it and complete the unsubmitted results
+// with the context error instead of hanging on a dead batch forever.
+// Pre-fix (bare channel send, no ctx.Done select) this test times out.
+func TestLocateAllCanceledUnderShardBackpressure(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+
+	// Saturate the pool: one gated job occupies each worker, then
+	// shardQueueDepth more fill each shard buffer. Their context is
+	// already canceled, so once the gate opens they drain instantly
+	// without running a pipeline.
+	p := eng.acquirePool()
+	gate := make(chan struct{})
+	stuffedCtx, stuffedCancel := context.WithCancel(context.Background())
+	stuffedCancel()
+	gctx := blockGateCtx{Context: stuffedCtx, gate: gate}
+	stuffPer := 1 + shardQueueDepth
+	stuffRes := make([]BeaconResult, len(p.shards)*stuffPer)
+	var stuffWG sync.WaitGroup
+	dead := &sim.Trace{}
+	k := 0
+	for _, ch := range p.shards {
+		for j := 0; j < stuffPer; j++ {
+			stuffWG.Add(1)
+			ch <- locateJob{ctx: gctx, tr: dead, name: "gate", res: &stuffRes[k], wg: &stuffWG}
+			k++
+		}
+	}
+
+	tr, err := sim.Run(manyBeaconScenario(4, 7))
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan []BeaconResult, 1)
+	go func() { resCh <- eng.LocateAllContext(ctx, tr) }()
+
+	// Let the submitter park on a full shard, then kill the batch.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	var results []BeaconResult
+	select {
+	case results = <-resCh:
+	case <-time.After(10 * time.Second):
+		close(gate)
+		t.Fatal("LocateAllContext hung: canceled context did not unblock a submitter stuck in shard backpressure")
+	}
+	if len(results) != 4 {
+		t.Fatalf("canceled batch: %d results, want 4", len(results))
+	}
+	for _, res := range results {
+		if res.Err == nil {
+			t.Fatalf("%s: fix despite canceled batch", res.Name)
+		}
+		if !isCanceled(res.Err) {
+			t.Fatalf("%s: error %v is not a cancellation", res.Name, res.Err)
+		}
+	}
+
+	// Open the gate: the parked jobs drain, and the pool must come back
+	// healthy for a live batch.
+	close(gate)
+	stuffWG.Wait()
+	p.flight.Done()
+	for _, res := range eng.LocateAll(tr) {
+		if res.Err != nil {
+			t.Fatalf("after drain %s: %v", res.Name, res.Err)
 		}
 	}
 }

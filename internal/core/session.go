@@ -27,7 +27,16 @@ import (
 //	    the checkpoint adds the Γ-drift history, recalibration and
 //	    eviction counters. A v1 restore would silently land on the
 //	    wrong ladder rung, so v1 checkpoints are rejected.
-const SessionCheckpointVersion = 2
+//	3 — explicit TX-power-drift recalibration state: the estimator
+//	    field now holds the session's creation-time base config, and
+//	    the cumulative Γ-band shift is a separate gamma_shift field
+//	    that Restore re-applies. v2 stored the live (possibly
+//	    re-anchored) band inside the estimator config with nothing
+//	    marking it as shifted, so a restore path that rebuilt the
+//	    session from nominal configuration silently reverted the Γ
+//	    prior while keeping the recalibration counter — the two facts
+//	    disagreed and nothing could tell. v2 checkpoints are rejected.
+const SessionCheckpointVersion = 3
 
 // Errors.
 var (
@@ -72,7 +81,12 @@ type TrackSession struct {
 	window float64
 	step   float64
 	fs     float64
-	estCfg estimate.Config
+	// estCfg is the live estimator config: the creation-time base plus
+	// any TX-power-drift re-anchoring of the Γ band. baseEstCfg keeps
+	// the base so a checkpoint can record "configuration" and "drift
+	// state" separately instead of conflating them.
+	estCfg     estimate.Config
+	baseEstCfg estimate.Config
 
 	akf *sigproc.AKF // nil when the engine disables ANF
 	mon *env.Monitor // nil when the engine disables EnvAware
@@ -88,13 +102,22 @@ type TrackSession struct {
 	droppedOrder int64 // out-of-order timestamps
 	fixes        int64
 
-	// Degradation-ladder state: gammaHist is the running window of
-	// fitted Γ values the TX-power-drift detector takes its median over;
-	// recals counts Γ-band re-anchorings; evicted counts last-known
-	// fixes dropped for exceeding the staleness bound.
-	gammaHist []float64
-	recals    int64
-	evicted   int64
+	// Degradation-ladder state: gammaHist is a fixed ring holding the
+	// running window of fitted Γ values the TX-power-drift detector
+	// takes its median over (gammaN filled entries, gammaPos next write
+	// slot; the median is order-independent, so ring layout never
+	// matters). gammaScratch is the median's sort buffer — both live
+	// inside the session so a warm Push allocates nothing. gammaShift
+	// is the cumulative band re-anchoring applied on top of baseEstCfg;
+	// recals counts re-anchorings; evicted counts last-known fixes
+	// dropped for exceeding the staleness bound.
+	gammaHist    [driftHistLen]float64
+	gammaScratch [driftHistLen]float64
+	gammaN       int
+	gammaPos     int
+	gammaShift   float64
+	recals       int64
+	evicted      int64
 
 	curEnv rf.Environment
 	hasEnv bool
@@ -126,12 +149,13 @@ func (e *Engine) NewTrackSession(cfg TrackSessionConfig) (*TrackSession, error) 
 	estCfg.Cancel = nil // sessions are push-driven; nothing to cancel mid-fit
 
 	s := &TrackSession{
-		eng:    e,
-		beacon: cfg.Beacon,
-		window: cfg.Window,
-		step:   cfg.Step,
-		fs:     cfg.SampleRateHz,
-		estCfg: estCfg,
+		eng:        e,
+		beacon:     cfg.Beacon,
+		window:     cfg.Window,
+		step:       cfg.Step,
+		fs:         cfg.SampleRateHz,
+		estCfg:     estCfg,
+		baseEstCfg: estCfg,
 	}
 	if !e.cfg.DisableANF {
 		bf, err := sigproc.NewButterworth(e.cfg.ButterworthOrder,
@@ -299,24 +323,42 @@ func (s *TrackSession) noteGamma(gamma float64) {
 	if s.estCfg.GammaSoftMin == 0 && s.estCfg.GammaSoftMax == 0 {
 		return // no band to anchor
 	}
-	s.gammaHist = append(s.gammaHist, gamma)
-	if len(s.gammaHist) > driftHistLen {
-		s.gammaHist = s.gammaHist[1:]
+	s.gammaHist[s.gammaPos] = gamma
+	s.gammaPos++
+	if s.gammaPos == driftHistLen {
+		s.gammaPos = 0
 	}
-	if len(s.gammaHist) < driftMinFixes {
+	if s.gammaN < driftHistLen {
+		s.gammaN++
+	}
+	if s.gammaN < driftMinFixes {
 		return
 	}
-	buf := append([]float64(nil), s.gammaHist...)
-	med := robust.MedianInPlace(buf)
+	n := copy(s.gammaScratch[:], s.gammaHist[:s.gammaN])
+	med := robust.MedianInPlace(s.gammaScratch[:n])
 	center := (s.estCfg.GammaSoftMin + s.estCfg.GammaSoftMax) / 2
 	if math.Abs(med-center) > driftThresholdDB {
 		shift := med - center
 		s.estCfg.GammaSoftMin += shift
 		s.estCfg.GammaSoftMax += shift
-		s.gammaHist = s.gammaHist[:0] // re-measure against the new anchor
+		s.gammaShift += shift
+		s.gammaN, s.gammaPos = 0, 0 // re-measure against the new anchor
 		s.recals++
 		s.eng.met.sessRecals.Inc()
 	}
+}
+
+// gammaHistOldestFirst appends the drift window to dst oldest-first:
+// while the ring is filling, entries 0..gammaN-1 are already in push
+// order; once it wraps, the oldest entry sits at the next write slot.
+// The linear form is what checkpoints carry — a restored ring rebuilt
+// from it evicts entries in the same order the live one would.
+func (s *TrackSession) gammaHistOldestFirst(dst []float64) []float64 {
+	if s.gammaN < driftHistLen {
+		return append(dst, s.gammaHist[:s.gammaN]...)
+	}
+	dst = append(dst, s.gammaHist[s.gammaPos:]...)
+	return append(dst, s.gammaHist[:s.gammaPos]...)
 }
 
 // health summarizes the stream quality seen so far.
@@ -377,10 +419,14 @@ type SessionCheckpoint struct {
 	Version int    `json:"version"`
 	Beacon  string `json:"beacon"`
 
-	Window       float64         `json:"window"`
-	Step         float64         `json:"step"`
-	SampleRateHz float64         `json:"sample_rate_hz"`
-	Estimator    estimate.Config `json:"estimator"`
+	Window       float64 `json:"window"`
+	Step         float64 `json:"step"`
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	// Estimator is the session's creation-time base configuration. Any
+	// TX-power-drift re-anchoring of its Γ band lives in GammaShift —
+	// Restore applies base + shift, so drift state survives a restart
+	// explicitly instead of hiding inside a mutated config.
+	Estimator estimate.Config `json:"estimator"`
 
 	AKF *sigproc.AKFState `json:"akf,omitempty"`
 	Env *env.MonitorState `json:"env,omitempty"`
@@ -396,9 +442,12 @@ type SessionCheckpoint struct {
 	DroppedOrder int64 `json:"dropped_order"`
 	Fixes        int64 `json:"fixes"`
 
-	// Degradation-ladder state (v2): the Γ-drift median window and the
-	// recalibration/eviction counters. LastFix carries its FixMode.
+	// Degradation-ladder state: the Γ-drift median window (oldest
+	// first), the cumulative Γ-band shift accrued by recalibrations,
+	// and the recalibration/eviction counters. LastFix carries its
+	// FixMode.
 	GammaHist      []float64 `json:"gamma_hist,omitempty"`
+	GammaShift     float64   `json:"gamma_shift"`
 	Recalibrations int64     `json:"recalibrations"`
 	Evicted        int64     `json:"evicted"`
 }
@@ -413,7 +462,7 @@ func (s *TrackSession) Checkpoint() *SessionCheckpoint {
 		Window:       s.window,
 		Step:         s.step,
 		SampleRateHz: s.fs,
-		Estimator:    s.estCfg,
+		Estimator:    s.baseEstCfg,
 		WindowObs:    append([]estimate.Obs(nil), s.buf...),
 		HasFirst:     s.hasFirst,
 		FirstT:       s.firstT,
@@ -423,7 +472,8 @@ func (s *TrackSession) Checkpoint() *SessionCheckpoint {
 		DroppedOrder: s.droppedOrder,
 		Fixes:        s.fixes,
 
-		GammaHist:      append([]float64(nil), s.gammaHist...),
+		GammaHist:      s.gammaHistOldestFirst(nil),
+		GammaShift:     s.gammaShift,
 		Recalibrations: s.recals,
 		Evicted:        s.evicted,
 	}
@@ -511,7 +561,20 @@ func (e *Engine) RestoreTrackSession(cp *SessionCheckpoint) (*TrackSession, erro
 	s.droppedBad = cp.DroppedBad
 	s.droppedOrder = cp.DroppedOrder
 	s.fixes = cp.Fixes
-	s.gammaHist = append([]float64(nil), cp.GammaHist...)
+	// Re-apply the drift state on top of the base config: the shifted Γ
+	// band is what the estimator was actually running with when the
+	// checkpoint was taken.
+	s.gammaShift = cp.GammaShift
+	if s.estCfg.GammaSoftMin != 0 || s.estCfg.GammaSoftMax != 0 {
+		s.estCfg.GammaSoftMin += cp.GammaShift
+		s.estCfg.GammaSoftMax += cp.GammaShift
+	}
+	hist := cp.GammaHist
+	if len(hist) > driftHistLen {
+		hist = hist[len(hist)-driftHistLen:]
+	}
+	s.gammaN = copy(s.gammaHist[:], hist)
+	s.gammaPos = s.gammaN % driftHistLen
 	s.recals = cp.Recalibrations
 	s.evicted = cp.Evicted
 	e.met.sessRestores.Inc()

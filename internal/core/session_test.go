@@ -144,6 +144,179 @@ func TestTrackSessionCheckpointRestore(t *testing.T) {
 	}
 }
 
+// driftingSessionObs synthesizes a patrol loop (the observer walks a
+// 9 m × 9 m rectangle forever) whose beacon TX power decays linearly by
+// 42 dB over the stream — enough longitudinal Γ drift to trip the
+// session's band recalibration several times, with enough movement
+// spread that every window still fits.
+func driftingSessionObs(n int) []estimate.Obs {
+	const (
+		fs     = 8.0
+		speed  = 0.8
+		bx, by = 4.0, 3.0
+		nExp   = 2.2
+	)
+	out := make([]estimate.Obs, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / fs
+		leg := math.Mod(speed*t, 36)
+		var ox, oy float64
+		switch {
+		case leg <= 9:
+			ox, oy = leg, 0
+		case leg <= 18:
+			ox, oy = 9, leg-9
+		case leg <= 27:
+			ox, oy = 9-(leg-18), 9
+		default:
+			ox, oy = 0, 9-(leg-27)
+		}
+		d := math.Hypot(bx-ox, by-oy)
+		if d < 0.1 {
+			d = 0.1
+		}
+		gamma := -58 - 42*float64(i)/float64(n)
+		noise := 2.0*math.Sin(1.3*float64(i)) + 1.1*math.Cos(2.7*float64(i)+0.5)
+		out[i] = estimate.Obs{
+			T:   t,
+			RSS: gamma - 10*nExp*math.Log10(d) + noise,
+			P:   -ox,
+			Q:   -oy,
+		}
+	}
+	return out
+}
+
+// TestTrackSessionCheckpointRestoreAcrossRecalibration extends the
+// kill-and-restart contract across a TX-power-drift recalibration
+// boundary. The session recalibrates before the kill, shifting its live
+// Γ band off the creation-time base; the checkpoint records that drift
+// as an explicit gamma_shift on top of the base estimator config. A
+// restore that rebuilds the estimator from nominal configuration
+// without re-applying the shift silently reverts the Γ prior — the
+// post-restore fixes then fight a stale anchor and diverge, so this
+// test fails if the shift re-application in RestoreTrackSession is
+// reverted.
+func TestTrackSessionCheckpointRestoreAcrossRecalibration(t *testing.T) {
+	obs := driftingSessionObs(600)
+	engA, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	ref := pushAll(t, newSession(t, engA), obs)
+	if len(ref) < 10 {
+		t.Fatalf("uninterrupted run produced %d fixes, want ≥ 10", len(ref))
+	}
+
+	sessA := newSession(t, engA)
+	before := pushAll(t, sessA, obs[:300])
+	if sessA.recals == 0 || sessA.gammaShift == 0 {
+		t.Fatalf("no recalibration before the kill point (recals=%d shift=%g) — the scenario must cross a recal boundary",
+			sessA.recals, sessA.gammaShift)
+	}
+	var ckpt bytes.Buffer
+	if err := sessA.WriteCheckpoint(&ckpt); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+
+	engB, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine (restart): %v", err)
+	}
+	sessB, err := engB.RestoreTrackSessionFrom(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatalf("RestoreTrackSessionFrom: %v", err)
+	}
+	if sessB.estCfg.GammaSoftMin != sessA.estCfg.GammaSoftMin ||
+		sessB.estCfg.GammaSoftMax != sessA.estCfg.GammaSoftMax {
+		t.Fatalf("restore reverted the recalibrated Γ band: [%g,%g] vs live [%g,%g]",
+			sessB.estCfg.GammaSoftMin, sessB.estCfg.GammaSoftMax,
+			sessA.estCfg.GammaSoftMin, sessA.estCfg.GammaSoftMax)
+	}
+	after := pushAll(t, sessB, obs[300:])
+
+	got := append(append([]TrackPoint(nil), before...), after...)
+	if len(got) != len(ref) {
+		t.Fatalf("restored run produced %d fixes, uninterrupted produced %d", len(got), len(ref))
+	}
+	for i := range ref {
+		w, g := ref[i], got[i]
+		if g.Est.X != w.Est.X || g.Est.H != w.Est.H ||
+			g.Est.N != w.Est.N || g.Est.Gamma != w.Est.Gamma ||
+			g.Est.ResidualDB != w.Est.ResidualDB || g.Est.Confidence != w.Est.Confidence {
+			t.Fatalf("fix %d not bit-identical after a recal-crossing restore:\n got  (%.17g, %.17g) n=%.17g Γ=%.17g\n want (%.17g, %.17g) n=%.17g Γ=%.17g",
+				i, g.Est.X, g.Est.H, g.Est.N, g.Est.Gamma,
+				w.Est.X, w.Est.H, w.Est.N, w.Est.Gamma)
+		}
+	}
+	// The drift keeps going after the restore: the restored session must
+	// keep recalibrating from where the live one left off.
+	if sessB.recals <= sessA.recals {
+		t.Errorf("post-restore stream never recalibrated again (recals %d → %d)",
+			sessA.recals, sessB.recals)
+	}
+}
+
+// TestNoteGammaZeroAlloc pins the drift detector's hot path: folding a
+// fitted Γ into the fixed ring and taking its median must not allocate.
+// The pre-ring implementation (append + [1:] re-slice + a fresh median
+// buffer per call) allocated on every full fix of every session — a
+// fleet-scale tax. Fails if the ring is reverted to a slice.
+func TestNoteGammaZeroAlloc(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s := newSession(t, eng)
+	center := (s.estCfg.GammaSoftMin + s.estCfg.GammaSoftMax) / 2
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		// Stay inside the no-recal deadband so the ring keeps cycling
+		// full and every call runs the median.
+		i++
+		s.noteGamma(center + float64(i%7) - 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("noteGamma allocates %.2f per call, want 0", allocs)
+	}
+	if s.recals != 0 {
+		t.Fatalf("deadband Γ stream recalibrated %d times", s.recals)
+	}
+}
+
+// TestWarmPushZeroAlloc: a warm session's non-fix Push allocates
+// nothing — the window buffer reuses its capacity, the filters are
+// fixed state, and the drift ring is a fixed array. (Fix-emitting
+// pushes allocate by contract: they return a fresh TrackPoint.)
+func TestWarmPushZeroAlloc(t *testing.T) {
+	eng, err := NewEngine(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// A huge Step keeps every measured push strictly inside a window.
+	s, err := eng.NewTrackSession(TrackSessionConfig{Beacon: "target", SampleRateHz: 8, Window: 6, Step: 600})
+	if err != nil {
+		t.Fatalf("NewTrackSession: %v", err)
+	}
+	obs := sessionObs(400)
+	pushAll(t, s, obs[:80]) // warm: sizes the window buffer, emits the first fix
+	i := 80
+	allocs := testing.AllocsPerRun(300, func() {
+		pt, err := s.Push(obs[i])
+		i++
+		if err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+		if pt != nil {
+			t.Fatalf("unexpected fix at t=%.2f — the measured run must stay inside a window", obs[i-1].T)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm non-fix Push allocates %.2f per call, want 0", allocs)
+	}
+}
+
 // TestTrackSessionDegradedInput: mangled observations are dropped, not
 // fatal, and the next fix reports the degradation.
 func TestTrackSessionDegradedInput(t *testing.T) {

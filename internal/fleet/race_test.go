@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"locble/internal/core"
+	"locble/internal/testutil"
+)
+
+// TestFleetConcurrentEquivalence is the fleet's core race test: several
+// pushers stream disjoint beacon sets concurrently (some beacons going
+// silent mid-stream, so evictions and restores interleave with ingest),
+// and every beacon's fix stream must still be bit-identical to a
+// sequential single-session replay of its own observations. Run under
+// -race this also proves the sharded registry keeps core's
+// single-writer session contract with no hidden sharing.
+func TestFleetConcurrentEquivalence(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	eng := newTestEngine(t)
+	fl, err := New(eng, Config{Shards: 4, Session: testSession()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	const (
+		pushers = 4
+		perP    = 5
+		n       = 360
+		slice   = 12
+		gapLo   = 120 // odd beacons silent for obs [gapLo, gapHi):
+		gapHi   = 240 // 15 s of observation time, past the 10 s idle horizon
+	)
+	type stream struct {
+		name string
+		obs  []Obs // the gapped stream the beacon actually emits
+	}
+	all := make([][]stream, pushers)
+	for p := 0; p < pushers; p++ {
+		all[p] = make([]stream, perP)
+		for j := 0; j < perP; j++ {
+			name := fmt.Sprintf("p%d-b%d", p, j)
+			full := SynthStream(name, n, float64(p)+0.3*float64(j))
+			obs := full
+			if j%2 == 1 {
+				obs = append(append([]Obs(nil), full[:gapLo]...), full[gapHi:]...)
+			}
+			all[p][j] = stream{name: name, obs: obs}
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		fixes = make(map[string][]core.TrackPoint)
+		wg    sync.WaitGroup
+	)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(streams []stream) {
+			defer wg.Done()
+			// Interleave this pusher's beacons slice by slice, like a
+			// gateway flushing its receive buffer on a timer.
+			for lo := 0; ; lo += slice {
+				var batch []Obs
+				for _, st := range streams {
+					if lo < len(st.obs) {
+						hi := lo + slice
+						if hi > len(st.obs) {
+							hi = len(st.obs)
+						}
+						batch = append(batch, st.obs[lo:hi]...)
+					}
+				}
+				if len(batch) == 0 {
+					return
+				}
+				res, err := fl.PushBatch(batch)
+				if err != nil {
+					t.Errorf("PushBatch: %v", err)
+					return
+				}
+				mu.Lock()
+				for _, r := range res {
+					if r.Err != nil {
+						t.Errorf("%s: %v", r.Beacon, r.Err)
+					}
+					fixes[r.Beacon] = append(fixes[r.Beacon], r.Points...)
+				}
+				mu.Unlock()
+			}
+		}(all[p])
+	}
+	wg.Wait()
+
+	snap := fl.Metrics()
+	created := snap.Counters["fleet.sessions.created"]
+	evicted := snap.Counters["fleet.sessions.evicted"]
+	restored := snap.Counters["fleet.sessions.restored"]
+	if created != pushers*perP {
+		t.Errorf("fleet.sessions.created = %d, want %d", created, pushers*perP)
+	}
+	// Pre-Close, the only checkpoints written are eviction checkpoints.
+	if cpw := snap.Counters["fleet.checkpoints.written"]; cpw != evicted {
+		t.Errorf("checkpoints.written = %d, evicted = %d: every eviction must write exactly one checkpoint", cpw, evicted)
+	}
+	// Every stream ends at the same observation time, so nothing is
+	// evicted after its last push: each eviction was followed by a
+	// restore and the books balance.
+	if restored != evicted {
+		t.Errorf("restored = %d, evicted = %d: a mid-stream eviction must be matched by a restore", restored, evicted)
+	}
+	if live := fl.Sessions(); live != created+restored-evicted {
+		t.Errorf("live = %d, want created+restored-evicted = %d", live, created+restored-evicted)
+	}
+
+	for p := 0; p < pushers; p++ {
+		for _, st := range all[p] {
+			requireSameFixes(t, st.name, fixes[st.name], seqReplay(t, eng, st.name, st.obs))
+		}
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestFleetThousandSessions drives the fleet past a thousand resident
+// sessions, then lets all but every 12th beacon go idle: the sweep must
+// evict the silent crowd (bounded memory) while the keepers stream on,
+// and a clean Close leaves one checkpoint per beacon ever seen.
+func TestFleetThousandSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	eng := newTestEngine(t)
+	store := NewMemStore()
+	// A wide fix step keeps this test about residency and eviction
+	// accounting, not regression throughput (the equivalence test pins
+	// fix content); 1200 sessions' worth of 2 s fixes would dominate
+	// the -race run for no extra coverage.
+	sess := testSession()
+	sess.Step = 12
+	fl, err := New(eng, Config{Shards: 4, Session: sess, Store: store})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer fl.Close()
+
+	const (
+		nb   = 1200
+		warm = 48  // every beacon's first 6 s
+		keep = 216 // keepers continue to 27 s, far past the idle horizon
+	)
+	names := make([]string, nb)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%04d", i)
+	}
+
+	// Phase 1: all 1200 beacons alive at once, fed in shard-friendly
+	// chunks of 100 beacons per batch.
+	for lo := 0; lo < warm; lo += 24 {
+		for b0 := 0; b0 < nb; b0 += 100 {
+			var batch []Obs
+			for _, name := range names[b0 : b0+100] {
+				batch = append(batch, SynthStream(name, warm, float64(b0)/100)[lo:lo+24]...)
+			}
+			if _, err := fl.PushBatch(batch); err != nil {
+				t.Fatalf("warm PushBatch: %v", err)
+			}
+		}
+	}
+	if hw := fl.met.live.Max(); hw < 1000 {
+		t.Fatalf("resident-session high-water = %d, want >= 1000", hw)
+	}
+
+	// Phase 2: only every 12th beacon keeps reporting.
+	keepers := make([]int, 0, nb/12)
+	for i := 0; i < nb; i += 12 {
+		keepers = append(keepers, i)
+	}
+	for lo := warm; lo < keep; lo += 24 {
+		var batch []Obs
+		for _, i := range keepers {
+			batch = append(batch, SynthStream(names[i], keep, float64(i/100))[lo:lo+24]...)
+		}
+		if _, err := fl.PushBatch(batch); err != nil {
+			t.Fatalf("keeper PushBatch: %v", err)
+		}
+	}
+
+	snap := fl.Metrics()
+	if c := snap.Counters["fleet.sessions.created"]; c != nb {
+		t.Errorf("fleet.sessions.created = %d, want %d", c, nb)
+	}
+	if e, want := snap.Counters["fleet.sessions.evicted"], int64(nb-len(keepers)); e != want {
+		t.Errorf("fleet.sessions.evicted = %d, want %d (all silent beacons past the horizon)", e, want)
+	}
+	if live := fl.Sessions(); live != int64(len(keepers)) {
+		t.Errorf("live sessions = %d, want %d keepers", live, len(keepers))
+	}
+
+	if err := fl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if store.Len() != nb {
+		t.Errorf("store holds %d checkpoints after Close, want %d (evicted + close-drained)", store.Len(), nb)
+	}
+}
+
+// TestFleetCloseDuringIngest closes the fleet while pushers are mid
+// flight: in-flight batches complete, later ones get ErrClosed, nothing
+// deadlocks or leaks, and Close stays idempotent.
+func TestFleetCloseDuringIngest(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	eng := newTestEngine(t)
+	fl, err := New(eng, Config{Shards: 2, Session: testSession()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	const pushers = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			stream := SynthStream(fmt.Sprintf("x%d", p), 4096, float64(p))
+			<-start
+			for lo := 0; lo+16 <= len(stream); lo += 16 {
+				res, err := fl.PushBatch(stream[lo : lo+16])
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("PushBatch: %v", err)
+					return
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						t.Errorf("%s: %v", r.Beacon, r.Err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	close(start)
+	if err := fl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if _, err := fl.PushBatch(SynthStream("late", 4, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PushBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

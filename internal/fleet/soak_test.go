@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locble/internal/faults"
+	"locble/internal/sim"
+	"locble/internal/testutil"
+)
+
+// walkPQ reproduces SynthStream's observer displacement at time t, so
+// fault-jittered timestamps can be re-paired with a consistent motion
+// track.
+func walkPQ(t float64) (p, q float64) {
+	leg := math.Mod(0.8*t, 36)
+	var ox, oy float64
+	switch {
+	case leg <= 9:
+		ox, oy = leg, 0
+	case leg <= 18:
+		ox, oy = 9, leg-9
+	case leg <= 27:
+		ox, oy = 9-(leg-18), 9
+	default:
+		ox, oy = 0, 9-(leg-27)
+	}
+	return -ox, -oy
+}
+
+// TestFleetChaosSoak hammers a fleet with fault-injected ingest for a
+// wall-clock budget: concurrent pushers whose streams are impaired by
+// rotating injector chains (drops, duplicates, reordering, time jitter,
+// non-finite and clipped RSSI, impulse bursts), beacons falling silent
+// and reappearing so evictions and restores run under fire, and
+// occasional already-expired contexts exercising the cancellation path.
+// The fleet must come out with clean lifecycle accounting, a healthy
+// store, and a quiet shutdown. The default budget suits `go test`;
+// `make soak` stretches it via LOCBLE_SOAK (e.g. LOCBLE_SOAK=30s).
+func TestFleetChaosSoak(t *testing.T) {
+	dur := 800 * time.Millisecond
+	if env := os.Getenv("LOCBLE_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("LOCBLE_SOAK=%q: %v", env, err)
+		}
+		dur = d
+	}
+	testutil.VerifyNoLeaks(t)
+
+	eng := newTestEngine(t)
+	fl, err := New(eng, Config{Shards: 4, Session: testSession(), IdleMaxAge: 6})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	chains := []faults.Fault{
+		faults.Chain(faults.NonFiniteRSSI{Prob: 0.05}, faults.DuplicateReports{Prob: 0.10}),
+		faults.Chain(faults.RandomDrop{Prob: 0.20}, faults.ClipRSSI{Floor: -90, Ceil: -35}),
+		faults.Chain(faults.ReorderReports{Window: 6}, faults.JitterTimestamps{Sigma: 0.05}),
+		faults.Chain(faults.ImpulseBurst{Prob: 0.10, DeltaDB: 18}),
+	}
+
+	const (
+		pushers   = 3
+		perP      = 4
+		streamLen = 16384 // 2048 s of observation time before wrapping
+		slice     = 16
+	)
+	deadline := time.Now().Add(dur)
+	var (
+		wg          sync.WaitGroup
+		beaconErrs  atomic.Int64 // per-beacon results that carried an error
+		ctxExpiries atomic.Int64 // batches that hit their expired context
+	)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			names := make([]string, perP)
+			streams := make([][]Obs, perP)
+			for j := range names {
+				names[j] = fmt.Sprintf("chaos-p%d-b%d", p, j)
+				streams[j] = SynthStream(names[j], streamLen, float64(p)+0.5*float64(j))
+			}
+			scratch := make([]sim.BeaconObservation, 0, 2*slice)
+			for iter := 0; time.Now().Before(deadline); iter++ {
+				lo := (iter * slice) % streamLen
+				// Observation time keeps climbing across stream wraps so
+				// sessions never see a time reversal from the wrap itself.
+				off := float64((iter*slice)/streamLen) * (streamLen / 8.0)
+				var batch []Obs
+				for j := range names {
+					// Each beacon periodically goes silent for 24
+					// iterations (≥ 48 s of its observation time, past the
+					// 6 s idle horizon) so eviction and restore churn.
+					if ((iter/24)+3*j)%4 == 0 {
+						continue
+					}
+					scratch = scratch[:0]
+					for _, o := range streams[j][lo : lo+slice] {
+						scratch = append(scratch, sim.BeaconObservation{T: o.T + off, RSSI: o.RSS})
+					}
+					impaired := faults.ApplyRSS(scratch, int64(p*1000+iter), chains[(iter+j)%len(chains)])
+					for _, o := range impaired {
+						pp, qq := walkPQ(o.T)
+						batch = append(batch, Obs{Beacon: names[j], T: o.T, RSS: o.RSSI, P: pp, Q: qq})
+					}
+				}
+				if len(batch) == 0 {
+					continue
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if iter%17 == 0 {
+					// An already-expired deadline: the whole batch must
+					// complete promptly with context errors, never hang.
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+					time.Sleep(5 * time.Microsecond)
+				}
+				res, err := fl.PushBatchContext(ctx, batch)
+				cancel()
+				if err != nil {
+					t.Errorf("PushBatchContext: %v", err)
+					return
+				}
+				expired := false
+				for _, r := range res {
+					if r.Err == nil {
+						continue
+					}
+					if errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled) {
+						expired = true
+						continue
+					}
+					beaconErrs.Add(1)
+					t.Errorf("%s: unexpected ingest error: %v", r.Beacon, r.Err)
+				}
+				if expired {
+					ctxExpiries.Add(1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	snap := fl.Metrics()
+	created := snap.Counters["fleet.sessions.created"]
+	evicted := snap.Counters["fleet.sessions.evicted"]
+	restored := snap.Counters["fleet.sessions.restored"]
+	t.Logf("soak %v: created=%d evicted=%d restored=%d batches=%d obs=%d expired-ctx=%d",
+		dur, created, evicted, restored,
+		snap.Counters["fleet.batches"], snap.Counters["fleet.obs.pushed"], ctxExpiries.Load())
+
+	if v := snap.Counters["fleet.store.errors"]; v != 0 {
+		t.Errorf("fleet.store.errors = %d, want 0", v)
+	}
+	if v := snap.Counters["fleet.restore.errors"]; v != 0 {
+		t.Errorf("fleet.restore.errors = %d, want 0 (every checkpoint written must restore)", v)
+	}
+	if cpw := snap.Counters["fleet.checkpoints.written"]; cpw != evicted {
+		t.Errorf("checkpoints.written = %d, evicted = %d: pre-Close these must match", cpw, evicted)
+	}
+	if live := fl.Sessions(); live != created+restored-evicted {
+		t.Errorf("live = %d, want created+restored-evicted = %d", live, created+restored-evicted)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := fl.PushBatch(SynthStream("post", 4, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PushBatch after Close = %v, want ErrClosed", err)
+	}
+}

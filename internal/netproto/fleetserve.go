@@ -1,0 +1,222 @@
+// Fleet serving over the trace-exchange port: a server with an attached
+// fleet.Fleet accepts {"op":"push"} frames carrying a mixed observation
+// batch and streams one result frame per beacon back (fixes, lifecycle
+// flags, per-beacon errors), terminated by a done frame. The exchange
+// rides the same connection lifecycle as every other op — admission
+// capping and token-bucket shedding, per-frame deadlines, the stalled-
+// connection watchdog, and graceful drain (a push held in shard
+// backpressure is released through the server's drain context when a
+// forced shutdown fires).
+package netproto
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"locble/internal/fleet"
+	"locble/internal/resilience"
+)
+
+// PushObs is one fleet observation on the wire: the beacon it belongs
+// to, its timestamp, raw RSS, and the observer's relative displacement.
+type PushObs struct {
+	Beacon string  `json:"beacon"`
+	T      float64 `json:"t"`
+	RSS    float64 `json:"rss"`
+	P      float64 `json:"p"`
+	Q      float64 `json:"q"`
+}
+
+// PushFix is one location fix streamed back for a pushed batch.
+type PushFix struct {
+	T          float64 `json:"t"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	N          float64 `json:"n"`
+	Gamma      float64 `json:"gamma"`
+	Confidence float64 `json:"conf"`
+	Mode       string  `json:"mode"`
+	Samples    int     `json:"samples"`
+}
+
+// PushResult is one beacon's result frame in a push exchange.
+type PushResult struct {
+	Beacon string `json:"beacon"`
+	// Created / Restored report the session lifecycle event this batch
+	// triggered (lazily created vs resumed from a checkpoint).
+	Created  bool      `json:"created,omitempty"`
+	Restored bool      `json:"restored,omitempty"`
+	Fixes    []PushFix `json:"fixes,omitempty"`
+	// Err is this beacon's ingest failure; the other beacons in the
+	// batch still ran.
+	Err string `json:"error,omitempty"`
+}
+
+// pushDone terminates a push exchange: Beacons is the number of result
+// frames that preceded it, so a client can detect a truncated stream.
+type pushDone struct {
+	Done    bool `json:"done"`
+	Beacons int  `json:"beacons"`
+}
+
+// SetFleet attaches a fleet, enabling the {"op":"push"} batched-ingest
+// op on this server. Pass nil to detach (pushes are then refused). Safe
+// for concurrent use; the caller keeps ownership of the fleet and is
+// responsible for closing it after the server shuts down.
+func (s *Server) SetFleet(f *fleet.Fleet) {
+	s.mu.Lock()
+	s.fleet = f
+	s.mu.Unlock()
+}
+
+// handlePush runs one push exchange: scrub the wire batch, hand it to
+// the fleet, stream the per-beacon results. Returns false when the
+// connection should close.
+func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
+	s.mu.Lock()
+	f := s.fleet
+	s.mu.Unlock()
+	if f == nil {
+		WriteFrame(conn, map[string]string{"error": "no fleet attached"})
+		return false
+	}
+	// Same boundary rule as sanitizeRSS: non-finite fields cannot have
+	// crossed JSON honestly, so the poisoned entries are dropped here
+	// rather than fed to the sessions. Unnamed observations have no
+	// session to land on.
+	batch := make([]fleet.Obs, 0, len(wire))
+	for _, o := range wire {
+		if o.Beacon == "" || !isFinite(o.T) || !isFinite(o.RSS) || !isFinite(o.P) || !isFinite(o.Q) {
+			continue
+		}
+		batch = append(batch, fleet.Obs{Beacon: o.Beacon, T: o.T, RSS: o.RSS, P: o.P, Q: o.Q})
+	}
+	// The drain context releases a push held in shard backpressure when
+	// a forced shutdown fires — the exchange then reports context errors
+	// instead of wedging the drain.
+	res, err := f.PushBatchContext(s.drainCtx, batch)
+	if err != nil {
+		WriteFrame(conn, map[string]string{"error": err.Error()})
+		return false
+	}
+	for i := range res {
+		r := &res[i]
+		out := PushResult{Beacon: r.Beacon, Created: r.Created, Restored: r.Restored}
+		if len(r.Points) > 0 {
+			out.Fixes = make([]PushFix, len(r.Points))
+			for j, pt := range r.Points {
+				out.Fixes[j] = PushFix{
+					T: pt.T, X: pt.Est.X, Y: pt.Est.H,
+					N: pt.Est.N, Gamma: pt.Est.Gamma,
+					Confidence: pt.Est.Confidence,
+					Mode:       pt.Mode.String(),
+					Samples:    pt.Samples,
+				}
+			}
+		}
+		if r.Err != nil {
+			out.Err = r.Err.Error()
+		}
+		// Streamed frames each get a fresh write deadline: a long batch
+		// must not time out mid-stream as long as every frame moves.
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := WriteFrame(conn, &out); err != nil {
+			return false
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return WriteFrame(conn, pushDone{Done: true, Beacons: len(res)}) == nil
+}
+
+// FleetClient is a client for a server's batched-ingest op. It holds
+// one connection across Push calls (a gateway flushing its receive
+// buffer on a timer); it is not safe for concurrent Push.
+type FleetClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// DialFleet connects to a server's TCP trace-exchange address for
+// batched tracking ingest.
+func DialFleet(ctx context.Context, addr string) (*FleetClient, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetClient{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *FleetClient) Close() error { return c.conn.Close() }
+
+// Push sends one observation batch and reads the streamed per-beacon
+// results until the server's done frame. Per-beacon ingest failures are
+// reported in each PushResult.Err; the error return is for exchange-
+// level failures (overload shed, no fleet attached, a dropped
+// connection, a truncated stream).
+func (c *FleetClient) Push(ctx context.Context, obs []PushObs) ([]PushResult, error) {
+	frameDeadline := func() time.Time {
+		dl := time.Now().Add(FrameTimeout)
+		if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+			dl = cdl
+		}
+		return dl
+	}
+	// JSON cannot carry NaN/Inf: poisoned observations are dropped at
+	// the wire boundary (mirroring SetBundle), not surfaced as a marshal
+	// failure that would take the whole batch down with them.
+	clean := true
+	for _, o := range obs {
+		if o.Beacon == "" || !isFinite(o.T) || !isFinite(o.RSS) || !isFinite(o.P) || !isFinite(o.Q) {
+			clean = false
+			break
+		}
+	}
+	if !clean {
+		kept := make([]PushObs, 0, len(obs))
+		for _, o := range obs {
+			if o.Beacon != "" && isFinite(o.T) && isFinite(o.RSS) && isFinite(o.P) && isFinite(o.Q) {
+				kept = append(kept, o)
+			}
+		}
+		obs = kept
+	}
+	c.conn.SetWriteDeadline(frameDeadline())
+	req := struct {
+		Op  string    `json:"op"`
+		Obs []PushObs `json:"obs"`
+	}{Op: "push", Obs: obs}
+	if err := WriteFrame(c.conn, &req); err != nil {
+		return nil, err
+	}
+	var out []PushResult
+	for {
+		var resp struct {
+			PushResult
+			Done    bool `json:"done"`
+			Beacons int  `json:"beacons"`
+		}
+		c.conn.SetReadDeadline(frameDeadline())
+		if err := ReadFrame(c.br, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Done {
+			if len(out) != resp.Beacons {
+				return nil, fmt.Errorf("netproto: push: stream truncated: got %d results, server sent %d", len(out), resp.Beacons)
+			}
+			return out, nil
+		}
+		if resp.Beacon == "" && resp.Err != "" {
+			// An exchange-level error frame, not a per-beacon result.
+			if resp.Err == "overloaded" {
+				return nil, fmt.Errorf("netproto: push: %w", resilience.ErrOverloaded)
+			}
+			return nil, fmt.Errorf("netproto: push: server error: %s", resp.Err)
+		}
+		out = append(out, resp.PushResult)
+	}
+}

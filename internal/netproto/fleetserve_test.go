@@ -1,0 +1,210 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"locble/internal/core"
+	"locble/internal/estimate"
+	"locble/internal/fleet"
+	"locble/internal/resilience"
+	"locble/internal/testutil"
+)
+
+func newPushServer(t *testing.T, cfg ServerConfig) (*Server, *fleet.Fleet) {
+	t.Helper()
+	eng, err := core.NewEngine(core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	fl, err := fleet.New(eng, fleet.Config{
+		Session: core.TrackSessionConfig{SampleRateHz: 8},
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	srv, err := NewServerWithConfig("fleet-gw", 0, cfg)
+	if err != nil {
+		t.Fatalf("NewServerWithConfig: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.SetFleet(fl)
+	return srv, fl
+}
+
+func toWire(obs []fleet.Obs) []PushObs {
+	out := make([]PushObs, len(obs))
+	for i, o := range obs {
+		out[i] = PushObs{Beacon: o.Beacon, T: o.T, RSS: o.RSS, P: o.P, Q: o.Q}
+	}
+	return out
+}
+
+// TestPushOpStreamsFixes drives batched ingest over the wire and checks
+// the streamed fixes are bit-identical to a local session fed the same
+// observations: the protocol is pure transport (JSON float64 round-trips
+// exactly), and lifecycle flags arrive with the results.
+func TestPushOpStreamsFixes(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	srv, _ := newPushServer(t, ServerConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl, err := DialFleet(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("DialFleet: %v", err)
+	}
+	defer cl.Close()
+
+	const n, slice = 240, 24
+	streams := map[string][]fleet.Obs{
+		"w1": fleet.SynthStream("w1", n, 0.3),
+		"w2": fleet.SynthStream("w2", n, 2.1),
+	}
+	wireFixes := map[string][]PushFix{}
+	for lo := 0; lo < n; lo += slice {
+		var batch []PushObs
+		for _, s := range streams {
+			batch = append(batch, toWire(s[lo:lo+slice])...)
+		}
+		res, err := cl.Push(ctx, batch)
+		if err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("push returned %d results, want 2", len(res))
+		}
+		for _, r := range res {
+			if r.Err != "" {
+				t.Fatalf("%s: %s", r.Beacon, r.Err)
+			}
+			if (lo == 0) != r.Created {
+				t.Errorf("%s @lo=%d: Created=%v", r.Beacon, lo, r.Created)
+			}
+			wireFixes[r.Beacon] = append(wireFixes[r.Beacon], r.Fixes...)
+		}
+	}
+
+	// Local ground truth: one standalone session per beacon.
+	eng, err := core.NewEngine(core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	for name, stream := range streams {
+		s, err := eng.NewTrackSession(core.TrackSessionConfig{Beacon: name, SampleRateHz: 8})
+		if err != nil {
+			t.Fatalf("NewTrackSession: %v", err)
+		}
+		var want []PushFix
+		for _, o := range stream {
+			pt, err := s.Push(estimate.Obs{T: o.T, RSS: o.RSS, P: o.P, Q: o.Q})
+			if err != nil {
+				t.Fatalf("local Push: %v", err)
+			}
+			if pt != nil {
+				want = append(want, PushFix{
+					T: pt.T, X: pt.Est.X, Y: pt.Est.H,
+					N: pt.Est.N, Gamma: pt.Est.Gamma,
+					Confidence: pt.Est.Confidence,
+					Mode:       pt.Mode.String(),
+					Samples:    pt.Samples,
+				})
+			}
+		}
+		got := wireFixes[name]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d wire fixes, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s fix %d differs over the wire:\n got  %+v\n want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPushOpScrubsBoundary: non-finite fields and unnamed observations
+// are dropped at the wire boundary — the rest of the batch lands, and a
+// beacon made entirely of poison simply never exists.
+func TestPushOpScrubsBoundary(t *testing.T) {
+	srv, fl := newPushServer(t, ServerConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl, err := DialFleet(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("DialFleet: %v", err)
+	}
+	defer cl.Close()
+
+	batch := toWire(fleet.SynthStream("ok", 8, 0))
+	batch = append(batch,
+		PushObs{Beacon: "poison", T: 1, RSS: math.NaN(), P: 0, Q: 0},
+		PushObs{Beacon: "poison", T: math.Inf(1), RSS: -60, P: 0, Q: 0},
+		PushObs{Beacon: "", T: 2, RSS: -60, P: 0, Q: 0},
+	)
+	res, err := cl.Push(ctx, batch)
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if len(res) != 1 || res[0].Beacon != "ok" || res[0].Err != "" {
+		t.Fatalf("results = %+v, want exactly one clean result for %q", res, "ok")
+	}
+	if got := fl.Sessions(); got != 1 {
+		t.Errorf("Sessions() = %d, want 1 (poisoned beacon must not get a session)", got)
+	}
+}
+
+// TestPushOpNoFleet: a server without an attached fleet refuses the op
+// with an exchange-level error, not a hang or an empty success.
+func TestPushOpNoFleet(t *testing.T) {
+	srv, err := NewServer("no-fleet", 0)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl, err := DialFleet(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("DialFleet: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Push(ctx, toWire(fleet.SynthStream("b", 4, 0))); err == nil {
+		t.Fatal("Push on a fleet-less server succeeded, want server error")
+	}
+}
+
+// TestPushOpOverloadShed: pushes ride the same admission control as
+// every other op — a connection over the cap is shed with an
+// "overloaded" frame the client surfaces as resilience.ErrOverloaded.
+func TestPushOpOverloadShed(t *testing.T) {
+	srv, _ := newPushServer(t, ServerConfig{MaxConns: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	hold, err := DialFleet(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("DialFleet(hold): %v", err)
+	}
+	defer hold.Close()
+	// Occupy the only slot with a real exchange so the connection is
+	// registered before the second dial.
+	if _, err := hold.Push(ctx, toWire(fleet.SynthStream("holder", 4, 0))); err != nil {
+		t.Fatalf("holder Push: %v", err)
+	}
+
+	shed, err := DialFleet(ctx, srv.Addr())
+	if err != nil {
+		t.Fatalf("DialFleet(shed): %v", err)
+	}
+	defer shed.Close()
+	_, err = shed.Push(ctx, toWire(fleet.SynthStream("shed", 4, 0)))
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("shed Push error = %v, want resilience.ErrOverloaded", err)
+	}
+}

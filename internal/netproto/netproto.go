@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"locble/internal/fleet"
 	"locble/internal/obs"
 	"locble/internal/resilience"
 )
@@ -313,6 +314,13 @@ type Server struct {
 
 	mu     sync.Mutex
 	bundle *TraceBundle
+	fleet  *fleet.Fleet // attached via SetFleet; nil refuses "push"
+
+	// drainCtx is canceled when a forced shutdown fires, releasing push
+	// exchanges held in fleet shard backpressure so the drain can't wedge
+	// on work that is no longer wanted.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 
 	tcp net.Listener
 	udp net.PacketConn
@@ -370,6 +378,7 @@ func NewServerWithConfig(device string, port int, cfg ServerConfig) (*Server, er
 		conns:      newConnTable(),
 		closed:     make(chan struct{}),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.wg.Add(2)
 	go s.serveTCP()
 	go s.serveUDP()
@@ -413,9 +422,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		forced = ctx.Err()
+		// Release push exchanges parked in fleet backpressure before
+		// force-closing: their handlers block in the fleet, not in conn
+		// I/O, so closing the sockets alone would not unwedge them.
+		s.drainCancel()
 		s.conns.closeAll()
 		<-done
 	}
+	s.drainCancel()
 	if first {
 		metDrainSeconds.Observe(time.Since(start).Seconds())
 	}
@@ -508,7 +522,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	// connection-scoped deadline would expire in the middle of a long
 	// multi-frame exchange.
 	var req struct {
-		Op string `json:"op"`
+		Op  string    `json:"op"`
+		Obs []PushObs `json:"obs"`
 	}
 	br := bufio.NewReader(conn)
 	for {
@@ -517,6 +532,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		default:
 		}
+		req.Obs = nil // unmarshal merges; a stale batch must not leak in
 		conn.SetReadDeadline(time.Now().Add(FrameTimeout))
 		if err := ReadFrame(br, &req); err != nil {
 			return
@@ -535,6 +551,10 @@ func (s *Server) handleConn(conn net.Conn) {
 				b = &TraceBundle{Device: s.DeviceName}
 			}
 			if err := WriteFrame(conn, b); err != nil {
+				return
+			}
+		case "push":
+			if !s.handlePush(conn, req.Obs) {
 				return
 			}
 		case "metrics":

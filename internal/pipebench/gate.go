@@ -20,6 +20,9 @@ type Baseline struct {
 	// relative IRLS checks (the absolute warm-fit-allocs contract is
 	// checked against the fresh report regardless).
 	IRLS *IRLSStats `json:"irls"`
+	// Fleet is the fleet-serving baseline. Reports committed before the
+	// fleet bench existed decode it as nil, disarming the fleet checks.
+	Fleet *FleetStats `json:"fleet"`
 }
 
 // Tolerances are the allowed fractional regressions per axis.
@@ -75,6 +78,22 @@ func Gate(got *Report, base *Baseline, tol Tolerances) []string {
 		}
 	} else if base.IRLS != nil {
 		v = append(v, "baseline carries an irls measurement but the report has none — the robust bench was dropped")
+	}
+	if got.Fleet != nil {
+		if base.Fleet != nil {
+			// The fleet bench is concurrent (one goroutine per shard), so
+			// even its min-of-N wall is scheduler-noisier than the
+			// single-goroutine sections — gate it at double the wall
+			// tolerance.
+			exceed("fleet.wall_seconds", got.Fleet.WallSeconds, base.Fleet.WallSeconds, 2*tol.Wall, "s")
+			exceed("fleet.allocs_per_obs", got.Fleet.AllocsPerObs, base.Fleet.AllocsPerObs, tol.Alloc, "allocs")
+			if got.Fleet.Fixes < base.Fleet.Fixes {
+				v = append(v, fmt.Sprintf("fleet emitted %d fixes vs baseline %d — fleet fixes were lost",
+					got.Fleet.Fixes, base.Fleet.Fixes))
+			}
+		}
+	} else if base.Fleet != nil {
+		v = append(v, "baseline carries a fleet measurement but the report has none — the fleet bench was dropped")
 	}
 	return v
 }

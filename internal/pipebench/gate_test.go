@@ -17,6 +17,14 @@ func baseReport() *Report {
 			AllocsPerOp: 110_000,
 			Error:       ErrStats{N: 75, MeanM: 2.1, P50M: 1.6, P90M: 4.5, WorstM: 9.4},
 		},
+		Fleet: &FleetStats{
+			Beacons:      24,
+			Shards:       8,
+			ObsPushed:    9600,
+			Fixes:        600,
+			WallSeconds:  0.12,
+			AllocsPerObs: 8.5,
+		},
 	}
 }
 
@@ -30,6 +38,14 @@ func baseBaseline() *Baseline {
 			WallSeconds: 0.40,
 			AllocsPerOp: 110_000,
 			Error:       ErrStats{N: 75, MeanM: 2.1, P50M: 1.6, P90M: 4.5, WorstM: 9.4},
+		},
+		Fleet: &FleetStats{
+			Beacons:      24,
+			Shards:       8,
+			ObsPushed:    9600,
+			Fixes:        600,
+			WallSeconds:  0.13,
+			AllocsPerObs: 9.0,
 		},
 	}
 }
@@ -56,6 +72,10 @@ func TestGateCatchesEachAxis(t *testing.T) {
 		{"irls allocs", func(r *Report) { r.IRLS.AllocsPerOp = 200_000 }, "irls.allocs_per_op"},
 		{"irls mean", func(r *Report) { r.IRLS.Error.MeanM = 2.6 }, "irls.estimate_error_m.mean_m"},
 		{"irls dropped", func(r *Report) { r.IRLS = nil }, "robust bench was dropped"},
+		{"fleet wall", func(r *Report) { r.Fleet.WallSeconds = 0.2 }, "fleet.wall_seconds"},
+		{"fleet allocs", func(r *Report) { r.Fleet.AllocsPerObs = 20 }, "fleet.allocs_per_obs"},
+		{"fleet lost fixes", func(r *Report) { r.Fleet.Fixes = 500 }, "fleet fixes were lost"},
+		{"fleet dropped", func(r *Report) { r.Fleet = nil }, "fleet bench was dropped"},
 	}
 	for _, tc := range cases {
 		r := baseReport()
@@ -97,5 +117,20 @@ func TestGateIRLSAgainstLegacyBaseline(t *testing.T) {
 	v := Gate(r, b, DefaultTolerances())
 	if len(v) != 1 || !strings.Contains(v[0], "warm_fit_allocs_per_op") {
 		t.Fatalf("warm-fit contract not enforced without a baseline: %v", v)
+	}
+}
+
+// TestGateFleetAgainstLegacyBaseline pins the same compatibility edge
+// for the fleet section: baselines committed before the fleet bench
+// decode Fleet as nil, disarming every fleet check.
+func TestGateFleetAgainstLegacyBaseline(t *testing.T) {
+	b := baseBaseline()
+	b.Fleet = nil
+	r := baseReport()
+	r.Fleet.WallSeconds = 99
+	r.Fleet.AllocsPerObs = 9999
+	r.Fleet.Fixes = 0
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations against a pre-fleet baseline: %v", v)
 	}
 }

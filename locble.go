@@ -32,6 +32,7 @@ import (
 	"locble/internal/cluster"
 	"locble/internal/core"
 	"locble/internal/estimate"
+	"locble/internal/fleet"
 	"locble/internal/imu"
 	"locble/internal/obs"
 	"locble/internal/rf"
@@ -466,6 +467,36 @@ func (s *System) NewTrackSession(cfg TrackSessionConfig) (*TrackSession, error) 
 // be configured identically to the one that wrote the checkpoint.
 func (s *System) RestoreTrackSession(r io.Reader) (*TrackSession, error) {
 	return s.engine.RestoreTrackSessionFrom(r)
+}
+
+// Fleet serving: the multi-session front end over streaming sessions.
+// A Fleet owns thousands of per-beacon TrackSessions behind a sharded
+// registry, ingests mixed observation batches, evicts idle sessions to
+// a checkpoint store and restores them bit-exactly when their beacon
+// reappears (see DESIGN.md, "Fleet serving").
+type (
+	// Fleet is a concurrent multi-session tracking service.
+	Fleet = fleet.Fleet
+	// FleetConfig configures a Fleet (shard count, session template,
+	// checkpoint store, idle horizon, per-shard session cap).
+	FleetConfig = fleet.Config
+	// FleetObs is one beacon-tagged fused observation, the unit of
+	// fleet ingest.
+	FleetObs = fleet.Obs
+	// FleetResult is one beacon's outcome of a PushBatch call.
+	FleetResult = fleet.Result
+	// CheckpointStore persists evicted sessions' checkpoints; the
+	// in-process implementation is NewMemStore.
+	CheckpointStore = fleet.CheckpointStore
+)
+
+// NewMemStore returns the in-process CheckpointStore.
+func NewMemStore() *fleet.MemStore { return fleet.NewMemStore() }
+
+// NewFleet starts a fleet-scale session manager on this System's
+// pipeline configuration. Close the Fleet before closing the System.
+func (s *System) NewFleet(cfg FleetConfig) (*Fleet, error) {
+	return fleet.New(s.engine, cfg)
 }
 
 // SaveTrace writes a trace as gzip-compressed JSON for offline analysis.

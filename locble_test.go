@@ -7,6 +7,7 @@ import (
 
 	"locble"
 	"locble/internal/faults"
+	"locble/internal/fleet"
 	"locble/internal/imu"
 )
 
@@ -373,6 +374,84 @@ func TestPublicAPILocateAll(t *testing.T) {
 	for name, pos := range all {
 		if pos.Range <= 0 {
 			t.Errorf("%s: bad range %g", name, pos.Range)
+		}
+	}
+}
+
+func TestPublicAPIFleet(t *testing.T) {
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	store := locble.NewMemStore()
+	fl, err := sys.NewFleet(locble.FleetConfig{
+		Session: locble.TrackSessionConfig{SampleRateHz: 8},
+		Store:   store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n, slice = 240, 24
+	streams := map[string][]locble.FleetObs{}
+	for i, name := range []string{"cart-1", "cart-2", "cart-3"} {
+		for _, o := range fleet.SynthStream(name, n, float64(i)) {
+			streams[name] = append(streams[name], locble.FleetObs{
+				Beacon: o.Beacon, T: o.T, RSS: o.RSS, P: o.P, Q: o.Q,
+			})
+		}
+	}
+	fixes := 0
+	for lo := 0; lo < n; lo += slice {
+		var batch []locble.FleetObs
+		for _, s := range streams {
+			batch = append(batch, s[lo:lo+slice]...)
+		}
+		res, err := fl.PushBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Beacon, r.Err)
+			}
+			fixes += len(r.Points)
+		}
+	}
+	if fixes == 0 {
+		t.Fatal("fleet ingest produced no fixes")
+	}
+	if got := fl.Sessions(); got != 3 {
+		t.Fatalf("Sessions() = %d, want 3", got)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("store holds %d checkpoints after Close, want 3", store.Len())
+	}
+
+	// A successor fleet on the same store resumes every session.
+	fl2, err := sys.NewFleet(locble.FleetConfig{
+		Session: locble.TrackSessionConfig{SampleRateHz: 8},
+		Store:   store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	var batch []locble.FleetObs
+	for _, s := range streams {
+		batch = append(batch, s[n-slice:]...)
+	}
+	res, err := fl2.PushBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.Restored {
+			t.Errorf("%s: successor fleet cold-started instead of restoring", r.Beacon)
 		}
 	}
 }
