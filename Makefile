@@ -46,19 +46,24 @@ race:
 # the same way: fault-injected batched ingest, silence-driven
 # evict/restore churn, canceled pushes. Both tests run for <1 s inside
 # `make test`; this target stretches them to $(SOAKTIME) each.
+# The durability soak chains disk faults (short writes, fsync errors,
+# ENOSPC) under a durable-store fleet with repeated crash-and-recover
+# cycles on the same disk image.
 soak:
 	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestChaosSoak$$' -v ./internal/netproto/
 	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestFleetChaosSoak$$' -v ./internal/fleet/
+	LOCBLE_SOAK=$(SOAKTIME) $(GO) test -race -count=1 -run='^TestDurableChaosSoak$$' -v ./internal/fleet/
 
 # Short coverage-guided shake of every fuzz target (decoder robustness:
 # BLE deframing/AD parsing/beacon decoding, netproto frame reading,
-# trace-file loading).
+# trace-file loading, durable WAL replay).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDeframe -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzParseADStructures -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeBeacon -fuzztime=$(FUZZTIME) ./internal/ble/
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/netproto/
 	$(GO) test -run='^$$' -fuzz=FuzzLoadTrace -fuzztime=$(FUZZTIME) ./internal/sim/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .

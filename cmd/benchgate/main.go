@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wallTol  = fs.Float64("wall-tol", 0.10, "allowed fractional wall-clock regression")
 		allocTol = fs.Float64("alloc-tol", 0.10, "allowed fractional allocs-per-op regression")
 		errTol   = fs.Float64("err-tol", 0.05, "allowed fractional accuracy regression")
+		durTol   = fs.Float64("dur-tol", 0.35, "allowed fractional durable-store regression (fsync-bound, machine-noisy)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "benchgate: %s -> %s\n", rep.Summary(), *out)
 	}
 
-	tol := pipebench.Tolerances{Wall: *wallTol, Alloc: *allocTol, Err: *errTol}
+	tol := pipebench.Tolerances{Wall: *wallTol, Alloc: *allocTol, Err: *errTol, Dur: *durTol}
 	violations := pipebench.Gate(rep, base, tol)
 	if len(violations) > 0 {
 		for _, v := range violations {

@@ -17,7 +17,12 @@ import (
 // of range (idle-evicted to a checkpoint) and back (restored, resuming
 // its session bit-exactly), and the run closes with the fleet's
 // lifecycle metrics.
-func runFleet(beacons int, metricsF, verbose bool) error {
+//
+// With storeDir set, checkpoints live in a crash-safe durable store on
+// disk instead of memory: kill the process mid-run, rerun with the same
+// -store, and the evicted sessions recover — the open prints what
+// recovery replayed and repaired.
+func runFleet(beacons int, storeDir string, metricsF, verbose bool) error {
 	if beacons < 2 {
 		beacons = 2
 	}
@@ -26,7 +31,18 @@ func runFleet(beacons int, metricsF, verbose bool) error {
 		return err
 	}
 	defer sys.Close()
-	store := locble.NewMemStore()
+	var store locble.CheckpointStore = locble.NewMemStore()
+	if storeDir != "" {
+		fs, err := locble.NewFileStore(storeDir)
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		rec := fs.RecoveryStats()
+		fmt.Printf("durable store %s: %d checkpoints recovered (%d records replayed, %d torn tails truncated, %d corrupt records quarantined)\n",
+			storeDir, fs.Len(), rec.Replayed, rec.TornTails, rec.Quarantined)
+		store = fs
+	}
 	fl, err := sys.NewFleet(locble.FleetConfig{
 		Session:    locble.TrackSessionConfig{SampleRateHz: 8},
 		Store:      store,

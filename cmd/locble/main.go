@@ -49,6 +49,7 @@ func main() {
 		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
 		fleetF   = flag.Bool("fleet", false, "fleet serving demo: batched multi-beacon ingest over the loopback push op")
 		fleetN   = flag.Int("fleet-beacons", 12, "beacons to track in the fleet demo")
+		storeF   = flag.String("store", "", "durable checkpoint store directory for -fleet (survives restarts)")
 		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
 		metricsF = flag.Bool("metrics", false, "print the pipeline metrics snapshot as JSON after the run")
 		pprofF   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. 127.0.0.1:6060)")
@@ -63,7 +64,7 @@ func main() {
 		return
 	}
 	if *fleetF {
-		if err := runFleet(*fleetN, *metricsF, *verbose); err != nil {
+		if err := runFleet(*fleetN, *storeF, *metricsF, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "locble:", err)
 			os.Exit(1)
 		}

@@ -101,3 +101,29 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Error("want error for missing file")
 	}
 }
+
+// TestRunFleetDurableStore runs the fleet demo twice over the same
+// -store directory: the second run must recover the first run's
+// checkpoints from disk.
+func TestRunFleetDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	if err := runFleet(2, dir, false, false); err != nil {
+		t.Fatalf("runFleet (first run): %v", err)
+	}
+	st, err := locble.NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	if st.Len() == 0 {
+		t.Fatal("first run left no checkpoints on disk")
+	}
+	if rec := st.RecoveryStats(); rec.TornTails != 0 || rec.Quarantined != 0 {
+		t.Fatalf("clean run left damage: %+v", rec)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+	if err := runFleet(2, dir, false, false); err != nil {
+		t.Fatalf("runFleet (recovered run): %v", err)
+	}
+}

@@ -45,6 +45,12 @@ var (
 	ErrCheckpointVersion = errors.New("core: unsupported session checkpoint version")
 	// ErrSessionConfig is returned for an invalid session configuration.
 	ErrSessionConfig = errors.New("core: invalid track-session config")
+	// ErrCorruptCheckpoint marks a stored checkpoint that cannot be
+	// decoded — the bytes are damaged or not a checkpoint at all.
+	// Stores wrap it so restore paths can distinguish "this beacon's
+	// state is unrecoverable, quarantine it and cold-start" from a
+	// transient storage error worth failing the request over.
+	ErrCorruptCheckpoint = errors.New("core: corrupt session checkpoint")
 )
 
 // TrackSessionConfig configures a streaming tracking session.

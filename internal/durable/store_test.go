@@ -1,0 +1,491 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"locble/internal/core"
+)
+
+// cp builds a distinguishable checkpoint; seq makes the bytes unique.
+func cp(beacon string, seq int64) *core.SessionCheckpoint {
+	return &core.SessionCheckpoint{
+		Version:      core.SessionCheckpointVersion,
+		Beacon:       beacon,
+		Window:       6,
+		Step:         2,
+		SampleRateHz: 8,
+		Pushed:       seq,
+		GammaShift:   0.25 * float64(seq),
+		GammaHist:    []float64{2.1, 2.2, 2.3},
+	}
+}
+
+// cpJSON is the bit-exactness yardstick: two checkpoints are identical
+// iff their canonical JSON is.
+func cpJSON(t *testing.T, c *core.SessionCheckpoint) string {
+	t.Helper()
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	return string(raw)
+}
+
+func requireLoad(t *testing.T, st *FileStore, beacon string, want *core.SessionCheckpoint) {
+	t.Helper()
+	got, found, err := st.Load(beacon)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", beacon, err)
+	}
+	if !found {
+		t.Fatalf("Load(%s): not found", beacon)
+	}
+	if g, w := cpJSON(t, got), cpJSON(t, want); g != w {
+		t.Fatalf("Load(%s) not bit-exact:\n got %s\nwant %s", beacon, g, w)
+	}
+}
+
+func requireAbsent(t *testing.T, st *FileStore, beacon string) {
+	t.Helper()
+	if _, found, err := st.Load(beacon); err != nil || found {
+		t.Fatalf("Load(%s) = found=%v err=%v, want absent", beacon, found, err)
+	}
+}
+
+func TestStoreRoundTripMem(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		b := fmt.Sprintf("beacon-%02d", i)
+		if err := st.Save(b, cp(b, int64(i))); err != nil {
+			t.Fatalf("Save(%s): %v", b, err)
+		}
+	}
+	if err := st.Save("beacon-03", cp("beacon-03", 100)); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if err := st.Delete("beacon-07"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := st.Delete("never-there"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+	if st.Len() != 19 {
+		t.Fatalf("Len=%d, want 19", st.Len())
+	}
+	requireLoad(t, st, "beacon-03", cp("beacon-03", 100))
+	requireAbsent(t, st, "beacon-07")
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.Save("x", cp("x", 0)); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Save after Close = %v, want ErrStoreClosed", err)
+	}
+
+	// Reopen over the same filesystem: everything persists, recovery
+	// finds zero damage.
+	st2, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if rec := st2.RecoveryStats(); rec.TornTails != 0 || rec.Quarantined != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", rec)
+	}
+	if st2.Len() != 19 {
+		t.Fatalf("reopened Len=%d, want 19", st2.Len())
+	}
+	requireLoad(t, st2, "beacon-03", cp("beacon-03", 100))
+	requireLoad(t, st2, "beacon-19", cp("beacon-19", 19))
+	requireAbsent(t, st2, "beacon-07")
+	// The reopened store kept the 3-shard layout even though Options
+	// asked for the default.
+	if len(st2.shards) != 3 {
+		t.Fatalf("reopened shards=%d, want 3 from META", len(st2.shards))
+	}
+}
+
+func TestStoreRoundTripDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		b := fmt.Sprintf("b%d", i)
+		if err := st.Save(b, cp(b, int64(i))); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 8 {
+		t.Fatalf("Len=%d, want 8", st2.Len())
+	}
+	requireLoad(t, st2, "b5", cp("b5", 5))
+}
+
+func TestStoreSnapshotCompaction(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 1, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := st.Save("hot", cp("hot", int64(i))); err != nil {
+			t.Fatalf("Save #%d: %v", i, err)
+		}
+	}
+	// 50 appends with a rotation every 4 records: the WAL must stay
+	// short and a snapshot must exist.
+	wal, err := mfs.ReadFile("shard-00.wal")
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	snap, err := mfs.ReadFile("shard-00.snap")
+	if err != nil {
+		t.Fatalf("read snap: %v", err)
+	}
+	if stats := walScan(wal, 0, nil, nil); stats.records >= 4 {
+		t.Fatalf("wal holds %d records after compaction, want < 4", stats.records)
+	}
+	if stats := walScan(snap, 0, nil, nil); stats.records != 1 {
+		t.Fatalf("snapshot holds %d records, want 1", stats.records)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	requireLoad(t, st2, "hot", cp("hot", 49))
+}
+
+func TestStoreStrictCrashKeepsAcked(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		b := fmt.Sprintf("b%d", i)
+		if err := st.Save(b, cp(b, int64(i))); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	// Power cut with NO Close: a strict crash image holds only what
+	// fsync covered — which, in sync mode, is every acknowledged save.
+	img := mfs.CrashImage(nil)
+	st2, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer st2.Close()
+	if st2.Len() != 10 {
+		t.Fatalf("recovered %d checkpoints, want 10", st2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		b := fmt.Sprintf("b%d", i)
+		requireLoad(t, st2, b, cp(b, int64(i)))
+	}
+	st.Close()
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 1, Buffered: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Save("anchor", cp("anchor", 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := st.Sync(); err != nil { // anchor is now durable
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := st.Save("tail", cp("tail", 2)); err != nil { // buffered, never synced
+		t.Fatalf("Save: %v", err)
+	}
+	// The power cut flushes half the unsynced append — a torn tail.
+	img := mfs.CrashImage(func(unsynced int) int { return unsynced / 2 })
+	st2, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	rec := st2.RecoveryStats()
+	if rec.TornTails != 1 || rec.Quarantined != 0 {
+		t.Fatalf("recovery = %+v, want exactly one torn tail", rec)
+	}
+	if rec.RepairedShards != 1 {
+		t.Fatalf("RepairedShards=%d, want 1 (truncate)", rec.RepairedShards)
+	}
+	requireLoad(t, st2, "anchor", cp("anchor", 1))
+	requireAbsent(t, st2, "tail") // never acknowledged durable
+	// The tear is gone from disk: a third open is clean.
+	st2.Close()
+	st3, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer st3.Close()
+	if rec := st3.RecoveryStats(); rec.TornTails != 0 || rec.Quarantined != 0 {
+		t.Fatalf("tear not repaired on disk: %+v", rec)
+	}
+	st.Close()
+}
+
+func TestStoreBitRotQuarantined(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		b := fmt.Sprintf("b%d", i)
+		if err := st.Save(b, cp(b, int64(i))); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Rot one bit inside the second record's payload.
+	wal, err := mfs.ReadFile("shard-00.wal")
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	stats := walScan(wal, 0, nil, nil)
+	if stats.records != 3 {
+		t.Fatalf("setup: wal has %d records", stats.records)
+	}
+	// The second record starts right after the first frame.
+	_, _, _, _, pos := frameAt(wal, 0, defaultMaxRecord)
+	if !mfs.FlipBit("shard-00.wal", (pos+frameHeaderLen+3)*8) {
+		t.Fatalf("FlipBit failed")
+	}
+
+	st2, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("reopen over rot: %v", err)
+	}
+	defer st2.Close()
+	rec := st2.RecoveryStats()
+	if rec.Quarantined != 1 {
+		t.Fatalf("Quarantined=%d, want 1 (recovery: %+v)", rec.Quarantined, rec)
+	}
+	if rec.RepairedShards != 1 {
+		t.Fatalf("RepairedShards=%d, want 1 (rewrite)", rec.RepairedShards)
+	}
+	// The rotted record is quarantined — sidelined, not served.
+	requireLoad(t, st2, "b0", cp("b0", 0))
+	requireAbsent(t, st2, "b1")
+	requireLoad(t, st2, "b2", cp("b2", 2))
+	quar, err := mfs.ReadFile("shard-00.quar")
+	if err != nil || len(quar) == 0 {
+		t.Fatalf("quarantine sideline empty (err=%v) — damage was silently dropped", err)
+	}
+	if int64(len(quar)) != rec.QuarantinedBytes {
+		t.Fatalf("sidelined %d bytes, counted %d", len(quar), rec.QuarantinedBytes)
+	}
+	// The rewrite purged the rot: another open is clean.
+	st2.Close()
+	st3, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer st3.Close()
+	if rec := st3.RecoveryStats(); rec.Quarantined != 0 || rec.TornTails != 0 {
+		t.Fatalf("rot not purged: %+v", rec)
+	}
+}
+
+func TestStoreDiskDeathAndHealing(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Save("a", cp("a", 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Kill the disk: the next save must fail, not falsely ack.
+	mfs.FailAfter(0)
+	if err := st.Save("b", cp("b", 2)); err == nil {
+		t.Fatalf("Save on dead disk acknowledged")
+	}
+	// Disk comes back. The shard heals itself via snapshot rotation on
+	// the next save, which is then truly durable.
+	mfs.FailAfter(-1)
+	if err := st.Save("c", cp("c", 3)); err != nil {
+		t.Fatalf("Save after heal: %v", err)
+	}
+	img := mfs.CrashImage(nil)
+	st2, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	requireLoad(t, st2, "a", cp("a", 1))
+	requireLoad(t, st2, "c", cp("c", 3))
+	st.Close()
+}
+
+func TestStoreGroupCommitConcurrent(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const (
+		writers = 8
+		saves   = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := fmt.Sprintf("w%d", w)
+			for i := 0; i < saves; i++ {
+				if err := st.Save(b, cp(b, int64(i))); err != nil {
+					errs <- fmt.Errorf("%s #%d: %w", b, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every save was acknowledged durable — a strict power cut with no
+	// Close must keep each writer's final value.
+	img := mfs.CrashImage(nil)
+	st2, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	for w := 0; w < writers; w++ {
+		b := fmt.Sprintf("w%d", w)
+		requireLoad(t, st2, b, cp(b, saves-1))
+	}
+	st.Close()
+}
+
+func TestStoreBufferedCleanClose(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Buffered: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if st.Durable() {
+		t.Fatalf("Buffered store claims Durable")
+	}
+	if err := st.Save("b", cp("b", 7)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := st.Close(); err != nil { // clean close syncs
+		t.Fatalf("Close: %v", err)
+	}
+	img := mfs.CrashImage(nil)
+	st2, err := Open("", &Options{FS: img})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	requireLoad(t, st2, "b", cp("b", 7))
+}
+
+func TestStoreCorruptMetaDerivesShards(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		b := fmt.Sprintf("b%d", i)
+		if err := st.Save(b, cp(b, int64(i))); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A crash mid-creation left META garbage. The shard files are the
+	// ground truth for the layout.
+	mfs.SetFile("META", []byte("{half a json"))
+	st2, err := Open("", &Options{FS: mfs}) // note: default Options asks for 4
+	if err != nil {
+		t.Fatalf("reopen with corrupt META: %v", err)
+	}
+	defer st2.Close()
+	if len(st2.shards) != 3 {
+		t.Fatalf("derived %d shards, want 3 from shard files", len(st2.shards))
+	}
+	if st2.Len() != 12 {
+		t.Fatalf("Len=%d, want 12", st2.Len())
+	}
+	for i := 0; i < 12; i++ {
+		b := fmt.Sprintf("b%d", i)
+		requireLoad(t, st2, b, cp(b, int64(i)))
+	}
+}
+
+func TestStoreLoadCorruptValue(t *testing.T) {
+	// Plant a WAL whose record is CRC-valid but holds non-checkpoint
+	// bytes: Load must report ErrCorruptCheckpoint, not found=false.
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs, Shards: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st.Close()
+	wal := appendRecord(nil, opSave, "poison", []byte("this is not json"))
+	mfs.SetFile("shard-00.wal", wal)
+	st2, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	_, _, err = st2.Load("poison")
+	if !errors.Is(err, core.ErrCorruptCheckpoint) {
+		t.Fatalf("Load corrupt value = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestStoreBeacons(t *testing.T) {
+	mfs := NewMemFS()
+	st, err := Open("", &Options{FS: mfs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	for _, b := range []string{"zz", "aa", "mm"} {
+		if err := st.Save(b, cp(b, 1)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	got := st.Beacons()
+	if len(got) != 3 || got[0] != "aa" || got[1] != "mm" || got[2] != "zz" {
+		t.Fatalf("Beacons() = %v, want sorted [aa mm zz]", got)
+	}
+}

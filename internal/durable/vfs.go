@@ -1,0 +1,425 @@
+// Package durable is the crash-safe, file-backed checkpoint store
+// behind fleet serving: a CRC32C-framed write-ahead log per shard plus
+// periodic atomic snapshots, group-commit fsync batching, and a
+// recovery path that replays snapshot+WAL, truncates torn tails and
+// quarantines (counts and sidelines, never silently drops) records
+// whose checksum fails. Every byte of I/O goes through the small FS
+// interface below, so internal/faults can wrap the store in disk-fault
+// injectors — short writes, fsync errors, bit rot, rename failures,
+// ENOSPC — and crash-matrix tests can kill it at every write boundary.
+package durable
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the store's whole view of the filesystem: one flat directory
+// of named files. The operation set is deliberately minimal — append,
+// create-truncate, whole-file read, rename, remove, truncate, and the
+// two fsync flavors — because a small surface is what makes exhaustive
+// fault injection tractable.
+type FS interface {
+	// OpenAppend opens name for appending, creating it empty if absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name truncated to zero length.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name (fs.ErrNotExist when
+	// the file is absent).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname's file. The
+	// rename is durable only after SyncDir.
+	Rename(oldname, newname string) error
+	// Remove deletes name (absent is not an error).
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making completed renames,
+	// creations and removals durable.
+	SyncDir() error
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+}
+
+// File is an open handle. Writes are sequential (the store only ever
+// appends or writes a fresh file front to back); Sync is fsync.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// DirFS is the production FS: one OS directory.
+type DirFS struct {
+	root string
+}
+
+// NewDirFS roots an FS at dir, creating it (and parents) if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirFS{root: dir}, nil
+}
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.root, name) }
+
+// OpenAppend implements FS.
+func (d *DirFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Truncate implements FS.
+func (d *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(d.path(name), size)
+}
+
+// SyncDir implements FS.
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.root)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// List implements FS.
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ErrDiskDead is what MemFS returns from every operation past its
+// configured crash boundary — the disk has been yanked.
+var ErrDiskDead = errors.New("durable: simulated disk failure")
+
+// MemFS is the crash-simulating in-memory FS behind the crash-matrix
+// and fuzz tests. It models the two-level durability real disks have:
+// a file's content is durable only up to its last successful Sync, and
+// a namespace change (create, rename, remove) is durable only after a
+// successful SyncDir. CrashImage materializes "what the disk holds
+// after a power cut" — everything else is lost.
+type MemFS struct {
+	mu    sync.Mutex
+	nodes map[string]*memNode // live namespace: name -> inode
+	dir   map[string]*memNode // durable namespace, committed by SyncDir
+
+	// ops counts mutating operations; once it exceeds failAfter (when
+	// failAfter >= 0) every subsequent operation fails with ErrDiskDead
+	// without applying — the disk died mid-workload.
+	ops       int64
+	failAfter int64
+}
+
+type memNode struct {
+	data    []byte // volatile content (page cache)
+	durable []byte // content as of the last successful Sync
+}
+
+// NewMemFS returns an empty in-memory filesystem that never fails.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		nodes:     make(map[string]*memNode),
+		dir:       make(map[string]*memNode),
+		failAfter: -1,
+	}
+}
+
+// FailAfter arms the crash boundary: the next n mutating operations
+// succeed, then the disk dies (every later operation, reads included,
+// returns ErrDiskDead without applying).
+func (m *MemFS) FailAfter(n int64) {
+	m.mu.Lock()
+	m.ops = 0
+	m.failAfter = n
+	m.mu.Unlock()
+}
+
+// Ops returns how many mutating operations have been applied — run the
+// workload once against an unarmed MemFS to size the crash matrix.
+func (m *MemFS) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// step accounts one mutating operation; the caller must hold mu.
+func (m *MemFS) step() error {
+	if m.failAfter >= 0 && m.ops >= m.failAfter {
+		return ErrDiskDead
+	}
+	m.ops++
+	return nil
+}
+
+func (m *MemFS) dead() error {
+	if m.failAfter >= 0 && m.ops >= m.failAfter {
+		return ErrDiskDead
+	}
+	return nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+		n = &memNode{}
+		m.nodes[name] = n
+	} else if err := m.dead(); err != nil {
+		return nil, err
+	}
+	return &memFile{fs: m, node: n}, nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	n := &memNode{}
+	m.nodes[name] = n
+	return &memFile{fs: m, node: n}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.dead(); err != nil {
+		return nil, err
+	}
+	n, ok := m.nodes[name]
+	if !ok {
+		return nil, fs.ErrNotExist
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	n, ok := m.nodes[oldname]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	delete(m.nodes, oldname)
+	m.nodes[newname] = n
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	delete(m.nodes, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	n, ok := m.nodes[name]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	if size < 0 || size > int64(len(n.data)) {
+		return errors.New("durable: memfs truncate out of range")
+	}
+	n.data = n.data[:size:size]
+	if int64(len(n.durable)) > size {
+		n.durable = n.durable[:size:size]
+	}
+	return nil
+}
+
+// SyncDir implements FS: the live namespace becomes the durable one.
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	m.dir = make(map[string]*memNode, len(m.nodes))
+	for name, n := range m.nodes {
+		m.dir[name] = n
+	}
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.dead(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(m.nodes))
+	for name := range m.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SetFile installs content as a fully durable file — the fuzz target
+// uses it to plant an arbitrary WAL image before opening the store.
+func (m *MemFS) SetFile(name string, content []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := &memNode{
+		data:    append([]byte(nil), content...),
+		durable: append([]byte(nil), content...),
+	}
+	m.nodes[name] = n
+	m.dir[name] = n
+}
+
+// CrashImage returns a fresh MemFS holding what the disk would hold
+// after a power cut right now: only durably-linked names survive, each
+// with its last-synced content. lossyTail — a function mapping the
+// number of unsynced appended bytes to how many of them leaked to disk
+// anyway — models write-back caches flushing part of an un-fsynced
+// append before the cut, which is exactly how torn tail records are
+// born. Pass nil for a strict crash (unsynced bytes all lost).
+func (m *MemFS) CrashImage(lossyTail func(unsynced int) int) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMemFS()
+	for name, n := range m.dir {
+		content := append([]byte(nil), n.durable...)
+		// An appended-but-unsynced suffix may partially survive.
+		if lossyTail != nil && len(n.data) > len(n.durable) &&
+			strings.HasPrefix(string(n.data), string(n.durable)) {
+			extra := lossyTail(len(n.data) - len(n.durable))
+			if extra > len(n.data)-len(n.durable) {
+				extra = len(n.data) - len(n.durable)
+			}
+			if extra > 0 {
+				content = append(content, n.data[len(n.durable):len(n.durable)+extra]...)
+			}
+		}
+		img.SetFile(name, content)
+	}
+	return img
+}
+
+// FlipBit flips one bit of a file's durable content in place — bit rot
+// on the platter. Reports whether the file exists and is non-empty.
+func (m *MemFS) FlipBit(name string, bitOffset int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok || len(n.data) == 0 {
+		return false
+	}
+	i := (bitOffset / 8) % len(n.data)
+	n.data[i] ^= 1 << (bitOffset % 8)
+	if i < len(n.durable) {
+		n.durable[i] = n.data[i]
+	}
+	return true
+}
+
+// memFile is a MemFS handle. Writes append (the store's only write
+// pattern on a kept-open handle is the WAL append; snapshot files are
+// written front to back on a fresh node, which is the same thing).
+type memFile struct {
+	fs     *MemFS
+	node   *memNode
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if err := f.fs.step(); err != nil {
+		return 0, err
+	}
+	f.node.data = append(f.node.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	f.node.durable = append(f.node.durable[:0:0], f.node.data...)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

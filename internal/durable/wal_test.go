@@ -1,0 +1,137 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b []byte
+	b = appendRecord(b, opSave, "beacon-1", []byte(`{"v":1}`))
+	b = appendRecord(b, opDelete, "beacon-2", nil)
+	b = appendRecord(b, opSave, "beacon-1", []byte(`{"v":2}`))
+
+	type rec struct {
+		op   byte
+		name string
+		val  string
+	}
+	var got []rec
+	st := walScan(b, 0, func(op byte, name string, val []byte) {
+		got = append(got, rec{op, name, string(val)})
+	}, nil)
+	if st.damaged() {
+		t.Fatalf("clean log reported damage: %+v", st)
+	}
+	if st.records != 3 || st.cleanLen != int64(len(b)) {
+		t.Fatalf("records=%d cleanLen=%d, want 3, %d", st.records, st.cleanLen, len(b))
+	}
+	want := []rec{
+		{opSave, "beacon-1", `{"v":1}`},
+		{opDelete, "beacon-2", ""},
+		{opSave, "beacon-1", `{"v":2}`},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodePayloadRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"one byte":          {opSave},
+		"bad op":            {0x07, 1, 'x'},
+		"name overrun":      {opSave, 200, 'x'},
+		"zero name":         {opSave, 0},
+		"delete with value": {opDelete, 1, 'x', 'v'},
+	}
+	for name, p := range cases {
+		if _, _, _, ok := decodePayload(p); ok {
+			t.Errorf("%s: decodePayload accepted %v", name, p)
+		}
+	}
+}
+
+func TestWalScanTornTail(t *testing.T) {
+	var b []byte
+	b = appendRecord(b, opSave, "a", []byte("11"))
+	b = appendRecord(b, opSave, "b", []byte("22"))
+	clean := len(b)
+	full := appendRecord(b, opSave, "c", []byte("3333"))
+	torn := full[:len(full)-3] // crash mid-append
+
+	var tornRegions [][]byte
+	st := walScan(torn, 0, nil, func(region []byte, isTorn bool) {
+		if !isTorn {
+			t.Fatalf("tail misclassified as mid-file damage")
+		}
+		tornRegions = append(tornRegions, region)
+	})
+	if st.records != 2 || st.tornTail != 1 {
+		t.Fatalf("records=%d tornTail=%d, want 2, 1", st.records, st.tornTail)
+	}
+	if st.quarRegions != 0 {
+		t.Fatalf("quarRegions=%d, want 0", st.quarRegions)
+	}
+	if st.cleanLen != int64(clean) {
+		t.Fatalf("cleanLen=%d, want %d (truncate point)", st.cleanLen, clean)
+	}
+	if len(tornRegions) != 1 || !bytes.Equal(tornRegions[0], torn[clean:]) {
+		t.Fatalf("sidelined wrong region")
+	}
+}
+
+func TestWalScanBitRotResync(t *testing.T) {
+	var b []byte
+	b = appendRecord(b, opSave, "a", []byte("1111"))
+	mid := len(b)
+	b = appendRecord(b, opSave, "b", []byte("2222"))
+	b = appendRecord(b, opSave, "c", []byte("3333"))
+
+	// Rot a payload byte of the middle record: its CRC now fails.
+	b[mid+frameHeaderLen+2] ^= 0x40
+
+	var names []string
+	st := walScan(b, 0, func(op byte, name string, val []byte) {
+		names = append(names, name)
+	}, nil)
+	if st.records != 2 || st.quarRegions != 1 || st.tornTail != 0 {
+		t.Fatalf("records=%d quar=%d torn=%d, want 2, 1, 0", st.records, st.quarRegions, st.tornTail)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Fatalf("replayed %v, want [a c] (resync past the rotted record)", names)
+	}
+	// cleanLen freezes at the first damaged byte even though replay
+	// resynchronized later — truncate repair must not eat record c.
+	if st.cleanLen != int64(mid) {
+		t.Fatalf("cleanLen=%d, want %d", st.cleanLen, mid)
+	}
+}
+
+func TestWalScanImplausibleLength(t *testing.T) {
+	var b []byte
+	b = appendRecord(b, opSave, "a", []byte("1"))
+	// A frame header claiming a payload far past maxRecord.
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	b = append(b, hdr[:]...)
+	b = append(b, "trailing garbage"...)
+
+	st := walScan(b, 1<<20, nil, nil)
+	if st.records != 1 || st.tornTail != 1 {
+		t.Fatalf("records=%d tornTail=%d, want 1, 1", st.records, st.tornTail)
+	}
+}
+
+func TestWalScanEmptyAndGarbage(t *testing.T) {
+	if st := walScan(nil, 0, nil, nil); st.damaged() || st.records != 0 {
+		t.Fatalf("empty log: %+v", st)
+	}
+	st := walScan([]byte("not a wal at all"), 0, nil, nil)
+	if st.records != 0 || st.tornTail != 1 {
+		t.Fatalf("pure garbage: %+v, want one torn region", st)
+	}
+}

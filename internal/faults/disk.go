@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"locble/internal/durable"
+	"locble/internal/rng"
+)
+
+// ErrInjectedDisk is the base of every fault DiskFS injects; tests
+// separate injected failures from real ones with errors.Is.
+var ErrInjectedDisk = errors.New("faults: injected disk fault")
+
+// ErrNoSpace is the injected ENOSPC: the write fails with no bytes
+// applied.
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjectedDisk)
+
+// DiskFaults configures probabilistic disk-level fault injection over a
+// durable.FS. Each probability is per-operation; zero disables that
+// fault. The semantics mirror how real disks fail:
+//
+//   - ShortWrite: a Write persists only a prefix of the buffer and
+//     errors — the torn-record generator.
+//   - SyncErr: fsync reports failure and the data it should have made
+//     durable stays volatile (the post-fsyncgate model: a failed fsync
+//     may have dropped the dirty pages; retrying proves nothing).
+//   - BitRot: a Write silently lands with one bit flipped — no error,
+//     detectable only by checksum at read-back.
+//   - RenameFail: the atomic install step fails, leaving the old file
+//     in place.
+//   - NoSpace: the write fails with ENOSPC and no bytes applied.
+type DiskFaults struct {
+	ShortWrite float64
+	SyncErr    float64
+	BitRot     float64
+	RenameFail float64
+	NoSpace    float64
+}
+
+// DiskStats counts what a DiskFS actually injected, so tests can
+// assert their scenario exercised the fault paths it meant to.
+type DiskStats struct {
+	ShortWrites int64
+	SyncErrs    int64
+	BitRots     int64
+	RenameFails int64
+	NoSpace     int64
+}
+
+// DiskFS wraps a durable.FS with seeded-deterministic fault injection.
+// It is safe for concurrent use (the store's shards write
+// concurrently); randomness is serialized under one lock, so a given
+// (seed, operation sequence) reproduces exactly.
+type DiskFS struct {
+	inner durable.FS
+	cfg   DiskFaults
+
+	mu    sync.Mutex
+	src   *rng.Source
+	stats DiskStats
+}
+
+// NewDiskFS wraps inner with fault injection drawn from seed.
+func NewDiskFS(inner durable.FS, seed int64, cfg DiskFaults) *DiskFS {
+	return &DiskFS{inner: inner, cfg: cfg, src: rng.New(seed)}
+}
+
+// Stats returns what has been injected so far.
+func (d *DiskFS) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// roll draws one Bernoulli decision under the lock.
+func (d *DiskFS) roll(p float64, hit *int64) bool {
+	if p <= 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.src.Float64() < p {
+		*hit++
+		return true
+	}
+	return false
+}
+
+// intn draws a bounded int under the lock.
+func (d *DiskFS) intn(n int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.src.Intn(n)
+}
+
+// OpenAppend implements durable.FS.
+func (d *DiskFS) OpenAppend(name string) (durable.File, error) {
+	f, err := d.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{fs: d, inner: f}, nil
+}
+
+// Create implements durable.FS.
+func (d *DiskFS) Create(name string) (durable.File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &diskFile{fs: d, inner: f}, nil
+}
+
+// ReadFile implements durable.FS.
+func (d *DiskFS) ReadFile(name string) ([]byte, error) { return d.inner.ReadFile(name) }
+
+// Rename implements durable.FS.
+func (d *DiskFS) Rename(oldname, newname string) error {
+	if d.roll(d.cfg.RenameFail, &d.stats.RenameFails) {
+		return fmt.Errorf("%w: rename %s -> %s", ErrInjectedDisk, oldname, newname)
+	}
+	return d.inner.Rename(oldname, newname)
+}
+
+// Remove implements durable.FS.
+func (d *DiskFS) Remove(name string) error { return d.inner.Remove(name) }
+
+// Truncate implements durable.FS.
+func (d *DiskFS) Truncate(name string, size int64) error { return d.inner.Truncate(name, size) }
+
+// SyncDir implements durable.FS.
+func (d *DiskFS) SyncDir() error {
+	if d.roll(d.cfg.SyncErr, &d.stats.SyncErrs) {
+		return fmt.Errorf("%w: fsync dir", ErrInjectedDisk)
+	}
+	return d.inner.SyncDir()
+}
+
+// List implements durable.FS.
+func (d *DiskFS) List() ([]string, error) { return d.inner.List() }
+
+// diskFile injects write- and sync-level faults on one handle.
+type diskFile struct {
+	fs    *DiskFS
+	inner durable.File
+}
+
+func (f *diskFile) Write(p []byte) (int, error) {
+	d := f.fs
+	if d.roll(d.cfg.NoSpace, &d.stats.NoSpace) {
+		return 0, ErrNoSpace
+	}
+	if len(p) > 1 && d.roll(d.cfg.ShortWrite, &d.stats.ShortWrites) {
+		n := 1 + d.intn(len(p)-1) // at least one byte lands, never all
+		if _, err := f.inner.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		return n, fmt.Errorf("%w: short write %d/%d", ErrInjectedDisk, n, len(p))
+	}
+	if len(p) > 0 && d.roll(d.cfg.BitRot, &d.stats.BitRots) {
+		rot := append([]byte(nil), p...)
+		i := d.intn(len(rot))
+		rot[i] ^= 1 << d.intn(8)
+		n, err := f.inner.Write(rot) // silent: the caller sees success
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *diskFile) Sync() error {
+	if f.fs.roll(f.fs.cfg.SyncErr, &f.fs.stats.SyncErrs) {
+		// The data stays volatile: the inner Sync is NOT performed, so
+		// a later crash loses exactly what a dropped-dirty-pages fsync
+		// failure would.
+		return fmt.Errorf("%w: fsync", ErrInjectedDisk)
+	}
+	return f.inner.Sync()
+}
+
+func (f *diskFile) Close() error { return f.inner.Close() }
+
+// interface check (io import also anchors the short-write contract).
+var (
+	_ durable.FS = (*DiskFS)(nil)
+	_ io.Writer  = (*diskFile)(nil)
+)

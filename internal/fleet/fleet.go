@@ -60,6 +60,12 @@ type Result struct {
 	// Restored when it resumed one from a checkpoint instead.
 	Created  bool
 	Restored bool
+	// Quarantined is set when the beacon had a stored checkpoint that
+	// could not be used — corrupt bytes or an unrestorable format — and
+	// the fleet sidelined (deleted) it and started the session cold.
+	// The observations still landed; the caller learns the beacon's
+	// history was lost.
+	Quarantined bool
 	// Err is this beacon's failure (the rest of the batch still ran):
 	// ErrShardFull, a checkpoint-store failure, a session error, or the
 	// batch context's error for groups never submitted.
@@ -97,6 +103,7 @@ type Fleet struct {
 	eng    *core.Engine
 	cfg    Config
 	store  CheckpointStore
+	acked  bool // store acknowledges saves as fsynced (DurableStore in durable mode)
 	idle   float64
 	met    *metrics
 	shards []*shard
@@ -178,6 +185,18 @@ func New(eng *core.Engine, cfg Config) (*Fleet, error) {
 	}
 	if f.store == nil {
 		f.store = NewMemStore()
+	}
+	// A durability-aware store tells the fleet two things: whether a
+	// nil Save means fsynced (acked) or merely buffered, and what its
+	// crash recovery replayed and repaired — surfaced as gauges so a
+	// restarted fleet's operator sees the damage report without
+	// touching store internals.
+	if ds, ok := f.store.(DurableStore); ok {
+		f.acked = ds.Durable()
+		replayed, truncated, quarantined := ds.RecoveryCounts()
+		f.met.recReplayed.Set(replayed)
+		f.met.recTruncated.Set(truncated)
+		f.met.recQuarantined.Set(quarantined)
 	}
 	if f.idle <= 0 {
 		f.idle = core.DefaultStaleMaxAge
@@ -333,15 +352,30 @@ func (sh *shard) run() {
 	}
 	// Fleet closing: checkpoint everything still resident.
 	for name, se := range sh.sessions {
-		if err := sh.f.store.Save(name, se.ts.Checkpoint()); err != nil {
-			sh.f.met.storeErrors.Inc()
+		if err := sh.f.saveCheckpoint(name, se.ts); err != nil {
 			sh.drainErr = fmt.Errorf("fleet: close checkpoint %s: %w", name, err)
-			continue
 		}
-		sh.f.met.checkpoints.Inc()
 	}
 	sh.f.met.live.Add(-int64(len(sh.sessions)))
 	sh.sessions = nil
+}
+
+// saveCheckpoint writes one session's checkpoint with durability-aware
+// accounting: the write counts as acked when the store acknowledged it
+// fsynced, buffered otherwise. Failures count as store errors and the
+// caller keeps the session resident.
+func (f *Fleet) saveCheckpoint(name string, ts *core.TrackSession) error {
+	if err := f.store.Save(name, ts.Checkpoint()); err != nil {
+		f.met.storeErrors.Inc()
+		return err
+	}
+	f.met.checkpoints.Inc()
+	if f.acked {
+		f.met.cpAcked.Inc()
+	} else {
+		f.met.cpBuffered.Inc()
+	}
+	return nil
 }
 
 // process lands one beacon's group on its session, creating or
@@ -356,9 +390,23 @@ func (sh *shard) process(g *groupWork) {
 		}
 		cp, found, err := f.store.Load(g.name)
 		if err != nil {
-			f.met.storeErrors.Inc()
-			g.res.Err = fmt.Errorf("fleet: load checkpoint %s: %w", g.name, err)
-			return
+			if !errors.Is(err, core.ErrCorruptCheckpoint) {
+				// A transient storage failure: fail this group and let
+				// the caller retry — the checkpoint may still be fine.
+				f.met.storeErrors.Inc()
+				g.res.Err = fmt.Errorf("fleet: load checkpoint %s: %w", g.name, err)
+				return
+			}
+			// The stored bytes are damaged beyond decoding. That is a
+			// restore casualty, not a store fault: count it as exactly
+			// one restore error (never as restored work), quarantine the
+			// checkpoint so it cannot wedge the beacon on every
+			// reappearance, and start cold — the observations still
+			// land.
+			f.met.restoreErrors.Inc()
+			_ = f.store.Delete(g.name)
+			g.res.Quarantined = true
+			found = false
 		}
 		var ts *core.TrackSession
 		if found {
@@ -369,6 +417,7 @@ func (sh *shard) process(g *groupWork) {
 				// start cold rather than wedging the beacon.
 				f.met.restoreErrors.Inc()
 				_ = f.store.Delete(g.name)
+				g.res.Quarantined = true
 				ts = nil
 			} else {
 				f.met.restored.Inc()
@@ -422,13 +471,11 @@ func (sh *shard) sweep() {
 		if sh.maxT-se.lastT <= sh.f.idle {
 			continue
 		}
-		if err := sh.f.store.Save(name, se.ts.Checkpoint()); err != nil {
+		if err := sh.f.saveCheckpoint(name, se.ts); err != nil {
 			// Keep the session resident rather than losing its state;
 			// the next sweep retries.
-			sh.f.met.storeErrors.Inc()
 			continue
 		}
-		sh.f.met.checkpoints.Inc()
 		delete(sh.sessions, name)
 		sh.f.met.evicted.Inc()
 		sh.f.met.live.Add(-1)

@@ -18,10 +18,26 @@ type metrics struct {
 	restored    *obs.Counter
 	checkpoints *obs.Counter
 
+	// Durability split of checkpoints: acked counts writes the store
+	// acknowledged as fsynced-to-disk (a DurableStore in durable mode),
+	// buffered counts writes that are only as safe as the process — an
+	// operator alarms on buffered > 0 in a deployment that promised
+	// durability.
+	cpAcked    *obs.Counter
+	cpBuffered *obs.Counter
+
 	// Store health: save/load failures (the session stays resident on a
 	// failed eviction save) and checkpoints dropped as unrestorable.
 	storeErrors   *obs.Counter
 	restoreErrors *obs.Counter
+
+	// Crash-recovery outcome of the store backing this fleet, set once
+	// at New from DurableStore.RecoveryCounts: records replayed, torn
+	// tails truncated, damaged regions quarantined. Zero for stores
+	// without a recovery notion (MemStore).
+	recReplayed    *obs.Gauge
+	recTruncated   *obs.Gauge
+	recQuarantined *obs.Gauge
 
 	// Ingest shape: batches and observations pushed, batch-size
 	// distribution, per-shard queue depth observed at submit time (how
@@ -36,19 +52,24 @@ type metrics struct {
 func newMetrics() *metrics {
 	r := obs.NewRegistry()
 	return &metrics{
-		reg:           r,
-		live:          r.Gauge("fleet.sessions.live"),
-		created:       r.Counter("fleet.sessions.created"),
-		evicted:       r.Counter("fleet.sessions.evicted"),
-		restored:      r.Counter("fleet.sessions.restored"),
-		checkpoints:   r.Counter("fleet.checkpoints.written"),
-		storeErrors:   r.Counter("fleet.store.errors"),
-		restoreErrors: r.Counter("fleet.restore.errors"),
-		batches:       r.Counter("fleet.batches"),
-		obsPushed:     r.Counter("fleet.obs.pushed"),
-		batchSize:     r.Histogram("fleet.batch.size", []float64{1, 8, 32, 128, 512, 2048}),
-		shardQueue:    r.Histogram("fleet.shard.queue", []float64{0, 1, 2, 4, 8}),
-		pushSpan:      r.Timer("fleet.push.seconds"),
+		reg:            r,
+		live:           r.Gauge("fleet.sessions.live"),
+		created:        r.Counter("fleet.sessions.created"),
+		evicted:        r.Counter("fleet.sessions.evicted"),
+		restored:       r.Counter("fleet.sessions.restored"),
+		checkpoints:    r.Counter("fleet.checkpoints.written"),
+		cpAcked:        r.Counter("fleet.checkpoints.acked"),
+		cpBuffered:     r.Counter("fleet.checkpoints.buffered"),
+		storeErrors:    r.Counter("fleet.store.errors"),
+		restoreErrors:  r.Counter("fleet.restore.errors"),
+		recReplayed:    r.Gauge("fleet.recovery.replayed"),
+		recTruncated:   r.Gauge("fleet.recovery.truncated"),
+		recQuarantined: r.Gauge("fleet.recovery.quarantined"),
+		batches:        r.Counter("fleet.batches"),
+		obsPushed:      r.Counter("fleet.obs.pushed"),
+		batchSize:      r.Histogram("fleet.batch.size", []float64{1, 8, 32, 128, 512, 2048}),
+		shardQueue:     r.Histogram("fleet.shard.queue", []float64{0, 1, 2, 4, 8}),
+		pushSpan:       r.Timer("fleet.push.seconds"),
 	}
 }
 

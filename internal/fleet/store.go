@@ -23,6 +23,24 @@ type CheckpointStore interface {
 	Delete(beacon string) error
 }
 
+// DurableStore is the optional durability contract a CheckpointStore
+// may additionally satisfy (internal/durable's FileStore does). The
+// fleet uses it to account checkpoint writes honestly — acked when a
+// nil Save means fsynced-to-disk, buffered otherwise — and to surface
+// the store's crash-recovery outcome as fleet metrics. Methods use
+// only basic types so any store can satisfy it structurally without
+// importing this package.
+type DurableStore interface {
+	// Durable reports whether a nil Save return means the checkpoint
+	// has reached stable storage (false for write-behind/buffered
+	// configurations).
+	Durable() bool
+	// RecoveryCounts reports what opening the store replayed and
+	// repaired: records applied, torn tails truncated, damaged regions
+	// quarantined.
+	RecoveryCounts() (replayed, truncated, quarantined int64)
+}
+
 // MemStore is the in-process CheckpointStore: serialized checkpoints in
 // a map. It stores the JSON encoding rather than the live struct, so a
 // restore exercises the same round trip a durable store would — no
@@ -60,7 +78,11 @@ func (s *MemStore) Load(beacon string) (*core.SessionCheckpoint, bool, error) {
 	}
 	var cp core.SessionCheckpoint
 	if err := json.Unmarshal(raw, &cp); err != nil {
-		return nil, false, fmt.Errorf("fleet: decode checkpoint %s: %w", beacon, err)
+		// Undecodable bytes are corruption, not a transient store
+		// fault — mark them so the fleet quarantines the checkpoint
+		// instead of failing the beacon's batch forever.
+		return nil, false, fmt.Errorf("fleet: decode checkpoint %s: %w (%w)",
+			beacon, core.ErrCorruptCheckpoint, err)
 	}
 	return &cp, true, nil
 }

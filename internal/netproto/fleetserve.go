@@ -47,9 +47,13 @@ type PushResult struct {
 	Beacon string `json:"beacon"`
 	// Created / Restored report the session lifecycle event this batch
 	// triggered (lazily created vs resumed from a checkpoint).
-	Created  bool      `json:"created,omitempty"`
-	Restored bool      `json:"restored,omitempty"`
-	Fixes    []PushFix `json:"fixes,omitempty"`
+	Created  bool `json:"created,omitempty"`
+	Restored bool `json:"restored,omitempty"`
+	// Quarantined reports that a stored checkpoint for this beacon was
+	// corrupt and has been sidelined; the session started cold instead
+	// of silently resuming from bad state.
+	Quarantined bool      `json:"quarantined,omitempty"`
+	Fixes       []PushFix `json:"fixes,omitempty"`
 	// Err is this beacon's ingest failure; the other beacons in the
 	// batch still ran.
 	Err string `json:"error,omitempty"`
@@ -104,7 +108,7 @@ func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
 	}
 	for i := range res {
 		r := &res[i]
-		out := PushResult{Beacon: r.Beacon, Created: r.Created, Restored: r.Restored}
+		out := PushResult{Beacon: r.Beacon, Created: r.Created, Restored: r.Restored, Quarantined: r.Quarantined}
 		if len(r.Points) > 0 {
 			out.Fixes = make([]PushFix, len(r.Points))
 			for j, pt := range r.Points {

@@ -23,6 +23,11 @@ type Baseline struct {
 	// Fleet is the fleet-serving baseline. Reports committed before the
 	// fleet bench existed decode it as nil, disarming the fleet checks.
 	Fleet *FleetStats `json:"fleet"`
+	// Durability is the durable-store baseline. Reports committed before
+	// the durability bench existed decode it as nil, disarming the
+	// relative durability checks (the absolute zero-damage contract is
+	// checked against the fresh report regardless).
+	Durability *DurabilityStats `json:"durability"`
 }
 
 // Tolerances are the allowed fractional regressions per axis.
@@ -36,12 +41,16 @@ type Tolerances struct {
 	// nonzero only to absorb legitimate algorithm changes reflected in
 	// a refreshed baseline late.
 	Err float64
+	// Dur bounds durable-store regressions — fsync throughput shortfall
+	// and recovery wall growth. fsync cost varies wildly across
+	// filesystems and container hosts, so this is the loosest axis.
+	Dur float64
 }
 
 // DefaultTolerances returns the CI gate settings: 10 % wall, 10 %
-// allocs, 5 % accuracy.
+// allocs, 5 % accuracy, 35 % durability (fsync-bound, machine-noisy).
 func DefaultTolerances() Tolerances {
-	return Tolerances{Wall: 0.10, Alloc: 0.10, Err: 0.05}
+	return Tolerances{Wall: 0.10, Alloc: 0.10, Err: 0.05, Dur: 0.35}
 }
 
 // Gate compares a fresh report against a committed baseline and
@@ -94,6 +103,33 @@ func Gate(got *Report, base *Baseline, tol Tolerances) []string {
 		}
 	} else if base.Fleet != nil {
 		v = append(v, "baseline carries a fleet measurement but the report has none — the fleet bench was dropped")
+	}
+	// Throughput axes regress downward; shortfall is exceed's mirror.
+	shortfall := func(name string, g, b, t float64, unit string) {
+		if b > 0 && g < b*(1-t) {
+			v = append(v, fmt.Sprintf("%s regressed: %.4g %s vs baseline %.4g %s (tolerance %.0f%%)",
+				name, g, unit, b, unit, t*100))
+		}
+	}
+	if got.Durability != nil {
+		// Absolute contract: the durability bench shuts the store down
+		// cleanly, so recovery reporting any torn or quarantined records
+		// is a store bug, baseline or not.
+		if got.Durability.TornTails != 0 || got.Durability.Quarantined != 0 {
+			v = append(v, fmt.Sprintf("durability recovery reported damage on a clean shutdown: %d torn tails, %d quarantined — the store corrupted its own log",
+				got.Durability.TornTails, got.Durability.Quarantined))
+		}
+		if base.Durability != nil {
+			shortfall("durability.sync_saves_per_second", got.Durability.SyncSavesPerSecond, base.Durability.SyncSavesPerSecond, tol.Dur, "saves/s")
+			shortfall("durability.group_saves_per_second", got.Durability.GroupSavesPerSecond, base.Durability.GroupSavesPerSecond, tol.Dur, "saves/s")
+			exceed("durability.recovery_wall_seconds", got.Durability.RecoveryWallSeconds, base.Durability.RecoveryWallSeconds, tol.Dur, "s")
+			if got.Durability.Recovered < base.Durability.Recovered {
+				v = append(v, fmt.Sprintf("durability recovered %d sessions vs baseline %d — checkpoints were lost",
+					got.Durability.Recovered, base.Durability.Recovered))
+			}
+		}
+	} else if base.Durability != nil {
+		v = append(v, "baseline carries a durability measurement but the report has none — the durability bench was dropped")
 	}
 	return v
 }

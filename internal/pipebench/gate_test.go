@@ -25,6 +25,14 @@ func baseReport() *Report {
 			WallSeconds:  0.12,
 			AllocsPerObs: 8.5,
 		},
+		Durability: &DurabilityStats{
+			Sessions:            1024,
+			SyncSavesPerSecond:  4000,
+			GroupSavesPerSecond: 22000,
+			RecoveryWallSeconds: 0.05,
+			Recovered:           1024,
+			Replayed:            1120,
+		},
 	}
 }
 
@@ -46,6 +54,14 @@ func baseBaseline() *Baseline {
 			Fixes:        600,
 			WallSeconds:  0.13,
 			AllocsPerObs: 9.0,
+		},
+		Durability: &DurabilityStats{
+			Sessions:            1024,
+			SyncSavesPerSecond:  3800,
+			GroupSavesPerSecond: 21000,
+			RecoveryWallSeconds: 0.06,
+			Recovered:           1024,
+			Replayed:            1120,
 		},
 	}
 }
@@ -76,6 +92,13 @@ func TestGateCatchesEachAxis(t *testing.T) {
 		{"fleet allocs", func(r *Report) { r.Fleet.AllocsPerObs = 20 }, "fleet.allocs_per_obs"},
 		{"fleet lost fixes", func(r *Report) { r.Fleet.Fixes = 500 }, "fleet fixes were lost"},
 		{"fleet dropped", func(r *Report) { r.Fleet = nil }, "fleet bench was dropped"},
+		{"dur sync throughput", func(r *Report) { r.Durability.SyncSavesPerSecond = 1000 }, "durability.sync_saves_per_second"},
+		{"dur group throughput", func(r *Report) { r.Durability.GroupSavesPerSecond = 5000 }, "durability.group_saves_per_second"},
+		{"dur recovery wall", func(r *Report) { r.Durability.RecoveryWallSeconds = 0.5 }, "durability.recovery_wall_seconds"},
+		{"dur lost sessions", func(r *Report) { r.Durability.Recovered = 900 }, "checkpoints were lost"},
+		{"dur torn", func(r *Report) { r.Durability.TornTails = 1 }, "corrupted its own log"},
+		{"dur quarantined", func(r *Report) { r.Durability.Quarantined = 2 }, "corrupted its own log"},
+		{"dur dropped", func(r *Report) { r.Durability = nil }, "durability bench was dropped"},
 	}
 	for _, tc := range cases {
 		r := baseReport()
@@ -132,5 +155,25 @@ func TestGateFleetAgainstLegacyBaseline(t *testing.T) {
 	r.Fleet.Fixes = 0
 	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
 		t.Fatalf("violations against a pre-fleet baseline: %v", v)
+	}
+}
+
+// TestGateDurabilityAgainstLegacyBaseline: baselines committed before
+// the durability bench decode Durability as nil, disarming the
+// relative throughput/recovery checks — but the absolute zero-damage
+// contract still applies to the fresh report.
+func TestGateDurabilityAgainstLegacyBaseline(t *testing.T) {
+	b := baseBaseline()
+	b.Durability = nil
+	r := baseReport()
+	r.Durability.SyncSavesPerSecond = 1 // relative checks must be disarmed
+	r.Durability.RecoveryWallSeconds = 99
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations against a pre-durability baseline: %v", v)
+	}
+	r.Durability.Quarantined = 1
+	v := Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "corrupted its own log") {
+		t.Fatalf("zero-damage contract not enforced without a baseline: %v", v)
 	}
 }

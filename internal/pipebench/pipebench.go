@@ -21,9 +21,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"locble"
+	"locble/internal/core"
 	"locble/internal/estimate"
 	"locble/internal/fleet"
 )
@@ -112,6 +114,29 @@ type FleetStats struct {
 	BytesPerObs  float64 `json:"bytes_per_obs"`
 }
 
+// DurabilityStats is the durable checkpoint store measurement: save
+// throughput with every Save individually fsync-acknowledged (one
+// writer, no batching possible) and under group commit (concurrent
+// writers sharing fsync cohorts), then the recovery wall time of
+// reopening the resulting ~1k-session store from disk. Sessions and
+// Recovered are deterministic; the rates and walls are the hardware-
+// and filesystem-dependent part (fsync cost dominates). TornTails and
+// Quarantined must be zero — this is a clean shutdown, so any reported
+// damage is a store bug, and the gate fails it absolutely.
+type DurabilityStats struct {
+	Sessions            int     `json:"sessions"`
+	SyncSaves           int     `json:"sync_saves"`
+	SyncSavesPerSecond  float64 `json:"sync_saves_per_second"`
+	GroupWriters        int     `json:"group_writers"`
+	GroupSaves          int     `json:"group_saves"`
+	GroupSavesPerSecond float64 `json:"group_saves_per_second"`
+	RecoveryWallSeconds float64 `json:"recovery_wall_seconds"`
+	Recovered           int     `json:"recovered"`
+	Replayed            int64   `json:"replayed"`
+	TornTails           int64   `json:"torn_tails"`
+	Quarantined         int64   `json:"quarantined"`
+}
+
 // Report is the benchmark's machine-readable output. AllocsPerOp and
 // BytesPerOp average the MemStats (Mallocs, TotalAlloc) deltas over the
 // LocateAll calls only — the number a scratch-arena regression moves.
@@ -127,6 +152,7 @@ type Report struct {
 	Error       ErrStats              `json:"estimate_error_m"`
 	IRLS        *IRLSStats            `json:"irls,omitempty"`
 	Fleet       *FleetStats           `json:"fleet,omitempty"`
+	Durability  *DurabilityStats      `json:"durability,omitempty"`
 	Stages      map[string]StageStats `json:"stage_latency"`
 	PerTrial    []TrialStats          `json:"per_trial,omitempty"`
 	Engine      locble.Metrics        `json:"engine_metrics"`
@@ -208,6 +234,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	durStats, err := runDurabilityBench()
+	if err != nil {
+		return nil, err
+	}
 
 	snap := sys.Metrics()
 	stages := make(map[string]StageStats)
@@ -235,6 +265,7 @@ func Run(cfg Config) (*Report, error) {
 		Error:       summarizeErrors(errsM),
 		IRLS:        irls,
 		Fleet:       fleetStats,
+		Durability:  durStats,
 		Stages:      stages,
 		PerTrial:    perTrial,
 		Engine:      snap,
@@ -418,6 +449,129 @@ func fleetBenchOnce() (*FleetStats, error) {
 	return st, nil
 }
 
+// runDurabilityBench measures the durable checkpoint store on a real
+// (temp) directory. Three phases on one store: sequential saves where
+// every Save pays its own fsync (the no-group-commit floor), a
+// concurrent phase where 8 writers share group-commit fsync cohorts,
+// and a reopen of the resulting 1k-session store timing recovery
+// replay. The checkpoints carry a realistic window (16-deep gamma
+// history, 24 buffered observations), so record sizes match what fleet
+// eviction actually writes.
+func runDurabilityBench() (*DurabilityStats, error) {
+	const (
+		syncSaves = 96
+		writers   = 8
+		perWriter = 128
+		sessions  = writers * perWriter // 1024 recovered sessions
+	)
+	dir, err := os.MkdirTemp("", "locble-durbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	mkcp := func(beacon string, seq int) *core.SessionCheckpoint {
+		hist := make([]float64, 16)
+		for i := range hist {
+			hist[i] = -60 - float64((seq+i)%7)
+		}
+		win := make([]estimate.Obs, 24)
+		for i := range win {
+			win[i] = estimate.Obs{
+				T: float64(seq) + float64(i)*0.125, RSS: -62 + float64(i%5),
+				P: 0.1 * float64(i), Q: 0.05 * float64(i),
+			}
+		}
+		return &core.SessionCheckpoint{
+			Version: core.SessionCheckpointVersion,
+			Beacon:  beacon, Window: 6, Step: 2, SampleRateHz: 8,
+			WindowObs: win, Pushed: int64(seq),
+			GammaHist: hist, GammaShift: 0.01 * float64(seq),
+		}
+	}
+	name := func(i int) string { return fmt.Sprintf("dur-%04d", i) }
+
+	st, err := locble.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: one writer, every Save acknowledged by its own fsync.
+	start := time.Now()
+	for i := 0; i < syncSaves; i++ {
+		if err := st.Save(name(i), mkcp(name(i), i)); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	syncWall := time.Since(start).Seconds()
+
+	// Phase 2: concurrent writers; the store batches their fsyncs into
+	// group-commit cohorts. Covers all 1024 names (phase 1's are
+	// overwritten — recovery replays both and keeps the newest).
+	start = time.Now()
+	var wg sync.WaitGroup
+	werrs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				if err := st.Save(name(id), mkcp(name(id), sessions+id)); err != nil {
+					werrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	groupWall := time.Since(start).Seconds()
+	for _, err := range werrs {
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: recovery — reopen the store and replay it all back.
+	start = time.Now()
+	st2, err := locble.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	recoveryWall := time.Since(start).Seconds()
+	rec := st2.RecoveryStats()
+	recovered := st2.Len()
+	if err := st2.Close(); err != nil {
+		return nil, err
+	}
+	if recovered != sessions {
+		return nil, fmt.Errorf("durability bench: recovered %d sessions, want %d", recovered, sessions)
+	}
+
+	ds := &DurabilityStats{
+		Sessions:            sessions,
+		SyncSaves:           syncSaves,
+		GroupWriters:        writers,
+		GroupSaves:          sessions,
+		RecoveryWallSeconds: recoveryWall,
+		Recovered:           recovered,
+		Replayed:            rec.Replayed,
+		TornTails:           rec.TornTails,
+		Quarantined:         rec.Quarantined,
+	}
+	if syncWall > 0 {
+		ds.SyncSavesPerSecond = float64(syncSaves) / syncWall
+	}
+	if groupWall > 0 {
+		ds.GroupSavesPerSecond = float64(sessions) / groupWall
+	}
+	return ds, nil
+}
+
 // warmFitAllocs measures heap allocations per warmed robust inner-fit
 // minimization (estimate.Solver.FitProbe under Huber loss) — the
 // pooled-arena contract says exactly 0. Measured with MemStats deltas
@@ -498,6 +652,11 @@ func (r *Report) Summary() string {
 		s += fmt.Sprintf("; fleet: %d beacons/%d shards, %.0f obs/s, %d fixes, %d evicted/%d restored, %.1f allocs/obs",
 			r.Fleet.Beacons, r.Fleet.Shards, r.Fleet.ObsPerSecond, r.Fleet.Fixes,
 			r.Fleet.Evicted, r.Fleet.Restored, r.Fleet.AllocsPerObs)
+	}
+	if r.Durability != nil {
+		s += fmt.Sprintf("; durability: %.0f saves/s sync, %.0f saves/s group-commit, %d sessions recovered in %.3f s",
+			r.Durability.SyncSavesPerSecond, r.Durability.GroupSavesPerSecond,
+			r.Durability.Recovered, r.Durability.RecoveryWallSeconds)
 	}
 	return s
 }

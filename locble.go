@@ -31,6 +31,7 @@ import (
 
 	"locble/internal/cluster"
 	"locble/internal/core"
+	"locble/internal/durable"
 	"locble/internal/estimate"
 	"locble/internal/fleet"
 	"locble/internal/imu"
@@ -492,6 +493,33 @@ type (
 
 // NewMemStore returns the in-process CheckpointStore.
 func NewMemStore() *fleet.MemStore { return fleet.NewMemStore() }
+
+// Durable checkpoint storage: a crash-safe file-backed CheckpointStore.
+// Each shard keeps a CRC-framed write-ahead log compacted into periodic
+// atomic snapshots; recovery replays snapshot+WAL, truncates torn tails
+// and quarantines bit-rotted records instead of silently accepting them
+// (see DESIGN.md, "Durability").
+type (
+	// FileStore is the file-backed durable CheckpointStore.
+	FileStore = durable.FileStore
+	// FileStoreOptions tunes a FileStore (shard count, snapshot
+	// cadence, buffered vs synchronous acknowledgement).
+	FileStoreOptions = durable.Options
+	// StoreRecoveryStats reports what recovery found and repaired when
+	// a FileStore was opened.
+	StoreRecoveryStats = durable.RecoveryStats
+)
+
+// NewFileStore opens (creating if needed) a durable CheckpointStore
+// rooted at dir with default options: 4 shards, snapshot every 512
+// records, every Save acknowledged only after fsync. Inspect
+// (*FileStore).RecoveryStats for what recovery replayed and repaired.
+func NewFileStore(dir string) (*FileStore, error) { return durable.Open(dir, nil) }
+
+// OpenFileStore is NewFileStore with explicit options.
+func OpenFileStore(dir string, opt *FileStoreOptions) (*FileStore, error) {
+	return durable.Open(dir, opt)
+}
 
 // NewFleet starts a fleet-scale session manager on this System's
 // pipeline configuration. Close the Fleet before closing the System.

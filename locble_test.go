@@ -455,3 +455,99 @@ func TestPublicAPIFleet(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIFileStore drives the durable checkpoint store through
+// the facade: a fleet checkpoints to disk, the process "restarts"
+// (store reopened from the same directory), and a successor fleet
+// restores every session; recovery after a clean shutdown reports no
+// damage.
+func TestPublicAPIFileStore(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := locble.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	st, err := locble.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable() {
+		t.Fatal("default FileStore is not sync-durable")
+	}
+	fl, err := sys.NewFleet(locble.FleetConfig{
+		Session: locble.TrackSessionConfig{SampleRateHz: 8},
+		Store:   st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n, half = 240, 120
+	streams := map[string][]locble.FleetObs{}
+	for i, name := range []string{"disk-1", "disk-2"} {
+		for _, o := range fleet.SynthStream(name, n, 0.4*float64(i)) {
+			streams[name] = append(streams[name], locble.FleetObs{
+				Beacon: o.Beacon, T: o.T, RSS: o.RSS, P: o.P, Q: o.Q,
+			})
+		}
+	}
+	var batch []locble.FleetObs
+	for _, s := range streams {
+		batch = append(batch, s[:half]...)
+	}
+	if _, err := fl.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d checkpoints after Close, want 2", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen from the same directory.
+	st2, err := locble.OpenFileStore(dir, &locble.FileStoreOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var rec locble.StoreRecoveryStats = st2.RecoveryStats()
+	if rec.TornTails != 0 || rec.Quarantined != 0 {
+		t.Fatalf("clean shutdown left damage: %+v", rec)
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("recovered %d checkpoints, want 2", st2.Len())
+	}
+	fl2, err := sys.NewFleet(locble.FleetConfig{
+		Session: locble.TrackSessionConfig{SampleRateHz: 8},
+		Store:   st2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl2.Close()
+	batch = batch[:0]
+	for _, s := range streams {
+		batch = append(batch, s[half:]...)
+	}
+	res, err := fl2.PushBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Beacon, r.Err)
+		}
+		if !r.Restored {
+			t.Errorf("%s: cold start instead of durable restore", r.Beacon)
+		}
+		if r.Quarantined {
+			t.Errorf("%s: wrongly quarantined", r.Beacon)
+		}
+	}
+}
