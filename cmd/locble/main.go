@@ -49,7 +49,10 @@ func main() {
 		trackF   = flag.Bool("track", false, "continuous sliding-window tracking")
 		fleetF   = flag.Bool("fleet", false, "fleet serving demo: batched multi-beacon ingest over the loopback push op")
 		fleetN   = flag.Int("fleet-beacons", 12, "beacons to track in the fleet demo")
-		storeF   = flag.String("store", "", "durable checkpoint store directory for -fleet (survives restarts)")
+		storeF   = flag.String("store", "", "durable checkpoint store directory for -fleet/-router/-serve (survives restarts)")
+		routerF  = flag.String("router", "", "multi-node routing demo: a node count (loopback cluster, e.g. 3) or comma-separated fleet server addresses")
+		drainF   = flag.String("drain", "", "with -router addresses: drain this node mid-run (loopback mode picks one automatically)")
+		serveF   = flag.Int("serve", -1, "run a standalone fleet server on this port (0 = ephemeral) until interrupted")
 		clusterF = flag.Bool("cluster", false, "place neighbour beacons and calibrate")
 		metricsF = flag.Bool("metrics", false, "print the pipeline metrics snapshot as JSON after the run")
 		pprofF   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. 127.0.0.1:6060)")
@@ -61,6 +64,20 @@ func main() {
 
 	if *faultsF == "help" {
 		printFaultsHelp()
+		return
+	}
+	if *serveF >= 0 {
+		if err := runServe(*serveF, *storeF); err != nil {
+			fmt.Fprintln(os.Stderr, "locble:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *routerF != "" {
+		if err := runRouter(*routerF, *fleetN, *storeF, *drainF, *metricsF, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "locble:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *fleetF {

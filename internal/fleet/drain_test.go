@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"testing"
+
+	"locble/internal/core"
+	"locble/internal/testutil"
+)
+
+// TestFleetDrainHandoff: Drain checkpoints and evicts every resident
+// session, and the streams resume bit-exactly from those checkpoints —
+// the fleet half of the router's planned-handoff story.
+func TestFleetDrainHandoff(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	eng := newTestEngine(t)
+	store := NewMemStore()
+	fl, err := New(eng, Config{Session: testSession(), Store: store})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer fl.Close()
+
+	const n, half, slice = 240, 120, 24
+	streams := map[string][]Obs{
+		"d1": SynthStream("d1", n, 0.4),
+		"d2": SynthStream("d2", n, 1.9),
+		"d3": SynthStream("d3", n, 3.2),
+	}
+	got := map[string][]core.TrackPoint{}
+	push := func(lo, hi int, wantRestored bool) {
+		t.Helper()
+		for at := lo; at < hi; at += slice {
+			var batch []Obs
+			for _, s := range streams {
+				batch = append(batch, s[at:at+slice]...)
+			}
+			results, err := fl.PushBatch(batch)
+			if err != nil {
+				t.Fatalf("PushBatch @%d: %v", at, err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					t.Fatalf("%s @%d: %v", r.Beacon, at, r.Err)
+				}
+				if at == lo && r.Restored != wantRestored {
+					t.Errorf("%s @%d: Restored=%v, want %v", r.Beacon, at, r.Restored, wantRestored)
+				}
+				got[r.Beacon] = append(got[r.Beacon], r.Points...)
+			}
+		}
+	}
+
+	push(0, half, false)
+	if live := fl.Sessions(); live != 3 {
+		t.Fatalf("Sessions() = %d before drain, want 3", live)
+	}
+	drained, err := fl.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if drained != 3 {
+		t.Fatalf("Drain() = %d, want 3", drained)
+	}
+	if live := fl.Sessions(); live != 0 {
+		t.Fatalf("Sessions() = %d after drain, want 0", live)
+	}
+	// The second half restores each session from its drain checkpoint.
+	push(half, n, true)
+
+	for name, stream := range streams {
+		want := seqReplay(t, eng, name, stream)
+		requireSameFixes(t, name, got[name], want)
+	}
+
+	met := fl.Metrics()
+	if met.Counters["fleet.drains"] != 1 {
+		t.Errorf("fleet.drains = %d, want 1", met.Counters["fleet.drains"])
+	}
+	if met.Counters["fleet.drained.sessions"] != 3 {
+		t.Errorf("fleet.drained.sessions = %d, want 3", met.Counters["fleet.drained.sessions"])
+	}
+	if met.Counters["fleet.sessions.restored"] != 3 {
+		t.Errorf("fleet.sessions.restored = %d, want 3", met.Counters["fleet.sessions.restored"])
+	}
+}
+
+// TestFleetDrainEmpty: draining an idle fleet is a cheap no-op, and a
+// second drain after re-admission keeps counting.
+func TestFleetDrainEmpty(t *testing.T) {
+	fl, err := New(newTestEngine(t), Config{Session: testSession(), Store: NewMemStore()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer fl.Close()
+	if n, err := fl.Drain(); err != nil || n != 0 {
+		t.Fatalf("Drain on empty fleet = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := fl.PushBatch(SynthStream("re", 24, 0)); err != nil {
+		t.Fatalf("PushBatch: %v", err)
+	}
+	if n, err := fl.Drain(); err != nil || n != 1 {
+		t.Fatalf("second Drain = (%d, %v), want (1, nil)", n, err)
+	}
+	if met := fl.Metrics(); met.Counters["fleet.drains"] != 2 {
+		t.Errorf("fleet.drains = %d, want 2", met.Counters["fleet.drains"])
+	}
+}
+
+// TestFleetDrainClosed: Drain on a closed fleet reports ErrFleetClosed
+// instead of hanging on dead shards.
+func TestFleetDrainClosed(t *testing.T) {
+	fl, err := New(newTestEngine(t), Config{Session: testSession()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fl.Close()
+	if _, err := fl.Drain(); err == nil {
+		t.Fatal("Drain on closed fleet succeeded")
+	}
+}

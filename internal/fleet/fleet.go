@@ -123,10 +123,20 @@ type groupWork struct {
 }
 
 // shardBatch is everything one PushBatch call sends one shard: all of
-// its groups in one hop.
+// its groups in one hop. A non-nil drain turns the batch into a drain
+// request: after the groups land, the shard checkpoints and evicts
+// every resident session into drain's tallies.
 type shardBatch struct {
 	groups []groupWork
 	wg     *sync.WaitGroup
+	drain  *drainWork
+}
+
+// drainWork collects one shard's drain outcome; it is owned by the
+// shard goroutine until the batch's wg.Done.
+type drainWork struct {
+	drained int
+	err     error
 }
 
 // shardBatchDepth is each shard's batch queue buffer. A full queue
@@ -307,6 +317,43 @@ func (f *Fleet) PushBatchContext(ctx context.Context, obs []Obs) ([]Result, erro
 	return results, nil
 }
 
+// Drain checkpoints every resident session to the store and evicts it,
+// leaving the fleet empty but running — the scale-out handoff
+// primitive: a router drains a node, then routes its beacons to the
+// surviving nodes, which restore each session from the shared store
+// bit-exactly. Returns how many sessions were drained. Sessions whose
+// checkpoint save fails stay resident (and are counted in the error);
+// a later Drain or Close retries them.
+func (f *Fleet) Drain() (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrClosed
+	}
+	f.flight.Add(1)
+	f.mu.Unlock()
+	defer f.flight.Done()
+
+	f.met.drains.Inc()
+	works := make([]drainWork, len(f.shards))
+	var wg sync.WaitGroup
+	for si := range f.shards {
+		wg.Add(1)
+		f.shards[si].ch <- shardBatch{wg: &wg, drain: &works[si]}
+	}
+	wg.Wait()
+	drained := 0
+	errs := make([]error, 0, len(works))
+	for i := range works {
+		drained += works[i].drained
+		if works[i].err != nil {
+			errs = append(errs, works[i].err)
+		}
+	}
+	f.met.drainedSessions.Add(int64(drained))
+	return drained, errors.Join(errs...)
+}
+
 // Sessions returns the number of currently resident sessions.
 func (f *Fleet) Sessions() int64 { return f.met.live.Value() }
 
@@ -346,6 +393,9 @@ func (sh *shard) run() {
 	for b := range sh.ch {
 		for i := range b.groups {
 			sh.process(&b.groups[i])
+		}
+		if b.drain != nil {
+			sh.drainAll(b.drain)
 		}
 		b.wg.Done()
 		sh.sweep()
@@ -455,6 +505,25 @@ func (sh *shard) process(g *groupWork) {
 	if se.lastT > sh.maxT {
 		sh.maxT = se.lastT
 	}
+}
+
+// drainAll checkpoints and evicts every session resident on this shard
+// (the Drain handoff). A session whose save fails stays resident so no
+// state is lost — it is reported in dw.err and retried by a later
+// Drain, sweep, or Close.
+func (sh *shard) drainAll(dw *drainWork) {
+	errs := []error(nil)
+	for name, se := range sh.sessions {
+		if err := sh.f.saveCheckpoint(name, se.ts); err != nil {
+			errs = append(errs, fmt.Errorf("fleet: drain checkpoint %s: %w", name, err))
+			continue
+		}
+		delete(sh.sessions, name)
+		sh.f.met.evicted.Inc()
+		sh.f.met.live.Add(-1)
+		dw.drained++
+	}
+	dw.err = errors.Join(errs...)
 }
 
 // sweep evicts sessions idle past the fleet's horizon, checkpointing

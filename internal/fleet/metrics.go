@@ -18,6 +18,12 @@ type metrics struct {
 	restored    *obs.Counter
 	checkpoints *obs.Counter
 
+	// Drain handoffs: Drain calls served and sessions checkpointed-and-
+	// evicted by them (each also counts in evicted/checkpoints — these
+	// tell a deliberate handoff apart from idle churn).
+	drains          *obs.Counter
+	drainedSessions *obs.Counter
+
 	// Durability split of checkpoints: acked counts writes the store
 	// acknowledged as fsynced-to-disk (a DurableStore in durable mode),
 	// buffered counts writes that are only as safe as the process — an
@@ -52,24 +58,26 @@ type metrics struct {
 func newMetrics() *metrics {
 	r := obs.NewRegistry()
 	return &metrics{
-		reg:            r,
-		live:           r.Gauge("fleet.sessions.live"),
-		created:        r.Counter("fleet.sessions.created"),
-		evicted:        r.Counter("fleet.sessions.evicted"),
-		restored:       r.Counter("fleet.sessions.restored"),
-		checkpoints:    r.Counter("fleet.checkpoints.written"),
-		cpAcked:        r.Counter("fleet.checkpoints.acked"),
-		cpBuffered:     r.Counter("fleet.checkpoints.buffered"),
-		storeErrors:    r.Counter("fleet.store.errors"),
-		restoreErrors:  r.Counter("fleet.restore.errors"),
-		recReplayed:    r.Gauge("fleet.recovery.replayed"),
-		recTruncated:   r.Gauge("fleet.recovery.truncated"),
-		recQuarantined: r.Gauge("fleet.recovery.quarantined"),
-		batches:        r.Counter("fleet.batches"),
-		obsPushed:      r.Counter("fleet.obs.pushed"),
-		batchSize:      r.Histogram("fleet.batch.size", []float64{1, 8, 32, 128, 512, 2048}),
-		shardQueue:     r.Histogram("fleet.shard.queue", []float64{0, 1, 2, 4, 8}),
-		pushSpan:       r.Timer("fleet.push.seconds"),
+		reg:             r,
+		live:            r.Gauge("fleet.sessions.live"),
+		created:         r.Counter("fleet.sessions.created"),
+		evicted:         r.Counter("fleet.sessions.evicted"),
+		restored:        r.Counter("fleet.sessions.restored"),
+		checkpoints:     r.Counter("fleet.checkpoints.written"),
+		drains:          r.Counter("fleet.drains"),
+		drainedSessions: r.Counter("fleet.drained.sessions"),
+		cpAcked:         r.Counter("fleet.checkpoints.acked"),
+		cpBuffered:      r.Counter("fleet.checkpoints.buffered"),
+		storeErrors:     r.Counter("fleet.store.errors"),
+		restoreErrors:   r.Counter("fleet.restore.errors"),
+		recReplayed:     r.Gauge("fleet.recovery.replayed"),
+		recTruncated:    r.Gauge("fleet.recovery.truncated"),
+		recQuarantined:  r.Gauge("fleet.recovery.quarantined"),
+		batches:         r.Counter("fleet.batches"),
+		obsPushed:       r.Counter("fleet.obs.pushed"),
+		batchSize:       r.Histogram("fleet.batch.size", []float64{1, 8, 32, 128, 512, 2048}),
+		shardQueue:      r.Histogram("fleet.shard.queue", []float64{0, 1, 2, 4, 8}),
+		pushSpan:        r.Timer("fleet.push.seconds"),
 	}
 }
 

@@ -135,6 +135,35 @@ func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
 	return WriteFrame(conn, pushDone{Done: true, Beacons: len(res)}) == nil
 }
 
+// drainReply answers a {"op":"drain"} exchange: how many resident
+// sessions the fleet checkpointed and evicted to its store.
+type drainReply struct {
+	Drained int `json:"drained"`
+}
+
+// handleDrain serves one drain exchange: the attached fleet checkpoints
+// every resident session to its store and evicts it, leaving the node
+// empty but serving — the handoff half of a scale-out membership
+// change (the router re-admits the drained beacons elsewhere, where
+// they restore from the shared store). Returns false when the
+// connection should close.
+func (s *Server) handleDrain(conn net.Conn) bool {
+	s.mu.Lock()
+	f := s.fleet
+	s.mu.Unlock()
+	if f == nil {
+		WriteFrame(conn, map[string]string{"error": "no fleet attached"})
+		return false
+	}
+	n, err := f.Drain()
+	if err != nil {
+		WriteFrame(conn, map[string]string{"error": fmt.Sprintf("drain: %v (%d sessions drained)", err, n)})
+		return false
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return WriteFrame(conn, drainReply{Drained: n}) == nil
+}
+
 // FleetClient is a client for a server's batched-ingest op. It holds
 // one connection across Push calls (a gateway flushing its receive
 // buffer on a timer); it is not safe for concurrent Push.
@@ -223,4 +252,32 @@ func (c *FleetClient) Push(ctx context.Context, obs []PushObs) ([]PushResult, er
 		}
 		out = append(out, resp.PushResult)
 	}
+}
+
+// Drain asks the server's fleet to checkpoint every resident session to
+// its store and evict it, returning how many sessions were drained. The
+// node keeps serving afterwards (an empty fleet); the caller owns
+// re-routing the drained beacons somewhere their checkpoints can be
+// restored from.
+func (c *FleetClient) Drain(ctx context.Context) (int, error) {
+	dl := time.Now().Add(FrameTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	c.conn.SetWriteDeadline(dl)
+	if err := WriteFrame(c.conn, map[string]string{"op": "drain"}); err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Drained int    `json:"drained"`
+		Err     string `json:"error"`
+	}
+	c.conn.SetReadDeadline(dl)
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("netproto: drain: server error: %s", resp.Err)
+	}
+	return resp.Drained, nil
 }

@@ -557,6 +557,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			if !s.handlePush(conn, req.Obs) {
 				return
 			}
+		case "drain":
+			// Scale-out handoff: checkpoint-and-evict every resident
+			// fleet session so a router can re-admit the beacons on the
+			// surviving nodes (see fleetserve.go).
+			if !s.handleDrain(conn) {
+				return
+			}
 		case "metrics":
 			// Expvar-style introspection: the process-wide metric
 			// snapshot as one JSON frame, so an operator (or test)

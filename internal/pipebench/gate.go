@@ -28,6 +28,12 @@ type Baseline struct {
 	// relative durability checks (the absolute zero-damage contract is
 	// checked against the fresh report regardless).
 	Durability *DurabilityStats `json:"durability"`
+	// Router is the multi-node routing baseline. Reports committed
+	// before the router bench existed decode it as nil, disarming the
+	// relative router checks (the absolute fixes-lost==0 and no-
+	// degradation contracts are checked against the fresh report
+	// regardless).
+	Router *RouterStats `json:"router"`
 }
 
 // Tolerances are the allowed fractional regressions per axis.
@@ -130,6 +136,47 @@ func Gate(got *Report, base *Baseline, tol Tolerances) []string {
 		}
 	} else if base.Durability != nil {
 		v = append(v, "baseline carries a durability measurement but the report has none — the durability bench was dropped")
+	}
+	if got.Router != nil {
+		// Absolute contracts, baseline or not: routing is pure transport
+		// over a planned drain, so any fix shortfall against the single-
+		// fleet reference is an acknowledged fix lost in the handoff, and
+		// any degraded result means the router failed over inside a
+		// healthy cluster.
+		if got.Router.FixesLost != 0 {
+			v = append(v, fmt.Sprintf("router.fixes_lost = %d, want 0 — the drain/handoff dropped acknowledged fixes",
+				got.Router.FixesLost))
+		}
+		if got.Router.Degraded != 0 {
+			v = append(v, fmt.Sprintf("router.degraded = %d, want 0 — results degraded in a cluster where nothing died",
+				got.Router.Degraded))
+		}
+		if got.Router.DrainedSessions == 0 {
+			v = append(v, "router.drained_sessions = 0 — the drained node was serving beacons, so the drain checkpointed nothing it should have")
+		}
+		if base.Router != nil {
+			// The cluster multiplies the fleet bench's concurrency by its
+			// node count, so both walls get the doubled wall tolerance;
+			// the drain wall is fsync-bound on the shared durable store
+			// and rides the durability tolerance.
+			exceed("router.routed_wall_seconds", got.Router.RoutedWallSeconds, base.Router.RoutedWallSeconds, 2*tol.Wall, "s")
+			exceed("router.single_wall_seconds", got.Router.SingleWallSeconds, base.Router.SingleWallSeconds, 2*tol.Wall, "s")
+			// A healthy drain finishes in single-digit milliseconds, where
+			// a percentage tolerance measures scheduler noise, not the
+			// store. Gate it with an absolute slack floor on top of the
+			// durability tolerance: flag only when the drain is both
+			// relatively AND absolutely (>50 ms) slower than the baseline.
+			if d, b := got.Router.DrainWallSeconds, base.Router.DrainWallSeconds; d > b*(1+tol.Dur) && d > b+0.05 {
+				v = append(v, fmt.Sprintf("router.drain_wall_seconds regressed: %.3f s vs baseline %.3f s (tolerance %.0f%% + 50 ms slack)",
+					d, b, tol.Dur*100))
+			}
+			if got.Router.Fixes < base.Router.Fixes {
+				v = append(v, fmt.Sprintf("router emitted %d fixes vs baseline %d — routed fixes were lost",
+					got.Router.Fixes, base.Router.Fixes))
+			}
+		}
+	} else if base.Router != nil {
+		v = append(v, "baseline carries a router measurement but the report has none — the router bench was dropped")
 	}
 	return v
 }

@@ -33,6 +33,16 @@ func baseReport() *Report {
 			Recovered:           1024,
 			Replayed:            1120,
 		},
+		Router: &RouterStats{
+			Nodes:             3,
+			Beacons:           24,
+			ObsRouted:         7680,
+			Fixes:             580,
+			SingleWallSeconds: 0.40,
+			RoutedWallSeconds: 0.30,
+			DrainWallSeconds:  0.02,
+			DrainedSessions:   7,
+		},
 	}
 }
 
@@ -62,6 +72,16 @@ func baseBaseline() *Baseline {
 			RecoveryWallSeconds: 0.06,
 			Recovered:           1024,
 			Replayed:            1120,
+		},
+		Router: &RouterStats{
+			Nodes:             3,
+			Beacons:           24,
+			ObsRouted:         7680,
+			Fixes:             580,
+			SingleWallSeconds: 0.42,
+			RoutedWallSeconds: 0.32,
+			DrainWallSeconds:  0.025,
+			DrainedSessions:   9,
 		},
 	}
 }
@@ -99,6 +119,14 @@ func TestGateCatchesEachAxis(t *testing.T) {
 		{"dur torn", func(r *Report) { r.Durability.TornTails = 1 }, "corrupted its own log"},
 		{"dur quarantined", func(r *Report) { r.Durability.Quarantined = 2 }, "corrupted its own log"},
 		{"dur dropped", func(r *Report) { r.Durability = nil }, "durability bench was dropped"},
+		{"router fixes lost", func(r *Report) { r.Router.FixesLost = 3 }, "router.fixes_lost"},
+		{"router degraded", func(r *Report) { r.Router.Degraded = 2 }, "router.degraded"},
+		{"router empty drain", func(r *Report) { r.Router.DrainedSessions = 0 }, "router.drained_sessions"},
+		{"router routed wall", func(r *Report) { r.Router.RoutedWallSeconds = 0.5 }, "router.routed_wall_seconds"},
+		{"router single wall", func(r *Report) { r.Router.SingleWallSeconds = 0.7 }, "router.single_wall_seconds"},
+		{"router drain wall", func(r *Report) { r.Router.DrainWallSeconds = 0.2 }, "router.drain_wall_seconds"},
+		{"router fewer fixes", func(r *Report) { r.Router.Fixes = 500 }, "routed fixes were lost"},
+		{"router dropped", func(r *Report) { r.Router = nil }, "router bench was dropped"},
 	}
 	for _, tc := range cases {
 		r := baseReport()
@@ -175,5 +203,32 @@ func TestGateDurabilityAgainstLegacyBaseline(t *testing.T) {
 	v := Gate(r, b, DefaultTolerances())
 	if len(v) != 1 || !strings.Contains(v[0], "corrupted its own log") {
 		t.Fatalf("zero-damage contract not enforced without a baseline: %v", v)
+	}
+}
+
+// TestGateRouterAgainstLegacyBaseline: baselines committed before the
+// router bench decode Router as nil, disarming the relative wall
+// checks — but the absolute contracts (fixes lost, degradation, empty
+// drain) still apply to the fresh report.
+func TestGateRouterAgainstLegacyBaseline(t *testing.T) {
+	b := baseBaseline()
+	b.Router = nil
+	r := baseReport()
+	r.Router.RoutedWallSeconds = 99 // relative checks must be disarmed
+	r.Router.SingleWallSeconds = 99
+	r.Router.DrainWallSeconds = 99
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations against a pre-router baseline: %v", v)
+	}
+	r.Router.FixesLost = 1
+	v := Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "router.fixes_lost") {
+		t.Fatalf("fixes-lost contract not enforced without a baseline: %v", v)
+	}
+	r.Router.FixesLost = 0
+	r.Router.Degraded = 1
+	v = Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "router.degraded") {
+		t.Fatalf("no-degradation contract not enforced without a baseline: %v", v)
 	}
 }

@@ -153,6 +153,7 @@ type Report struct {
 	IRLS        *IRLSStats            `json:"irls,omitempty"`
 	Fleet       *FleetStats           `json:"fleet,omitempty"`
 	Durability  *DurabilityStats      `json:"durability,omitempty"`
+	Router      *RouterStats          `json:"router,omitempty"`
 	Stages      map[string]StageStats `json:"stage_latency"`
 	PerTrial    []TrialStats          `json:"per_trial,omitempty"`
 	Engine      locble.Metrics        `json:"engine_metrics"`
@@ -238,6 +239,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	routerStats, err := runRouterBench()
+	if err != nil {
+		return nil, err
+	}
 
 	snap := sys.Metrics()
 	stages := make(map[string]StageStats)
@@ -266,6 +271,7 @@ func Run(cfg Config) (*Report, error) {
 		IRLS:        irls,
 		Fleet:       fleetStats,
 		Durability:  durStats,
+		Router:      routerStats,
 		Stages:      stages,
 		PerTrial:    perTrial,
 		Engine:      snap,
@@ -657,6 +663,11 @@ func (r *Report) Summary() string {
 		s += fmt.Sprintf("; durability: %.0f saves/s sync, %.0f saves/s group-commit, %d sessions recovered in %.3f s",
 			r.Durability.SyncSavesPerSecond, r.Durability.GroupSavesPerSecond,
 			r.Durability.Recovered, r.Durability.RecoveryWallSeconds)
+	}
+	if r.Router != nil {
+		s += fmt.Sprintf("; router: %d nodes, %.2fx scale efficiency, drain %.0f ms (%d sessions), %d fixes lost",
+			r.Router.Nodes, r.Router.ScaleEfficiency,
+			r.Router.DrainWallSeconds*1e3, r.Router.DrainedSessions, r.Router.FixesLost)
 	}
 	return s
 }

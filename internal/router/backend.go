@@ -1,0 +1,101 @@
+package router
+
+import (
+	"context"
+	"sync"
+
+	"locble/internal/netproto"
+)
+
+// Backend is one fleet node as the router sees it: batched ingest plus
+// the drain handoff. The production implementation dials a netproto
+// fleet server; tests may substitute in-process fakes. Push and Drain
+// are serialized by the router (a node handles one router exchange at a
+// time), so implementations need not be concurrent-safe.
+type Backend interface {
+	Push(ctx context.Context, obs []netproto.PushObs) ([]netproto.PushResult, error)
+	Drain(ctx context.Context) (int, error)
+	Close() error
+}
+
+// dialBackend is the wire Backend: a lazily-dialed, cached
+// netproto.FleetClient. A failed exchange closes the connection and the
+// next call redials — the router's breaker decides whether that next
+// call happens at all, so a dead node costs one dial per probe, not per
+// batch.
+type dialBackend struct {
+	addr string
+
+	mu sync.Mutex
+	cl *netproto.FleetClient
+}
+
+func newDialBackend(addr string) *dialBackend { return &dialBackend{addr: addr} }
+
+// client returns the cached connection, dialing if needed. Callers hold
+// b.mu.
+func (b *dialBackend) client(ctx context.Context) (*netproto.FleetClient, error) {
+	if b.cl != nil {
+		return b.cl, nil
+	}
+	cl, err := netproto.DialFleet(ctx, b.addr)
+	if err != nil {
+		return nil, err
+	}
+	b.cl = cl
+	return cl, nil
+}
+
+// drop discards the cached connection after a failed exchange (the
+// stream position is unknown; reusing it could misparse frames).
+// Callers hold b.mu.
+func (b *dialBackend) drop() {
+	if b.cl != nil {
+		b.cl.Close()
+		b.cl = nil
+	}
+}
+
+// Push implements Backend over the {"op":"push"} exchange.
+func (b *dialBackend) Push(ctx context.Context, obs []netproto.PushObs) ([]netproto.PushResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cl, err := b.client(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cl.Push(ctx, obs)
+	if err != nil {
+		b.drop()
+		return nil, err
+	}
+	return res, nil
+}
+
+// Drain implements Backend over the {"op":"drain"} exchange.
+func (b *dialBackend) Drain(ctx context.Context) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cl, err := b.client(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n, err := cl.Drain(ctx)
+	if err != nil {
+		b.drop()
+		return 0, err
+	}
+	return n, nil
+}
+
+// Close implements Backend.
+func (b *dialBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cl == nil {
+		return nil
+	}
+	err := b.cl.Close()
+	b.cl = nil
+	return err
+}

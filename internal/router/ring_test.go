@@ -1,0 +1,133 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) map[int]string {
+	m := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		m[i] = fmt.Sprintf("127.0.0.1:%d", 7000+i)
+	}
+	return m
+}
+
+func keyOwner(rg ring, seed uint64, key string) int {
+	return rg.owner(ringHash(seed, key, -1))
+}
+
+// TestRingDeterministic: two rings built from the same members, vnode
+// count and seed agree on every key — the property that lets
+// independent gateways route consistently without coordination.
+func TestRingDeterministic(t *testing.T) {
+	const seed = 42
+	a := buildRing(testMembers(3), 64, seed)
+	b := buildRing(testMembers(3), 64, seed)
+	if len(a.pts) != 3*64 || len(b.pts) != 3*64 {
+		t.Fatalf("ring sizes %d, %d, want %d", len(a.pts), len(b.pts), 3*64)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("beacon-%03d", i)
+		if ao, bo := keyOwner(a, seed, key), keyOwner(b, seed, key); ao != bo {
+			t.Fatalf("key %q: owners %d vs %d across identical rings", key, ao, bo)
+		}
+	}
+}
+
+// TestRingSeedChangesPlacement: a different seed produces a genuinely
+// different placement (the seed is live, not decorative).
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a := buildRing(testMembers(3), 64, 1)
+	b := buildRing(testMembers(3), 64, 2)
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("beacon-%03d", i)
+		if keyOwner(a, 1, key) != keyOwner(b, 2, key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys — the seed is not salting the hash")
+	}
+}
+
+// TestRingDistribution: with 64 vnodes each of 3 nodes owns a
+// non-degenerate share of 600 keys (virtual nodes are doing their job).
+func TestRingDistribution(t *testing.T) {
+	rg := buildRing(testMembers(3), 64, 7)
+	counts := make(map[int]int)
+	for i := 0; i < 600; i++ {
+		counts[keyOwner(rg, 7, fmt.Sprintf("beacon-%03d", i))]++
+	}
+	for n := 0; n < 3; n++ {
+		if counts[n] < 60 { // 10% of keys; an even split would be 200
+			t.Errorf("node %d owns only %d/600 keys — placement is degenerate (%v)", n, counts[n], counts)
+		}
+	}
+}
+
+// TestRingRemovalStability is the consistent-hashing contract: removing
+// one node remaps only that node's keys; every other key keeps its
+// owner. This is what makes Drain a local event instead of a full
+// rebalance.
+func TestRingRemovalStability(t *testing.T) {
+	const seed = 11
+	full := testMembers(3)
+	before := buildRing(full, 64, seed)
+	delete(full, 1)
+	after := buildRing(full, 64, seed)
+
+	remapped := 0
+	for i := 0; i < 600; i++ {
+		key := fmt.Sprintf("beacon-%03d", i)
+		ob, oa := keyOwner(before, seed, key), keyOwner(after, seed, key)
+		if ob == 1 {
+			if oa == 1 {
+				t.Fatalf("key %q still owned by removed node", key)
+			}
+			remapped++
+			continue
+		}
+		if oa != ob {
+			t.Fatalf("key %q moved %d -> %d although its owner stayed in the ring", key, ob, oa)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("removed node owned no keys — distribution test should have caught this")
+	}
+}
+
+// TestRingWalkVisitsAllDistinct: the failover walk offers every node
+// exactly once, home first.
+func TestRingWalkVisitsAllDistinct(t *testing.T) {
+	rg := buildRing(testMembers(3), 16, 3)
+	h := ringHash(3, "walk-key", -1)
+	var order []int
+	rg.walk(h, func(n int) bool {
+		order = append(order, n)
+		return true
+	})
+	if len(order) != 3 {
+		t.Fatalf("walk visited %v, want 3 distinct nodes", order)
+	}
+	seen := map[int]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("walk visited node %d twice: %v", n, order)
+		}
+		seen[n] = true
+	}
+	if order[0] != rg.owner(h) {
+		t.Fatalf("walk started at %d, want home node %d", order[0], rg.owner(h))
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing and walks nowhere.
+func TestRingEmpty(t *testing.T) {
+	rg := buildRing(nil, 64, 0)
+	if got := rg.owner(123); got != -1 {
+		t.Fatalf("empty ring owner = %d, want -1", got)
+	}
+	rg.walk(123, func(int) bool { t.Fatal("walk on empty ring visited a node"); return false })
+}

@@ -37,6 +37,7 @@ import (
 	"locble/internal/imu"
 	"locble/internal/obs"
 	"locble/internal/rf"
+	"locble/internal/router"
 	"locble/internal/sim"
 )
 
@@ -525,6 +526,34 @@ func OpenFileStore(dir string, opt *FileStoreOptions) (*FileStore, error) {
 // pipeline configuration. Close the Fleet before closing the System.
 func (s *System) NewFleet(cfg FleetConfig) (*Fleet, error) {
 	return fleet.New(s.engine, cfg)
+}
+
+// Multi-node routing: scale fleet serving across machines. A Router
+// fans mixed observation batches over N netproto fleet servers through
+// a seeded consistent-hash ring, merges per-beacon results in input
+// order bit-identically to a single fleet's sequential replay, drains
+// nodes for planned membership changes (their sessions hand off through
+// the shared checkpoint store), and fails a dead node's key range over
+// to the survivors with typed degraded results (see DESIGN.md,
+// "Multi-node routing").
+type (
+	// Router is the consistent-hash fan-out over fleet servers.
+	Router = router.Router
+	// RouterConfig configures a Router (virtual nodes, ring seed,
+	// per-node circuit breaker).
+	RouterConfig = router.Config
+	// RouterResult is one beacon's merged outcome of a routed
+	// PushBatch.
+	RouterResult = router.Result
+	// RouterNodeStatus is one node's membership view (up / probing /
+	// down / drained).
+	RouterNodeStatus = router.NodeStatus
+)
+
+// NewRouter builds a router over the netproto fleet servers at addrs.
+// Connections are dialed lazily, so nodes may come up after the router.
+func NewRouter(addrs []string, cfg RouterConfig) (*Router, error) {
+	return router.New(addrs, cfg)
 }
 
 // SaveTrace writes a trace as gzip-compressed JSON for offline analysis.

@@ -2,6 +2,7 @@ package locble_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"locble/internal/faults"
 	"locble/internal/fleet"
 	"locble/internal/imu"
+	"locble/internal/netproto"
 )
 
 func TestPublicAPIQuickstart(t *testing.T) {
@@ -549,5 +551,71 @@ func TestPublicAPIFileStore(t *testing.T) {
 		if r.Quarantined {
 			t.Errorf("%s: wrongly quarantined", r.Beacon)
 		}
+	}
+}
+
+// TestPublicAPIRouter drives the multi-node facade: two loopback fleet
+// servers behind locble.NewRouter, a routed batch, a drain, and the
+// membership view.
+func TestPublicAPIRouter(t *testing.T) {
+	store := locble.NewMemStore()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		sys, err := locble.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		fl, err := sys.NewFleet(locble.FleetConfig{
+			Session: locble.TrackSessionConfig{SampleRateHz: 8},
+			Store:   store,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fl.Close()
+		srv, err := netproto.NewServer("api-node", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		srv.SetFleet(fl)
+		addrs[i] = srv.Addr()
+	}
+	rt, err := locble.NewRouter(addrs, locble.RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx := context.Background()
+	var batch []locble.FleetObs
+	for _, name := range []string{"api-1", "api-2", "api-3"} {
+		for _, o := range fleet.SynthStream(name, 24, 0.5) {
+			batch = append(batch, locble.FleetObs{Beacon: o.Beacon, T: o.T, RSS: o.RSS, P: o.P, Q: o.Q})
+		}
+	}
+	var results []locble.RouterResult
+	results, err = rt.PushBatch(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Beacon, r.Err)
+		}
+		if r.Degraded {
+			t.Fatalf("%s degraded on a healthy cluster", r.Beacon)
+		}
+	}
+	if _, err := rt.Drain(ctx, addrs[0]); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	var sts []locble.RouterNodeStatus = rt.Nodes()
+	if len(sts) != 2 || sts[0].State != "drained" || sts[1].State != "up" {
+		t.Fatalf("node states = %+v, want [drained up]", sts)
 	}
 }
