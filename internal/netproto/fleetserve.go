@@ -1,19 +1,30 @@
 // Fleet serving over the trace-exchange port: a server with an attached
-// fleet.Fleet accepts {"op":"push"} frames carrying a mixed observation
-// batch and streams one result frame per beacon back (fixes, lifecycle
+// fleet.Fleet accepts push frames carrying a mixed observation batch
+// and streams one result frame per beacon back (fixes, lifecycle
 // flags, per-beacon errors), terminated by a done frame. The exchange
 // rides the same connection lifecycle as every other op — admission
 // capping and token-bucket shedding, per-frame deadlines, the stalled-
 // connection watchdog, and graceful drain (a push held in shard
 // backpressure is released through the server's drain context when a
 // forced shutdown fires).
+//
+// The client side is pipelined: FleetClient keeps a bounded window of
+// push/drain exchanges in flight on one persistent connection, with a
+// reader goroutine matching response streams to exchanges in FIFO
+// order (TCP ordering plus the server's serial per-connection loop
+// guarantee responses come back in request order). Push latency hides
+// behind the window instead of paying a full round trip per batch.
 package netproto
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
 	"time"
 
 	"locble/internal/fleet"
@@ -77,20 +88,22 @@ func (s *Server) SetFleet(f *fleet.Fleet) {
 }
 
 // handlePush runs one push exchange: scrub the wire batch, hand it to
-// the fleet, stream the per-beacon results. Returns false when the
-// connection should close.
-func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
+// the fleet, stream the per-beacon results in the connection's codec.
+// Returns false when the connection should close.
+func (s *Server) handlePush(conn net.Conn, w *wireWriter, wire []PushObs) bool {
 	s.mu.Lock()
 	f := s.fleet
 	s.mu.Unlock()
 	if f == nil {
-		WriteFrame(conn, map[string]string{"error": "no fleet attached"})
+		w.writeError("no fleet attached")
 		return false
 	}
 	// Same boundary rule as sanitizeRSS: non-finite fields cannot have
 	// crossed JSON honestly, so the poisoned entries are dropped here
-	// rather than fed to the sessions. Unnamed observations have no
-	// session to land on.
+	// rather than fed to the sessions. (The binary codec could carry
+	// them, but the scrub is codec-independent so both codecs feed the
+	// sessions identical batches.) Unnamed observations have no session
+	// to land on.
 	batch := make([]fleet.Obs, 0, len(wire))
 	for _, o := range wire {
 		if o.Beacon == "" || !isFinite(o.T) || !isFinite(o.RSS) || !isFinite(o.P) || !isFinite(o.Q) {
@@ -103,7 +116,7 @@ func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
 	// instead of wedging the drain.
 	res, err := f.PushBatchContext(s.drainCtx, batch)
 	if err != nil {
-		WriteFrame(conn, map[string]string{"error": err.Error()})
+		w.writeError(err.Error())
 		return false
 	}
 	for i := range res {
@@ -127,12 +140,12 @@ func (s *Server) handlePush(conn net.Conn, wire []PushObs) bool {
 		// Streamed frames each get a fresh write deadline: a long batch
 		// must not time out mid-stream as long as every frame moves.
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := WriteFrame(conn, &out); err != nil {
+		if err := w.writePushResult(&out); err != nil {
 			return false
 		}
 	}
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return WriteFrame(conn, pushDone{Done: true, Beacons: len(res)}) == nil
+	return w.writePushDone(len(res)) == nil
 }
 
 // drainReply answers a {"op":"drain"} exchange: how many resident
@@ -147,137 +160,617 @@ type drainReply struct {
 // change (the router re-admits the drained beacons elsewhere, where
 // they restore from the shared store). Returns false when the
 // connection should close.
-func (s *Server) handleDrain(conn net.Conn) bool {
+func (s *Server) handleDrain(conn net.Conn, w *wireWriter) bool {
 	s.mu.Lock()
 	f := s.fleet
 	s.mu.Unlock()
 	if f == nil {
-		WriteFrame(conn, map[string]string{"error": "no fleet attached"})
+		w.writeError("no fleet attached")
 		return false
 	}
 	n, err := f.Drain()
 	if err != nil {
-		WriteFrame(conn, map[string]string{"error": fmt.Sprintf("drain: %v (%d sessions drained)", err, n)})
+		w.writeError(fmt.Sprintf("drain: %v (%d sessions drained)", err, n))
 		return false
 	}
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return WriteFrame(conn, drainReply{Drained: n}) == nil
+	return w.writeJSONy(drainReply{Drained: n}) == nil
+}
+
+// DefaultPushWindow is a FleetClient's default pipelining window: how
+// many push/drain exchanges may be in flight on the connection at once.
+const DefaultPushWindow = 4
+
+// ErrClientClosed is returned by exchanges on a closed FleetClient.
+var ErrClientClosed = errors.New("netproto: fleet client closed")
+
+// FleetDialConfig tunes DialFleetWith. The zero value negotiates the
+// binary codec (falling back to JSON against servers that don't speak
+// it) with the default pipelining window.
+type FleetDialConfig struct {
+	// Codec selects the wire codec:
+	//   ""          — negotiate CodecBinary, fall back to JSON if the
+	//                 server refuses (the default);
+	//   CodecJSON   — plain JSON, no hello frame (byte-identical to a
+	//                 pre-codec client, for old servers or pinned fleets);
+	//   CodecBinary — require locb1; dialing fails if the server
+	//                 refuses it.
+	Codec string
+	// Window bounds pipelined in-flight exchanges (default
+	// DefaultPushWindow).
+	Window int
+}
+
+func (c FleetDialConfig) withDefaults() FleetDialConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultPushWindow
+	}
+	return c
+}
+
+// fleetExchange is one in-flight request awaiting its response stream.
+type fleetExchange struct {
+	kind int
+	done chan fleetOutcome // buffered: the reader never blocks delivering
+}
+
+const (
+	exPush = iota
+	exDrain
+)
+
+type fleetOutcome struct {
+	results []PushResult
+	drained int
+	err     error
 }
 
 // FleetClient is a client for a server's batched-ingest op. It holds
-// one connection across Push calls (a gateway flushing its receive
-// buffer on a timer); it is not safe for concurrent Push.
+// one persistent connection and pipelines exchanges over it: Push and
+// PushAsync are safe for concurrent use, and up to Window exchanges
+// overlap on the wire. A failed exchange poisons the pipeline (the
+// frame position is unknown); every pending and later call reports the
+// error, and the caller re-dials.
 type FleetClient struct {
-	conn net.Conn
-	br   *bufio.Reader
+	conn   net.Conn
+	br     *bufio.Reader
+	binary bool
+	// shed is set when the server shed the connection during codec
+	// negotiation: dialing still succeeds and the first exchange
+	// surfaces resilience.ErrOverloaded, preserving the pre-codec
+	// behaviour where the shed frame answered the first push.
+	shed error
+
+	sem        chan struct{} // pipelining window slots
+	wake       chan struct{} // cap 1: kicks the reader out of its idle wait
+	readerDone chan struct{}
+
+	wmu   sync.Mutex // serializes frame writes + pending appends
+	wfb   *frameBuf
+	names []string // binary encoder intern table, guarded by wmu
+
+	mu      sync.Mutex
+	pending []*fleetExchange
+	dead    error
+	started bool
+}
+
+func newFleetClient(conn net.Conn, window int) *FleetClient {
+	return &FleetClient{
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		sem:        make(chan struct{}, window),
+		wake:       make(chan struct{}, 1),
+		readerDone: make(chan struct{}),
+		wfb:        newFrameBuf(),
+	}
 }
 
 // DialFleet connects to a server's TCP trace-exchange address for
-// batched tracking ingest.
+// batched tracking ingest, negotiating the binary codec and falling
+// back to JSON transparently against servers that don't speak it.
 func DialFleet(ctx context.Context, addr string) (*FleetClient, error) {
+	return DialFleetWith(ctx, addr, FleetDialConfig{})
+}
+
+// DialFleetWith is DialFleet with explicit codec and pipelining
+// control.
+func DialFleetWith(ctx context.Context, addr string, cfg FleetDialConfig) (*FleetClient, error) {
+	cfg = cfg.withDefaults()
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &FleetClient{conn: conn, br: bufio.NewReader(conn)}, nil
+	c := newFleetClient(conn, cfg.Window)
+	if cfg.Codec == CodecJSON {
+		return c, nil // pre-codec client behaviour: no hello frame
+	}
+	verdict, err := c.negotiate(ctx)
+	switch {
+	case err != nil:
+		conn.Close()
+		return nil, err
+	case verdict == negotiatedBinary:
+		c.binary = true
+		return c, nil
+	case verdict == negotiatedJSON:
+		return c, nil
+	case verdict == negotiatedShed:
+		c.shed = fmt.Errorf("netproto: %s: %w", addr, resilience.ErrOverloaded)
+		return c, nil
+	}
+	// Refused: an old server (or DisableBinary) answered the hello with
+	// an error and closed. Re-dial and speak plain JSON — old and new
+	// deployments interoperate at the cost of one extra round trip.
+	conn.Close()
+	if cfg.Codec == CodecBinary || cfg.Codec == "binary" {
+		return nil, fmt.Errorf("netproto: %s does not speak %s", addr, CodecBinary)
+	}
+	conn, err = d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	metCodecFallbacks.Inc()
+	return newFleetClient(conn, cfg.Window), nil
 }
 
-// Close closes the connection.
-func (c *FleetClient) Close() error { return c.conn.Close() }
+type negotiation int
 
-// Push sends one observation batch and reads the streamed per-beacon
-// results until the server's done frame. Per-beacon ingest failures are
-// reported in each PushResult.Err; the error return is for exchange-
-// level failures (overload shed, no fleet attached, a dropped
-// connection, a truncated stream).
-func (c *FleetClient) Push(ctx context.Context, obs []PushObs) ([]PushResult, error) {
-	frameDeadline := func() time.Time {
-		dl := time.Now().Add(FrameTimeout)
-		if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
-			dl = cdl
-		}
-		return dl
+const (
+	negotiatedBinary negotiation = iota
+	negotiatedJSON
+	negotiatedShed
+	negotiatedRefused
+)
+
+// negotiate sends the hello frame and classifies the answer. The hello
+// and its ack are always JSON, so any server — old or new — can read
+// and answer it.
+func (c *FleetClient) negotiate(ctx context.Context) (negotiation, error) {
+	dl := time.Now().Add(FrameTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
 	}
-	// JSON cannot carry NaN/Inf: poisoned observations are dropped at
-	// the wire boundary (mirroring SetBundle), not surfaced as a marshal
-	// failure that would take the whole batch down with them.
+	c.conn.SetWriteDeadline(dl)
+	hello := struct {
+		Op    string `json:"op"`
+		Codec string `json:"codec"`
+	}{Op: "hello", Codec: CodecBinary}
+	if err := WriteFrame(c.conn, &hello); err != nil {
+		return 0, err
+	}
+	c.conn.SetReadDeadline(dl)
+	var ack struct {
+		Codec string `json:"codec"`
+		Err   string `json:"error"`
+	}
+	if err := ReadFrame(c.br, &ack); err != nil {
+		// An old server may close on the unknown op without answering.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return negotiatedRefused, nil
+		}
+		return 0, err
+	}
+	switch {
+	case ack.Codec == CodecBinary:
+		return negotiatedBinary, nil
+	case ack.Codec == CodecJSON:
+		return negotiatedJSON, nil
+	case ack.Err == "overloaded":
+		return negotiatedShed, nil
+	default:
+		return negotiatedRefused, nil
+	}
+}
+
+// Codec reports the negotiated wire codec (CodecBinary or CodecJSON).
+func (c *FleetClient) Codec() string {
+	if c.binary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+// Close closes the connection and waits for the reader goroutine (if
+// started) to deliver errors to any pending exchanges and exit.
+func (c *FleetClient) Close() error {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = ErrClientClosed
+	}
+	started := c.started
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	err := c.conn.Close()
+	if started {
+		<-c.readerDone
+	}
+	return err
+}
+
+// failed returns the pipeline's terminal error, if any.
+func (c *FleetClient) failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// poison marks the client dead and unblocks the reader. The reader
+// owns failing the pending exchanges — it may be mid-frame on one.
+func (c *FleetClient) poison(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// scrubObs drops unnamed and non-finite observations at the wire
+// boundary (mirroring SetBundle): JSON cannot carry NaN/Inf, and the
+// binary codec applies the same rule so both codecs ship identical
+// batches.
+func scrubObs(obs []PushObs) []PushObs {
 	clean := true
-	for _, o := range obs {
+	for i := range obs {
+		o := &obs[i]
 		if o.Beacon == "" || !isFinite(o.T) || !isFinite(o.RSS) || !isFinite(o.P) || !isFinite(o.Q) {
 			clean = false
 			break
 		}
 	}
-	if !clean {
-		kept := make([]PushObs, 0, len(obs))
-		for _, o := range obs {
-			if o.Beacon != "" && isFinite(o.T) && isFinite(o.RSS) && isFinite(o.P) && isFinite(o.Q) {
-				kept = append(kept, o)
+	if clean {
+		return obs
+	}
+	kept := make([]PushObs, 0, len(obs))
+	for _, o := range obs {
+		if o.Beacon != "" && isFinite(o.T) && isFinite(o.RSS) && isFinite(o.P) && isFinite(o.Q) {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+// enqueue acquires a pipeline slot, writes one request frame, and
+// registers the exchange with the reader. The write and the pending
+// append happen under one lock, so pending order always matches wire
+// order — the invariant FIFO response matching rests on.
+func (c *FleetClient) enqueue(ctx context.Context, kind int, write func() error) (*fleetExchange, error) {
+	if c.shed != nil {
+		return nil, c.shed
+	}
+	if err := c.failed(); err != nil {
+		return nil, err
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	ex := &fleetExchange{kind: kind, done: make(chan fleetOutcome, 1)}
+	c.wmu.Lock()
+	err := c.failed()
+	wrote := false
+	if err == nil {
+		wrote = true
+		c.setWriteDeadline(ctx)
+		err = write()
+	}
+	if err == nil {
+		c.mu.Lock()
+		if c.dead != nil {
+			err, wrote = c.dead, false // teardown already in progress
+		} else {
+			c.pending = append(c.pending, ex)
+			if !c.started {
+				c.started = true
+				go c.readLoop()
+			}
+			select {
+			case c.wake <- struct{}{}:
+			default:
 			}
 		}
-		obs = kept
+		c.mu.Unlock()
 	}
-	c.conn.SetWriteDeadline(frameDeadline())
+	c.wmu.Unlock()
+	if err != nil {
+		<-c.sem
+		if wrote {
+			// A failed (possibly half-written) frame leaves the wire
+			// position unknown: no later exchange can be trusted.
+			c.poison(err)
+		}
+		return nil, err
+	}
+	metPipelineInflight.Add(1)
+	return ex, nil
+}
+
+// readLoop is the pipeline's single reader: it completes pending
+// exchanges in FIFO order and, on the first failure, delivers the
+// terminal error to everything still queued before exiting.
+func (c *FleetClient) readLoop() {
+	defer close(c.readerDone)
+	fb := newFrameBuf()
+	for {
+		c.mu.Lock()
+		for len(c.pending) == 0 {
+			if c.dead != nil {
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Unlock()
+			<-c.wake
+			c.mu.Lock()
+		}
+		ex := c.pending[0]
+		c.mu.Unlock()
+
+		var out fleetOutcome
+		if ex.kind == exDrain {
+			out = c.readDrain(fb)
+		} else {
+			out = c.readPush(fb)
+		}
+
+		c.mu.Lock()
+		c.pending = c.pending[1:]
+		if out.err != nil && c.dead == nil {
+			// Any exchange-level failure is terminal: either the stream
+			// broke, or the server wrote an error frame — after which it
+			// closes the connection anyway.
+			c.dead = out.err
+		}
+		dead := c.dead
+		var rest []*fleetExchange
+		if dead != nil {
+			rest, c.pending = c.pending, nil
+		}
+		c.mu.Unlock()
+
+		ex.done <- out
+		<-c.sem
+		metPipelineInflight.Add(-1)
+		if dead != nil {
+			for _, r := range rest {
+				r.done <- fleetOutcome{err: dead}
+				<-c.sem
+				metPipelineInflight.Add(-1)
+			}
+			return
+		}
+	}
+}
+
+func (c *FleetClient) setWriteDeadline(ctx context.Context) {
+	dl := time.Now().Add(FrameTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	c.conn.SetWriteDeadline(dl)
+}
+
+// writePush writes one push request frame. Callers hold c.wmu.
+func (c *FleetClient) writePush(obs []PushObs) error {
+	if c.binary {
+		c.wfb.beginFrame()
+		c.wfb.b = appendPushReq(c.wfb.b, obs, &c.names)
+		return flushFrame(c.conn, c.wfb.b)
+	}
 	req := struct {
 		Op  string    `json:"op"`
 		Obs []PushObs `json:"obs"`
 	}{Op: "push", Obs: obs}
-	if err := WriteFrame(c.conn, &req); err != nil {
-		return nil, err
+	return WriteFrame(c.conn, &req)
+}
+
+// writeDrain writes one drain request frame. Callers hold c.wmu.
+func (c *FleetClient) writeDrain() error {
+	if c.binary {
+		c.wfb.beginFrame()
+		c.wfb.b = append(c.wfb.b, bfJSON)
+		if err := c.wfb.encodeJSONBody(map[string]string{"op": "drain"}); err != nil {
+			return err
+		}
+		return flushFrame(c.conn, c.wfb.b)
 	}
+	return WriteFrame(c.conn, map[string]string{"op": "drain"})
+}
+
+// exchangeError types an exchange-level error frame; "overloaded" maps
+// to resilience.ErrOverloaded so the caller's retry policy or breaker
+// can back off on it.
+func exchangeError(op, msg string) error {
+	if msg == "overloaded" {
+		return fmt.Errorf("netproto: %s: %w", op, resilience.ErrOverloaded)
+	}
+	return fmt.Errorf("netproto: %s: server error: %s", op, msg)
+}
+
+// readPush consumes one push response stream (result frames until the
+// done frame). Each frame gets a fresh read deadline: a long stream
+// must keep moving, not finish fast.
+func (c *FleetClient) readPush(fb *frameBuf) fleetOutcome {
 	var out []PushResult
 	for {
+		c.conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+		if c.binary {
+			body, err := readFrameBody(c.br, fb)
+			if err != nil {
+				return fleetOutcome{err: err}
+			}
+			if len(body) == 0 {
+				return fleetOutcome{err: errBinMalformed}
+			}
+			switch body[0] {
+			case bfPushResult:
+				var r PushResult
+				if err := decodePushResult(body[1:], &r); err != nil {
+					return fleetOutcome{err: err}
+				}
+				accountFrameIn(len(body))
+				out = append(out, r)
+			case bfPushDone:
+				br := binReader{b: body[1:]}
+				beacons := br.intu()
+				if err := br.done(); err != nil {
+					return fleetOutcome{err: err}
+				}
+				accountFrameIn(len(body))
+				if len(out) != beacons {
+					return fleetOutcome{err: fmt.Errorf("netproto: push: stream truncated: got %d results, server sent %d", len(out), beacons)}
+				}
+				return fleetOutcome{results: out}
+			case bfError:
+				br := binReader{b: body[1:]}
+				msg := br.str()
+				if err := br.done(); err != nil {
+					return fleetOutcome{err: err}
+				}
+				accountFrameIn(len(body))
+				return fleetOutcome{err: exchangeError("push", msg)}
+			default:
+				return fleetOutcome{err: errBinMalformed}
+			}
+			continue
+		}
 		var resp struct {
 			PushResult
 			Done    bool `json:"done"`
 			Beacons int  `json:"beacons"`
 		}
-		c.conn.SetReadDeadline(frameDeadline())
 		if err := ReadFrame(c.br, &resp); err != nil {
-			return nil, err
+			return fleetOutcome{err: err}
 		}
 		if resp.Done {
 			if len(out) != resp.Beacons {
-				return nil, fmt.Errorf("netproto: push: stream truncated: got %d results, server sent %d", len(out), resp.Beacons)
+				return fleetOutcome{err: fmt.Errorf("netproto: push: stream truncated: got %d results, server sent %d", len(out), resp.Beacons)}
 			}
-			return out, nil
+			return fleetOutcome{results: out}
 		}
 		if resp.Beacon == "" && resp.Err != "" {
 			// An exchange-level error frame, not a per-beacon result.
-			if resp.Err == "overloaded" {
-				return nil, fmt.Errorf("netproto: push: %w", resilience.ErrOverloaded)
-			}
-			return nil, fmt.Errorf("netproto: push: server error: %s", resp.Err)
+			return fleetOutcome{err: exchangeError("push", resp.Err)}
 		}
 		out = append(out, resp.PushResult)
 	}
+}
+
+// readDrain consumes one drain response frame.
+func (c *FleetClient) readDrain(fb *frameBuf) fleetOutcome {
+	c.conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+	var resp struct {
+		Drained int    `json:"drained"`
+		Err     string `json:"error"`
+	}
+	if c.binary {
+		body, err := readFrameBody(c.br, fb)
+		if err != nil {
+			return fleetOutcome{err: err}
+		}
+		if len(body) == 0 {
+			return fleetOutcome{err: errBinMalformed}
+		}
+		switch body[0] {
+		case bfJSON:
+			if err := json.Unmarshal(body[1:], &resp); err != nil {
+				return fleetOutcome{err: err}
+			}
+		case bfError:
+			r := binReader{b: body[1:]}
+			msg := r.str()
+			if err := r.done(); err != nil {
+				return fleetOutcome{err: err}
+			}
+			accountFrameIn(len(body))
+			return fleetOutcome{err: exchangeError("drain", msg)}
+		default:
+			return fleetOutcome{err: errBinMalformed}
+		}
+		accountFrameIn(len(body))
+	} else if err := ReadFrame(c.br, &resp); err != nil {
+		return fleetOutcome{err: err}
+	}
+	if resp.Err != "" {
+		return fleetOutcome{err: exchangeError("drain", resp.Err)}
+	}
+	return fleetOutcome{drained: resp.Drained}
+}
+
+// PushPending is one pipelined push in flight. Wait collects its
+// result; it is not safe for concurrent use (one waiter per pending).
+type PushPending struct {
+	ex  *fleetExchange
+	res fleetOutcome
+	got bool
+}
+
+// Wait blocks until the exchange completes or ctx ends. A canceled
+// Wait abandons the result but the exchange still completes on the
+// wire (the reader consumes its response stream to keep the pipeline
+// frame-aligned); calling Wait again re-collects it.
+func (p *PushPending) Wait(ctx context.Context) ([]PushResult, error) {
+	if !p.got {
+		select {
+		case r := <-p.ex.done:
+			p.res, p.got = r, true
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return p.res.results, p.res.err
+}
+
+// PushAsync sends one observation batch without waiting for its
+// results: it blocks only while the pipeline window is full. Safe for
+// concurrent use; responses match requests in send order.
+func (c *FleetClient) PushAsync(ctx context.Context, obs []PushObs) (*PushPending, error) {
+	obs = scrubObs(obs)
+	ex, err := c.enqueue(ctx, exPush, func() error { return c.writePush(obs) })
+	if err != nil {
+		return nil, err
+	}
+	return &PushPending{ex: ex}, nil
+}
+
+// Push sends one observation batch and reads the streamed per-beacon
+// results until the server's done frame. Per-beacon ingest failures are
+// reported in each PushResult.Err; the error return is for exchange-
+// level failures (overload shed, no fleet attached, a dropped
+// connection, a truncated stream). Safe for concurrent use: concurrent
+// pushes pipeline onto the shared connection.
+func (c *FleetClient) Push(ctx context.Context, obs []PushObs) ([]PushResult, error) {
+	p, err := c.PushAsync(ctx, obs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
 }
 
 // Drain asks the server's fleet to checkpoint every resident session to
 // its store and evict it, returning how many sessions were drained. The
 // node keeps serving afterwards (an empty fleet); the caller owns
 // re-routing the drained beacons somewhere their checkpoints can be
-// restored from.
+// restored from. A drain rides the pipeline like any exchange: it
+// completes after the pushes written before it.
 func (c *FleetClient) Drain(ctx context.Context) (int, error) {
-	dl := time.Now().Add(FrameTimeout)
-	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
-		dl = cdl
-	}
-	c.conn.SetWriteDeadline(dl)
-	if err := WriteFrame(c.conn, map[string]string{"op": "drain"}); err != nil {
+	ex, err := c.enqueue(ctx, exDrain, c.writeDrain)
+	if err != nil {
 		return 0, err
 	}
-	var resp struct {
-		Drained int    `json:"drained"`
-		Err     string `json:"error"`
+	select {
+	case r := <-ex.done:
+		return r.drained, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
 	}
-	c.conn.SetReadDeadline(dl)
-	if err := ReadFrame(c.br, &resp); err != nil {
-		return 0, err
-	}
-	if resp.Err != "" {
-		return 0, fmt.Errorf("netproto: drain: server error: %s", resp.Err)
-	}
-	return resp.Drained, nil
 }

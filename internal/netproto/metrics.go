@@ -46,4 +46,22 @@ var (
 	// gauges live stream subscribers.
 	metSubSkips   = obs.Default.Counter("netproto.stream.sub_skips")
 	metSubsActive = obs.Default.Gauge("netproto.stream.subs.active")
+
+	// Codec negotiation outcomes (server side): connections negotiated
+	// onto the binary codec, connections that explicitly negotiated (or
+	// defaulted to) JSON via a hello, and hellos refused — unknown
+	// codec, mid-stream hello, or negotiation disabled. Connections
+	// that never send a hello (old clients) count nowhere: they are the
+	// implicit JSON baseline.
+	metCodecBinary   = obs.Default.Counter("netproto.codec.binary")
+	metCodecJSON     = obs.Default.Counter("netproto.codec.json")
+	metCodecRejected = obs.Default.Counter("netproto.codec.rejected")
+	// metCodecFallbacks counts client-side negotiations that fell back
+	// to JSON by re-dialing (the server answered the hello with an
+	// error, i.e. an old or binary-disabled deployment).
+	metCodecFallbacks = obs.Default.Counter("netproto.codec.fallbacks")
+	// metPipelineInflight gauges push/drain exchanges written but not
+	// yet answered across all pipelined fleet clients; its Max is the
+	// realized pipelining depth.
+	metPipelineInflight = obs.Default.Gauge("netproto.pipeline.inflight")
 )

@@ -18,7 +18,6 @@ package netproto
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -136,47 +135,34 @@ func (b *TraceBundle) Sanitize() *TraceBundle {
 	return &out
 }
 
-// WriteFrame writes one length-prefixed JSON frame.
+// WriteFrame writes one length-prefixed JSON frame. The frame is built
+// in a pooled buffer with the header prepended, so each frame costs a
+// single Write call and no per-frame allocation beyond what the JSON
+// encoder itself needs.
 func WriteFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("netproto: marshal: %w", err)
-	}
-	if len(body) > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	fb.beginFrame()
+	if err := fb.encodeJSONBody(v); err != nil {
 		return err
 	}
-	if _, err = w.Write(body); err != nil {
-		return err
-	}
-	metFramesOut.Inc()
-	metBytesOut.Add(int64(len(body)))
-	return nil
+	return flushFrame(w, fb.b)
 }
 
-// ReadFrame reads one length-prefixed JSON frame into v.
+// ReadFrame reads one length-prefixed JSON frame into v. The body is
+// read into a pooled buffer (json.Unmarshal copies everything it
+// keeps, so the buffer is safe to reuse immediately).
 func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	body, err := readFrameBody(r, fb)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return err
 	}
-	metFramesIn.Inc()
-	metBytesIn.Add(int64(len(body)))
+	accountFrameIn(len(body))
 	return nil
 }
 
@@ -203,6 +189,12 @@ type ServerConfig struct {
 	// batches (default 64). A subscriber whose buffer is full has
 	// batches skipped live; it recovers them from the history on resume.
 	SubBuffer int
+	// DisableBinary refuses codec negotiation: hello frames are answered
+	// with the same "unknown op" error frame a pre-codec server sends,
+	// so negotiating clients fall back to JSON exactly as they would
+	// against an old deployment. Useful to pin a mixed fleet to one
+	// codec (and to test the fallback path against a live server).
+	DisableBinary bool
 	// Logf receives supervision and panic-recovery reports (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -521,20 +513,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Deadlines are per frame, refreshed before each read and write: a
 	// connection-scoped deadline would expire in the middle of a long
 	// multi-frame exchange.
-	var req struct {
-		Op  string    `json:"op"`
-		Obs []PushObs `json:"obs"`
-	}
-	br := bufio.NewReader(conn)
+	rd := &connReader{br: bufio.NewReader(conn), fb: getFrameBuf()}
+	defer putFrameBuf(rd.fb)
+	w := &wireWriter{w: conn, fb: getFrameBuf()}
+	defer putFrameBuf(w.fb)
+	var req wireReq
+	first := true
 	for {
 		select {
 		case <-s.closed:
 			return
 		default:
 		}
-		req.Obs = nil // unmarshal merges; a stale batch must not leak in
 		conn.SetReadDeadline(time.Now().Add(FrameTimeout))
-		if err := ReadFrame(br, &req); err != nil {
+		if err := rd.read(w.binary, &req); err != nil {
 			return
 		}
 		wd.Kick()
@@ -542,6 +534,22 @@ func (s *Server) handleConn(conn net.Conn) {
 			hook(req.Op)
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if req.Op == "hello" {
+			// Codec negotiation is valid only as a connection's first
+			// frame; a hello mid-stream means the peer lost frame sync,
+			// and the connection is shed with a typed error frame.
+			if !first {
+				metCodecRejected.Inc()
+				w.writeError("unexpected hello mid-stream")
+				return
+			}
+			first = false
+			if !negotiateHello(w, req.Codec, s.cfg.DisableBinary) {
+				return
+			}
+			continue
+		}
+		first = false
 		switch req.Op {
 		case "fetch":
 			s.mu.Lock()
@@ -550,18 +558,18 @@ func (s *Server) handleConn(conn net.Conn) {
 			if b == nil {
 				b = &TraceBundle{Device: s.DeviceName}
 			}
-			if err := WriteFrame(conn, b); err != nil {
+			if err := w.writeJSONy(b); err != nil {
 				return
 			}
 		case "push":
-			if !s.handlePush(conn, req.Obs) {
+			if !s.handlePush(conn, w, req.Obs) {
 				return
 			}
 		case "drain":
 			// Scale-out handoff: checkpoint-and-evict every resident
 			// fleet session so a router can re-admit the beacons on the
 			// surviving nodes (see fleetserve.go).
-			if !s.handleDrain(conn) {
+			if !s.handleDrain(conn, w) {
 				return
 			}
 		case "metrics":
@@ -569,11 +577,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			// snapshot as one JSON frame, so an operator (or test)
 			// can scrape transport and pipeline counters over the
 			// same trace-exchange port.
-			if err := WriteFrame(conn, obs.Default.Snapshot()); err != nil {
+			if err := w.writeJSONy(obs.Default.Snapshot()); err != nil {
 				return
 			}
 		default:
-			WriteFrame(conn, map[string]string{"error": "unknown op"})
+			w.writeError("unknown op")
 			return
 		}
 	}

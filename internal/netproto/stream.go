@@ -3,8 +3,10 @@ package netproto
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -162,12 +164,32 @@ func (s *StreamServer) serve(conn net.Conn) {
 		metPanicsRecovered.Inc()
 	})()
 
-	// Hello frame: where to resume from.
+	// First frame: an optional codec hello, then the subscribe frame
+	// saying where to resume from.
+	rd := &connReader{br: bufio.NewReader(conn), fb: getFrameBuf()}
+	defer putFrameBuf(rd.fb)
+	w := &wireWriter{w: conn, fb: getFrameBuf()}
+	defer putFrameBuf(w.fb)
 	conn.SetReadDeadline(time.Now().Add(FrameTimeout))
-	var req subscribeReq
-	if err := ReadFrame(bufio.NewReader(conn), &req); err != nil || req.Op != "subscribe" {
+	var wreq wireReq
+	if err := rd.read(false, &wreq); err != nil {
 		return
 	}
+	if wreq.Op == "hello" {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if !negotiateHello(w, wreq.Codec, s.cfg.DisableBinary) {
+			return
+		}
+		// The subscribe frame follows in the negotiated codec.
+		conn.SetReadDeadline(time.Now().Add(FrameTimeout))
+		if err := rd.read(w.binary, &wreq); err != nil {
+			return
+		}
+	}
+	if wreq.Op != "subscribe" {
+		return
+	}
+	req := subscribeReq{Op: wreq.Op, From: wreq.From}
 	if hook := s.subscribeHook; hook != nil {
 		hook(req)
 	}
@@ -207,7 +229,7 @@ func (s *StreamServer) serve(conn net.Conn) {
 			return true // already delivered (replay/live overlap)
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := WriteFrame(conn, b); err != nil {
+		if err := w.writeStreamBatch(&b); err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				// A slow reader stalled the write past its deadline:
 				// evicted, not merely disconnected.
@@ -332,12 +354,21 @@ func (s *StreamServer) Close() error {
 
 // Subscribe dials a StreamServer and delivers batches in order on the
 // returned channel until the stream ends or the context is cancelled.
-// A dropped connection is re-dialled with backoff and the stream resumed
-// from the last delivered batch; duplicates are filtered by sequence
-// number, so the consumer sees each batch exactly once. The channel is
-// closed when the subscription ends.
+// The binary codec is negotiated by default (falling back to JSON
+// against servers that don't speak it). A dropped connection is
+// re-dialled with backoff — re-negotiating the codec, since the server
+// may have been replaced — and the stream resumed from the last
+// delivered batch; duplicates are filtered by sequence number, so the
+// consumer sees each batch exactly once. The channel is closed when
+// the subscription ends.
 func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
-	conn, err := dialSubscribe(ctx, addr, 0)
+	return SubscribeCodec(ctx, addr, "")
+}
+
+// SubscribeCodec is Subscribe with explicit codec control; see
+// FleetDialConfig.Codec for the accepted values.
+func SubscribeCodec(ctx context.Context, addr, codec string) (<-chan StreamBatch, error) {
+	sc, err := dialSubscribe(ctx, addr, 0, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -347,15 +378,15 @@ func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
 		last := 0
 		policy := DefaultRetry()
 		for {
-			last, err = pump(ctx, conn, last, out)
-			conn.Close()
+			last, err = pump(ctx, sc, last, out)
+			sc.conn.Close()
 			if err == nil || ctx.Err() != nil {
 				return // clean end of stream, or caller gave up
 			}
 			// Connection died mid-session: reconnect and resume.
 			reErr := policy.Do(ctx, func() error {
 				var dErr error
-				conn, dErr = dialSubscribe(ctx, addr, last)
+				sc, dErr = dialSubscribe(ctx, addr, last, codec)
 				return dErr
 			})
 			if reErr != nil {
@@ -367,34 +398,138 @@ func Subscribe(ctx context.Context, addr string) (<-chan StreamBatch, error) {
 	return out, nil
 }
 
-// dialSubscribe opens a stream connection and sends the hello frame.
-func dialSubscribe(ctx context.Context, addr string, from int) (net.Conn, error) {
+// subConn is one subscriber connection with its negotiated codec.
+type subConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	binary bool
+}
+
+// dialSubscribe opens a stream connection, negotiates the codec, and
+// sends the subscribe frame in whatever codec was agreed.
+func dialSubscribe(ctx context.Context, addr string, from int, codec string) (*subConn, error) {
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
-	if err := WriteFrame(conn, subscribeReq{Op: "subscribe", From: from}); err != nil {
-		conn.Close()
+	sc := &subConn{conn: conn, br: bufio.NewReader(conn)}
+	if codec != CodecJSON {
+		done, err := sc.negotiate(ctx)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if !done {
+			// Refused: an old (or binary-disabled) server answered the
+			// hello with an error and closed. Fall back to plain JSON on
+			// a fresh connection.
+			conn.Close()
+			if codec == CodecBinary || codec == "binary" {
+				return nil, fmt.Errorf("netproto: %s does not speak %s", addr, CodecBinary)
+			}
+			conn, err = d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			metCodecFallbacks.Inc()
+			sc = &subConn{conn: conn, br: bufio.NewReader(conn)}
+		}
+	}
+	sc.conn.SetWriteDeadline(time.Now().Add(FrameTimeout))
+	req := subscribeReq{Op: "subscribe", From: from}
+	if sc.binary {
+		fb := getFrameBuf()
+		fb.beginFrame()
+		fb.b = append(fb.b, bfJSON)
+		err = fb.encodeJSONBody(req)
+		if err == nil {
+			err = flushFrame(sc.conn, fb.b)
+		}
+		putFrameBuf(fb)
+	} else {
+		err = WriteFrame(sc.conn, req)
+	}
+	if err != nil {
+		sc.conn.Close()
 		return nil, err
 	}
-	return conn, nil
+	return sc, nil
+}
+
+// negotiate sends the hello frame and reads the answer. done=true
+// means negotiation concluded on this connection (sc.binary says which
+// codec); done=false means the server refused the hello entirely and
+// the caller should fall back to a fresh JSON connection.
+func (sc *subConn) negotiate(ctx context.Context) (done bool, err error) {
+	dl := time.Now().Add(FrameTimeout)
+	if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	sc.conn.SetWriteDeadline(dl)
+	hello := struct {
+		Op    string `json:"op"`
+		Codec string `json:"codec"`
+	}{Op: "hello", Codec: CodecBinary}
+	if err := WriteFrame(sc.conn, &hello); err != nil {
+		return false, err
+	}
+	sc.conn.SetReadDeadline(dl)
+	var ack struct {
+		Codec string `json:"codec"`
+		Err   string `json:"error"`
+	}
+	if err := ReadFrame(sc.br, &ack); err != nil {
+		// An old server may close on the unknown op without answering.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, nil
+		}
+		return false, err
+	}
+	switch ack.Codec {
+	case CodecBinary:
+		sc.binary = true
+		return true, nil
+	case CodecJSON:
+		return true, nil
+	default:
+		// Error answer ("unknown op", overload shed): redial plain. A
+		// shed will shed the retry too, and the reconnect loop backs
+		// off on it exactly as the pre-codec subscriber did.
+		return false, nil
+	}
 }
 
 // pump reads batches from one connection into out until the stream ends
 // (nil error), the context is cancelled (nil), or the connection fails
 // (the read error). It returns the last sequence number delivered.
-func pump(ctx context.Context, conn net.Conn, last int, out chan<- StreamBatch) (int, error) {
-	br := bufio.NewReader(conn)
+func pump(ctx context.Context, sc *subConn, last int, out chan<- StreamBatch) (int, error) {
+	var fb *frameBuf
+	if sc.binary {
+		fb = getFrameBuf()
+		defer putFrameBuf(fb)
+	}
 	for {
 		dl := time.Now().Add(StreamIdleTimeout)
 		if cdl, ok := ctx.Deadline(); ok && cdl.Before(dl) {
 			dl = cdl
 		}
-		conn.SetReadDeadline(dl)
+		sc.conn.SetReadDeadline(dl)
 		var b StreamBatch
-		if err := ReadFrame(br, &b); err != nil {
+		var err error
+		if sc.binary {
+			var body []byte
+			body, err = readFrameBody(sc.br, fb)
+			if err == nil {
+				err = decodeSubFrame(body, &b)
+			}
+			if err == nil {
+				accountFrameIn(len(body))
+			}
+		} else {
+			err = ReadFrame(sc.br, &b)
+		}
+		if err != nil {
 			if ctx.Err() != nil {
 				return last, nil
 			}
@@ -412,5 +547,27 @@ func pump(ctx context.Context, conn net.Conn, last int, out chan<- StreamBatch) 
 		if b.Final {
 			return last, nil
 		}
+	}
+}
+
+// decodeSubFrame decodes one binary-mode stream frame.
+func decodeSubFrame(body []byte, b *StreamBatch) error {
+	if len(body) == 0 {
+		return errBinMalformed
+	}
+	switch body[0] {
+	case bfStreamBatch:
+		return decodeStreamBatch(body[1:], b)
+	case bfError:
+		r := binReader{b: body[1:]}
+		msg := r.str()
+		if err := r.done(); err != nil {
+			return err
+		}
+		return exchangeError("stream", msg)
+	case bfJSON:
+		return json.Unmarshal(body[1:], b)
+	default:
+		return errBinMalformed
 	}
 }

@@ -34,6 +34,11 @@ type Baseline struct {
 	// degradation contracts are checked against the fresh report
 	// regardless).
 	Router *RouterStats `json:"router"`
+	// Wire is the wire-codec baseline. Reports committed before the
+	// binary codec existed decode it as nil, disarming the relative
+	// wire checks (the absolute speedup/alloc-ratio contracts are
+	// checked against the fresh report regardless).
+	Wire *WireStats `json:"wire"`
 }
 
 // Tolerances are the allowed fractional regressions per axis.
@@ -177,6 +182,34 @@ func Gate(got *Report, base *Baseline, tol Tolerances) []string {
 		}
 	} else if base.Router != nil {
 		v = append(v, "baseline carries a router measurement but the report has none — the router bench was dropped")
+	}
+	if got.Wire != nil {
+		// Absolute contracts, baseline or not: the binary codec exists to
+		// beat JSON by a wide margin, so the headline ratios are floors,
+		// not relative comparisons — a binary path that only matches JSON
+		// has lost its reason to exist even if it never "regressed".
+		if got.Wire.SpeedupX < 2 {
+			v = append(v, fmt.Sprintf("wire.speedup_x = %.2f, want >= 2 — locb1 no longer beats JSON 2x on round-trip throughput",
+				got.Wire.SpeedupX))
+		}
+		if got.Wire.AllocRatioX < 5 {
+			v = append(v, fmt.Sprintf("wire.alloc_ratio_x = %.2f, want >= 5 — locb1 lost its allocs/frame advantage over JSON",
+				got.Wire.AllocRatioX))
+		}
+		if got.Wire.Binary.EncodeAllocsPerFrame >= 1 {
+			v = append(v, fmt.Sprintf("wire.binary.encode_allocs_per_frame = %.2f, want < 1 — the binary encoder stopped reusing its buffer",
+				got.Wire.Binary.EncodeAllocsPerFrame))
+		}
+		if base.Wire != nil {
+			// The binary frame layout is deterministic, so its size gates
+			// at the tight accuracy tolerance; throughput is wall-clock
+			// and concurrencyless, but MemStats probes make it noisier
+			// than a plain loop — double the wall tolerance, like fleet.
+			shortfall("wire.binary.frames_per_second", got.Wire.Binary.FramesPerSecond, base.Wire.Binary.FramesPerSecond, 2*tol.Wall, "frames/s")
+			exceed("wire.binary.bytes_per_obs", got.Wire.Binary.BytesPerObs, base.Wire.Binary.BytesPerObs, tol.Err, "B/obs")
+		}
+	} else if base.Wire != nil {
+		v = append(v, "baseline carries a wire measurement but the report has none — the wire bench was dropped")
 	}
 	return v
 }

@@ -43,6 +43,14 @@ func baseReport() *Report {
 			DrainWallSeconds:  0.02,
 			DrainedSessions:   7,
 		},
+		Wire: &WireStats{
+			ObsPerFrame: 384,
+			Beacons:     24,
+			JSON:        WireCodecStats{Codec: "json", FramesPerSecond: 9_000, BytesPerObs: 110, AllocsPerFrame: 400},
+			Binary:      WireCodecStats{Codec: "locb1", FramesPerSecond: 45_000, BytesPerObs: 34, EncodeAllocsPerFrame: 0, AllocsPerFrame: 3},
+			SpeedupX:    5.0,
+			AllocRatioX: 130,
+		},
 	}
 }
 
@@ -82,6 +90,14 @@ func baseBaseline() *Baseline {
 			RoutedWallSeconds: 0.32,
 			DrainWallSeconds:  0.025,
 			DrainedSessions:   9,
+		},
+		Wire: &WireStats{
+			ObsPerFrame: 384,
+			Beacons:     24,
+			JSON:        WireCodecStats{Codec: "json", FramesPerSecond: 8_800, BytesPerObs: 110, AllocsPerFrame: 400},
+			Binary:      WireCodecStats{Codec: "locb1", FramesPerSecond: 44_000, BytesPerObs: 34, EncodeAllocsPerFrame: 0, AllocsPerFrame: 3},
+			SpeedupX:    5.0,
+			AllocRatioX: 130,
 		},
 	}
 }
@@ -127,6 +143,12 @@ func TestGateCatchesEachAxis(t *testing.T) {
 		{"router drain wall", func(r *Report) { r.Router.DrainWallSeconds = 0.2 }, "router.drain_wall_seconds"},
 		{"router fewer fixes", func(r *Report) { r.Router.Fixes = 500 }, "routed fixes were lost"},
 		{"router dropped", func(r *Report) { r.Router = nil }, "router bench was dropped"},
+		{"wire speedup floor", func(r *Report) { r.Wire.SpeedupX = 1.5 }, "wire.speedup_x"},
+		{"wire alloc ratio floor", func(r *Report) { r.Wire.AllocRatioX = 3 }, "wire.alloc_ratio_x"},
+		{"wire encode allocs", func(r *Report) { r.Wire.Binary.EncodeAllocsPerFrame = 2 }, "wire.binary.encode_allocs_per_frame"},
+		{"wire throughput", func(r *Report) { r.Wire.Binary.FramesPerSecond = 20_000 }, "wire.binary.frames_per_second"},
+		{"wire frame size", func(r *Report) { r.Wire.Binary.BytesPerObs = 50 }, "wire.binary.bytes_per_obs"},
+		{"wire dropped", func(r *Report) { r.Wire = nil }, "wire bench was dropped"},
 	}
 	for _, tc := range cases {
 		r := baseReport()
@@ -230,5 +252,37 @@ func TestGateRouterAgainstLegacyBaseline(t *testing.T) {
 	v = Gate(r, b, DefaultTolerances())
 	if len(v) != 1 || !strings.Contains(v[0], "router.degraded") {
 		t.Fatalf("no-degradation contract not enforced without a baseline: %v", v)
+	}
+}
+
+// TestGateWireAgainstLegacyBaseline: baselines committed before the
+// binary codec decode Wire as nil, disarming the relative throughput
+// and frame-size checks — but the absolute speedup, alloc-ratio, and
+// encode-allocs floors still apply to the fresh report.
+func TestGateWireAgainstLegacyBaseline(t *testing.T) {
+	b := baseBaseline()
+	b.Wire = nil
+	r := baseReport()
+	r.Wire.Binary.FramesPerSecond = 1 // relative checks must be disarmed
+	r.Wire.Binary.BytesPerObs = 9999
+	if v := Gate(r, b, DefaultTolerances()); len(v) != 0 {
+		t.Fatalf("violations against a pre-codec baseline: %v", v)
+	}
+	r.Wire.SpeedupX = 1.2
+	v := Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "wire.speedup_x") {
+		t.Fatalf("speedup floor not enforced without a baseline: %v", v)
+	}
+	r.Wire.SpeedupX = 5
+	r.Wire.AllocRatioX = 2
+	v = Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "wire.alloc_ratio_x") {
+		t.Fatalf("alloc-ratio floor not enforced without a baseline: %v", v)
+	}
+	r.Wire.AllocRatioX = 130
+	r.Wire.Binary.EncodeAllocsPerFrame = 1
+	v = Gate(r, b, DefaultTolerances())
+	if len(v) != 1 || !strings.Contains(v[0], "wire.binary.encode_allocs_per_frame") {
+		t.Fatalf("encode-allocs floor not enforced without a baseline: %v", v)
 	}
 }

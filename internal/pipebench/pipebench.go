@@ -154,6 +154,7 @@ type Report struct {
 	Fleet       *FleetStats           `json:"fleet,omitempty"`
 	Durability  *DurabilityStats      `json:"durability,omitempty"`
 	Router      *RouterStats          `json:"router,omitempty"`
+	Wire        *WireStats            `json:"wire,omitempty"`
 	Stages      map[string]StageStats `json:"stage_latency"`
 	PerTrial    []TrialStats          `json:"per_trial,omitempty"`
 	Engine      locble.Metrics        `json:"engine_metrics"`
@@ -243,6 +244,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	wireStats, err := runWireBench()
+	if err != nil {
+		return nil, err
+	}
 
 	snap := sys.Metrics()
 	stages := make(map[string]StageStats)
@@ -272,6 +277,7 @@ func Run(cfg Config) (*Report, error) {
 		Fleet:       fleetStats,
 		Durability:  durStats,
 		Router:      routerStats,
+		Wire:        wireStats,
 		Stages:      stages,
 		PerTrial:    perTrial,
 		Engine:      snap,
@@ -668,6 +674,11 @@ func (r *Report) Summary() string {
 		s += fmt.Sprintf("; router: %d nodes, %.2fx scale efficiency, drain %.0f ms (%d sessions), %d fixes lost",
 			r.Router.Nodes, r.Router.ScaleEfficiency,
 			r.Router.DrainWallSeconds*1e3, r.Router.DrainedSessions, r.Router.FixesLost)
+	}
+	if r.Wire != nil {
+		s += fmt.Sprintf("; wire: locb1 %.2fx JSON throughput, allocs/frame %.1f vs %.1f (%.1fx), %.0f vs %.0f B/obs",
+			r.Wire.SpeedupX, r.Wire.Binary.AllocsPerFrame, r.Wire.JSON.AllocsPerFrame,
+			r.Wire.AllocRatioX, r.Wire.Binary.BytesPerObs, r.Wire.JSON.BytesPerObs)
 	}
 	return s
 }

@@ -5,84 +5,108 @@ import (
 	"sync"
 
 	"locble/internal/netproto"
+	"locble/internal/obs"
 )
 
 // Backend is one fleet node as the router sees it: batched ingest plus
-// the drain handoff. The production implementation dials a netproto
-// fleet server; tests may substitute in-process fakes. Push and Drain
-// are serialized by the router (a node handles one router exchange at a
-// time), so implementations need not be concurrent-safe.
+// the drain handoff. The production implementation keeps one persistent
+// netproto fleet connection and multiplexes concurrent exchanges onto
+// it through the client's pipelining window; tests may substitute
+// in-process fakes. Implementations must be safe for concurrent use —
+// overlapping PushBatch calls push to the same node at the same time.
 type Backend interface {
 	Push(ctx context.Context, obs []netproto.PushObs) ([]netproto.PushResult, error)
 	Drain(ctx context.Context) (int, error)
 	Close() error
 }
 
-// dialBackend is the wire Backend: a lazily-dialed, cached
-// netproto.FleetClient. A failed exchange closes the connection and the
-// next call redials — the router's breaker decides whether that next
-// call happens at all, so a dead node costs one dial per probe, not per
-// batch.
+// dialBackend is the wire Backend: a lazily-dialed, persistent
+// netproto.FleetClient shared by all concurrent exchanges. A failed
+// exchange closes the connection (the pipeline is poisoned — the
+// stream position is unknown) and the next call redials; the router's
+// breaker decides whether that next call happens at all, so a dead
+// node costs one dial per probe, not per batch.
 type dialBackend struct {
 	addr string
+	cfg  netproto.FleetDialConfig
 
-	mu sync.Mutex
-	cl *netproto.FleetClient
+	// reconnects counts successful redials after a dropped connection
+	// (set by New once the router's registry exists; nil in tests).
+	reconnects *obs.Counter
+
+	mu     sync.Mutex
+	cl     *netproto.FleetClient
+	dialed bool // a connection has been established before
+	closed bool
 }
 
-func newDialBackend(addr string) *dialBackend { return &dialBackend{addr: addr} }
+func newDialBackend(addr string, cfg netproto.FleetDialConfig) *dialBackend {
+	return &dialBackend{addr: addr, cfg: cfg}
+}
 
-// client returns the cached connection, dialing if needed. Callers hold
-// b.mu.
+// client returns the cached connection, dialing if needed. The dial
+// happens under b.mu — concurrent exchanges wait rather than stampede
+// the node with parallel dials.
 func (b *dialBackend) client(ctx context.Context) (*netproto.FleetClient, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, netproto.ErrClientClosed
+	}
 	if b.cl != nil {
 		return b.cl, nil
 	}
-	cl, err := netproto.DialFleet(ctx, b.addr)
+	cl, err := netproto.DialFleetWith(ctx, b.addr, b.cfg)
 	if err != nil {
 		return nil, err
 	}
+	if b.dialed && b.reconnects != nil {
+		b.reconnects.Inc()
+	}
+	b.dialed = true
 	b.cl = cl
 	return cl, nil
 }
 
-// drop discards the cached connection after a failed exchange (the
-// stream position is unknown; reusing it could misparse frames).
-// Callers hold b.mu.
-func (b *dialBackend) drop() {
-	if b.cl != nil {
+// dropIf discards the cached connection after a failed exchange — but
+// only if it is still the one the failure happened on. A concurrent
+// caller may have dropped it and redialed already; closing the
+// replacement would orphan its in-flight exchanges.
+func (b *dialBackend) dropIf(cl *netproto.FleetClient) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cl == cl {
 		b.cl.Close()
 		b.cl = nil
 	}
 }
 
-// Push implements Backend over the {"op":"push"} exchange.
+// Push implements Backend over the {"op":"push"} exchange. Concurrent
+// calls pipeline onto the shared connection.
 func (b *dialBackend) Push(ctx context.Context, obs []netproto.PushObs) ([]netproto.PushResult, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	cl, err := b.client(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res, err := cl.Push(ctx, obs)
 	if err != nil {
-		b.drop()
+		b.dropIf(cl)
 		return nil, err
 	}
 	return res, nil
 }
 
-// Drain implements Backend over the {"op":"drain"} exchange.
+// Drain implements Backend over the {"op":"drain"} exchange. It rides
+// the same pipeline as pushes, so it is ordered after every push
+// already written.
 func (b *dialBackend) Drain(ctx context.Context) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	cl, err := b.client(ctx)
 	if err != nil {
 		return 0, err
 	}
 	n, err := cl.Drain(ctx)
 	if err != nil {
-		b.drop()
+		b.dropIf(cl)
 		return 0, err
 	}
 	return n, nil
@@ -92,6 +116,7 @@ func (b *dialBackend) Drain(ctx context.Context) (int, error) {
 func (b *dialBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.closed = true
 	if b.cl == nil {
 		return nil
 	}

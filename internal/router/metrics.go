@@ -34,10 +34,12 @@ type metrics struct {
 	drainedSessions *obs.Counter
 
 	// Failure handling: beacon groups served by a non-home node while
-	// their home node is dead (each is a typed Degraded result), and
-	// node exchanges that failed outright.
+	// their home node is dead (each is a typed Degraded result), node
+	// exchanges that failed outright, and node connections successfully
+	// re-established after a drop (the persistent-connection churn).
 	failoverGroups *obs.Counter
 	nodeErrors     *obs.Counter
+	reconnects     *obs.Counter
 
 	// Per-node: batches and observations landed, exchange latency.
 	node []nodeMetrics
@@ -64,6 +66,7 @@ func newMetrics(n int) *metrics {
 		drainedSessions: r.Counter("router.drained.sessions"),
 		failoverGroups:  r.Counter("router.failover.groups"),
 		nodeErrors:      r.Counter("router.node.errors"),
+		reconnects:      r.Counter("router.backend.reconnects"),
 		node:            make([]nodeMetrics, n),
 	}
 	for i := range m.node {

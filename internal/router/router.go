@@ -65,6 +65,16 @@ type Config struct {
 	// couple of failed exchanges open the breaker, and its half-open
 	// probes re-admit the node when it answers again.
 	Breaker resilience.BreakerConfig
+	// Codec selects the wire codec negotiated with each node: ""
+	// (default) offers the binary codec and falls back to JSON against
+	// nodes that don't speak it, netproto.CodecJSON pins plain JSON (no
+	// hello), netproto.CodecBinary requires binary (exchanges fail
+	// against a JSON-only node). Mixed fleets are fine — the codec is
+	// per-connection and changes nothing about the results.
+	Codec string
+	// PushWindow bounds the pipelined in-flight exchanges per node
+	// connection (default netproto.DefaultPushWindow).
+	PushWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,14 +156,25 @@ type Router struct {
 }
 
 // New builds a router over netproto fleet servers at addrs. Connections
-// are dialed lazily on first use, so nodes may come up after the
-// router. Addresses must be distinct — they are the ring identities.
+// are dialed lazily on first use — negotiating cfg.Codec and then kept
+// open across batches — so nodes may come up after the router.
+// Addresses must be distinct — they are the ring identities.
 func New(addrs []string, cfg Config) (*Router, error) {
+	dialCfg := netproto.FleetDialConfig{Codec: cfg.Codec, Window: cfg.PushWindow}
+	dials := make([]*dialBackend, len(addrs))
 	backends := make([]Backend, len(addrs))
 	for i, a := range addrs {
-		backends[i] = newDialBackend(a)
+		dials[i] = newDialBackend(a, dialCfg)
+		backends[i] = dials[i]
 	}
-	return newWithBackends(addrs, backends, cfg)
+	r, err := newWithBackends(addrs, backends, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, db := range dials {
+		db.reconnects = r.met.reconnects
+	}
+	return r, nil
 }
 
 // newWithBackends is New with explicit transports (tests inject fakes).
